@@ -1,0 +1,107 @@
+//! A1 — ablation of the design choices DESIGN.md calls out:
+//!
+//! * `equality_graph`: Algorithm *EqualityGraph*'s congruence fixpoint on
+//!   cascade chains (each equality unlocks the next congruence round —
+//!   worst case for the fixpoint loop) vs. flat equality chains (one round);
+//! * `satisfiability`: the Theorem 2.2 gate that every containment branch
+//!   pays;
+//! * `decision_procedure`: Corollary 3.4's mapping search vs. the
+//!   canonical-state oracle (freeze + evaluate) — two complete procedures
+//!   for the same question; the mapping search avoids materializing a state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oocq_eval::canonical_contains;
+use oocq_gen::{chain_query, workload_schema};
+use oocq_query::{EqualityGraph, QueryBuilder};
+use oocq_schema::{AttrType, Schema, SchemaBuilder};
+use std::hint::black_box;
+
+/// A schema with `n` object attributes `A0 … A{n-1}` on one class.
+fn multi_attr_schema(n: usize) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let c = b.class("C").unwrap();
+    for i in 0..n {
+        b.attribute(c, &format!("A{i}"), AttrType::Object(c)).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+/// A congruence cascade of depth `n`: `x = y`, plus per level `uᵢ = xᵢ.Aᵢ`,
+/// `vᵢ = yᵢ.Aᵢ` where `xᵢ₊₁ = uᵢ`, `yᵢ₊₁ = vᵢ` — each congruence round
+/// merges one more pair and unlocks the next.
+fn cascade_query(s: &Schema, n: usize) -> oocq_query::Query {
+    let c = s.class_id("C").unwrap();
+    let mut b = QueryBuilder::new("x0");
+    let mut xs = vec![b.free()];
+    let mut ys = vec![b.var("y0")];
+    b.range(xs[0], [c]).range(ys[0], [c]);
+    b.eq_vars(xs[0], ys[0]);
+    for i in 0..n {
+        let a = s.attr_id(&format!("A{i}")).unwrap();
+        let u = b.var(&format!("u{i}"));
+        let v = b.var(&format!("v{i}"));
+        b.range(u, [c]).range(v, [c]);
+        b.eq(oocq_query::Term::Var(u), oocq_query::Term::Attr(xs[i], a));
+        b.eq(oocq_query::Term::Var(v), oocq_query::Term::Attr(ys[i], a));
+        xs.push(u);
+        ys.push(v);
+    }
+    b.build()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a1_equality_graph");
+    for n in [4usize, 8, 16, 32] {
+        let s = multi_attr_schema(n);
+        let cascade = cascade_query(&s, n);
+        g.bench_with_input(BenchmarkId::new("congruence_cascade", n), &n, |b, _| {
+            b.iter(|| black_box(EqualityGraph::build(&cascade)))
+        });
+        // Flat chain: same variable count, no congruence interaction.
+        let cls = s.class_id("C").unwrap();
+        let mut qb = QueryBuilder::new("x0");
+        let mut prev = qb.free();
+        qb.range(prev, [cls]);
+        for i in 1..(2 * n + 2) {
+            let v = qb.var(&format!("x{i}"));
+            qb.range(v, [cls]);
+            qb.eq_vars(prev, v);
+            prev = v;
+        }
+        let flat = qb.build();
+        g.bench_with_input(BenchmarkId::new("flat_chain", n), &n, |b, _| {
+            b.iter(|| black_box(EqualityGraph::build(&flat)))
+        });
+    }
+    g.finish();
+
+    let ws = workload_schema(3);
+    let mut g = c.benchmark_group("a1_satisfiability");
+    for n in [4usize, 8, 16, 32] {
+        let q = chain_query(&ws, n);
+        g.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| black_box(oocq_core::is_satisfiable(&ws, &q).unwrap()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("a1_decision_procedure");
+    for n in [2usize, 4, 8] {
+        let q1 = chain_query(&ws, n);
+        let q2 = chain_query(&ws, n - 1);
+        g.bench_with_input(BenchmarkId::new("cor34_mapping", n), &n, |b, _| {
+            b.iter(|| black_box(oocq_core::contains_terminal(&ws, &q1, &q2).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("canonical_oracle", n), &n, |b, _| {
+            b.iter(|| black_box(canonical_contains(&ws, &q1, &q2).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ablation
+}
+criterion_main!(benches);

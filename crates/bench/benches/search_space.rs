@@ -1,0 +1,52 @@
+//! B5 — the full §4 pipeline (`minimize_positive`) on Example-4.1-style
+//! inputs of growing hierarchy width: how expensive is it to compute the
+//! search-space-optimal form, as the number of terminal classes (and hence
+//! expansion branches) grows, at different pruning ratios?
+//!
+//! Expected shape: cost tracks the number of *satisfiable* branches; heavy
+//! typing-based pruning (few classes carrying `B`) keeps the pipeline cheap
+//! even at high branching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oocq_gen::partition_schema;
+use oocq_parser::parse_query;
+use std::hint::black_box;
+
+fn bench_search_space(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b5_pipeline");
+    for terminals in [3usize, 6, 12, 24] {
+        // Heavy pruning: only 2 terminals carry B; 1 refines A away.
+        let schema = partition_schema(terminals, 2, 1);
+        let q = parse_query(
+            &schema,
+            "{ x | exists y, s: x in N & y in G & s in H & y = x.B & y in x.A & s in x.A }",
+        )
+        .unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("pruned_to_2", terminals),
+            &terminals,
+            |b, _| b.iter(|| black_box(oocq_core::minimize_positive(&schema, &q).unwrap())),
+        );
+
+        // No pruning: every terminal carries B, none refines A.
+        let schema = partition_schema(terminals, terminals, 0);
+        let q = parse_query(
+            &schema,
+            "{ x | exists y, s: x in N & y in G & s in H & y = x.B & y in x.A & s in x.A }",
+        )
+        .unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("unpruned", terminals),
+            &terminals,
+            |b, _| b.iter(|| black_box(oocq_core::minimize_positive(&schema, &q).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_search_space
+}
+criterion_main!(benches);

@@ -1,0 +1,346 @@
+//! Regenerates every experiment of EXPERIMENTS.md: the paper's worked
+//! examples E1–E8 (verdict tables) and the measured summaries behind B3, B5
+//! and B6. Criterion timing curves for B1–B4 come from `cargo bench`.
+//!
+//! Usage: `experiments [--e1 … --e8 --b3 --b5 --b6]` (no flag = run all).
+
+use oocq_core as core;
+use oocq_eval as eval;
+use oocq_gen as gen;
+use oocq_parser::{parse_query, parse_schema};
+use oocq_query::{Query, UnionQuery};
+use oocq_schema::Schema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn vehicle_schema() -> Schema {
+    parse_schema(
+        "class Vehicle {} class Auto : Vehicle {} class Trailer : Vehicle {}
+         class Truck : Vehicle {} class Client { VehRented: {Vehicle}; }
+         class Discount : Client { VehRented: {Auto}; } class Regular : Client {}",
+    )
+    .unwrap()
+}
+
+fn n1_schema() -> Schema {
+    parse_schema(
+        "class N1 { A: {G}; } class T1 : N1 {} class T2 : N1 { B: G; }
+         class T3 : N1 { A: {I}; B: G; } class G {} class H : G {} class I : G {}",
+    )
+    .unwrap()
+}
+
+fn verdict(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+fn relate(schema: &Schema, q1: &Query, q2: &Query) -> String {
+    let fwd = core::contains_terminal(schema, q1, q2).unwrap();
+    let bwd = core::contains_terminal(schema, q2, q1).unwrap();
+    format!("Q1⊆Q2: {:3}  Q2⊆Q1: {:3}", verdict(fwd), verdict(bwd))
+}
+
+fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+fn e1() {
+    section("E1 (Example 1.1): Vehicle query narrows to Auto");
+    let s = vehicle_schema();
+    let q = parse_query(
+        &s,
+        "{ x | exists y: x in Vehicle & y in Discount & x in y.VehRented }",
+    )
+    .unwrap();
+    let m = core::minimize_positive(&s, &q).unwrap();
+    println!("paper claim : equivalent to the Auto query, search space minimal");
+    println!("original    : {}", q.display(&s));
+    println!("minimized   : {}", m.display(&s));
+    let expected = parse_query(
+        &s,
+        "{ x | exists y: x in Auto & y in Discount & x in y.VehRented }",
+    )
+    .unwrap();
+    let ok = core::union_equivalent(&s, &m, &UnionQuery::single(expected)).unwrap();
+    println!("reproduced  : {}", verdict(ok));
+}
+
+fn e2() {
+    section("E2 (Examples 1.2/4.1): Q == Q2' U Q5, search-space-optimal");
+    let s = n1_schema();
+    let q = parse_query(
+        &s,
+        "{ x | exists y, s: x in N1 & y in G & s in H & y = x.B & y in x.A & s in x.A }",
+    )
+    .unwrap();
+    let m = core::minimize_positive(&s, &q).unwrap();
+    println!("paper claim : Q2' = {{ x | x in T2 & y in H & y=x.B & y in x.A }} plus Q5");
+    for sub in &m {
+        println!("  subquery  : {}", sub.display(&s));
+    }
+    let cost = core::union_cost(&s, &m);
+    let rendered: Vec<String> = cost
+        .iter()
+        .map(|(c, n)| format!("{}x{}", s.class_name(*c), n))
+        .collect();
+    println!("cost        : {}", rendered.join(" "));
+    println!(
+        "reproduced  : {}",
+        verdict(m.len() == 2 && m.queries()[0].var_count() == 2 && m.queries()[1].var_count() == 3)
+    );
+}
+
+fn e3() {
+    section("E3 (Example 1.3): positive conditions imply x != y");
+    let s = parse_schema("class C { A: V; } class V {} class T1 : V {} class T2 : V {}").unwrap();
+    let q1 = parse_query(
+        &s,
+        "{ x | exists y, s, t: x in C & y in C & s in T1 & t in T2 & s = x.A & t = y.A & x != y }",
+    )
+    .unwrap();
+    let q2 = parse_query(
+        &s,
+        "{ x | exists y, s, t: x in C & y in C & s in T1 & t in T2 & s = x.A & t = y.A }",
+    )
+    .unwrap();
+    println!("paper claim : Q1 == Q2");
+    println!("measured    : {}", relate(&s, &q1, &q2));
+    println!(
+        "reproduced  : {}",
+        verdict(core::equivalent_terminal(&s, &q1, &q2).unwrap())
+    );
+}
+
+fn e4() {
+    section("E4 (Example 2.1): terminal expansion of the Vehicle query");
+    let s = vehicle_schema();
+    let q = parse_query(
+        &s,
+        "{ x | exists y: x in Vehicle & y in Discount & x in y.VehRented }",
+    )
+    .unwrap();
+    let u = core::expand(&s, &q).unwrap();
+    println!("paper claim : union of 3 terminal subqueries (Auto, Trailer, Truck)");
+    for sub in &u {
+        println!("  subquery  : {}", sub.display(&s));
+    }
+    println!("reproduced  : {}", verdict(u.len() == 3));
+}
+
+fn e5() {
+    section("E5 (Example 3.1): Q1 strictly contained in Q2");
+    let s = parse_schema("class C { A: D; B: {D}; } class D {}").unwrap();
+    let q1 = parse_query(
+        &s,
+        "{ x | exists y, z: x in C & y in C & z in D & z = y.A & z in y.B & x = y }",
+    )
+    .unwrap();
+    let q2 = parse_query(&s, "{ y | exists z: y in C & z in D & z = y.A }").unwrap();
+    println!("paper claim : Q1 ⊆ Q2 and Q2 ⊄ Q1");
+    println!("measured    : {}", relate(&s, &q1, &q2));
+    let ok = core::contains_terminal(&s, &q1, &q2).unwrap()
+        && !core::contains_terminal(&s, &q2, &q1).unwrap();
+    println!("reproduced  : {}", verdict(ok));
+}
+
+fn e6() {
+    section("E6 (Example 3.2): counting distinct objects");
+    let s = parse_schema("class C {}").unwrap();
+    let q1 = parse_query(
+        &s,
+        "{ x | exists y, z: x in C & y in C & z in C & x != y & y != z }",
+    )
+    .unwrap();
+    let q2 = parse_query(&s, "{ x | exists y: x in C & y in C & x != y }").unwrap();
+    let q3 = parse_query(
+        &s,
+        "{ x | exists y, z: x in C & y in C & z in C & x != y & y != z & x != z }",
+    )
+    .unwrap();
+    println!("paper claim : Q1 == Q2, Q3 ⊊ Q1");
+    println!("Q1 vs Q2    : {}", relate(&s, &q1, &q2));
+    println!("Q3 vs Q1    : {}", relate(&s, &q3, &q1));
+    let ok = core::equivalent_terminal(&s, &q1, &q2).unwrap()
+        && core::contains_terminal(&s, &q3, &q1).unwrap()
+        && !core::contains_terminal(&s, &q1, &q3).unwrap();
+    println!("reproduced  : {}", verdict(ok));
+}
+
+fn e7() {
+    section("E7 (Example 3.3): non-membership blocks one direction");
+    let s = parse_schema("class T1 {} class T2 { A: {T1}; }").unwrap();
+    let q1 = parse_query(&s, "{ x | exists y: x in T1 & y in T2 }").unwrap();
+    let q2 = parse_query(&s, "{ x | exists y: x in T1 & y in T2 & x not in y.A }").unwrap();
+    println!("paper claim : Q2 ⊆ Q1 and Q1 ⊄ Q2");
+    println!("measured    : {}", relate(&s, &q1, &q2));
+    let ok = core::contains_terminal(&s, &q2, &q1).unwrap()
+        && !core::contains_terminal(&s, &q1, &q2).unwrap();
+    println!("reproduced  : {}", verdict(ok));
+}
+
+fn e8() {
+    section("E8 (Example 4.1): satisfiability verdicts of the 6 expanded subqueries");
+    let s = n1_schema();
+    let q = parse_query(
+        &s,
+        "{ x | exists y, s: x in N1 & y in G & s in H & y = x.B & y in x.A & s in x.A }",
+    )
+    .unwrap();
+    let u = core::expand(&s, &q).unwrap();
+    println!("paper claim : Q1,Q4 unsat (no B on T1); Q3,Q6 unsat (T3.A : {{I}}); Q2,Q5 sat");
+    let mut ok = true;
+    let expect = [false, false, true, true, false, false];
+    for (i, sub) in u.iter().enumerate() {
+        let sat = core::is_satisfiable(&s, sub).unwrap();
+        ok &= sat == expect[i];
+        let x_class = s.class_name(sub.terminal_class_of(sub.free_var()).unwrap());
+        println!(
+            "  x in {:2}  ->  {}",
+            x_class,
+            if sat { "SAT" } else { "UNSAT" }
+        );
+    }
+    println!("reproduced  : {}", verdict(ok));
+}
+
+fn b3() {
+    section("B3: expansion size vs branching (vars=3, Example-4.1 pattern)");
+    println!("{:>10} {:>12} {:>16} {:>10}", "branching", "expanded", "satisfiable", "time");
+    for branching in [2usize, 4, 8, 16] {
+        let schema = gen::partition_schema(branching, 2, 1);
+        let q = parse_query(
+            &schema,
+            "{ x | exists y, s: x in N & y in G & s in H & y = x.B & y in x.A & s in x.A }",
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        let full = core::expand(&schema, &q).unwrap().len();
+        let sat = core::expand_satisfiable(&schema, &q).unwrap().len();
+        println!(
+            "{:>10} {:>12} {:>16} {:>9.1?}",
+            branching,
+            full,
+            sat,
+            t0.elapsed()
+        );
+    }
+}
+
+fn b5() {
+    section("B5: search-space cost before/after minimization");
+    println!(
+        "{:>10} {:>24} {:>24} {:>10}",
+        "terminals", "expanded cost(sum)", "optimal cost(sum)", "time"
+    );
+    for terminals in [3usize, 6, 12, 24] {
+        let schema = gen::partition_schema(terminals, 2, 1);
+        let q = parse_query(
+            &schema,
+            "{ x | exists y, s: x in N & y in G & s in H & y = x.B & y in x.A & s in x.A }",
+        )
+        .unwrap();
+        let expanded =
+            core::expand_satisfiable(&schema, &oocq_query::normalize(&q, &schema).unwrap())
+                .unwrap();
+        let t0 = Instant::now();
+        let m = core::minimize_positive(&schema, &q).unwrap();
+        let dt = t0.elapsed();
+        let sum = |c: &std::collections::BTreeMap<oocq_schema::ClassId, usize>| {
+            c.values().sum::<usize>()
+        };
+        println!(
+            "{:>10} {:>24} {:>24} {:>9.1?}",
+            terminals,
+            sum(&core::union_cost(&schema, &expanded)),
+            sum(&core::union_cost(&schema, &m)),
+            dt
+        );
+    }
+}
+
+fn b6() {
+    section("B6: evaluation speedup of the minimized Example 1.1 query");
+    let schema = vehicle_schema();
+    let q = parse_query(
+        &schema,
+        "{ x | exists y: x in Vehicle & y in Discount & x in y.VehRented }",
+    )
+    .unwrap();
+    let optimal = core::minimize_positive(&schema, &q).unwrap();
+    let mut rng = StdRng::seed_from_u64(2026);
+    println!(
+        "{:>8} {:>10} {:>10} {:>11} {:>11} {:>8}",
+        "objects", "|Vehicle|", "|Auto|", "naive", "minimized", "speedup"
+    );
+    for objects in [200usize, 1000, 4000] {
+        let st = gen::random_state(
+            &mut rng,
+            &schema,
+            &gen::StateParams {
+                objects,
+                fill_prob: 0.9,
+                max_set: 8,
+            },
+        );
+        let t0 = Instant::now();
+        let before = eval::answer(&schema, &st, &q);
+        let t_naive = t0.elapsed();
+        let t0 = Instant::now();
+        let after = eval::answer_union(&schema, &st, &optimal);
+        let t_min = t0.elapsed();
+        assert_eq!(before, after);
+        println!(
+            "{:>8} {:>10} {:>10} {:>10.1?} {:>10.1?} {:>7.1}x",
+            objects,
+            st.extent(schema.class_id("Vehicle").unwrap()).len(),
+            st.extent(schema.class_id("Auto").unwrap()).len(),
+            t_naive,
+            t_min,
+            t_naive.as_secs_f64() / t_min.as_secs_f64().max(1e-9)
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
+    println!("oocq experiment harness — Chan, PODS 1992 reproduction");
+    if want("--e1") {
+        e1();
+    }
+    if want("--e2") {
+        e2();
+    }
+    if want("--e3") {
+        e3();
+    }
+    if want("--e4") {
+        e4();
+    }
+    if want("--e5") {
+        e5();
+    }
+    if want("--e6") {
+        e6();
+    }
+    if want("--e7") {
+        e7();
+    }
+    if want("--e8") {
+        e8();
+    }
+    if want("--b3") {
+        b3();
+    }
+    if want("--b5") {
+        b5();
+    }
+    if want("--b6") {
+        b6();
+    }
+}

@@ -1,0 +1,8 @@
+//! # oocq-bench
+//!
+//! Benchmark harness for the `oocq` workspace: Criterion benches (one per
+//! experiment family B1–B6 of EXPERIMENTS.md) plus the `experiments` binary
+//! that regenerates every paper-example verdict (E1–E8) and the summary
+//! measurements in table form.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,444 @@
+//! Derivability of positive atoms, contradiction of negative atoms, and the
+//! search for non-contradictory variable mappings (§3.1).
+//!
+//! For a terminal conjunctive query `Q` with equality graph `E(Q)`:
+//!
+//! * `Q ⊢ x ∈ C` iff `x ∈ C` is an atom of `Q`;
+//! * `Q ⊢ f(x) = g(y)` iff there are `s ∈ [x]`, `t ∈ [y]` with `f(s)`,
+//!   `g(t)` object terms of `Q` and `f(s) ∈ [g(t)]`;
+//! * `Q ⊢ x ∈ y.A` iff there are `s ∈ [x]`, `t ∈ [y]` with `s ∈ t.A` an
+//!   atom of `Q`;
+//! * `Q` does not contradict `f(x) ≠ g(y)` iff there are `s ∈ [x]`,
+//!   `t ∈ [y]` with `f(s)`, `g(t)` object terms and `Q & {f(s) ≠ g(t)}`
+//!   satisfiable — by the satisfiability procedure this reduces to the two
+//!   terms lying in *different* equivalence classes;
+//! * `Q` does not contradict `x ∉ y.A` iff some `t ∈ [y]` has `t.A` a set
+//!   term of `Q` and `Q & {x ∉ t.A}` is satisfiable — which reduces to the
+//!   absence of a derivable membership `x ∈ t.A`.
+//!
+//! A variable mapping `μ : Q₂ → Q₁` is **non-contradictory** when `Q₁`
+//! derives `μ(A)` for every positive atom `A` of `Q₂` and does not
+//! contradict `μ(A)` for every inequality/non-membership atom. Because the
+//! congruence closure of `E(Q)` merges `s.A` across equated bases, every
+//! derivability test above is a constant number of class lookups.
+
+use crate::error::CoreError;
+use crate::satisfiability::var_classes;
+use oocq_query::{Atom, Query, QueryAnalysis, Term, VarId};
+use oocq_schema::{AttrId, ClassId, Schema};
+use std::collections::{HashMap, HashSet};
+
+/// A containment target `Q₁` (possibly augmented) with the indexes needed to
+/// answer derivability queries in O(1).
+pub(crate) struct TargetCtx<'s> {
+    pub(crate) schema: &'s Schema,
+    pub(crate) q: Query,
+    /// Terminal class of each variable.
+    pub(crate) classes: Vec<ClassId>,
+    pub(crate) analysis: QueryAnalysis,
+    /// Derived membership instances `(root[s], root[t], A)` for each atom
+    /// `s ∈ t.A`.
+    members: HashSet<(usize, usize, AttrId)>,
+    /// For `(root of base-variable class, A)`: the class of the object term
+    /// `s.A` (unique when present, by congruence).
+    obj_attr_image: HashMap<(usize, AttrId), usize>,
+    /// `(root of base-variable class, A)` pairs for which some `t.A` is a
+    /// set term.
+    set_attr_present: HashSet<(usize, AttrId)>,
+    /// Variables grouped by terminal class, candidate pools for the search.
+    by_class: HashMap<ClassId, Vec<VarId>>,
+}
+
+impl<'s> TargetCtx<'s> {
+    /// Index a terminal target query.
+    pub(crate) fn new(schema: &'s Schema, q: Query) -> Result<TargetCtx<'s>, CoreError> {
+        let classes = var_classes(schema, &q)?;
+        let analysis = QueryAnalysis::of(&q);
+        let graph = analysis.graph();
+        let var_root =
+            |v: VarId| graph.class_id(Term::Var(v)).expect("variable is always a node");
+
+        let mut members = HashSet::new();
+        for a in q.atoms() {
+            if let Atom::Member(x, y, attr) = a {
+                members.insert((var_root(*x), var_root(*y), *attr));
+            }
+        }
+        let mut obj_attr_image = HashMap::new();
+        let mut set_attr_present = HashSet::new();
+        for &t in graph.terms() {
+            if let Term::Attr(v, a) = t {
+                let key = (var_root(v), a);
+                if analysis.is_object_term(t) {
+                    obj_attr_image.insert(key, graph.class_id(t).unwrap());
+                } else if analysis.is_set_term(t) {
+                    set_attr_present.insert(key);
+                }
+            }
+        }
+        let mut by_class: HashMap<ClassId, Vec<VarId>> = HashMap::new();
+        for v in q.vars() {
+            by_class.entry(classes[v.index()]).or_default().push(v);
+        }
+        Ok(TargetCtx {
+            schema,
+            q,
+            classes,
+            analysis,
+            members,
+            obj_attr_image,
+            set_attr_present,
+            by_class,
+        })
+    }
+
+    #[inline]
+    fn var_root(&self, v: VarId) -> usize {
+        self.analysis
+            .graph()
+            .class_id(Term::Var(v))
+            .expect("variable is always a node")
+    }
+
+    /// The equivalence class of the object denoted by a (mapped) term, if
+    /// the target has a matching object term.
+    fn term_image(&self, t: Term) -> Option<usize> {
+        match t {
+            Term::Var(v) => Some(self.var_root(v)),
+            Term::Attr(v, a) => self
+                .obj_attr_image
+                .get(&(self.var_root(v), a))
+                .copied(),
+        }
+    }
+
+    /// `Q ⊢ μ(x) ∈ C`.
+    pub(crate) fn derives_range(&self, v: VarId, c: ClassId) -> bool {
+        self.classes[v.index()] == c
+    }
+
+    /// `Q ⊢ a = b` for mapped terms.
+    pub(crate) fn derives_eq(&self, a: Term, b: Term) -> bool {
+        match (self.term_image(a), self.term_image(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// `Q ⊢ x ∈ y.A` for mapped variables.
+    pub(crate) fn derives_member(&self, x: VarId, y: VarId, a: AttrId) -> bool {
+        self.members
+            .contains(&(self.var_root(x), self.var_root(y), a))
+    }
+
+    /// Does `Q` *not* contradict `a ≠ b` for mapped terms?
+    pub(crate) fn not_contradict_neq(&self, a: Term, b: Term) -> bool {
+        match (self.term_image(a), self.term_image(b)) {
+            (Some(x), Some(y)) => x != y,
+            _ => false,
+        }
+    }
+
+    /// Does `Q` *not* contradict `x ∉ y.A` for mapped variables?
+    pub(crate) fn not_contradict_nonmember(&self, x: VarId, y: VarId, a: AttrId) -> bool {
+        let key = (self.var_root(y), a);
+        self.set_attr_present.contains(&key) && !self.derives_member(x, y, a)
+    }
+
+    /// Does `Q` *not* contradict `x ∉ C₁ ∨ … ∨ Cₙ`? (Only used defensively;
+    /// §2.5 strips non-range atoms from satisfiable queries.)
+    pub(crate) fn not_contradict_nonrange(&self, v: VarId, cs: &[ClassId]) -> bool {
+        !cs.iter()
+            .any(|&c| self.schema.is_subclass(self.classes[v.index()], c))
+    }
+
+    /// Check one atom of the source query under a (partial) mapping whose
+    /// entries for this atom's variables are all set.
+    pub(crate) fn atom_holds(&self, atom: &Atom, map: &[VarId]) -> bool {
+        let m = |v: VarId| map[v.index()];
+        match atom {
+            Atom::Range(v, cs) => cs.len() == 1 && self.derives_range(m(*v), cs[0]),
+            Atom::Eq(a, b) => self.derives_eq(a.with_var(m(a.var())), b.with_var(m(b.var()))),
+            Atom::Member(x, y, attr) => self.derives_member(m(*x), m(*y), *attr),
+            Atom::Neq(a, b) => {
+                self.not_contradict_neq(a.with_var(m(a.var())), b.with_var(m(b.var())))
+            }
+            Atom::NonMember(x, y, attr) => self.not_contradict_nonmember(m(*x), m(*y), *attr),
+            Atom::NonRange(v, cs) => self.not_contradict_nonrange(m(*v), cs),
+        }
+    }
+
+    /// Variables of the target in a given terminal class.
+    pub(crate) fn vars_of_class(&self, c: ClassId) -> &[VarId] {
+        self.by_class.get(&c).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Are two target variables in the same equivalence class of `E(Q)`?
+    pub(crate) fn same_var_class(&self, a: VarId, b: VarId) -> bool {
+        self.var_root(a) == self.var_root(b)
+    }
+}
+
+/// Options for the mapping search.
+pub(crate) struct MappingGoal<'a> {
+    /// The source query `Q₂`.
+    pub(crate) source: &'a Query,
+    /// Terminal class of each source variable.
+    pub(crate) source_classes: &'a [ClassId],
+    /// The target variable class the mapped free variable must land in
+    /// (condition (i): `τ(μ(t₂)) = τ(t₁)`).
+    pub(crate) free_anchor: VarId,
+    /// A target variable that must NOT appear in the image (used by
+    /// minimization to search for non-surjective self-maps); `None` for
+    /// plain containment.
+    pub(crate) avoid_in_image: Option<VarId>,
+}
+
+/// Find a non-contradictory variable mapping `μ : source → target`
+/// satisfying conditions (i) and (ii) of Theorem 3.1 (and optionally
+/// avoiding a target variable in its image). Returns the mapping as a
+/// vector indexed by source variable.
+pub(crate) fn find_mapping(ctx: &TargetCtx<'_>, goal: &MappingGoal<'_>) -> Option<Vec<VarId>> {
+    let q2 = goal.source;
+    let n = q2.var_count();
+
+    // Variable order: free variable first (most constrained), then the rest.
+    let mut order: Vec<VarId> = Vec::with_capacity(n);
+    order.push(q2.free_var());
+    order.extend(q2.vars().filter(|&v| v != q2.free_var()));
+    let mut position = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        position[v.index()] = i;
+    }
+    // Atoms become checkable once their last variable is mapped.
+    let mut ready: Vec<Vec<&Atom>> = vec![Vec::new(); n.max(1)];
+    for a in q2.atoms() {
+        let depth = a
+            .vars()
+            .iter()
+            .map(|v| position[v.index()])
+            .max()
+            .unwrap_or(0);
+        ready[depth].push(a);
+    }
+    // Candidate pools per source variable.
+    let candidates: Vec<Vec<VarId>> = order
+        .iter()
+        .map(|&v| {
+            let pool = ctx.vars_of_class(goal.source_classes[v.index()]);
+            pool.iter()
+                .copied()
+                .filter(|&w| {
+                    if Some(w) == goal.avoid_in_image {
+                        return false;
+                    }
+                    if v == q2.free_var() {
+                        ctx.same_var_class(w, goal.free_anchor)
+                    } else {
+                        true
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut map = vec![VarId::from_index(0); n];
+    fn recurse(
+        ctx: &TargetCtx<'_>,
+        order: &[VarId],
+        candidates: &[Vec<VarId>],
+        ready: &[Vec<&Atom>],
+        map: &mut [VarId],
+        depth: usize,
+    ) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        let v = order[depth];
+        for &w in &candidates[depth] {
+            map[v.index()] = w;
+            if ready[depth].iter().all(|a| ctx.atom_holds(a, map))
+                && recurse(ctx, order, candidates, ready, map, depth + 1)
+            {
+                return true;
+            }
+        }
+        false
+    }
+    if n == 0 {
+        return Some(map);
+    }
+    recurse(ctx, &order, &candidates, &ready, &mut map, 0).then_some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_query::QueryBuilder;
+    use oocq_schema::samples;
+
+    /// Example 3.1's Q₁ indexed as a target.
+    fn example_31_ctx(s: &Schema) -> TargetCtx<'_> {
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let bb = s.attr_id("B").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [c]).range(y, [c]).range(z, [d]);
+        b.eq_attr(z, y, a);
+        b.member(z, y, bb);
+        b.eq_vars(x, y);
+        TargetCtx::new(s, b.build()).unwrap()
+    }
+
+    #[test]
+    fn derives_equality_through_congruent_base() {
+        // Q₁ ⊢ z = x.A even though the atom says z = y.A, because x = y.
+        let s = samples::example_31();
+        let ctx = example_31_ctx(&s);
+        let a = s.attr_id("A").unwrap();
+        let x = VarId::from_index(0);
+        let z = VarId::from_index(2);
+        assert!(ctx.derives_eq(Term::Var(z), Term::Attr(x, a)));
+        // But not z = x.B (B is a set term).
+        let bb = s.attr_id("B").unwrap();
+        assert!(!ctx.derives_eq(Term::Var(z), Term::Attr(x, bb)));
+    }
+
+    #[test]
+    fn derives_membership_through_equalities() {
+        let s = samples::example_31();
+        let ctx = example_31_ctx(&s);
+        let bb = s.attr_id("B").unwrap();
+        let x = VarId::from_index(0);
+        let z = VarId::from_index(2);
+        // Atom is z ∈ y.B; x = y makes z ∈ x.B derivable.
+        assert!(ctx.derives_member(z, x, bb));
+        assert!(!ctx.derives_member(x, x, bb));
+    }
+
+    #[test]
+    fn non_contradiction_of_inequalities() {
+        let s = samples::example_31();
+        let ctx = example_31_ctx(&s);
+        let x = VarId::from_index(0);
+        let y = VarId::from_index(1);
+        let z = VarId::from_index(2);
+        // x = y: inequality x ≠ y IS contradicted.
+        assert!(!ctx.not_contradict_neq(Term::Var(x), Term::Var(y)));
+        // x vs z: fine.
+        assert!(ctx.not_contradict_neq(Term::Var(x), Term::Var(z)));
+    }
+
+    #[test]
+    fn non_contradiction_of_non_membership() {
+        let s = samples::example_31();
+        let ctx = example_31_ctx(&s);
+        let bb = s.attr_id("B").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let x = VarId::from_index(0);
+        let z = VarId::from_index(2);
+        // z ∈ y.B is an atom (and x = y): z ∉ x.B is contradicted.
+        assert!(!ctx.not_contradict_nonmember(z, x, bb));
+        // x ∉ x.B: x.B is a set term (via x = y) and x ∈ x.B not derivable.
+        assert!(ctx.not_contradict_nonmember(x, x, bb));
+        // x ∉ x.A: A is not a set term anywhere — contradicted (Ex. 3.3's
+        // mechanism).
+        assert!(!ctx.not_contradict_nonmember(x, x, a));
+    }
+
+    #[test]
+    fn example_31_containment_mapping_exists() {
+        // μ : Q₂ → Q₁ with μ(y) = x, μ(z) = z.
+        let s = samples::example_31();
+        let ctx = example_31_ctx(&s);
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("y");
+        let y2 = b.free();
+        let z2 = b.var("z");
+        b.range(y2, [c]).range(z2, [d]);
+        b.eq_attr(z2, y2, a);
+        let q2 = b.build();
+        let classes2 = var_classes(&s, &q2).unwrap();
+        let goal = MappingGoal {
+            source: &q2,
+            source_classes: &classes2,
+            free_anchor: ctx.q.free_var(),
+            avoid_in_image: None,
+        };
+        let map = find_mapping(&ctx, &goal).expect("mapping must exist");
+        // μ(y) must be x or y (the [x] class), μ(z) = z.
+        assert!(map[y2.index()].index() <= 1);
+        assert_eq!(map[z2.index()].index(), 2);
+    }
+
+    #[test]
+    fn example_31_reverse_mapping_fails() {
+        // No mapping from Q₁ into Q₂: z ∈ y.B has no derivation in Q₂.
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let bb = s.attr_id("B").unwrap();
+
+        let mut b = QueryBuilder::new("y");
+        let y2 = b.free();
+        let z2 = b.var("z");
+        b.range(y2, [c]).range(z2, [d]);
+        b.eq_attr(z2, y2, a);
+        let ctx = TargetCtx::new(&s, b.build()).unwrap();
+
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [c]).range(y, [c]).range(z, [d]);
+        b.eq_attr(z, y, a);
+        b.member(z, y, bb);
+        b.eq_vars(x, y);
+        let q1 = b.build();
+        let classes1 = var_classes(&s, &q1).unwrap();
+        let goal = MappingGoal {
+            source: &q1,
+            source_classes: &classes1,
+            free_anchor: ctx.q.free_var(),
+            avoid_in_image: None,
+        };
+        assert!(find_mapping(&ctx, &goal).is_none());
+    }
+
+    #[test]
+    fn avoid_in_image_constrains_search() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]);
+        let q = b.build();
+        let ctx = TargetCtx::new(&s, q.clone()).unwrap();
+        let classes = var_classes(&s, &q).unwrap();
+        // Self-map avoiding y exists (fold y onto x)...
+        let goal = MappingGoal {
+            source: &q,
+            source_classes: &classes,
+            free_anchor: x,
+            avoid_in_image: Some(y),
+        };
+        let map = find_mapping(&ctx, &goal).unwrap();
+        assert_eq!(map, vec![x, x]);
+        // ... but avoiding x does not: the free variable must stay in [x].
+        let goal = MappingGoal {
+            source: &q,
+            source_classes: &classes,
+            free_anchor: x,
+            avoid_in_image: Some(x),
+        };
+        assert!(find_mapping(&ctx, &goal).is_none());
+    }
+}

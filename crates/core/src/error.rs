@@ -1,0 +1,69 @@
+//! Errors for the containment/minimization algorithms.
+
+use oocq_query::WellFormedError;
+use std::error::Error;
+use std::fmt;
+
+/// Preconditions of the §3/§4 algorithms that the input failed to meet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// The query is not well-formed (§2.3) and could not be normalized.
+    WellFormed(WellFormedError),
+    /// A terminal conjunctive query was required (every range atom a single
+    /// terminal class) but the query is not terminal.
+    NotTerminal {
+        /// The offending variable's name.
+        var: String,
+    },
+    /// A positive conjunctive query was required (§4) but the query contains
+    /// a negative atom.
+    NotPositive,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::WellFormed(e) => write!(f, "query is not well-formed: {e}"),
+            CoreError::NotTerminal { var } => write!(
+                f,
+                "variable `{var}` does not range over a single terminal class"
+            ),
+            CoreError::NotPositive => {
+                write!(f, "query contains a negative atom but must be positive")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::WellFormed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WellFormedError> for CoreError {
+    fn from(e: WellFormedError) -> CoreError {
+        CoreError::WellFormed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_well_formed_errors_with_source() {
+        let e = CoreError::from(WellFormedError::MixedTerm("y.A".into()));
+        assert!(e.to_string().contains("not well-formed"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn not_terminal_names_variable() {
+        let e = CoreError::NotTerminal { var: "x".into() };
+        assert!(e.to_string().contains("`x`"));
+    }
+}

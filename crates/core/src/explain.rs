@@ -1,0 +1,266 @@
+//! Containment certificates: *why* `Q₁ ⊆ Q₂` holds or fails.
+//!
+//! Theorem 3.1 makes containment an ∀∃ statement: for every consistent
+//! augmentation branch of `Q₁` there must exist a non-contradictory mapping
+//! from `Q₂`. A positive answer is certified by one mapping per branch; a
+//! negative answer by a single branch with no mapping. [`decide_containment`]
+//! returns these certificates, and [`Containment::render`] prints them in
+//! the paper's vocabulary — the `containment_lab` example shows the output.
+
+use crate::satisfiability::UnsatReason;
+use oocq_query::{Atom, Query, VarId};
+use oocq_schema::Schema;
+use std::fmt::Write as _;
+
+/// One certified branch of a containment proof: the augmentation atoms
+/// `S ∪ W` added to `Q₁`, and the witnessing variable mapping `μ`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MappingWitness {
+    /// Equality (`S`) and membership (`W`) atoms, in `Q₁`'s variable ids.
+    pub augmentation: Vec<Atom>,
+    /// `μ`: for each variable of `Q₂` (by index), the `Q₁` variable it maps
+    /// to.
+    pub assignment: Vec<VarId>,
+}
+
+/// The outcome of a containment decision, with evidence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Containment {
+    /// `Q₁` is unsatisfiable, hence contained in everything.
+    HoldsVacuously(UnsatReason),
+    /// Containment holds; one witness mapping per consistent augmentation
+    /// branch (branches whose augmented query is unsatisfiable are vacuous
+    /// and omitted).
+    Holds(Vec<MappingWitness>),
+    /// `Q₂` is unsatisfiable while `Q₁` is not.
+    FailsRightUnsatisfiable(UnsatReason),
+    /// Some consistent augmentation branch of `Q₁` admits no
+    /// non-contradictory mapping from `Q₂`.
+    Fails {
+        /// The augmentation atoms of the failing branch (empty = `Q₁`
+        /// itself).
+        augmentation: Vec<Atom>,
+    },
+}
+
+impl Containment {
+    /// Did containment hold?
+    pub fn holds(&self) -> bool {
+        matches!(self, Containment::HoldsVacuously(_) | Containment::Holds(_))
+    }
+
+    /// Render the certificate using the queries' variable names and the
+    /// schema's class/attribute names.
+    pub fn render(&self, schema: &Schema, q1: &Query, q2: &Query) -> String {
+        let mut out = String::new();
+        let atom_str = |a: &Atom| render_atom(schema, q1, a);
+        match self {
+            Containment::HoldsVacuously(reason) => {
+                let _ = writeln!(out, "holds vacuously: Q1 is unsatisfiable ({reason})");
+            }
+            Containment::Holds(witnesses) => {
+                let _ = writeln!(out, "holds: {} branch(es) certified", witnesses.len());
+                for w in witnesses {
+                    if w.augmentation.is_empty() {
+                        let _ = writeln!(out, "  branch Q1:");
+                    } else {
+                        let atoms: Vec<String> = w.augmentation.iter().map(atom_str).collect();
+                        let _ = writeln!(out, "  branch Q1 & {{{}}}:", atoms.join(", "));
+                    }
+                    let pairs: Vec<String> = w
+                        .assignment
+                        .iter()
+                        .enumerate()
+                        .map(|(ix, v)| {
+                            format!(
+                                "{} -> {}",
+                                q2.var_name(VarId::from_index(ix)),
+                                q1.var_name(*v)
+                            )
+                        })
+                        .collect();
+                    let _ = writeln!(out, "    mu: {}", pairs.join(", "));
+                }
+            }
+            Containment::FailsRightUnsatisfiable(reason) => {
+                let _ = writeln!(out, "fails: Q2 is unsatisfiable ({reason}) but Q1 is not");
+            }
+            Containment::Fails { augmentation } => {
+                if augmentation.is_empty() {
+                    let _ = writeln!(out, "fails: no non-contradictory mapping from Q2 to Q1");
+                } else {
+                    let atoms: Vec<String> = augmentation.iter().map(atom_str).collect();
+                    let _ = writeln!(
+                        out,
+                        "fails: no non-contradictory mapping from Q2 to Q1 & {{{}}}",
+                        atoms.join(", ")
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render one atom with names (in `q`'s variable namespace).
+pub(crate) fn render_atom(schema: &Schema, q: &Query, a: &Atom) -> String {
+    use oocq_query::Term;
+    let term = |t: &Term| match t {
+        Term::Var(v) => q.var_name(*v).to_owned(),
+        Term::Attr(v, at) => format!("{}.{}", q.var_name(*v), schema.attr_name(*at)),
+    };
+    match a {
+        Atom::Range(v, cs) => {
+            let names: Vec<&str> = cs.iter().map(|&c| schema.class_name(c)).collect();
+            format!("{} in {}", q.var_name(*v), names.join(" | "))
+        }
+        Atom::NonRange(v, cs) => {
+            let names: Vec<&str> = cs.iter().map(|&c| schema.class_name(c)).collect();
+            format!("{} not in {}", q.var_name(*v), names.join(" | "))
+        }
+        Atom::Eq(s, t) => format!("{} = {}", term(s), term(t)),
+        Atom::Neq(s, t) => format!("{} != {}", term(s), term(t)),
+        Atom::Member(x, y, at) => format!(
+            "{} in {}.{}",
+            q.var_name(*x),
+            q.var_name(*y),
+            schema.attr_name(*at)
+        ),
+        Atom::NonMember(x, y, at) => format!(
+            "{} not in {}.{}",
+            q.var_name(*x),
+            q.var_name(*y),
+            schema.attr_name(*at)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::decide_containment;
+    use oocq_query::QueryBuilder;
+    use oocq_schema::samples;
+
+    #[test]
+    fn positive_containment_certificate_has_one_branch() {
+        let s = samples::vehicle_rental();
+        let auto = s.class_id("Auto").unwrap();
+        let mk = |extra: bool| {
+            let mut b = QueryBuilder::new("x");
+            let x = b.free();
+            if extra {
+                let y = b.var("y");
+                b.range(y, [s.class_id("Discount").unwrap()]);
+                b.member(x, y, s.attr_id("VehRented").unwrap());
+            }
+            b.range(x, [auto]);
+            b.build()
+        };
+        let q1 = mk(true);
+        let q2 = mk(false);
+        let proof = decide_containment(&s, &q1, &q2).unwrap();
+        assert!(proof.holds());
+        let Containment::Holds(ws) = &proof else {
+            panic!("expected mapping witnesses");
+        };
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].augmentation.is_empty());
+        let text = proof.render(&s, &q1, &q2);
+        assert!(text.contains("mu: x -> x"));
+    }
+
+    #[test]
+    fn vacuous_containment_reports_unsat_reason() {
+        let s = samples::unrelated_subtypes();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [s.class_id("T1").unwrap()]);
+        b.range(y, [s.class_id("T2").unwrap()]);
+        b.eq_vars(x, y);
+        let unsat = b.build();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [s.class_id("T1").unwrap()]);
+        let q2 = b.build();
+        let proof = decide_containment(&s, &unsat, &q2).unwrap();
+        assert!(matches!(proof, Containment::HoldsVacuously(_)));
+        assert!(proof.render(&s, &unsat, &q2).contains("vacuously"));
+    }
+
+    #[test]
+    fn failure_names_the_failing_augmentation() {
+        // Example 3.2: Q1 (chain) ⊄ Q3 (triangle); the failing branch is the
+        // augmentation that merges x and z.
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let chain = |close: bool| {
+            let mut b = QueryBuilder::new("x");
+            let x = b.free();
+            let y = b.var("y");
+            let z = b.var("z");
+            b.range(x, [c]).range(y, [c]).range(z, [c]);
+            b.neq_vars(x, y).neq_vars(y, z);
+            if close {
+                b.neq_vars(x, z);
+            }
+            b.build()
+        };
+        let q1 = chain(false);
+        let q3 = chain(true);
+        let proof = decide_containment(&s, &q1, &q3).unwrap();
+        assert!(!proof.holds());
+        let Containment::Fails { augmentation } = &proof else {
+            panic!("expected failing branch");
+        };
+        assert_eq!(augmentation.len(), 1);
+        let text = proof.render(&s, &q1, &q3);
+        assert!(text.contains("x = z"), "got: {text}");
+    }
+
+    #[test]
+    fn right_unsat_failure() {
+        let s = samples::unrelated_subtypes();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [s.class_id("T1").unwrap()]);
+        let sat = b.build();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [s.class_id("T1").unwrap()]);
+        b.range(y, [s.class_id("T2").unwrap()]);
+        b.eq_vars(x, y);
+        let unsat = b.build();
+        let proof = decide_containment(&s, &sat, &unsat).unwrap();
+        assert!(matches!(proof, Containment::FailsRightUnsatisfiable(_)));
+    }
+
+    #[test]
+    fn witnesses_cover_every_consistent_branch() {
+        // Example 3.2's Q1 ⊆ Q2 under Cor 3.3: branches = consistent
+        // partitions of {x, y, z}. x=y, y=z, x=y=z are inconsistent (the
+        // inequalities), x=z is consistent: 2 branches total (identity, x=z).
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [c]).range(y, [c]).range(z, [c]);
+        b.neq_vars(x, y).neq_vars(y, z);
+        let q1 = b.build();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]).neq_vars(x, y);
+        let q2 = b.build();
+        let proof = decide_containment(&s, &q1, &q2).unwrap();
+        let Containment::Holds(ws) = &proof else {
+            panic!("expected witnesses");
+        };
+        assert_eq!(ws.len(), 2);
+        assert!(ws.iter().any(|w| !w.augmentation.is_empty()));
+    }
+}

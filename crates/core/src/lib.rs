@@ -1,0 +1,47 @@
+//! # oocq-core
+//!
+//! The primary contribution of Chan, *Containment and Minimization of
+//! Positive Conjunctive Queries in OODB's* (PODS 1992):
+//!
+//! * satisfiability of terminal conjunctive queries (Theorem 2.2,
+//!   reconstructed — see [`satisfiability`]);
+//! * terminal expansion (Proposition 2.1, [`expand`]);
+//! * containment of terminal conjunctive queries via non-contradictory
+//!   variable mappings (Theorem 3.1 and Corollaries 3.2–3.4,
+//!   [`contains_terminal`]);
+//! * containment and equivalence of unions of terminal positive conjunctive
+//!   queries (Theorem 4.1, [`union_contains`]);
+//! * exact, search-space-optimal minimization of positive conjunctive
+//!   queries (Theorems 4.2–4.5, [`minimize_positive`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod containment;
+mod derive;
+mod error;
+mod explain;
+mod expand;
+mod general;
+mod minimize;
+mod optimizer;
+mod satisfiability;
+
+pub use containment::{
+    contains_positive, contains_terminal, contains_terminal_full, decide_containment,
+    equivalent_positive, equivalent_terminal, strategy_for, union_contains, union_equivalent,
+    Strategy,
+};
+pub use explain::{Containment, MappingWitness};
+pub use error::CoreError;
+pub use expand::{expand, expand_satisfiable, expansion_size};
+pub use general::{minimize_general, minimize_terminal_general};
+pub use optimizer::{Optimizer, OptimizerStats};
+pub use minimize::{
+    cost_leq, is_minimal_terminal_positive, minimize_positive, minimize_positive_report,
+    minimize_terminal_positive, nonredundant_union, search_space_cost, term_class, union_cost,
+    MinimizationReport,
+};
+pub use satisfiability::{
+    is_satisfiable, satisfiability, strip_non_range, var_classes, Satisfiability, UnsatReason,
+};

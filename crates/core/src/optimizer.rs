@@ -1,0 +1,173 @@
+//! A caching optimizer session: the production entry point.
+//!
+//! An OODB query processor asks the same questions repeatedly — minimize
+//! this query, is this rewrite sound, is this plan's source query contained
+//! in the materialized view's query. [`Optimizer`] wraps one schema and
+//! memoizes minimization and containment decisions by query structure, so a
+//! workload of recurring queries pays each decision once.
+
+use crate::containment::{contains_positive, contains_terminal};
+use crate::error::CoreError;
+use crate::minimize::minimize_positive;
+use oocq_query::{Query, UnionQuery};
+use oocq_schema::Schema;
+use std::collections::HashMap;
+
+/// Cache hit/miss counters (see [`Optimizer::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimizerStats {
+    /// Minimization cache hits.
+    pub minimize_hits: usize,
+    /// Minimization cache misses (pipeline actually ran).
+    pub minimize_misses: usize,
+    /// Containment cache hits.
+    pub contains_hits: usize,
+    /// Containment cache misses.
+    pub contains_misses: usize,
+}
+
+/// A memoizing façade over the §3/§4 decision procedures for one schema.
+pub struct Optimizer<'s> {
+    schema: &'s Schema,
+    minimized: HashMap<Query, UnionQuery>,
+    containment: HashMap<(Query, Query), bool>,
+    stats: OptimizerStats,
+}
+
+impl<'s> Optimizer<'s> {
+    /// Start a session for a schema.
+    pub fn new(schema: &'s Schema) -> Optimizer<'s> {
+        Optimizer {
+            schema,
+            minimized: HashMap::new(),
+            containment: HashMap::new(),
+            stats: OptimizerStats::default(),
+        }
+    }
+
+    /// The schema this session optimizes against.
+    pub fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    /// Search-space-optimal form of a positive conjunctive query
+    /// ([`minimize_positive`]), memoized by query structure.
+    pub fn minimize(&mut self, q: &Query) -> Result<UnionQuery, CoreError> {
+        if let Some(hit) = self.minimized.get(q) {
+            self.stats.minimize_hits += 1;
+            return Ok(hit.clone());
+        }
+        self.stats.minimize_misses += 1;
+        let m = minimize_positive(self.schema, q)?;
+        self.minimized.insert(q.clone(), m.clone());
+        Ok(m)
+    }
+
+    /// Containment of terminal conjunctive queries
+    /// ([`contains_terminal`]), memoized per ordered pair.
+    pub fn contains(&mut self, q1: &Query, q2: &Query) -> Result<bool, CoreError> {
+        let key = (q1.clone(), q2.clone());
+        if let Some(&hit) = self.containment.get(&key) {
+            self.stats.contains_hits += 1;
+            return Ok(hit);
+        }
+        self.stats.contains_misses += 1;
+        let r = if q1.is_terminal(self.schema) && q2.is_terminal(self.schema) {
+            contains_terminal(self.schema, q1, q2)?
+        } else {
+            contains_positive(self.schema, q1, q2)?
+        };
+        self.containment.insert(key, r);
+        Ok(r)
+    }
+
+    /// Equivalence via two memoized containment checks.
+    pub fn equivalent(&mut self, q1: &Query, q2: &Query) -> Result<bool, CoreError> {
+        Ok(self.contains(q1, q2)? && self.contains(q2, q1)?)
+    }
+
+    /// Cache counters so far.
+    pub fn stats(&self) -> OptimizerStats {
+        self.stats
+    }
+
+    /// Drop all cached decisions (e.g. after swapping workloads).
+    pub fn clear(&mut self) {
+        self.minimized.clear();
+        self.containment.clear();
+        self.stats = OptimizerStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_query::QueryBuilder;
+    use oocq_schema::samples;
+
+    fn vehicle_query(s: &Schema) -> Query {
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [s.class_id("Vehicle").unwrap()]);
+        b.range(y, [s.class_id("Discount").unwrap()]);
+        b.member(x, y, s.attr_id("VehRented").unwrap());
+        b.build()
+    }
+
+    #[test]
+    fn minimization_is_memoized() {
+        let s = samples::vehicle_rental();
+        let mut opt = Optimizer::new(&s);
+        let q = vehicle_query(&s);
+        let a = opt.minimize(&q).unwrap();
+        let b = opt.minimize(&q).unwrap();
+        assert_eq!(a, b);
+        let stats = opt.stats();
+        assert_eq!((stats.minimize_misses, stats.minimize_hits), (1, 1));
+    }
+
+    #[test]
+    fn containment_is_memoized_per_direction() {
+        let s = samples::vehicle_rental();
+        let mut opt = Optimizer::new(&s);
+        let q = vehicle_query(&s);
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [s.class_id("Vehicle").unwrap()]);
+        let loose = b.build();
+        assert!(opt.contains(&q, &loose).unwrap());
+        assert!(opt.contains(&q, &loose).unwrap());
+        assert!(!opt.contains(&loose, &q).unwrap());
+        let stats = opt.stats();
+        assert_eq!((stats.contains_misses, stats.contains_hits), (2, 1));
+        // Equivalence reuses both cached directions (forward is true, so
+        // the backward lookup also runs — both hits).
+        assert!(!opt.equivalent(&q, &loose).unwrap());
+        assert_eq!(opt.stats().contains_hits, 3);
+    }
+
+    #[test]
+    fn non_terminal_queries_route_through_positive_containment() {
+        let s = samples::vehicle_rental();
+        let mut opt = Optimizer::new(&s);
+        let q = vehicle_query(&s); // x ranges over non-terminal Vehicle
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [s.class_id("Auto").unwrap()]);
+        let autos = b.build();
+        assert!(opt.contains(&q, &autos).unwrap() || opt.contains(&autos, &q).unwrap());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let s = samples::vehicle_rental();
+        let mut opt = Optimizer::new(&s);
+        let q = vehicle_query(&s);
+        opt.minimize(&q).unwrap();
+        opt.clear();
+        assert_eq!(opt.stats(), OptimizerStats::default());
+        opt.minimize(&q).unwrap();
+        assert_eq!(opt.stats().minimize_misses, 1);
+    }
+}

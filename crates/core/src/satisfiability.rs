@@ -1,0 +1,604 @@
+//! Satisfiability of terminal conjunctive queries (§2.5, Theorem 2.2).
+//!
+//! The decision procedure of Theorem 2.2 appears in Chan's unavailable
+//! technical report [10]; this module reconstructs it from the paper's
+//! definitions and examples (the reconstruction is validated against every
+//! satisfiability verdict the paper states — see DESIGN.md §4).
+//!
+//! Given a well-formed terminal conjunctive query `Q` with equality graph
+//! `E(Q)`, `Q` is satisfiable iff all of the following hold:
+//!
+//! 1. **Class coherence**: within one equivalence class of object terms, all
+//!    variables range over the same terminal class (terminal classes
+//!    partition the objects, so objects of distinct terminal classes are
+//!    never identical).
+//! 2. **Object typing**: every object term `x.A` is declared on `x`'s
+//!    terminal class with an object type `D`, and the terminal class of the
+//!    variables in `[x.A]` is a terminal descendant of `D`.
+//! 3. **Set typing**: every set term `x.A` is declared on `x`'s terminal
+//!    class with a set type.
+//! 4. **Membership typing**: for every atom `x ∈ t.A` with `σ(Eₜ).A = {D}`,
+//!    the terminal class of `x` is a terminal descendant of `D`
+//!    (this is what kills `Q₃`/`Q₆` of Example 4.1).
+//! 5. **Inequality coherence**: no inequality atom joins two terms of one
+//!    equivalence class.
+//! 6. **Non-membership coherence**: no atom `x ∉ y.A` coexists with a
+//!    derivable membership `Q ⊢ x ∈ y.A`.
+//! 7. **Non-range coherence**: no atom `x ∉ C₁ ∨ … ∨ Cₙ` where `x`'s
+//!    terminal class descends from (or is) some `Cᵢ`.
+//!
+//! Each failed check pinpoints a reason ([`UnsatReason`]), which the
+//! experiment harness prints when replaying Example 4.1.
+
+use crate::error::CoreError;
+use oocq_query::{Atom, Query, QueryAnalysis, Term, VarId};
+use oocq_schema::{AttrType, ClassId, Schema};
+
+/// Why a terminal conjunctive query is unsatisfiable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UnsatReason {
+    /// Two equated variables range over distinct terminal classes.
+    ClassConflict {
+        /// One variable (name).
+        a: String,
+        /// The other variable (name).
+        b: String,
+    },
+    /// A term `x.A` is used but `x`'s class has no attribute `A`.
+    MissingAttribute {
+        /// Variable name.
+        var: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// A term `x.A` is used as an object but `A` is set-typed, or used as a
+    /// set but `A` is object-typed.
+    KindConflict {
+        /// Variable name.
+        var: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// An equated variable's class is not a terminal descendant of an
+    /// attribute term's declared class.
+    ObjectTypeConflict {
+        /// Variable name whose class conflicts.
+        var: String,
+        /// The attribute term, rendered.
+        term: String,
+    },
+    /// A membership atom's member class is not a terminal descendant of the
+    /// set attribute's member class.
+    MemberTypeConflict {
+        /// Member variable name.
+        var: String,
+        /// The set term, rendered.
+        term: String,
+    },
+    /// An inequality atom joins two terms that `E(Q)` proves equal.
+    InequalityConflict {
+        /// The atom, rendered.
+        atom: String,
+    },
+    /// A non-membership atom contradicts a derivable membership.
+    NonMembershipConflict {
+        /// The atom, rendered.
+        atom: String,
+    },
+    /// A non-range atom excludes the variable's own terminal class.
+    NonRangeConflict {
+        /// Variable name.
+        var: String,
+    },
+}
+
+impl std::fmt::Display for UnsatReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnsatReason::ClassConflict { a, b } => {
+                write!(f, "`{a}` and `{b}` are equated but range over distinct terminal classes")
+            }
+            UnsatReason::MissingAttribute { var, attr } => {
+                write!(f, "`{var}`'s class has no attribute `{attr}`")
+            }
+            UnsatReason::KindConflict { var, attr } => {
+                write!(f, "`{var}.{attr}` is used with the wrong kind (object vs set)")
+            }
+            UnsatReason::ObjectTypeConflict { var, term } => {
+                write!(f, "`{var}`'s class cannot be the value of `{term}`")
+            }
+            UnsatReason::MemberTypeConflict { var, term } => {
+                write!(f, "`{var}`'s class cannot be a member of `{term}`")
+            }
+            UnsatReason::InequalityConflict { atom } => {
+                write!(f, "inequality `{atom}` joins provably equal terms")
+            }
+            UnsatReason::NonMembershipConflict { atom } => {
+                write!(f, "non-membership `{atom}` contradicts a derived membership")
+            }
+            UnsatReason::NonRangeConflict { var } => {
+                write!(f, "non-range atom excludes `{var}`'s own terminal class")
+            }
+        }
+    }
+}
+
+/// Verdict of the satisfiability check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Satisfiability {
+    /// Some legal state gives the query a non-empty answer.
+    Satisfiable,
+    /// No legal state does, for the stated reason.
+    Unsatisfiable(UnsatReason),
+}
+
+impl Satisfiability {
+    /// `true` for [`Satisfiability::Satisfiable`].
+    pub fn is_satisfiable(&self) -> bool {
+        matches!(self, Satisfiability::Satisfiable)
+    }
+}
+
+/// The terminal class of every variable of a terminal query.
+///
+/// Errors with [`CoreError::NotTerminal`] when some variable lacks a
+/// single-terminal-class range atom.
+pub fn var_classes(schema: &Schema, q: &Query) -> Result<Vec<ClassId>, CoreError> {
+    q.vars()
+        .map(|v| match q.range_of(v) {
+            Some([c]) if schema.is_terminal(*c) => Ok(*c),
+            _ => Err(CoreError::NotTerminal {
+                var: q.var_name(v).to_owned(),
+            }),
+        })
+        .collect()
+}
+
+fn render_attr_term(schema: &Schema, q: &Query, v: VarId, a: oocq_schema::AttrId) -> String {
+    format!("{}.{}", q.var_name(v), schema.attr_name(a))
+}
+
+/// Decide satisfiability of a well-formed terminal conjunctive query.
+///
+/// The caller is responsible for well-formedness (use
+/// [`oocq_query::check_well_formed`] / [`oocq_query::normalize`] first);
+/// terminality is checked here because the procedure depends on it.
+pub fn satisfiability(schema: &Schema, q: &Query) -> Result<Satisfiability, CoreError> {
+    let classes = var_classes(schema, q)?;
+    let analysis = QueryAnalysis::of(q);
+    Ok(check(schema, q, &classes, &analysis))
+}
+
+/// Convenience wrapper: is the query satisfiable?
+///
+/// # Examples
+///
+/// Equating objects from distinct terminal classes is unsatisfiable —
+/// terminal classes partition the objects:
+///
+/// ```
+/// use oocq_core::is_satisfiable;
+/// use oocq_query::QueryBuilder;
+/// use oocq_schema::samples;
+///
+/// let s = samples::unrelated_subtypes();
+/// let mut b = QueryBuilder::new("x");
+/// let x = b.free();
+/// let y = b.var("y");
+/// b.range(x, [s.class_id("T1").unwrap()]);
+/// b.range(y, [s.class_id("T2").unwrap()]);
+/// b.eq_vars(x, y);
+/// assert!(!is_satisfiable(&s, &b.build()).unwrap());
+/// ```
+pub fn is_satisfiable(schema: &Schema, q: &Query) -> Result<bool, CoreError> {
+    Ok(satisfiability(schema, q)?.is_satisfiable())
+}
+
+/// The core checks, callable with a precomputed analysis (used by the
+/// containment search, which re-checks many augmentations of one query).
+pub(crate) fn check(
+    schema: &Schema,
+    q: &Query,
+    classes: &[ClassId],
+    analysis: &QueryAnalysis,
+) -> Satisfiability {
+    use Satisfiability::Unsatisfiable as U;
+    let graph = analysis.graph();
+
+    // Checks 1–3: walk each equivalence class once.
+    for members in graph.classes() {
+        let is_object = analysis.is_object_term(members[0]);
+        // 1. Class coherence among variables.
+        let mut first_var: Option<VarId> = None;
+        for &m in members {
+            if let Term::Var(v) = m {
+                match first_var {
+                    None => first_var = Some(v),
+                    Some(w) => {
+                        if classes[v.index()] != classes[w.index()] {
+                            return U(UnsatReason::ClassConflict {
+                                a: q.var_name(w).to_owned(),
+                                b: q.var_name(v).to_owned(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // 2–3. Typing of attribute terms.
+        for &m in members {
+            let Term::Attr(v, a) = m else { continue };
+            let Some(decl) = schema.attr_type(classes[v.index()], a) else {
+                return U(UnsatReason::MissingAttribute {
+                    var: q.var_name(v).to_owned(),
+                    attr: schema.attr_name(a).to_owned(),
+                });
+            };
+            match (is_object, decl) {
+                (true, AttrType::Object(d)) => {
+                    // The class of the equated variables must be able to be
+                    // the attribute's value.
+                    if let Some(w) = first_var {
+                        if !schema
+                            .terminal_descendants(d)
+                            .contains(&classes[w.index()])
+                        {
+                            return U(UnsatReason::ObjectTypeConflict {
+                                var: q.var_name(w).to_owned(),
+                                term: render_attr_term(schema, q, v, a),
+                            });
+                        }
+                    }
+                }
+                (false, AttrType::SetOf(_)) => {}
+                _ => {
+                    return U(UnsatReason::KindConflict {
+                        var: q.var_name(v).to_owned(),
+                        attr: schema.attr_name(a).to_owned(),
+                    })
+                }
+            }
+        }
+    }
+
+    // Checks 4–7: walk the atoms.
+    for atom in q.atoms() {
+        match atom {
+            Atom::Member(x, y, a) => {
+                // Set typing of y.A was handled above (it is a set term);
+                // here: member class compatibility.
+                if let Some(AttrType::SetOf(d)) = schema.attr_type(classes[y.index()], *a) {
+                    if !schema
+                        .terminal_descendants(d)
+                        .contains(&classes[x.index()])
+                    {
+                        return U(UnsatReason::MemberTypeConflict {
+                            var: q.var_name(*x).to_owned(),
+                            term: render_attr_term(schema, q, *y, *a),
+                        });
+                    }
+                }
+            }
+            Atom::Neq(s, t) => {
+                if graph.same(*s, *t) {
+                    return U(UnsatReason::InequalityConflict {
+                        atom: format!("{} != …", q.var_name(s.var())),
+                    });
+                }
+            }
+            Atom::NonMember(x, y, a) => {
+                // Contradiction with a derived membership: some atom
+                // `s ∈ t.A` with s ∈ [x] and t ∈ [y].
+                let contradicted = q.atoms().iter().any(|other| {
+                    matches!(other, Atom::Member(s, t, b)
+                        if b == a
+                            && graph.same(Term::Var(*s), Term::Var(*x))
+                            && graph.same(Term::Var(*t), Term::Var(*y)))
+                });
+                if contradicted {
+                    return U(UnsatReason::NonMembershipConflict {
+                        atom: format!(
+                            "{} not in {}",
+                            q.var_name(*x),
+                            render_attr_term(schema, q, *y, *a)
+                        ),
+                    });
+                }
+            }
+            Atom::NonRange(v, cs) => {
+                if cs
+                    .iter()
+                    .any(|&c| schema.is_subclass(classes[v.index()], c))
+                {
+                    return U(UnsatReason::NonRangeConflict {
+                        var: q.var_name(*v).to_owned(),
+                    });
+                }
+            }
+            Atom::Range(..) | Atom::Eq(..) => {}
+        }
+    }
+    Satisfiability::Satisfiable
+}
+
+/// Remove non-range atoms from a satisfiable terminal query (§2.5: they can
+/// be removed without changing the answer, and the rest of §3 assumes they
+/// are gone).
+pub fn strip_non_range(q: &Query) -> Query {
+    let retained: Vec<Atom> = q
+        .atoms()
+        .iter()
+        .filter(|a| !matches!(a, Atom::NonRange(..)))
+        .cloned()
+        .collect();
+    rebuild_with_atoms(q, retained)
+}
+
+fn rebuild_with_atoms(q: &Query, atoms: Vec<Atom>) -> Query {
+    let mut b = oocq_query::QueryBuilder::new(q.var_name(q.free_var()));
+    let mut ids = Vec::with_capacity(q.var_count());
+    for v in q.vars() {
+        if v == q.free_var() {
+            ids.push(b.free());
+        } else {
+            ids.push(b.var(q.var_name(v)));
+        }
+    }
+    for a in atoms {
+        b.atom(a.map_vars(|v| ids[v.index()]));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_query::QueryBuilder;
+    use oocq_schema::samples;
+
+    /// Example 4.1's six expanded subqueries, parameterized by the terminal
+    /// classes of x and y.
+    fn example_41_subquery(s: &Schema, xc: &str, yc: &str) -> Query {
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("s");
+        b.range(x, [s.class_id(xc).unwrap()]);
+        b.range(y, [s.class_id(yc).unwrap()]);
+        b.range(z, [s.class_id("H").unwrap()]);
+        b.eq_attr(y, x, s.attr_id("B").unwrap());
+        b.member(y, x, s.attr_id("A").unwrap());
+        b.member(z, x, s.attr_id("A").unwrap());
+        b.build()
+    }
+
+    #[test]
+    fn example_41_satisfiability_verdicts() {
+        // Q₁/Q₄ (x ∈ T₁): unsat — T₁ lacks B. Q₃/Q₆ (x ∈ T₃): unsat —
+        // T₃.A : {I} cannot contain the H-object s. Q₂/Q₅ (x ∈ T₂): sat.
+        let s = samples::n1_partition();
+        for (xc, yc, want) in [
+            ("T1", "H", false),
+            ("T2", "H", true),
+            ("T3", "H", false),
+            ("T1", "I", false),
+            ("T2", "I", true),
+            ("T3", "I", false),
+        ] {
+            let q = example_41_subquery(&s, xc, yc);
+            assert_eq!(
+                is_satisfiable(&s, &q).unwrap(),
+                want,
+                "x in {xc}, y in {yc}"
+            );
+        }
+    }
+
+    #[test]
+    fn example_41_reasons() {
+        let s = samples::n1_partition();
+        let q1 = example_41_subquery(&s, "T1", "H");
+        assert!(matches!(
+            satisfiability(&s, &q1).unwrap(),
+            Satisfiability::Unsatisfiable(UnsatReason::MissingAttribute { .. })
+        ));
+        let q3 = example_41_subquery(&s, "T3", "H");
+        assert!(matches!(
+            satisfiability(&s, &q3).unwrap(),
+            Satisfiability::Unsatisfiable(UnsatReason::MemberTypeConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn class_conflict_between_equated_variables() {
+        let s = samples::unrelated_subtypes();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [s.class_id("T1").unwrap()]);
+        b.range(y, [s.class_id("T2").unwrap()]);
+        b.eq_vars(x, y);
+        assert!(matches!(
+            satisfiability(&s, &b.build()).unwrap(),
+            Satisfiability::Unsatisfiable(UnsatReason::ClassConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn example_13_implied_inequality_via_congruence() {
+        // x = y forces x.A = y.A, hence s = t across T1/T2: unsat.
+        let s = samples::unrelated_subtypes();
+        let c = s.class_id("C").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let sv = b.var("s");
+        let tv = b.var("t");
+        b.range(x, [c]).range(y, [c]);
+        b.range(sv, [s.class_id("T1").unwrap()]);
+        b.range(tv, [s.class_id("T2").unwrap()]);
+        b.eq_attr(sv, x, a);
+        b.eq_attr(tv, y, a);
+        let base = b.build();
+        assert!(is_satisfiable(&s, &base).unwrap());
+        let merged = base.with_extra_atoms([Atom::Eq(
+            Term::Var(x),
+            Term::Var(y),
+        )]);
+        assert!(!is_satisfiable(&s, &merged).unwrap());
+    }
+
+    #[test]
+    fn object_type_conflict_detected() {
+        // z = y.A with z ∈ C but type(C.A) = D: z's class must descend D.
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("z");
+        let z = b.free();
+        let y = b.var("y");
+        b.range(z, [c]).range(y, [c]);
+        b.eq_attr(z, y, a);
+        assert!(matches!(
+            satisfiability(&s, &b.build()).unwrap(),
+            Satisfiability::Unsatisfiable(UnsatReason::ObjectTypeConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_conflict_object_use_of_set_attribute() {
+        // z = y.B where B is set-valued.
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let bb = s.attr_id("B").unwrap();
+        let mut b = QueryBuilder::new("z");
+        let z = b.free();
+        let y = b.var("y");
+        b.range(z, [d]).range(y, [c]);
+        b.eq_attr(z, y, bb);
+        assert!(matches!(
+            satisfiability(&s, &b.build()).unwrap(),
+            Satisfiability::Unsatisfiable(UnsatReason::KindConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_conflict_set_use_of_object_attribute() {
+        // z ∈ y.A where A is object-valued.
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("z");
+        let z = b.free();
+        let y = b.var("y");
+        b.range(z, [d]).range(y, [c]);
+        b.member(z, y, a);
+        assert!(matches!(
+            satisfiability(&s, &b.build()).unwrap(),
+            Satisfiability::Unsatisfiable(UnsatReason::KindConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn inequality_against_equated_terms_unsat() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [c]).range(y, [c]).range(z, [c]);
+        b.eq_vars(x, y).eq_vars(y, z);
+        b.neq_vars(x, z);
+        assert!(matches!(
+            satisfiability(&s, &b.build()).unwrap(),
+            Satisfiability::Unsatisfiable(UnsatReason::InequalityConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn plain_inequalities_are_satisfiable() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]).neq_vars(x, y);
+        assert!(is_satisfiable(&s, &b.build()).unwrap());
+    }
+
+    #[test]
+    fn non_membership_contradiction_via_equalities() {
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let x2 = b.var("x2");
+        let y = b.var("y");
+        let y2 = b.var("y2");
+        b.range(x, [t1]).range(x2, [t1]).range(y, [t2]).range(y2, [t2]);
+        b.eq_vars(x, x2).eq_vars(y, y2);
+        b.member(x, y, a);
+        b.non_member(x2, y2, a);
+        assert!(matches!(
+            satisfiability(&s, &b.build()).unwrap(),
+            Satisfiability::Unsatisfiable(UnsatReason::NonMembershipConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn benign_non_membership_is_satisfiable() {
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [t1]).range(y, [t2]);
+        b.non_member(x, y, a);
+        assert!(is_satisfiable(&s, &b.build()).unwrap());
+    }
+
+    #[test]
+    fn non_range_conflict_detected_and_stripped() {
+        let s = samples::vehicle_rental();
+        let auto = s.class_id("Auto").unwrap();
+        let vehicle = s.class_id("Vehicle").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [auto]);
+        b.non_range(x, [vehicle]); // Auto ≺ Vehicle: conflict.
+        assert!(matches!(
+            satisfiability(&s, &b.build()).unwrap(),
+            Satisfiability::Unsatisfiable(UnsatReason::NonRangeConflict { .. })
+        ));
+
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [auto]);
+        b.non_range(x, [s.class_id("Client").unwrap()]); // harmless
+        let q = b.build();
+        assert!(is_satisfiable(&s, &q).unwrap());
+        let stripped = strip_non_range(&q);
+        assert_eq!(stripped.atoms().len(), 1);
+        assert_eq!(stripped.var_count(), 1);
+    }
+
+    #[test]
+    fn non_terminal_query_is_rejected() {
+        let s = samples::vehicle_rental();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [s.class_id("Vehicle").unwrap()]);
+        assert!(matches!(
+            satisfiability(&s, &b.build()),
+            Err(CoreError::NotTerminal { .. })
+        ));
+    }
+}

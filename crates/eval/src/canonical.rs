@@ -1,0 +1,205 @@
+//! Canonical ("frozen") states of terminal positive conjunctive queries.
+//!
+//! The classical proof device behind homomorphism characterizations: build a
+//! state with one object per equivalence class of variables, realize every
+//! equality `z = x.A` as an attribute value and every membership `s ∈ t.A`
+//! as a set member. For a satisfiable terminal positive query `Q`, the
+//! canonical state answers `Q` at the frozen free variable, and for positive
+//! `Q₂`: `Q₁ ⊆ Q₂` iff the frozen free object of `Q₁` is an answer of `Q₂`
+//! on `Q₁`'s canonical state.
+//!
+//! The test suite uses this as an *independent* oracle for Corollary 3.4.
+
+use crate::eval::answer;
+use oocq_query::{Atom, EqualityGraph, Query, Term};
+use oocq_schema::Schema;
+use oocq_state::{Oid, State, StateBuilder};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Build the canonical state of a terminal positive conjunctive query,
+/// returning the state and the object frozen from the free variable.
+///
+/// Returns `None` when the query is not terminal positive or is
+/// unsatisfiable (the frozen state would be illegal — e.g. an attribute
+/// value of the wrong class).
+pub fn canonical_state(schema: &Schema, q: &Query) -> Option<(State, Oid)> {
+    if !q.is_positive() || !q.is_terminal(schema) {
+        return None;
+    }
+    let graph = EqualityGraph::build(q);
+    // One object per equivalence class of variables.
+    let mut b = StateBuilder::new();
+    let mut obj_of_root: HashMap<usize, Oid> = HashMap::new();
+    let mut class_of_root: HashMap<usize, oocq_schema::ClassId> = HashMap::new();
+    for v in q.vars() {
+        let root = graph.class_id(Term::Var(v))?;
+        let class = q.terminal_class_of(v)?;
+        match class_of_root.get(&root) {
+            // Equated variables of distinct terminal classes: the query is
+            // unsatisfiable (terminal classes partition the objects) and has
+            // no canonical state.
+            Some(&prev) if prev != class => return None,
+            Some(_) => {}
+            None => {
+                class_of_root.insert(root, class);
+                obj_of_root.insert(root, b.object(class));
+            }
+        }
+    }
+    let obj = |t: Term, obj_of_root: &HashMap<usize, Oid>| -> Option<Oid> {
+        graph
+            .class_id(t)
+            .and_then(|r| obj_of_root.get(&r))
+            .copied()
+    };
+
+    // Realize equalities involving attribute terms as object attribute
+    // values, and memberships as set members (accumulated first so repeated
+    // memberships into one set merge).
+    let mut sets: HashMap<(Oid, oocq_schema::AttrId), BTreeSet<Oid>> = HashMap::new();
+    for atom in q.atoms() {
+        match atom {
+            Atom::Eq(s, t) => {
+                for (side, other) in [(*s, *t), (*t, *s)] {
+                    if let Term::Attr(v, a) = side {
+                        let base = obj(Term::Var(v), &obj_of_root)?;
+                        let val = obj(other, &obj_of_root)?;
+                        b.set_obj(base, a, val);
+                    }
+                }
+            }
+            Atom::Member(x, y, a) => {
+                let member = obj(Term::Var(*x), &obj_of_root)?;
+                let set_owner = obj(Term::Var(*y), &obj_of_root)?;
+                sets.entry((set_owner, *a)).or_default().insert(member);
+            }
+            Atom::Range(..) => {}
+            _ => return None,
+        }
+    }
+    for ((owner, a), members) in sets {
+        b.set_members(owner, a, members);
+    }
+    let state = b.finish(schema).ok()?;
+    let free_obj = obj(Term::Var(q.free_var()), &obj_of_root)?;
+    Some((state, free_obj))
+}
+
+/// The canonical-state containment oracle for positive right-hand sides:
+/// `q1 ⊆ q2` iff `q2` answers the frozen free object on `q1`'s canonical
+/// state. Returns `None` when a canonical state cannot be built (then `q1`
+/// is unsatisfiable and contained in everything).
+pub fn canonical_contains(schema: &Schema, q1: &Query, q2: &Query) -> Option<bool> {
+    let (state, free_obj) = canonical_state(schema, q1)?;
+    Some(answer(schema, &state, q2).contains(&free_obj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_query::QueryBuilder;
+    use oocq_schema::samples;
+
+    #[test]
+    fn canonical_state_answers_its_own_query() {
+        let s = samples::n1_partition();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("s");
+        b.range(x, [s.class_id("T2").unwrap()]);
+        b.range(y, [s.class_id("H").unwrap()]);
+        b.range(z, [s.class_id("H").unwrap()]);
+        b.eq_attr(y, x, s.attr_id("B").unwrap());
+        b.member(y, x, s.attr_id("A").unwrap());
+        b.member(z, x, s.attr_id("A").unwrap());
+        let q = b.build();
+        let (state, free_obj) = canonical_state(&s, &q).unwrap();
+        assert!(answer(&s, &state, &q).contains(&free_obj));
+        // Objects: one per equivalence class — x, y, s are all distinct.
+        assert_eq!(state.object_count(), 3);
+    }
+
+    #[test]
+    fn equated_variables_freeze_to_one_object() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]).eq_vars(x, y);
+        let (state, _) = canonical_state(&s, &b.build()).unwrap();
+        assert_eq!(state.object_count(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_queries_have_no_canonical_state() {
+        // z = y.A with z ∈ C but type(C.A) = D: frozen state is illegal.
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("z");
+        let z = b.free();
+        let y = b.var("y");
+        b.range(z, [c]).range(y, [c]);
+        b.eq_attr(z, y, s.attr_id("A").unwrap());
+        assert!(canonical_state(&s, &b.build()).is_none());
+    }
+
+    #[test]
+    fn class_conflict_between_equated_vars_has_no_canonical_state() {
+        // x = y with x ∈ T1, y ∈ T2: unsatisfiable by class coherence; the
+        // builder alone cannot see it, so canonical_state must.
+        let s = samples::unrelated_subtypes();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [s.class_id("T1").unwrap()]);
+        b.range(y, [s.class_id("T2").unwrap()]);
+        b.eq_vars(x, y);
+        assert!(canonical_state(&s, &b.build()).is_none());
+    }
+
+    #[test]
+    fn non_positive_or_non_terminal_rejected() {
+        let s = samples::vehicle_rental();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [s.class_id("Vehicle").unwrap()]);
+        assert!(canonical_state(&s, &b.build()).is_none());
+
+        let s1 = samples::single_class();
+        let c = s1.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]).neq_vars(x, y);
+        assert!(canonical_state(&s1, &b.build()).is_none());
+    }
+
+    #[test]
+    fn oracle_matches_example_31() {
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let bb = s.attr_id("B").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [c]).range(y, [c]).range(z, [d]);
+        b.eq_attr(z, y, a);
+        b.member(z, y, bb);
+        b.eq_vars(x, y);
+        let q1 = b.build();
+        let mut b = QueryBuilder::new("y");
+        let y2 = b.free();
+        let z2 = b.var("z");
+        b.range(y2, [c]).range(z2, [d]);
+        b.eq_attr(z2, y2, a);
+        let q2 = b.build();
+        assert_eq!(canonical_contains(&s, &q1, &q2), Some(true));
+        assert_eq!(canonical_contains(&s, &q2, &q1), Some(false));
+    }
+}

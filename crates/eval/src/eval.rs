@@ -1,0 +1,408 @@
+//! Naive evaluation of conjunctive queries over states (§2.2).
+//!
+//! The answer of `{ s₀ | f(s₀, s₁, …, sₘ) }` w.r.t. a state `s` is the set
+//! of objects `α(s₀)` such that the closed formula obtained by binding the
+//! bound variables existentially evaluates to **true** in 3-valued logic.
+//!
+//! The evaluator is a straightforward backtracking join: bound variables are
+//! assigned in order, each variable's candidate domain is the extent of its
+//! range atom's class disjunction, and every atom is checked as soon as all
+//! of its variables are bound. An atom that is false *or unknown* prunes the
+//! branch — the matrix is a conjunction and must come out true.
+
+use crate::truth::Truth;
+use oocq_query::{Atom, Query, Term, UnionQuery, VarId};
+use oocq_schema::Schema;
+use oocq_state::{Oid, State, Value};
+use std::collections::BTreeSet;
+
+/// Evaluate one atom under a (total, for this atom's variables) assignment.
+pub fn eval_atom(schema: &Schema, state: &State, assignment: &[Oid], atom: &Atom) -> Truth {
+    let term_value = |t: Term| -> Option<Value> {
+        match t {
+            Term::Var(v) => Some(Value::Obj(assignment[v.index()])),
+            Term::Attr(v, a) => Some(state.attr(assignment[v.index()], a).clone()),
+        }
+    };
+    match atom {
+        Atom::Range(v, cs) => Truth::from_bool(
+            cs.iter()
+                .any(|&c| state.is_member(schema, assignment[v.index()], c)),
+        ),
+        Atom::NonRange(v, cs) => Truth::from_bool(
+            cs.iter()
+                .any(|&c| state.is_member(schema, assignment[v.index()], c)),
+        )
+        .not(),
+        Atom::Eq(a, b) => eq_truth(term_value(*a), term_value(*b)),
+        Atom::Neq(a, b) => eq_truth(term_value(*a), term_value(*b)).not(),
+        Atom::Member(x, y, attr) => {
+            match state.attr(assignment[y.index()], *attr).contains(assignment[x.index()]) {
+                Some(b) => Truth::from_bool(b),
+                None => Truth::Unknown,
+            }
+        }
+        Atom::NonMember(x, y, attr) => {
+            match state.attr(assignment[y.index()], *attr).contains(assignment[x.index()]) {
+                Some(b) => Truth::from_bool(b).not(),
+                None => Truth::Unknown,
+            }
+        }
+    }
+}
+
+/// 3-valued identity comparison of denoted objects. Nulls compare unknown;
+/// set values are not objects with identity in this model, so comparisons
+/// touching them are unknown (well-formed queries never produce such
+/// comparisons).
+fn eq_truth(a: Option<Value>, b: Option<Value>) -> Truth {
+    match (a, b) {
+        (Some(Value::Obj(x)), Some(Value::Obj(y))) => Truth::from_bool(x == y),
+        _ => Truth::Unknown,
+    }
+}
+
+/// Evaluate the whole matrix (conjunction) under a total assignment.
+pub fn eval_matrix(schema: &Schema, state: &State, assignment: &[Oid], q: &Query) -> Truth {
+    q.atoms()
+        .iter()
+        .fold(Truth::True, |acc, a| acc.and(eval_atom(schema, state, assignment, a)))
+}
+
+/// The candidate domain for a variable: the union of the extents of its
+/// range classes, or every object when it has no range atom.
+fn domain(state: &State, q: &Query, v: VarId) -> Vec<Oid> {
+    match q.range_of(v) {
+        Some(cs) => {
+            let mut d: Vec<Oid> = cs.iter().flat_map(|&c| state.extent(c)).copied().collect();
+            d.sort();
+            d.dedup();
+            d
+        }
+        None => state.oids().collect(),
+    }
+}
+
+/// Is there an assignment extending `free ↦ candidate` that makes the matrix
+/// true?
+fn satisfying_assignment_exists(
+    schema: &Schema,
+    state: &State,
+    q: &Query,
+    candidate: Oid,
+) -> bool {
+    let n = q.var_count();
+    // Assignment order: free variable first, then bound variables.
+    let mut order: Vec<VarId> = Vec::with_capacity(n);
+    order.push(q.free_var());
+    order.extend(q.vars().filter(|&v| v != q.free_var()));
+    let mut position = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        position[v.index()] = i;
+    }
+    // Atoms become checkable at the depth where their last variable binds.
+    let mut ready: Vec<Vec<&Atom>> = vec![Vec::new(); n];
+    for a in q.atoms() {
+        let depth = a.vars().iter().map(|v| position[v.index()]).max().unwrap_or(0);
+        ready[depth].push(a);
+    }
+    let domains: Vec<Vec<Oid>> = order
+        .iter()
+        .map(|&v| {
+            if v == q.free_var() {
+                vec![candidate]
+            } else {
+                domain(state, q, v)
+            }
+        })
+        .collect();
+
+    let mut assignment = vec![Oid::from_index(0); n];
+    fn recurse(
+        schema: &Schema,
+        state: &State,
+        order: &[VarId],
+        domains: &[Vec<Oid>],
+        ready: &[Vec<&Atom>],
+        assignment: &mut [Oid],
+        depth: usize,
+    ) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        let v = order[depth];
+        for &o in &domains[depth] {
+            assignment[v.index()] = o;
+            if ready[depth]
+                .iter()
+                .all(|a| eval_atom(schema, state, assignment, a).is_true())
+                && recurse(schema, state, order, domains, ready, assignment, depth + 1)
+            {
+                return true;
+            }
+        }
+        false
+    }
+    recurse(schema, state, &order, &domains, &ready, &mut assignment, 0)
+}
+
+/// The answer `Q(s)` of a conjunctive query w.r.t. a state.
+pub fn answer(schema: &Schema, state: &State, q: &Query) -> BTreeSet<Oid> {
+    let candidates = domain(state, q, q.free_var());
+    candidates
+        .into_iter()
+        .filter(|&o| satisfying_assignment_exists(schema, state, q, o))
+        .collect()
+}
+
+/// The answer of a union of conjunctive queries (the union of the answers).
+pub fn answer_union(schema: &Schema, state: &State, u: &UnionQuery) -> BTreeSet<Oid> {
+    let mut out = BTreeSet::new();
+    for q in u {
+        out.extend(answer(schema, state, q));
+    }
+    out
+}
+
+/// An object answered by the left query but not the right, on some state —
+/// a witness refuting `left ⊆ right`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterExample {
+    /// Index into the state slice handed to the checker.
+    pub state_index: usize,
+    /// The witnessing answer object.
+    pub oid: Oid,
+}
+
+/// Brute-force refutation of `left ⊆ right` over a finite family of states.
+///
+/// Returns a counterexample if some state yields an answer of `left` that
+/// `right` misses; `None` means the family offers no refutation (containment
+/// may still fail on states outside the family).
+pub fn refute_containment(
+    schema: &Schema,
+    states: &[State],
+    left: &UnionQuery,
+    right: &UnionQuery,
+) -> Option<CounterExample> {
+    for (ix, s) in states.iter().enumerate() {
+        let la = answer_union(schema, s, left);
+        if la.is_empty() {
+            continue;
+        }
+        let ra = answer_union(schema, s, right);
+        if let Some(&oid) = la.difference(&ra).next() {
+            return Some(CounterExample {
+                state_index: ix,
+                oid,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_query::QueryBuilder;
+    use oocq_schema::samples;
+    use oocq_state::StateBuilder;
+
+    /// The Example 1.1 query over a small rental state.
+    fn rental_fixture() -> (oocq_schema::Schema, State, Query) {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let auto = b.object(s.class_id("Auto").unwrap());
+        let truck = b.object(s.class_id("Truck").unwrap());
+        let disc = b.object(s.class_id("Discount").unwrap());
+        let reg = b.object(s.class_id("Regular").unwrap());
+        let veh = s.attr_id("VehRented").unwrap();
+        b.set_members(disc, veh, [auto]);
+        b.set_members(reg, veh, [truck]);
+        let st = b.finish(&s).unwrap();
+
+        let mut qb = QueryBuilder::new("x");
+        let x = qb.free();
+        let y = qb.var("y");
+        qb.range(x, [s.class_id("Vehicle").unwrap()]);
+        qb.range(y, [s.class_id("Discount").unwrap()]);
+        qb.member(x, y, veh);
+        (s.clone(), st, qb.build())
+    }
+
+    #[test]
+    fn example_11_answer() {
+        let (s, st, q) = rental_fixture();
+        let ans = answer(&s, &st, &q);
+        // Only the auto rented by the discount client qualifies.
+        assert_eq!(ans.len(), 1);
+        assert_eq!(st.class_of(*ans.iter().next().unwrap()), s.class_id("Auto").unwrap());
+    }
+
+    #[test]
+    fn null_set_makes_membership_unknown_not_true() {
+        let s = samples::vehicle_rental();
+        let veh = s.attr_id("VehRented").unwrap();
+        let mut b = StateBuilder::new();
+        let auto = b.object(s.class_id("Auto").unwrap());
+        let _disc = b.object(s.class_id("Discount").unwrap());
+        // VehRented left null: membership is unknown, so no answer.
+        let st = b.finish(&s).unwrap();
+        let mut qb = QueryBuilder::new("x");
+        let x = qb.free();
+        let y = qb.var("y");
+        qb.range(x, [s.class_id("Auto").unwrap()]);
+        qb.range(y, [s.class_id("Discount").unwrap()]);
+        qb.member(x, y, veh);
+        assert!(answer(&s, &st, &qb.build()).is_empty());
+        let _ = auto;
+    }
+
+    #[test]
+    fn non_membership_on_null_set_is_unknown() {
+        let s = samples::vehicle_rental();
+        let veh = s.attr_id("VehRented").unwrap();
+        let mut b = StateBuilder::new();
+        let _auto = b.object(s.class_id("Auto").unwrap());
+        let _disc = b.object(s.class_id("Discount").unwrap());
+        let st = b.finish(&s).unwrap();
+        let mut qb = QueryBuilder::new("x");
+        let x = qb.free();
+        let y = qb.var("y");
+        qb.range(x, [s.class_id("Auto").unwrap()]);
+        qb.range(y, [s.class_id("Discount").unwrap()]);
+        qb.non_member(x, y, veh);
+        // Null set: `x not in y.VehRented` is unknown, hence not an answer.
+        assert!(answer(&s, &st, &qb.build()).is_empty());
+    }
+
+    #[test]
+    fn non_membership_on_empty_set_is_true() {
+        let s = samples::vehicle_rental();
+        let veh = s.attr_id("VehRented").unwrap();
+        let mut b = StateBuilder::new();
+        let auto = b.object(s.class_id("Auto").unwrap());
+        let disc = b.object(s.class_id("Discount").unwrap());
+        b.set_members(disc, veh, []);
+        let st = b.finish(&s).unwrap();
+        let mut qb = QueryBuilder::new("x");
+        let x = qb.free();
+        let y = qb.var("y");
+        qb.range(x, [s.class_id("Auto").unwrap()]);
+        qb.range(y, [s.class_id("Discount").unwrap()]);
+        qb.non_member(x, y, veh);
+        assert_eq!(answer(&s, &st, &qb.build()), BTreeSet::from([auto]));
+    }
+
+    #[test]
+    fn equality_with_null_attribute_is_unknown() {
+        let s = samples::example_31();
+        let a = s.attr_id("A").unwrap();
+        let mut b = StateBuilder::new();
+        let c_obj = b.object(s.class_id("C").unwrap());
+        let _d_obj = b.object(s.class_id("D").unwrap());
+        let st = b.finish(&s).unwrap(); // C.A left null
+        let mut qb = QueryBuilder::new("y");
+        let y = qb.free();
+        let z = qb.var("z");
+        qb.range(y, [s.class_id("C").unwrap()]);
+        qb.range(z, [s.class_id("D").unwrap()]);
+        qb.eq_attr(z, y, a);
+        assert!(answer(&s, &st, &qb.build()).is_empty());
+        let _ = c_obj;
+    }
+
+    #[test]
+    fn inequality_needs_definite_values() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = StateBuilder::new();
+        let o1 = b.object(c);
+        let o2 = b.object(c);
+        let st = b.finish(&s).unwrap();
+        let mut qb = QueryBuilder::new("x");
+        let x = qb.free();
+        let y = qb.var("y");
+        qb.range(x, [c]).range(y, [c]).neq_vars(x, y);
+        let q = qb.build();
+        let ans = answer(&s, &st, &q);
+        assert_eq!(ans, BTreeSet::from([o1, o2]));
+        // With a single object there is no pair of distinct objects.
+        let mut b = StateBuilder::new();
+        b.object(c);
+        let st1 = b.finish(&s).unwrap();
+        assert!(answer(&s, &st1, &q).is_empty());
+        let _ = x;
+    }
+
+    #[test]
+    fn range_disjunction_unions_extents() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let auto = b.object(s.class_id("Auto").unwrap());
+        let truck = b.object(s.class_id("Truck").unwrap());
+        let _tr = b.object(s.class_id("Trailer").unwrap());
+        let st = b.finish(&s).unwrap();
+        let mut qb = QueryBuilder::new("x");
+        let x = qb.free();
+        qb.range(x, [s.class_id("Auto").unwrap(), s.class_id("Truck").unwrap()]);
+        assert_eq!(answer(&s, &st, &qb.build()), BTreeSet::from([auto, truck]));
+    }
+
+    #[test]
+    fn non_range_excludes_whole_subtree() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let _auto = b.object(s.class_id("Auto").unwrap());
+        let disc = b.object(s.class_id("Discount").unwrap());
+        let st = b.finish(&s).unwrap();
+        let mut qb = QueryBuilder::new("x");
+        let x = qb.free();
+        // x over everything, excluding vehicles: only the client remains.
+        qb.non_range(x, [s.class_id("Vehicle").unwrap()]);
+        assert_eq!(answer(&s, &st, &qb.build()), BTreeSet::from([disc]));
+    }
+
+    #[test]
+    fn union_answer_is_union() {
+        let (s, st, q) = rental_fixture();
+        let mut q2b = QueryBuilder::new("x");
+        let x2 = q2b.free();
+        q2b.range(x2, [s.class_id("Truck").unwrap()]);
+        let u = UnionQuery::new(vec![q.clone(), q2b.build()]);
+        let ans = answer_union(&s, &st, &u);
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn refutation_finds_witness() {
+        let (s, st, q) = rental_fixture();
+        // Left: all vehicles; right: the discount-rental query.
+        let mut lb = QueryBuilder::new("x");
+        let lx = lb.free();
+        lb.range(lx, [s.class_id("Vehicle").unwrap()]);
+        let left = UnionQuery::single(lb.build());
+        let right = UnionQuery::single(q);
+        let ce = refute_containment(&s, std::slice::from_ref(&st), &left, &right);
+        assert!(ce.is_some());
+        // And containment in the other direction has no witness here.
+        assert_eq!(
+            refute_containment(&s, std::slice::from_ref(&st), &right, &left),
+            None
+        );
+    }
+
+    #[test]
+    fn refutation_none_for_contained_queries() {
+        let (s, st, q) = rental_fixture();
+        let mut lb = QueryBuilder::new("x");
+        let lx = lb.free();
+        lb.range(lx, [s.class_id("Vehicle").unwrap()]);
+        let bigger = UnionQuery::single(lb.build());
+        let smaller = UnionQuery::single(q);
+        assert_eq!(
+            refute_containment(&s, std::slice::from_ref(&st), &smaller, &bigger),
+            None
+        );
+    }
+}

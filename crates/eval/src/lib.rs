@@ -1,0 +1,20 @@
+//! # oocq-eval
+//!
+//! Naive evaluation of the conjunctive queries of Chan (PODS 1992) over
+//! OODB states: Kleene 3-valued logic for null values (`Λ`), the answer
+//! semantics of §2.2, and brute-force containment refutation over finite
+//! families of states (used by the property-test harness to cross-check the
+//! algorithmic containment decisions of `oocq-core`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod canonical;
+mod eval;
+mod planned;
+mod truth;
+
+pub use canonical::{canonical_contains, canonical_state};
+pub use planned::{answer_planned, answer_with_plan, Plan};
+pub use eval::{answer, answer_union, eval_atom, eval_matrix, refute_containment, CounterExample};
+pub use truth::Truth;

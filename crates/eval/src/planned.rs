@@ -1,0 +1,324 @@
+//! A planned evaluator: join ordering plus value propagation.
+//!
+//! The naive evaluator scans each variable's full class extent. This one
+//! builds a simple binding plan per query:
+//!
+//! * variables are ordered greedily, preferring those reachable from bound
+//!   variables through an equality `v = y.A` (singleton generator) or a
+//!   membership `v ∈ y.A` (set-member generator);
+//! * each variable draws its candidates from the tightest available
+//!   generator instead of the extent whenever possible;
+//! * remaining atoms are checked as soon as their variables are bound.
+//!
+//! Same answers as [`answer`](crate::answer) on every query (a property
+//! test enforces this); typically much faster on queries whose atoms link
+//! variables, which is what the B6 benchmark measures.
+
+use crate::eval::eval_atom;
+use oocq_query::{Atom, Query, Term, VarId};
+use oocq_schema::Schema;
+use oocq_state::{Oid, State, Value};
+use std::collections::BTreeSet;
+
+/// How a variable obtains its candidate objects.
+#[derive(Clone, Debug)]
+enum Generator {
+    /// The free variable's externally supplied candidate.
+    Seed,
+    /// Scan the union of the range classes' extents.
+    Extent(Vec<oocq_schema::ClassId>),
+    /// `v = y.A` with `y` already bound: at most one candidate.
+    FromAttr(VarId, oocq_schema::AttrId),
+    /// `v ∈ y.A` with `y` already bound: the set's members.
+    FromMembers(VarId, oocq_schema::AttrId),
+}
+
+/// A compiled evaluation plan for one query.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    order: Vec<VarId>,
+    generators: Vec<Generator>,
+    /// Atoms to check after binding the i-th variable of `order`.
+    checks: Vec<Vec<Atom>>,
+}
+
+impl Plan {
+    /// Compile a plan for `q`. Deterministic; independent of any state.
+    pub fn compile(q: &Query) -> Plan {
+        let n = q.var_count();
+        let mut bound = vec![false; n];
+        let mut order: Vec<VarId> = Vec::with_capacity(n);
+        let mut generators: Vec<Generator> = Vec::with_capacity(n);
+
+        order.push(q.free_var());
+        generators.push(Generator::Seed);
+        bound[q.free_var().index()] = true;
+
+        while order.len() < n {
+            // Prefer a variable generated from a bound one via equality,
+            // then via membership, then any unbound variable by extent.
+            let mut choice: Option<(VarId, Generator, u8)> = None;
+            for atom in q.atoms() {
+                match atom {
+                    Atom::Eq(a, b) => {
+                        for (s, t) in [(a, b), (b, a)] {
+                            if let (Term::Var(v), Term::Attr(y, at)) = (s, t) {
+                                if !bound[v.index()] && bound[y.index()] {
+                                    let cand = (*v, Generator::FromAttr(*y, *at), 0u8);
+                                    if choice.as_ref().is_none_or(|c| cand.2 < c.2) {
+                                        choice = Some(cand);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Atom::Member(x, y, at) if !bound[x.index()] && bound[y.index()] => {
+                        let cand = (*x, Generator::FromMembers(*y, *at), 1u8);
+                        if choice.as_ref().is_none_or(|c| cand.2 < c.2) {
+                            choice = Some(cand);
+                        }
+                    }
+                    _ => {}
+                }
+                if matches!(choice, Some((_, _, 0))) {
+                    break; // can't do better than a singleton generator
+                }
+            }
+            let (v, g) = match choice {
+                Some((v, g, _)) => (v, g),
+                None => {
+                    let v = q
+                        .vars()
+                        .find(|v| !bound[v.index()])
+                        .expect("an unbound variable remains");
+                    let ext = q.range_of(v).map(<[_]>::to_vec).unwrap_or_default();
+                    (v, Generator::Extent(ext))
+                }
+            };
+            bound[v.index()] = true;
+            order.push(v);
+            generators.push(g);
+        }
+
+        // Atom checks at the first position where all their variables are
+        // bound.
+        let mut position = vec![0usize; n];
+        for (i, &v) in order.iter().enumerate() {
+            position[v.index()] = i;
+        }
+        let mut checks: Vec<Vec<Atom>> = vec![Vec::new(); n.max(1)];
+        for atom in q.atoms() {
+            let depth = atom
+                .vars()
+                .iter()
+                .map(|v| position[v.index()])
+                .max()
+                .unwrap_or(0);
+            checks[depth].push(atom.clone());
+        }
+        Plan {
+            order,
+            generators,
+            checks,
+        }
+    }
+
+    /// The chosen variable order (for diagnostics).
+    pub fn order(&self) -> &[VarId] {
+        &self.order
+    }
+
+    /// How many variables draw candidates from a generator rather than a
+    /// full extent scan.
+    pub fn propagated_vars(&self) -> usize {
+        self.generators
+            .iter()
+            .filter(|g| matches!(g, Generator::FromAttr(..) | Generator::FromMembers(..)))
+            .count()
+    }
+}
+
+/// Evaluate `q` with a compiled plan.
+pub fn answer_planned(schema: &Schema, state: &State, q: &Query) -> BTreeSet<Oid> {
+    let plan = Plan::compile(q);
+    answer_with_plan(schema, state, q, &plan)
+}
+
+/// Evaluate `q` with an already compiled plan (amortizes compilation across
+/// states).
+pub fn answer_with_plan(
+    schema: &Schema,
+    state: &State,
+    q: &Query,
+    plan: &Plan,
+) -> BTreeSet<Oid> {
+    let free_candidates: Vec<Oid> = match q.range_of(q.free_var()) {
+        Some(cs) => {
+            let mut d: Vec<Oid> = cs.iter().flat_map(|&c| state.extent(c)).copied().collect();
+            d.sort();
+            d.dedup();
+            d
+        }
+        None => state.oids().collect(),
+    };
+    let mut out = BTreeSet::new();
+    let mut assignment = vec![Oid::from_index(0); q.var_count()];
+    for seed in free_candidates {
+        if search(schema, state, plan, &mut assignment, 0, seed) {
+            out.insert(seed);
+        }
+    }
+    out
+}
+
+fn search(
+    schema: &Schema,
+    state: &State,
+    plan: &Plan,
+    assignment: &mut [Oid],
+    depth: usize,
+    seed: Oid,
+) -> bool {
+    if depth == plan.order.len() {
+        return true;
+    }
+    let v = plan.order[depth];
+    let try_candidate = |o: Oid, assignment: &mut [Oid]| -> bool {
+        assignment[v.index()] = o;
+        plan.checks[depth]
+            .iter()
+            .all(|a| eval_atom(schema, state, assignment, a).is_true())
+            && search(schema, state, plan, assignment, depth + 1, seed)
+    };
+    match &plan.generators[depth] {
+        Generator::Seed => try_candidate(seed, assignment),
+        Generator::FromAttr(y, a) => {
+            match state.attr(assignment[y.index()], *a) {
+                Value::Obj(o) => try_candidate(*o, assignment),
+                _ => false, // null or a set: the equality can never be true
+            }
+        }
+        Generator::FromMembers(y, a) => match state.attr(assignment[y.index()], *a) {
+            Value::Set(members) => {
+                let ms = members.clone();
+                ms.iter().any(|&m| try_candidate(m, assignment))
+            }
+            _ => false,
+        },
+        Generator::Extent(classes) => {
+            let mut d: Vec<Oid> = classes
+                .iter()
+                .flat_map(|&c| state.extent(c))
+                .copied()
+                .collect();
+            d.sort();
+            d.dedup();
+            d.into_iter().any(|o| try_candidate(o, assignment))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::answer;
+    use oocq_query::QueryBuilder;
+    use oocq_schema::samples;
+    use oocq_state::StateBuilder;
+
+    fn rental_bits() -> (oocq_schema::Schema, State, Query) {
+        let s = samples::vehicle_rental();
+        let veh = s.attr_id("VehRented").unwrap();
+        let mut b = StateBuilder::new();
+        let a1 = b.object(s.class_id("Auto").unwrap());
+        let a2 = b.object(s.class_id("Auto").unwrap());
+        let d = b.object(s.class_id("Discount").unwrap());
+        let r = b.object(s.class_id("Regular").unwrap());
+        b.set_members(d, veh, [a1]);
+        b.set_members(r, veh, [a2]);
+        let st = b.finish(&s).unwrap();
+
+        let mut qb = QueryBuilder::new("x");
+        let x = qb.free();
+        let y = qb.var("y");
+        qb.range(x, [s.class_id("Vehicle").unwrap()]);
+        qb.range(y, [s.class_id("Client").unwrap()]);
+        qb.member(x, y, veh);
+        (s.clone(), st, qb.build())
+    }
+
+    #[test]
+    fn planned_matches_naive_on_rental() {
+        let (s, st, q) = rental_bits();
+        assert_eq!(answer_planned(&s, &st, &q), answer(&s, &st, &q));
+        assert_eq!(answer_planned(&s, &st, &q).len(), 2);
+    }
+
+    #[test]
+    fn plan_uses_generators_for_linked_vars() {
+        // x ∈ Leaf, y = x.next, z ∈ x.items: both bound via propagation.
+        let s = oocq_schema::SchemaBuilder::new();
+        let mut sb = s;
+        let node = sb.class("Node").unwrap();
+        sb.attribute(node, "next", oocq_schema::AttrType::Object(node)).unwrap();
+        sb.attribute(node, "items", oocq_schema::AttrType::SetOf(node)).unwrap();
+        let s = sb.finish().unwrap();
+        let next = s.attr_id("next").unwrap();
+        let items = s.attr_id("items").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [node]).range(y, [node]).range(z, [node]);
+        b.eq_attr(y, x, next);
+        b.member(z, x, items);
+        let q = b.build();
+        let plan = Plan::compile(&q);
+        assert_eq!(plan.propagated_vars(), 2);
+        assert_eq!(plan.order()[0], x);
+    }
+
+    #[test]
+    fn null_attr_yields_no_bindings() {
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = StateBuilder::new();
+        b.object(c); // A left null
+        b.object(d);
+        let st = b.finish(&s).unwrap();
+        let mut qb = QueryBuilder::new("y");
+        let y = qb.free();
+        let z = qb.var("z");
+        qb.range(y, [c]).range(z, [d]);
+        qb.eq_attr(z, y, a);
+        let q = qb.build();
+        assert!(answer_planned(&s, &st, &q).is_empty());
+        assert_eq!(answer_planned(&s, &st, &q), answer(&s, &st, &q));
+    }
+
+    #[test]
+    fn plan_reuse_across_states() {
+        let (s, st, q) = rental_bits();
+        let plan = Plan::compile(&q);
+        let once = answer_with_plan(&s, &st, &q, &plan);
+        let twice = answer_with_plan(&s, &st, &q, &plan);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn negative_atoms_still_checked() {
+        let (s, st, _) = rental_bits();
+        let veh = s.attr_id("VehRented").unwrap();
+        let mut qb = QueryBuilder::new("x");
+        let x = qb.free();
+        let y = qb.var("y");
+        qb.range(x, [s.class_id("Auto").unwrap()]);
+        qb.range(y, [s.class_id("Discount").unwrap()]);
+        qb.non_member(x, y, veh);
+        let q = qb.build();
+        assert_eq!(answer_planned(&s, &st, &q), answer(&s, &st, &q));
+        assert_eq!(answer_planned(&s, &st, &q).len(), 1); // the other auto
+    }
+}

@@ -1,0 +1,113 @@
+//! Kleene 3-valued logic (§2.2: with nulls present, queries are evaluated
+//! in 3-valued logic following Codd [13]).
+
+/// A 3-valued truth value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// Unknown (some operand was the null value `Λ`).
+    Unknown,
+}
+
+impl Truth {
+    /// Kleene conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene negation.
+    #[allow(clippy::should_implement_trait)] // deliberate: 3-valued negation
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Lift a two-valued Boolean.
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Only `True` counts as satisfaction (an answer must make the formula
+    /// *true*, not merely non-false).
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Truth::{self, False, True, Unknown};
+
+    const ALL: [Truth; 3] = [True, False, Unknown];
+
+    #[test]
+    fn conjunction_truth_table() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        for t in ALL {
+            assert_eq!(t.and(False), False);
+            assert_eq!(False.and(t), False);
+        }
+    }
+
+    #[test]
+    fn disjunction_truth_table() {
+        assert_eq!(False.or(False), False);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+        for t in ALL {
+            assert_eq!(t.or(True), True);
+            assert_eq!(True.or(t), True);
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for t in ALL {
+            assert_eq!(t.not().not(), t);
+        }
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn de_morgan_holds() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn lifting() {
+        assert_eq!(Truth::from_bool(true), True);
+        assert_eq!(Truth::from_bool(false), False);
+        assert!(True.is_true());
+        assert!(!Unknown.is_true());
+    }
+}

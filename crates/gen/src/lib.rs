@@ -1,0 +1,21 @@
+//! # oocq-gen
+//!
+//! Seeded random generators and fixed workload shapes for the `oocq` test
+//! suite and benchmark harness: random consistent schemas, random legal
+//! states, and query families (chains, stars, inequality chains, random
+//! terminal positive queries) whose growth parameters drive the parameter
+//! sweeps of EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod query_gen;
+mod schema_gen;
+mod state_gen;
+
+pub use query_gen::{
+    chain_query, inequality_chain, random_positive, random_terminal_positive, rigid_star_query,
+    star_query, QueryParams,
+};
+pub use schema_gen::{deep_schema, partition_schema, random_schema, workload_schema, SchemaParams};
+pub use state_gen::{random_state, state_family, StateParams};

@@ -1,0 +1,292 @@
+//! Query workload generators: fixed shapes for benchmarks plus fully random
+//! terminal positive queries for property testing.
+
+use oocq_query::{Query, QueryBuilder};
+use oocq_schema::{AttrType, ClassId, Schema};
+use rand::Rng;
+
+/// A chain query over [`workload_schema`](crate::workload_schema):
+///
+/// ```text
+/// { x0 | ∃x1…xn: xi ∈ Leaf0 & x1 = x0.next & … & xn = x(n-1).next }
+/// ```
+///
+/// Chains are the classic hard-ish homomorphism shape with a unique
+/// backbone; length `n` means `n+1` variables.
+pub fn chain_query(schema: &Schema, n: usize) -> Query {
+    let leaf = schema.class_id("Leaf0").expect("workload schema");
+    let next = schema.attr_id("next").expect("workload schema");
+    let mut b = QueryBuilder::new("x0");
+    let mut prev = b.free();
+    b.range(prev, [leaf]);
+    for i in 1..=n {
+        let v = b.var(&format!("x{i}"));
+        b.range(v, [leaf]);
+        b.eq_attr(v, prev, next);
+        prev = v;
+    }
+    b.build()
+}
+
+/// A star query: a center with `n` members in its `items` set.
+///
+/// ```text
+/// { x | ∃y1…yn: x ∈ Leaf0 & yi ∈ Leaf0 & yi ∈ x.items }
+/// ```
+///
+/// All spokes are interchangeable, so the minimal equivalent query has one
+/// spoke — this is the minimization workhorse workload.
+pub fn star_query(schema: &Schema, n: usize) -> Query {
+    let leaf = schema.class_id("Leaf0").expect("workload schema");
+    let items = schema.attr_id("items").expect("workload schema");
+    let mut b = QueryBuilder::new("x");
+    let x = b.free();
+    b.range(x, [leaf]);
+    for i in 0..n {
+        let y = b.var(&format!("y{i}"));
+        b.range(y, [leaf]);
+        b.member(y, x, items);
+    }
+    b.build()
+}
+
+/// A star query whose spokes are pairwise *distinguished* by chained `next`
+/// equalities of different depth, so none of them can fold onto another:
+/// the minimal equivalent query keeps all spokes. Used as the "already
+/// minimal" contrast workload for the minimization bench.
+pub fn rigid_star_query(schema: &Schema, n: usize) -> Query {
+    let leaf = schema.class_id("Leaf0").expect("workload schema");
+    let items = schema.attr_id("items").expect("workload schema");
+    let next = schema.attr_id("next").expect("workload schema");
+    let mut b = QueryBuilder::new("x");
+    let x = b.free();
+    b.range(x, [leaf]);
+    let mut prev = x;
+    for i in 0..n {
+        let y = b.var(&format!("y{i}"));
+        b.range(y, [leaf]);
+        b.member(y, x, items);
+        // Chain the spokes so each has a distinct depth from x.
+        b.eq_attr(y, prev, next);
+        prev = y;
+    }
+    b.build()
+}
+
+/// An inequality-chain query over a single terminal class (Example 3.2 at
+/// scale): `n` variables, atoms `xᵢ ≠ xᵢ₊₁`. With `close_cycle`, an extra
+/// `x₀ ≠ xₙ₋₁` (odd cycles need three distinct objects, even ones two).
+pub fn inequality_chain(_schema: &Schema, class: ClassId, n: usize, close_cycle: bool) -> Query {
+    assert!(n >= 1);
+    let mut b = QueryBuilder::new("x0");
+    let mut vars = vec![b.free()];
+    b.range(vars[0], [class]);
+    for i in 1..n {
+        let v = b.var(&format!("x{i}"));
+        b.range(v, [class]);
+        vars.push(v);
+    }
+    for w in vars.windows(2) {
+        b.neq_vars(w[0], w[1]);
+    }
+    if close_cycle && n >= 2 {
+        b.neq_vars(vars[0], vars[n - 1]);
+    }
+    b.build()
+}
+
+/// Parameters for [`random_terminal_positive`].
+#[derive(Clone, Copy, Debug)]
+pub struct QueryParams {
+    /// Number of variables (≥ 1; the first is the answer variable).
+    pub vars: usize,
+    /// Extra non-range atoms to attempt.
+    pub atoms: usize,
+}
+
+impl Default for QueryParams {
+    fn default() -> QueryParams {
+        QueryParams { vars: 4, atoms: 5 }
+    }
+}
+
+/// Generate a random *well-formed terminal positive* query over an arbitrary
+/// schema: each variable ranges over a random terminal class; equality and
+/// membership atoms are added only when type-compatible, so most generated
+/// queries are satisfiable (unsatisfiable ones are still legal output — the
+/// algorithms must handle them).
+pub fn random_terminal_positive(rng: &mut impl Rng, schema: &Schema, p: &QueryParams) -> Query {
+    let terminals = schema.terminals();
+    assert!(!terminals.is_empty());
+    let mut b = QueryBuilder::new("v0");
+    let mut vars = vec![b.free()];
+    let mut classes = vec![terminals[rng.gen_range(0..terminals.len())]];
+    b.range(vars[0], [classes[0]]);
+    for i in 1..p.vars.max(1) {
+        let v = b.var(&format!("v{i}"));
+        let c = terminals[rng.gen_range(0..terminals.len())];
+        b.range(v, [c]);
+        vars.push(v);
+        classes.push(c);
+    }
+    for _ in 0..p.atoms {
+        let i = rng.gen_range(0..vars.len());
+        let j = rng.gen_range(0..vars.len());
+        // Choose among: var=var (same class), var = var.attr (object attr,
+        // compatible), membership (set attr, compatible).
+        match rng.gen_range(0..3) {
+            0 => {
+                if classes[i] == classes[j] && i != j {
+                    b.eq_vars(vars[i], vars[j]);
+                }
+            }
+            1 => {
+                // vars[i] = vars[j].A for an object attribute A of class j
+                // with vars[i]'s class among its terminal descendants.
+                let cands: Vec<_> = schema
+                    .effective_type(classes[j])
+                    .iter()
+                    .filter(|(_, t)| {
+                        matches!(t, AttrType::Object(d)
+                            if schema.terminal_descendants(*d).contains(&classes[i]))
+                    })
+                    .map(|(&a, _)| a)
+                    .collect();
+                if !cands.is_empty() {
+                    let a = cands[rng.gen_range(0..cands.len())];
+                    b.eq_attr(vars[i], vars[j], a);
+                }
+            }
+            _ => {
+                let cands: Vec<_> = schema
+                    .effective_type(classes[j])
+                    .iter()
+                    .filter(|(_, t)| {
+                        matches!(t, AttrType::SetOf(d)
+                            if schema.terminal_descendants(*d).contains(&classes[i]))
+                    })
+                    .map(|(&a, _)| a)
+                    .collect();
+                if !cands.is_empty() {
+                    let a = cands[rng.gen_range(0..cands.len())];
+                    b.member(vars[i], vars[j], a);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// A random *non-terminal* positive query: like
+/// [`random_terminal_positive`] but each variable ranges over a random
+/// (possibly non-terminal) class. Exercises the expansion pipeline.
+pub fn random_positive(rng: &mut impl Rng, schema: &Schema, p: &QueryParams) -> Query {
+    // Start from a terminal query, then lift each range atom to a random
+    // ancestor with some probability.
+    let q = random_terminal_positive(rng, schema, p);
+    let mut b = QueryBuilder::new(q.var_name(q.free_var()));
+    let mut ids = Vec::new();
+    for v in q.vars() {
+        if v == q.free_var() {
+            ids.push(b.free());
+        } else {
+            ids.push(b.var(q.var_name(v)));
+        }
+    }
+    for atom in q.atoms() {
+        match atom {
+            oocq_query::Atom::Range(v, cs) => {
+                let c = cs[0];
+                let ancestors: Vec<ClassId> = schema
+                    .classes()
+                    .filter(|&anc| schema.is_subclass(c, anc))
+                    .collect();
+                let lifted = ancestors[rng.gen_range(0..ancestors.len())];
+                b.range(ids[v.index()], [lifted]);
+            }
+            other => {
+                b.atom(other.map_vars(|v| ids[v.index()]));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_gen::workload_schema;
+    use oocq_query::check_well_formed;
+    use oocq_schema::samples;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_query_shape() {
+        let s = workload_schema(2);
+        let q = chain_query(&s, 3);
+        assert_eq!(q.var_count(), 4);
+        assert!(q.is_terminal(&s));
+        assert!(q.is_positive());
+        check_well_formed(&q).unwrap();
+        assert!(oocq_core::is_satisfiable(&s, &q).unwrap());
+    }
+
+    #[test]
+    fn star_query_minimizes_to_single_spoke() {
+        let s = workload_schema(2);
+        let q = star_query(&s, 5);
+        let m = oocq_core::minimize_terminal_positive(&s, &q).unwrap();
+        assert_eq!(m.var_count(), 2);
+    }
+
+    #[test]
+    fn rigid_star_is_minimal() {
+        let s = workload_schema(2);
+        let q = rigid_star_query(&s, 4);
+        check_well_formed(&q).unwrap();
+        assert!(oocq_core::is_satisfiable(&s, &q).unwrap());
+        assert!(oocq_core::is_minimal_terminal_positive(&s, &q).unwrap());
+    }
+
+    #[test]
+    fn inequality_chain_example_32_at_scale() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        // Chains of length ≥ 2 are pairwise equivalent (2 objects suffice).
+        let q2 = inequality_chain(&s, c, 2, false);
+        let q5 = inequality_chain(&s, c, 5, false);
+        assert!(oocq_core::equivalent_terminal(&s, &q2, &q5).unwrap());
+        // The triangle needs 3 distinct objects.
+        let tri = inequality_chain(&s, c, 3, true);
+        assert!(oocq_core::contains_terminal(&s, &tri, &q2).unwrap());
+        assert!(!oocq_core::contains_terminal(&s, &q2, &tri).unwrap());
+    }
+
+    #[test]
+    fn random_terminal_positive_is_well_formed() {
+        let s = samples::vehicle_rental();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let q = random_terminal_positive(&mut rng, &s, &QueryParams::default());
+            check_well_formed(&q).unwrap();
+            assert!(q.is_terminal(&s));
+            assert!(q.is_positive());
+        }
+    }
+
+    #[test]
+    fn random_positive_expands() {
+        let s = samples::vehicle_rental();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut saw_nonterminal = false;
+        for _ in 0..20 {
+            let q = random_positive(&mut rng, &s, &QueryParams::default());
+            check_well_formed(&q).unwrap();
+            saw_nonterminal |= !q.is_terminal(&s);
+            let u = oocq_core::expand_satisfiable(&s, &q).unwrap();
+            assert!(u.is_terminal(&s));
+        }
+        assert!(saw_nonterminal);
+    }
+}

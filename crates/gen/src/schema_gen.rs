@@ -1,0 +1,261 @@
+//! Random and parameterized schema generators.
+
+use oocq_schema::{AttrType, ClassId, Schema, SchemaBuilder};
+use rand::Rng;
+
+/// Parameters for [`random_schema`].
+#[derive(Clone, Copy, Debug)]
+pub struct SchemaParams {
+    /// Number of root (maximal) classes.
+    pub roots: usize,
+    /// Terminal subclasses per root.
+    pub branching: usize,
+    /// Object-valued attributes declared on each root.
+    pub object_attrs: usize,
+    /// Set-valued attributes declared on each root.
+    pub set_attrs: usize,
+    /// Probability that a terminal refines an inherited attribute to a
+    /// random subclass of its declared class.
+    pub refine_prob: f64,
+}
+
+impl Default for SchemaParams {
+    fn default() -> SchemaParams {
+        SchemaParams {
+            roots: 3,
+            branching: 3,
+            object_attrs: 2,
+            set_attrs: 2,
+            refine_prob: 0.3,
+        }
+    }
+}
+
+/// Generate a random two-level schema: `roots` maximal classes, each with
+/// `branching` terminal subclasses, object/set attributes typed at random
+/// root classes, and random subtype-correct refinements on terminals.
+///
+/// Always consistent by construction (refinements pick terminal descendants
+/// of the inherited class).
+pub fn random_schema(rng: &mut impl Rng, p: &SchemaParams) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let mut roots: Vec<ClassId> = Vec::new();
+    let mut terminals: Vec<Vec<ClassId>> = Vec::new();
+    for r in 0..p.roots {
+        roots.push(b.class(&format!("R{r}")).unwrap());
+    }
+    for (r, &root) in roots.iter().enumerate() {
+        let mut ts = Vec::new();
+        for t in 0..p.branching {
+            let c = b.class(&format!("R{r}T{t}")).unwrap();
+            b.subclass(c, root).unwrap();
+            ts.push(c);
+        }
+        terminals.push(ts);
+    }
+    // Attribute declarations on roots.
+    let mut declared: Vec<(String, usize, bool)> = Vec::new(); // (name, target root ix, is_set)
+    for (r, &root) in roots.iter().enumerate() {
+        for a in 0..p.object_attrs {
+            let target = rng.gen_range(0..p.roots);
+            let name = format!("O{r}_{a}");
+            b.attribute(root, &name, AttrType::Object(roots[target])).unwrap();
+            declared.push((name, target, false));
+        }
+        for a in 0..p.set_attrs {
+            let target = rng.gen_range(0..p.roots);
+            let name = format!("S{r}_{a}");
+            b.attribute(root, &name, AttrType::SetOf(roots[target])).unwrap();
+            declared.push((name, target, true));
+        }
+    }
+    // Random refinements on terminals (subtype-correct: narrow to a terminal
+    // descendant of the declared target).
+    for (r, ts) in terminals.iter().enumerate() {
+        for &t in ts {
+            for a in 0..p.object_attrs {
+                if rng.gen_bool(p.refine_prob) {
+                    let name = format!("O{r}_{a}");
+                    let target_ix = declared
+                        .iter()
+                        .find(|(n, ..)| n == &name)
+                        .map(|(_, ix, _)| *ix)
+                        .unwrap();
+                    let narrowed =
+                        terminals[target_ix][rng.gen_range(0..p.branching)];
+                    b.attribute(t, &name, AttrType::Object(narrowed)).unwrap();
+                }
+            }
+            for a in 0..p.set_attrs {
+                if rng.gen_bool(p.refine_prob) {
+                    let name = format!("S{r}_{a}");
+                    let target_ix = declared
+                        .iter()
+                        .find(|(n, ..)| n == &name)
+                        .map(|(_, ix, _)| *ix)
+                        .unwrap();
+                    let narrowed =
+                        terminals[target_ix][rng.gen_range(0..p.branching)];
+                    b.attribute(t, &name, AttrType::SetOf(narrowed)).unwrap();
+                }
+            }
+        }
+    }
+    b.finish().expect("generated schema is consistent by construction")
+}
+
+/// The workload schema used by the benchmark suite: one root `Node` with a
+/// `next : Node` object attribute and an `items : {Node}` set attribute,
+/// partitioned into `leaves` terminal classes `Leaf0 … Leaf{n-1}`.
+pub fn workload_schema(leaves: usize) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let node = b.class("Node").unwrap();
+    b.attribute(node, "next", AttrType::Object(node)).unwrap();
+    b.attribute(node, "items", AttrType::SetOf(node)).unwrap();
+    for i in 0..leaves {
+        let c = b.class(&format!("Leaf{i}")).unwrap();
+        b.subclass(c, node).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+/// A parameterized version of the paper's Example 1.2 schema: `N` has
+/// `terminals` terminal subclasses; `G` has terminals `H` and `I`;
+/// `N.A : {G}`. The first `b_on` terminals declare `B : G`; the last
+/// `refine_a` terminals refine `A` to `{I}`. Queries mentioning `x.B` and a
+/// member of class `H` in `x.A` are satisfiable only on terminals that have
+/// `B` and did not refine `A` — exactly the Example 4.1 pruning pattern, at
+/// scale.
+pub fn partition_schema(terminals: usize, b_on: usize, refine_a: usize) -> Schema {
+    assert!(b_on <= terminals && refine_a <= terminals);
+    let mut sb = SchemaBuilder::new();
+    let n = sb.class("N").unwrap();
+    let g = sb.class("G").unwrap();
+    let h = sb.class("H").unwrap();
+    let i = sb.class("I").unwrap();
+    sb.subclass(h, g).unwrap();
+    sb.subclass(i, g).unwrap();
+    sb.attribute(n, "A", AttrType::SetOf(g)).unwrap();
+    for t in 0..terminals {
+        let c = sb.class(&format!("T{t}")).unwrap();
+        sb.subclass(c, n).unwrap();
+        if t < b_on {
+            sb.attribute(c, "B", AttrType::Object(g)).unwrap();
+        }
+        if t >= terminals - refine_a {
+            sb.attribute(c, "A", AttrType::SetOf(i)).unwrap();
+        }
+    }
+    sb.finish().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_schema_is_consistent_and_sized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = SchemaParams::default();
+        let s = random_schema(&mut rng, &p);
+        assert_eq!(s.class_count(), p.roots * (1 + p.branching));
+        assert_eq!(s.terminals().len(), p.roots * p.branching);
+    }
+
+    #[test]
+    fn random_schema_is_deterministic_per_seed() {
+        let p = SchemaParams::default();
+        let a = random_schema(&mut StdRng::seed_from_u64(42), &p);
+        let b = random_schema(&mut StdRng::seed_from_u64(42), &p);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn workload_schema_shape() {
+        let s = workload_schema(4);
+        let node = s.class_id("Node").unwrap();
+        assert_eq!(s.terminal_descendants(node).len(), 4);
+        assert!(s.attr_id("next").is_some());
+        let leaf = s.class_id("Leaf2").unwrap();
+        assert!(s
+            .attr_type(leaf, s.attr_id("items").unwrap())
+            .is_some_and(|t| t.is_set()));
+    }
+
+    #[test]
+    fn partition_schema_prunes_as_configured() {
+        let s = partition_schema(5, 2, 2);
+        let bb = s.attr_id("B").unwrap();
+        // B on T0, T1 only.
+        assert!(s.attr_type(s.class_id("T0").unwrap(), bb).is_some());
+        assert!(s.attr_type(s.class_id("T2").unwrap(), bb).is_none());
+        // A refined on T3, T4.
+        let a = s.attr_id("A").unwrap();
+        let i = s.class_id("I").unwrap();
+        assert_eq!(
+            s.attr_type(s.class_id("T4").unwrap(), a),
+            Some(AttrType::SetOf(i))
+        );
+        let g = s.class_id("G").unwrap();
+        assert_eq!(
+            s.attr_type(s.class_id("T0").unwrap(), a),
+            Some(AttrType::SetOf(g))
+        );
+    }
+}
+
+/// A complete class tree of the given `depth` and `branching`: the root is
+/// `C`, children of `X` are `X0 … X{b-1}`, and only the `depth`-level nodes
+/// are terminal (so a node at height `k` has `branching^k` terminal
+/// descendants). The root declares `next : C` and `items : {C}`, inherited
+/// all the way down — deep inheritance chains for the expansion and
+/// containment tests.
+pub fn deep_schema(depth: usize, branching: usize) -> Schema {
+    assert!(depth >= 1 && branching >= 1);
+    let mut b = SchemaBuilder::new();
+    let root = b.class("C").unwrap();
+    b.attribute(root, "next", AttrType::Object(root)).unwrap();
+    b.attribute(root, "items", AttrType::SetOf(root)).unwrap();
+    let mut frontier: Vec<(String, ClassId)> = vec![("C".to_owned(), root)];
+    for _ in 0..depth {
+        let mut next_frontier = Vec::new();
+        for (name, parent) in &frontier {
+            for i in 0..branching {
+                let child_name = format!("{name}{i}");
+                let child = b.class(&child_name).unwrap();
+                b.subclass(child, *parent).unwrap();
+                next_frontier.push((child_name, child));
+            }
+        }
+        frontier = next_frontier;
+    }
+    b.finish().unwrap()
+}
+
+#[cfg(test)]
+mod deep_tests {
+    use super::*;
+
+    #[test]
+    fn deep_schema_counts() {
+        let s = deep_schema(3, 2);
+        // 1 + 2 + 4 + 8 classes; 8 terminals.
+        assert_eq!(s.class_count(), 15);
+        assert_eq!(s.terminals().len(), 8);
+        let root = s.class_id("C").unwrap();
+        assert_eq!(s.terminal_descendants(root).len(), 8);
+        // Mid-level class C1 has 4 terminal descendants.
+        let mid = s.class_id("C1").unwrap();
+        assert_eq!(s.terminal_descendants(mid).len(), 4);
+    }
+
+    #[test]
+    fn deep_schema_attributes_inherit_to_leaves() {
+        let s = deep_schema(4, 2);
+        let leaf = s.class_id("C0101").unwrap();
+        assert!(s.attr_type(leaf, s.attr_id("next").unwrap()).is_some());
+        assert!(s.attr_type(leaf, s.attr_id("items").unwrap()).is_some());
+    }
+}

@@ -1,0 +1,171 @@
+//! Random legal-state generators.
+
+use oocq_schema::{AttrType, Schema};
+use oocq_state::{Oid, State, StateBuilder};
+use rand::Rng;
+
+/// Parameters for [`random_state`].
+#[derive(Clone, Copy, Debug)]
+pub struct StateParams {
+    /// Number of objects.
+    pub objects: usize,
+    /// Probability that an attribute is non-null.
+    pub fill_prob: f64,
+    /// Maximum cardinality of a set-valued attribute.
+    pub max_set: usize,
+}
+
+impl Default for StateParams {
+    fn default() -> StateParams {
+        StateParams {
+            objects: 32,
+            fill_prob: 0.8,
+            max_set: 4,
+        }
+    }
+}
+
+/// Generate a random legal state: objects uniformly spread over the terminal
+/// classes, attributes filled with type-correct references (or left null).
+///
+/// Attributes whose declared class has no instance in the state stay null;
+/// set attributes may be empty (distinct from null).
+pub fn random_state(rng: &mut impl Rng, schema: &Schema, p: &StateParams) -> State {
+    let terminals = schema.terminals();
+    assert!(!terminals.is_empty(), "schema has no terminal class");
+    let mut b = StateBuilder::new();
+    let mut classes = Vec::with_capacity(p.objects);
+    for _ in 0..p.objects {
+        let c = terminals[rng.gen_range(0..terminals.len())];
+        classes.push(c);
+        b.object(c);
+    }
+    // Candidate pools per class: objects whose terminal class descends it.
+    let pool = |target: oocq_schema::ClassId| -> Vec<Oid> {
+        classes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| schema.is_subclass(c, target))
+            .map(|(i, _)| Oid::from_index(i))
+            .collect()
+    };
+    for (ix, &c) in classes.iter().enumerate() {
+        let oid = Oid::from_index(ix);
+        let attrs: Vec<_> = schema
+            .effective_type(c)
+            .iter()
+            .map(|(&a, &t)| (a, t))
+            .collect();
+        for (a, t) in attrs {
+            if !rng.gen_bool(p.fill_prob) {
+                continue; // stays Λ
+            }
+            match t {
+                AttrType::Object(target) => {
+                    let cands = pool(target);
+                    if !cands.is_empty() {
+                        b.set_obj(oid, a, cands[rng.gen_range(0..cands.len())]);
+                    }
+                }
+                AttrType::SetOf(target) => {
+                    let cands = pool(target);
+                    let k = rng.gen_range(0..=p.max_set.min(cands.len()));
+                    let mut members = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        members.push(cands[rng.gen_range(0..cands.len())]);
+                    }
+                    b.set_members(oid, a, members);
+                }
+            }
+        }
+    }
+    b.finish(schema).expect("generated state is legal by construction")
+}
+
+/// A family of random states (for brute-force containment refutation in
+/// property tests): `count` states of growing size.
+pub fn state_family(
+    rng: &mut impl Rng,
+    schema: &Schema,
+    count: usize,
+    base: &StateParams,
+) -> Vec<State> {
+    (0..count)
+        .map(|i| {
+            let p = StateParams {
+                objects: base.objects.max(1) * (i + 1) / count.max(1) + 2,
+                ..*base
+            };
+            random_state(rng, schema, &p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_schema::samples;
+    use oocq_state::Value;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_states_are_legal_and_sized() {
+        let s = samples::vehicle_rental();
+        let mut rng = StdRng::seed_from_u64(1);
+        let st = random_state(&mut rng, &s, &StateParams::default());
+        assert_eq!(st.object_count(), 32);
+        // Every object is terminal-classed (finish() validated).
+        for o in st.oids() {
+            assert!(s.is_terminal(st.class_of(o)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = samples::n1_partition();
+        let p = StateParams::default();
+        let a = random_state(&mut StdRng::seed_from_u64(5), &s, &p);
+        let b = random_state(&mut StdRng::seed_from_u64(5), &s, &p);
+        assert_eq!(a.object_count(), b.object_count());
+        for o in a.oids() {
+            assert_eq!(a.class_of(o), b.class_of(o));
+        }
+    }
+
+    #[test]
+    fn refined_attributes_respect_narrowed_types() {
+        // Discount.VehRented : {Auto} — generated members must be Autos.
+        let s = samples::vehicle_rental();
+        let mut rng = StdRng::seed_from_u64(9);
+        let st = random_state(
+            &mut rng,
+            &s,
+            &StateParams {
+                objects: 64,
+                fill_prob: 1.0,
+                max_set: 6,
+            },
+        );
+        let veh = s.attr_id("VehRented").unwrap();
+        let auto = s.class_id("Auto").unwrap();
+        for o in st.oids() {
+            if st.class_of(o) == s.class_id("Discount").unwrap() {
+                if let Value::Set(ms) = st.attr(o, veh) {
+                    for &m in ms {
+                        assert_eq!(st.class_of(m), auto);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_family_grows() {
+        let s = samples::single_class();
+        let mut rng = StdRng::seed_from_u64(3);
+        let fam = state_family(&mut rng, &s, 4, &StateParams::default());
+        assert_eq!(fam.len(), 4);
+        assert!(fam[0].object_count() < fam[3].object_count());
+    }
+}

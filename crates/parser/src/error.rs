@@ -1,0 +1,45 @@
+//! Parse errors with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure at a source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Build an error at a position.
+    pub fn new(line: usize, col: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(3, 7, "boom");
+        assert_eq!(e.to_string(), "3:7: boom");
+    }
+}

@@ -1,0 +1,260 @@
+//! Lexer for the schema and query DSLs.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `|`
+    Pipe,
+    /// `&`
+    Amp,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Neq,
+    /// `<=`
+    Le,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::Pipe => "`|`".into(),
+            Tok::Amp => "`&`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::Neq => "`!=`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token plus its source position (1-based line/column).
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Line number, 1-based.
+    pub line: usize,
+    /// Column number, 1-based.
+    pub col: usize,
+}
+
+/// Tokenize an input string. `//` starts a line comment.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        let bump = |c: char, line: &mut usize, col: &mut usize| {
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        };
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+            }
+            '/' => {
+                chars.next();
+                bump('/', &mut line, &mut col);
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        bump(c, &mut line, &mut col);
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(ParseError::new(tline, tcol, "unexpected `/`"));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                        bump(c, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '!' => {
+                chars.next();
+                bump('!', &mut line, &mut col);
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    bump('=', &mut line, &mut col);
+                    out.push(Spanned {
+                        tok: Tok::Neq,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    return Err(ParseError::new(tline, tcol, "expected `!=`"));
+                }
+            }
+            '<' => {
+                chars.next();
+                bump('<', &mut line, &mut col);
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    bump('=', &mut line, &mut col);
+                    out.push(Spanned {
+                        tok: Tok::Le,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    return Err(ParseError::new(tline, tcol, "expected `<=`"));
+                }
+            }
+            '=' => {
+                chars.next();
+                bump('=', &mut line, &mut col);
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    bump('=', &mut line, &mut col);
+                    out.push(Spanned {
+                        tok: Tok::EqEq,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::Eq,
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            _ => {
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '|' => Tok::Pipe,
+                    '&' => Tok::Amp,
+                    ':' => Tok::Colon,
+                    ',' => Tok::Comma,
+                    '.' => Tok::Dot,
+                    ';' => Tok::Semi,
+                    other => {
+                        return Err(ParseError::new(
+                            tline,
+                            tcol,
+                            format!("unexpected character `{other}`"),
+                        ))
+                    }
+                };
+                chars.next();
+                bump(c, &mut line, &mut col);
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_query_syntax() {
+        assert_eq!(
+            toks("{ x | x in C & y != x.A }"),
+            vec![
+                Tok::LBrace,
+                Tok::Ident("x".into()),
+                Tok::Pipe,
+                Tok::Ident("x".into()),
+                Tok::Ident("in".into()),
+                Tok::Ident("C".into()),
+                Tok::Amp,
+                Tok::Ident("y".into()),
+                Tok::Neq,
+                Tok::Ident("x".into()),
+                Tok::Dot,
+                Tok::Ident("A".into()),
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions_across_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        assert_eq!(
+            toks("a // comment\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("a / b").is_err());
+    }
+}

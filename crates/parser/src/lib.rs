@@ -1,0 +1,22 @@
+//! # oocq-parser
+//!
+//! Concrete syntax for the OODB model of Chan (PODS 1992): a schema DSL
+//! (`class Discount : Client { VehRented: {Auto}; }`) and the calculus-like
+//! query syntax of §2.2 (`{ x | exists y: x in Vehicle & y in Discount &
+//! x in y.VehRented }`), with positioned errors. The pretty-printers in
+//! `oocq-query`/`oocq-schema` emit exactly this syntax, so display/parse
+//! round-trips hold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod lexer;
+mod program;
+mod query_parser;
+mod schema_parser;
+
+pub use error::ParseError;
+pub use program::{parse_program, Command, Program};
+pub use query_parser::{parse_query, parse_union};
+pub use schema_parser::parse_schema;

@@ -1,0 +1,399 @@
+//! The workbench program format: one file bundling a schema, named queries,
+//! and analysis commands.
+//!
+//! ```text
+//! schema {
+//!     class Vehicle {}
+//!     class Auto : Vehicle {}
+//!     class Client { VehRented: {Vehicle}; }
+//! }
+//!
+//! query All  = { x | x in Vehicle }
+//! query Some = { x | exists y: x in Auto & y in Client & x in y.VehRented }
+//!
+//! satisfiable Some
+//! check Some <= All
+//! check All == Some
+//! explain Some <= All
+//! expand All
+//! minimize Some
+//! ```
+//!
+//! The `oocq_cli` example executes these programs.
+
+use crate::error::ParseError;
+use crate::lexer::{lex, Spanned, Tok};
+use crate::query_parser::parse_query;
+use crate::schema_parser::parse_schema;
+use oocq_query::Query;
+use oocq_schema::Schema;
+
+/// An analysis command of a workbench program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Command {
+    /// `satisfiable Q` — decide and report satisfiability of every terminal
+    /// expansion branch.
+    Satisfiable(String),
+    /// `check A <= B` — decide containment.
+    CheckContains(String, String),
+    /// `check A == B` — decide equivalence.
+    CheckEquivalent(String, String),
+    /// `explain A <= B` — decide containment and print the certificate.
+    Explain(String, String),
+    /// `expand Q` — print the terminal expansion.
+    Expand(String),
+    /// `minimize Q` — print the search-space-optimal form.
+    Minimize(String),
+}
+
+/// A parsed workbench program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The schema all queries are resolved against.
+    pub schema: Schema,
+    /// Named queries, in declaration order.
+    pub queries: Vec<(String, Query)>,
+    /// Commands, in order.
+    pub commands: Vec<Command>,
+}
+
+impl Program {
+    /// Look up a named query.
+    pub fn query(&self, name: &str) -> Option<&Query> {
+        self.queries
+            .iter()
+            .find_map(|(n, q)| (n == name).then_some(q))
+    }
+}
+
+/// Split the raw text around the `schema { … }` block and per-line
+/// constructs, then delegate to the schema/query parsers.
+pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    let toks = lex(input)?;
+    let mut pos = 0usize;
+
+    let ident = |t: &Spanned| -> Option<String> {
+        match &t.tok {
+            Tok::Ident(s) => Some(s.clone()),
+            _ => None,
+        }
+    };
+
+    // `schema { … }` must come first; find its balanced brace extent and
+    // re-parse that slice of the original text with the schema parser.
+    let Some(kw) = toks.get(pos) else {
+        return Err(ParseError::new(1, 1, "empty program"));
+    };
+    if ident(kw).as_deref() != Some("schema") {
+        return Err(ParseError::new(
+            kw.line,
+            kw.col,
+            "a program must start with `schema { … }`",
+        ));
+    }
+    pos += 1;
+    if toks[pos].tok != Tok::LBrace {
+        return Err(ParseError::new(
+            toks[pos].line,
+            toks[pos].col,
+            "expected `{` after `schema`",
+        ));
+    }
+    // Balanced-brace scan over the token stream.
+    let mut depth = 0usize;
+    let open_ix = pos;
+    let mut close_ix = pos;
+    for (ix, t) in toks.iter().enumerate().skip(pos) {
+        match t.tok {
+            Tok::LBrace => depth += 1,
+            Tok::RBrace => {
+                depth -= 1;
+                if depth == 0 {
+                    close_ix = ix;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || close_ix == open_ix {
+        return Err(ParseError::new(kw.line, kw.col, "unterminated schema block"));
+    }
+    // Recover the source slice between the braces by line/col arithmetic.
+    let schema_src = slice_between(input, &toks[open_ix], &toks[close_ix]);
+    let schema = parse_schema(schema_src)?;
+    pos = close_ix + 1;
+
+    let mut queries: Vec<(String, Query)> = Vec::new();
+    let mut commands: Vec<Command> = Vec::new();
+    while toks[pos].tok != Tok::Eof {
+        let t = &toks[pos];
+        let Some(word) = ident(t) else {
+            return Err(ParseError::new(
+                t.line,
+                t.col,
+                format!("expected a declaration or command, found {}", t.tok.describe()),
+            ));
+        };
+        pos += 1;
+        match word.as_str() {
+            "query" => {
+                let name = expect_ident(&toks, &mut pos)?;
+                expect(&toks, &mut pos, &Tok::Eq)?;
+                // The query body is a balanced `{ … }` block.
+                if toks[pos].tok != Tok::LBrace {
+                    return Err(ParseError::new(
+                        toks[pos].line,
+                        toks[pos].col,
+                        "expected `{` starting the query body",
+                    ));
+                }
+                let open = pos;
+                let mut depth = 0usize;
+                let mut close = pos;
+                for (ix, t) in toks.iter().enumerate().skip(pos) {
+                    match t.tok {
+                        Tok::LBrace => depth += 1,
+                        Tok::RBrace => {
+                            depth -= 1;
+                            if depth == 0 {
+                                close = ix;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if depth != 0 {
+                    return Err(ParseError::new(
+                        toks[open].line,
+                        toks[open].col,
+                        "unterminated query body",
+                    ));
+                }
+                let body = slice_spanning(input, &toks[open], &toks[close]);
+                let q = parse_query(&schema, body)?;
+                if queries.iter().any(|(n, _)| n == &name) {
+                    return Err(ParseError::new(
+                        t.line,
+                        t.col,
+                        format!("query `{name}` defined twice"),
+                    ));
+                }
+                queries.push((name, q));
+                pos = close + 1;
+            }
+            "satisfiable" => {
+                commands.push(Command::Satisfiable(expect_known_query(
+                    &toks, &mut pos, &queries,
+                )?));
+            }
+            "expand" => {
+                commands.push(Command::Expand(expect_known_query(&toks, &mut pos, &queries)?));
+            }
+            "minimize" => {
+                commands.push(Command::Minimize(expect_known_query(
+                    &toks, &mut pos, &queries,
+                )?));
+            }
+            "check" | "explain" => {
+                let a = expect_known_query(&toks, &mut pos, &queries)?;
+                let op = toks[pos].clone();
+                pos += 1;
+                let b = expect_known_query(&toks, &mut pos, &queries)?;
+                let cmd = match (&op.tok, word.as_str()) {
+                    (Tok::Le, "check") => Command::CheckContains(a, b),
+                    (Tok::EqEq, "check") => Command::CheckEquivalent(a, b),
+                    (Tok::Le, "explain") => Command::Explain(a, b),
+                    _ => {
+                        return Err(ParseError::new(
+                            op.line,
+                            op.col,
+                            format!(
+                                "expected `<=`{} after `{word}`, found {}",
+                                if word == "check" { " or `==`" } else { "" },
+                                op.tok.describe()
+                            ),
+                        ))
+                    }
+                };
+                commands.push(cmd);
+            }
+            other => {
+                return Err(ParseError::new(
+                    t.line,
+                    t.col,
+                    format!("unknown directive `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(Program {
+        schema,
+        queries,
+        commands,
+    })
+}
+
+fn expect(toks: &[Spanned], pos: &mut usize, want: &Tok) -> Result<(), ParseError> {
+    let t = &toks[*pos];
+    if &t.tok == want {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(ParseError::new(
+            t.line,
+            t.col,
+            format!("expected {}, found {}", want.describe(), t.tok.describe()),
+        ))
+    }
+}
+
+fn expect_ident(toks: &[Spanned], pos: &mut usize) -> Result<String, ParseError> {
+    let t = &toks[*pos];
+    match &t.tok {
+        Tok::Ident(s) => {
+            *pos += 1;
+            Ok(s.clone())
+        }
+        other => Err(ParseError::new(
+            t.line,
+            t.col,
+            format!("expected an identifier, found {}", other.describe()),
+        )),
+    }
+}
+
+fn expect_known_query(
+    toks: &[Spanned],
+    pos: &mut usize,
+    queries: &[(String, Query)],
+) -> Result<String, ParseError> {
+    let t = &toks[*pos];
+    let name = expect_ident(toks, pos)?;
+    if !queries.iter().any(|(n, _)| n == &name) {
+        return Err(ParseError::new(
+            t.line,
+            t.col,
+            format!("unknown query `{name}`"),
+        ));
+    }
+    Ok(name)
+}
+
+/// The source text strictly between two tokens (exclusive of both).
+fn slice_between<'a>(input: &'a str, open: &Spanned, close: &Spanned) -> &'a str {
+    let start = offset_of(input, open.line, open.col) + 1; // past `{`
+    let end = offset_of(input, close.line, close.col);
+    &input[start..end]
+}
+
+/// The source text spanning two tokens (inclusive of both).
+fn slice_spanning<'a>(input: &'a str, open: &Spanned, close: &Spanned) -> &'a str {
+    let start = offset_of(input, open.line, open.col);
+    let end = offset_of(input, close.line, close.col) + 1; // include `}`
+    &input[start..end]
+}
+
+/// Byte offset of a 1-based line/column position.
+fn offset_of(input: &str, line: usize, col: usize) -> usize {
+    let mut cur_line = 1usize;
+    let mut cur_col = 1usize;
+    for (ix, c) in input.char_indices() {
+        if cur_line == line && cur_col == col {
+            return ix;
+        }
+        if c == '\n' {
+            cur_line += 1;
+            cur_col = 1;
+        } else {
+            cur_col += 1;
+        }
+    }
+    input.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"
+        schema {
+            class Vehicle {}
+            class Auto : Vehicle {}
+            class Client { VehRented: {Vehicle}; }
+        }
+
+        query All  = { x | x in Vehicle }
+        query Some = { x | exists y: x in Auto & y in Client & x in y.VehRented }
+
+        satisfiable Some
+        check Some <= All
+        check All == Some
+        explain Some <= All
+        expand All
+        minimize Some
+    "#;
+
+    #[test]
+    fn parses_full_program() {
+        let p = parse_program(DEMO).unwrap();
+        assert_eq!(p.queries.len(), 2);
+        assert_eq!(p.commands.len(), 6);
+        assert!(p.query("All").is_some());
+        assert!(p.query("Nope").is_none());
+        assert_eq!(
+            p.commands[1],
+            Command::CheckContains("Some".into(), "All".into())
+        );
+        assert_eq!(
+            p.commands[2],
+            Command::CheckEquivalent("All".into(), "Some".into())
+        );
+        assert_eq!(p.commands[3], Command::Explain("Some".into(), "All".into()));
+    }
+
+    #[test]
+    fn unknown_query_in_command_is_an_error() {
+        let err = parse_program(
+            "schema { class C {} } query Q = { x | x in C } check Q <= Missing",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown query `Missing`"));
+    }
+
+    #[test]
+    fn duplicate_query_name_is_an_error() {
+        let err = parse_program(
+            "schema { class C {} } query Q = { x | x in C } query Q = { x | x in C }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn program_must_start_with_schema() {
+        let err = parse_program("query Q = { x | x in C }").unwrap_err();
+        assert!(err.message.contains("must start with `schema"));
+    }
+
+    #[test]
+    fn schema_errors_propagate_with_position() {
+        let err = parse_program("schema { class C : Missing {} }").unwrap_err();
+        assert!(err.message.contains("unknown class `Missing`"));
+    }
+
+    #[test]
+    fn unknown_directive_is_an_error() {
+        let err =
+            parse_program("schema { class C {} } query Q = { x | x in C } frobnicate Q")
+                .unwrap_err();
+        assert!(err.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn query_bodies_resolve_against_the_program_schema() {
+        let err = parse_program("schema { class C {} } query Q = { x | x in D }").unwrap_err();
+        assert!(err.message.contains("unknown class `D`"));
+    }
+}

@@ -1,0 +1,483 @@
+//! Parser for the calculus-like query DSL (§2.2's concrete syntax).
+//!
+//! ```text
+//! { x | exists y, s: x in N1 & y in G & s in H
+//!       & y = x.B & y in x.A & s in x.A }
+//! ```
+//!
+//! * `v in C1 | C2` / `v not in C1 | C2` — range / non-range atoms;
+//! * `t = u` / `t != u` where each side is `v` or `v.Attr` — equality /
+//!   inequality atoms;
+//! * `v in w.Attr` / `v not in w.Attr` — membership / non-membership atoms;
+//! * `true` — the empty matrix;
+//! * **path expressions**: `x.A.B`, `x.A in C`, and `x.A in y.B` are
+//!   accepted and desugared into fresh intermediate variables plus
+//!   equalities, exactly as §2.2's remark prescribes.
+//!
+//! Unions are written `{ … } union { … }`. Variables must be declared (the
+//! answer variable before `|`, bound variables in the `exists` list); class
+//! and attribute names are resolved against the schema.
+
+use crate::error::ParseError;
+use crate::lexer::{lex, Spanned, Tok};
+use oocq_query::{Query, QueryBuilder, Term, UnionQuery, VarId};
+use oocq_schema::{ClassId, Schema};
+use std::collections::HashMap;
+
+struct Cursor<'s> {
+    schema: &'s Schema,
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> &Spanned {
+        &self.toks[self.pos]
+    }
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+    fn next(&mut self) -> Spanned {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn expect(&mut self, want: &Tok) -> Result<Spanned, ParseError> {
+        let t = self.next();
+        if &t.tok == want {
+            Ok(t)
+        } else {
+            Err(ParseError::new(
+                t.line,
+                t.col,
+                format!("expected {}, found {}", want.describe(), t.tok.describe()),
+            ))
+        }
+    }
+    fn ident(&mut self) -> Result<(String, usize, usize), ParseError> {
+        let t = self.next();
+        match t.tok {
+            Tok::Ident(s) => Ok((s, t.line, t.col)),
+            other => Err(ParseError::new(
+                t.line,
+                t.col,
+                format!("expected an identifier, found {}", other.describe()),
+            )),
+        }
+    }
+    fn eat(&mut self, want: &Tok) -> bool {
+        if &self.peek().tok == want {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct QueryScope {
+    builder: QueryBuilder,
+    vars: HashMap<String, VarId>,
+    fresh: usize,
+}
+
+impl QueryScope {
+    fn var(&self, name: &str, line: usize, col: usize) -> Result<VarId, ParseError> {
+        self.vars.get(name).copied().ok_or_else(|| {
+            ParseError::new(line, col, format!("undeclared variable `{name}`"))
+        })
+    }
+
+    /// A fresh bound variable for path-expression desugaring (§2.2 remarks:
+    /// `x.A₁…Aₙ` is expressible via intermediate variables).
+    fn fresh_var(&mut self) -> VarId {
+        let name = format!("_q{}", self.fresh);
+        self.fresh += 1;
+        let v = self.builder.var(&name);
+        self.vars.insert(name, v);
+        v
+    }
+}
+
+/// Parse a single conjunctive query against a schema.
+pub fn parse_query(schema: &Schema, input: &str) -> Result<Query, ParseError> {
+    let mut cur = Cursor {
+        schema,
+        toks: lex(input)?,
+        pos: 0,
+    };
+    let q = one_query(&mut cur)?;
+    cur.expect(&Tok::Eof)?;
+    Ok(q)
+}
+
+/// Parse a union `{ … } union { … } …` (or a single query) against a schema.
+pub fn parse_union(schema: &Schema, input: &str) -> Result<UnionQuery, ParseError> {
+    let mut cur = Cursor {
+        schema,
+        toks: lex(input)?,
+        pos: 0,
+    };
+    let mut u = UnionQuery::single(one_query(&mut cur)?);
+    while cur.eat_kw("union") {
+        u.push(one_query(&mut cur)?);
+    }
+    cur.expect(&Tok::Eof)?;
+    Ok(u)
+}
+
+fn one_query(cur: &mut Cursor<'_>) -> Result<Query, ParseError> {
+    cur.expect(&Tok::LBrace)?;
+    let (free_name, ..) = cur.ident()?;
+    cur.expect(&Tok::Pipe)?;
+    let mut scope = {
+        let builder = QueryBuilder::new(&free_name);
+        let mut vars = HashMap::new();
+        vars.insert(free_name.clone(), builder.free());
+        QueryScope {
+            builder,
+            vars,
+            fresh: 0,
+        }
+    };
+    if cur.eat_kw("exists") {
+        loop {
+            let (name, line, col) = cur.ident()?;
+            if scope.vars.contains_key(&name) {
+                return Err(ParseError::new(
+                    line,
+                    col,
+                    format!("variable `{name}` declared twice"),
+                ));
+            }
+            let v = scope.builder.var(&name);
+            scope.vars.insert(name, v);
+            if !cur.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        cur.expect(&Tok::Colon)?;
+    }
+    if cur.eat_kw("true") {
+        cur.expect(&Tok::RBrace)?;
+        return Ok(scope.builder.build());
+    }
+    loop {
+        atom(cur, &mut scope)?;
+        if !cur.eat(&Tok::Amp) {
+            break;
+        }
+    }
+    cur.expect(&Tok::RBrace)?;
+    Ok(scope.builder.build())
+}
+
+/// A parsed (possibly path-valued) side: base variable plus attribute chain.
+struct Chain {
+    base: VarId,
+    attrs: Vec<oocq_schema::AttrId>,
+}
+
+/// Parse `var(.Attr)*`, resolving attribute names against the schema.
+fn chain(cur: &mut Cursor<'_>, scope: &QueryScope) -> Result<Chain, ParseError> {
+    let (name, line, col) = cur.ident()?;
+    let base = scope.var(&name, line, col)?;
+    let mut attrs = Vec::new();
+    while cur.eat(&Tok::Dot) {
+        let (attr, aline, acol) = cur.ident()?;
+        let a = cur.schema.attr_id(&attr).ok_or_else(|| {
+            ParseError::new(aline, acol, format!("unknown attribute `{attr}`"))
+        })?;
+        attrs.push(a);
+    }
+    Ok(Chain { base, attrs })
+}
+
+/// Desugar all but the last `keep_last` attributes of a chain into fresh
+/// equated variables (`z = x.A` per step), per the paper's path-expression
+/// encoding. Returns the final base variable and the remaining (≤
+/// `keep_last`) attributes.
+fn desugar(scope: &mut QueryScope, c: Chain, keep_last: usize) -> Chain {
+    let Chain { mut base, attrs } = c;
+    let cut = attrs.len().saturating_sub(keep_last);
+    for &a in &attrs[..cut] {
+        let fresh = scope.fresh_var();
+        scope.builder.eq(Term::Var(fresh), Term::Attr(base, a));
+        base = fresh;
+    }
+    Chain {
+        base,
+        attrs: attrs[cut..].to_vec(),
+    }
+}
+
+/// Reduce an already-parsed chain to an (in)equality operand.
+fn finish_term(scope: &mut QueryScope, c: Chain) -> Term {
+    let c = desugar(scope, c, 1);
+    match c.attrs.as_slice() {
+        [] => Term::Var(c.base),
+        [a] => Term::Attr(c.base, *a),
+        _ => unreachable!("desugar keeps at most one attribute"),
+    }
+}
+
+/// A parsed left/right side of an (in)equality: a variable or `var.Attr`,
+/// with longer paths desugared.
+fn term(cur: &mut Cursor<'_>, scope: &mut QueryScope) -> Result<Term, ParseError> {
+    let c = chain(cur, scope)?;
+    let c = desugar(scope, c, 1);
+    Ok(match c.attrs.as_slice() {
+        [] => Term::Var(c.base),
+        [a] => Term::Attr(c.base, *a),
+        _ => unreachable!("desugar keeps at most one attribute"),
+    })
+}
+
+fn class_list(cur: &mut Cursor<'_>) -> Result<Vec<(String, usize, usize)>, ParseError> {
+    let mut names = vec![cur.ident()?];
+    while cur.eat(&Tok::Pipe) {
+        names.push(cur.ident()?);
+    }
+    Ok(names)
+}
+
+fn resolve_classes(
+    cur: &Cursor<'_>,
+    names: Vec<(String, usize, usize)>,
+) -> Result<Vec<ClassId>, ParseError> {
+    names
+        .into_iter()
+        .map(|(n, line, col)| {
+            cur.schema
+                .class_id(&n)
+                .ok_or_else(|| ParseError::new(line, col, format!("unknown class `{n}`")))
+        })
+        .collect()
+}
+
+fn atom(cur: &mut Cursor<'_>, scope: &mut QueryScope) -> Result<(), ParseError> {
+    let lhs_chain = chain(cur, scope)?;
+    let t = cur.next();
+    match &t.tok {
+        Tok::Eq => {
+            let lhs = finish_term(scope, lhs_chain);
+            let rhs = term(cur, scope)?;
+            scope.builder.eq(lhs, rhs);
+            Ok(())
+        }
+        Tok::Neq => {
+            let lhs = finish_term(scope, lhs_chain);
+            let rhs = term(cur, scope)?;
+            scope.builder.neq(lhs, rhs);
+            Ok(())
+        }
+        Tok::Ident(kw) if kw == "in" || kw == "not" => {
+            let negated = kw == "not";
+            if negated {
+                let (inkw, line, col) = cur.ident()?;
+                if inkw != "in" {
+                    return Err(ParseError::new(line, col, "expected `in` after `not`"));
+                }
+            }
+            // The paper's remark in §2.2: atoms `x.A θ C` and `x.A θ y.B`
+            // are expressible indirectly — desugar the whole left chain to
+            // a fresh variable.
+            let v = desugar(scope, lhs_chain, 0).base;
+            // Disambiguate `v in Class | …` from `v in w.Attr`: an
+            // identifier followed by `.` is a membership right side.
+            if matches!(&cur.peek().tok, Tok::Ident(_)) && cur.peek2() == &Tok::Dot {
+                let rhs = chain(cur, scope)?;
+                let rhs = desugar(scope, rhs, 1);
+                let [a] = rhs.attrs.as_slice() else {
+                    unreachable!("membership right side always ends in an attribute");
+                };
+                if negated {
+                    scope.builder.non_member(v, rhs.base, *a);
+                } else {
+                    scope.builder.member(v, rhs.base, *a);
+                }
+            } else {
+                let names = class_list(cur)?;
+                let classes = resolve_classes(cur, names)?;
+                if negated {
+                    scope.builder.non_range(v, classes);
+                } else {
+                    scope.builder.range(v, classes);
+                }
+            }
+            Ok(())
+        }
+        other => Err(ParseError::new(
+            t.line,
+            t.col,
+            format!(
+                "expected `=`, `!=`, `in`, or `not in`, found {}",
+                other.describe()
+            ),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_schema::samples;
+
+    #[test]
+    fn parses_the_example_12_query() {
+        let s = samples::n1_partition();
+        let q = parse_query(
+            &s,
+            "{ x | exists y, s: x in N1 & y in G & s in H & y = x.B & y in x.A & s in x.A }",
+        )
+        .unwrap();
+        assert_eq!(q.var_count(), 3);
+        assert_eq!(q.atoms().len(), 6);
+        assert!(q.is_positive());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let s = samples::n1_partition();
+        let text =
+            "{ x | exists y, s: x in N1 & y in G & s in H & y = x.B & y in x.A & s in x.A }";
+        let q = parse_query(&s, text).unwrap();
+        assert_eq!(q.display(&s).to_string(), text);
+        let again = parse_query(&s, &q.display(&s).to_string()).unwrap();
+        assert_eq!(q, again);
+    }
+
+    #[test]
+    fn parses_negative_atoms_and_disjunctions() {
+        let s = samples::vehicle_rental();
+        let q = parse_query(
+            &s,
+            "{ x | exists y: x in Auto | Truck & y in Client & x not in y.VehRented & x != y }",
+        )
+        .unwrap();
+        assert!(!q.is_positive());
+        assert_eq!(q.atoms().len(), 4);
+        assert_eq!(q.display(&s).to_string(),
+            "{ x | exists y: x in Auto | Truck & y in Client & x not in y.VehRented & x != y }");
+    }
+
+    #[test]
+    fn parses_true_matrix() {
+        let s = samples::single_class();
+        let q = parse_query(&s, "{ x | true }").unwrap();
+        assert!(q.atoms().is_empty());
+    }
+
+    #[test]
+    fn parses_unions() {
+        let s = samples::vehicle_rental();
+        let u = parse_union(&s, "{ x | x in Auto } union { x | x in Truck }").unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(
+            u.display(&s).to_string(),
+            "{ x | x in Auto } union { x | x in Truck }"
+        );
+    }
+
+    #[test]
+    fn undeclared_variable_is_an_error() {
+        let s = samples::single_class();
+        let err = parse_query(&s, "{ x | x = y }").unwrap_err();
+        assert!(err.message.contains("undeclared variable `y`"));
+    }
+
+    #[test]
+    fn duplicate_bound_variable_is_an_error() {
+        let s = samples::single_class();
+        let err = parse_query(&s, "{ x | exists y, y: x in C }").unwrap_err();
+        assert!(err.message.contains("declared twice"));
+    }
+
+    #[test]
+    fn unknown_class_and_attribute_are_errors() {
+        let s = samples::single_class();
+        assert!(parse_query(&s, "{ x | x in Nope }")
+            .unwrap_err()
+            .message
+            .contains("unknown class"));
+        assert!(parse_query(&s, "{ x | exists y: x in y.Nope }")
+            .unwrap_err()
+            .message
+            .contains("unknown attribute"));
+    }
+
+    #[test]
+    fn attr_on_lhs_of_membership_desugars() {
+        // `x.A in y.B` is the indirect form of §2.2's remark: a fresh
+        // variable z with z = x.A and z in y.B.
+        let s = samples::example_31();
+        let q = parse_query(&s, "{ x | exists y: x.A in y.B & x in C & y in C }").unwrap();
+        assert_eq!(q.var_count(), 3);
+        let text = q.display(&s).to_string();
+        assert!(text.contains("_q0 = x.A"), "got {text}");
+        assert!(text.contains("_q0 in y.B"), "got {text}");
+    }
+
+    #[test]
+    fn path_expressions_desugar_stepwise() {
+        // x.A.A = y over a self-referencing schema: two fresh variables.
+        let mut sb = oocq_schema::SchemaBuilder::new();
+        let c = sb.class("C").unwrap();
+        sb.attribute(c, "A", oocq_schema::AttrType::Object(c)).unwrap();
+        sb.attribute(c, "S", oocq_schema::AttrType::SetOf(c)).unwrap();
+        let s = sb.finish().unwrap();
+        let q = parse_query(&s, "{ x | exists y: x in C & y in C & x.A.A = y }").unwrap();
+        assert_eq!(q.var_count(), 3); // x, y, _q0 (only one step desugars)
+        let text = q.display(&s).to_string();
+        assert!(text.contains("_q0 = x.A"), "got {text}");
+        assert!(text.contains("_q0.A = y"), "got {text}");
+
+        // Membership through a path: y in x.A.S.
+        let q = parse_query(&s, "{ x | exists y: x in C & y in C & y in x.A.S }").unwrap();
+        let text = q.display(&s).to_string();
+        assert!(text.contains("_q0 = x.A"), "got {text}");
+        assert!(text.contains("y in _q0.S"), "got {text}");
+    }
+
+    #[test]
+    fn range_atom_on_path_desugars() {
+        // `x.A in D1` — the §2.2 form `y.A θ C₁ ∨ … ∨ Cₙ`.
+        let mut sb = oocq_schema::SchemaBuilder::new();
+        let c = sb.class("C").unwrap();
+        let d = sb.class("D").unwrap();
+        let d1 = sb.class("D1").unwrap();
+        sb.subclass(d1, d).unwrap();
+        sb.attribute(c, "A", oocq_schema::AttrType::Object(d)).unwrap();
+        let s = sb.finish().unwrap();
+        let q = parse_query(&s, "{ x | x in C & x.A in D1 }").unwrap();
+        let text = q.display(&s).to_string();
+        assert!(text.contains("_q0 = x.A"), "got {text}");
+        assert!(text.contains("_q0 in D1"), "got {text}");
+        // The desugared query participates in the pipeline end to end.
+        let n = oocq_query::normalize(&q, &s).unwrap();
+        assert!(oocq_query::check_well_formed(&n).is_ok());
+    }
+
+    #[test]
+    fn attr_terms_in_equalities() {
+        let s = samples::example_31();
+        let q = parse_query(&s, "{ x | exists y: x.A = y.A & x in C & y in C }").unwrap();
+        assert_eq!(q.atoms().len(), 3);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let s = samples::single_class();
+        assert!(parse_query(&s, "{ x | x in C } extra").is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Parser for the schema DSL.
+//!
+//! ```text
+//! class Vehicle { AssignedTo: Client; }
+//! class Auto : Vehicle {}
+//! class Client { VehRented: {Vehicle}; }
+//! class Discount : Client { VehRented: {Auto}; }
+//! ```
+//!
+//! A class body lists `Attr: Type;` declarations where `Type` is a class
+//! name (object-valued) or `{ClassName}` (set-valued). Classes may be
+//! referenced before their declaration (two-pass resolution).
+
+use crate::error::ParseError;
+use crate::lexer::{lex, Spanned, Tok};
+use oocq_schema::{AttrType, Schema, SchemaBuilder, SchemaError};
+
+struct Cursor {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> &Spanned {
+        &self.toks[self.pos]
+    }
+    fn next(&mut self) -> Spanned {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn expect(&mut self, want: &Tok) -> Result<Spanned, ParseError> {
+        let t = self.next();
+        if &t.tok == want {
+            Ok(t)
+        } else {
+            Err(ParseError::new(
+                t.line,
+                t.col,
+                format!("expected {}, found {}", want.describe(), t.tok.describe()),
+            ))
+        }
+    }
+    fn ident(&mut self) -> Result<(String, usize, usize), ParseError> {
+        let t = self.next();
+        match t.tok {
+            Tok::Ident(s) => Ok((s, t.line, t.col)),
+            other => Err(ParseError::new(
+                t.line,
+                t.col,
+                format!("expected an identifier, found {}", other.describe()),
+            )),
+        }
+    }
+    fn eat(&mut self, want: &Tok) -> bool {
+        if &self.peek().tok == want {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct RawClass {
+    name: String,
+    line: usize,
+    col: usize,
+    parents: Vec<(String, usize, usize)>,
+    attrs: Vec<(String, RawType, usize, usize)>,
+}
+
+enum RawType {
+    Object(String),
+    SetOf(String),
+}
+
+/// Parse a schema from the DSL.
+pub fn parse_schema(input: &str) -> Result<Schema, ParseError> {
+    let mut cur = Cursor {
+        toks: lex(input)?,
+        pos: 0,
+    };
+    let mut raw: Vec<RawClass> = Vec::new();
+    loop {
+        if cur.peek().tok == Tok::Eof {
+            break;
+        }
+        let (kw, line, col) = cur.ident()?;
+        if kw != "class" {
+            return Err(ParseError::new(
+                line,
+                col,
+                format!("expected `class`, found `{kw}`"),
+            ));
+        }
+        let (name, nline, ncol) = cur.ident()?;
+        let mut parents = Vec::new();
+        if cur.eat(&Tok::Colon) {
+            loop {
+                parents.push(cur.ident()?);
+                if !cur.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        cur.expect(&Tok::LBrace)?;
+        let mut attrs = Vec::new();
+        while !cur.eat(&Tok::RBrace) {
+            let (attr, aline, acol) = cur.ident()?;
+            cur.expect(&Tok::Colon)?;
+            let ty = if cur.eat(&Tok::LBrace) {
+                let (c, ..) = cur.ident()?;
+                cur.expect(&Tok::RBrace)?;
+                RawType::SetOf(c)
+            } else {
+                RawType::Object(cur.ident()?.0)
+            };
+            cur.eat(&Tok::Semi);
+            attrs.push((attr, ty, aline, acol));
+        }
+        raw.push(RawClass {
+            name,
+            line: nline,
+            col: ncol,
+            parents,
+            attrs,
+        });
+    }
+
+    // Two-pass build: declare all classes, then edges and attributes.
+    let mut b = SchemaBuilder::new();
+    for rc in &raw {
+        b.class(&rc.name)
+            .map_err(|e| schema_err(rc.line, rc.col, e))?;
+    }
+    for rc in &raw {
+        let child = b.class_id(&rc.name).expect("declared above");
+        for (p, pline, pcol) in &rc.parents {
+            let parent = b
+                .class_id(p)
+                .ok_or_else(|| ParseError::new(*pline, *pcol, format!("unknown class `{p}`")))?;
+            b.subclass(child, parent)
+                .map_err(|e| schema_err(*pline, *pcol, e))?;
+        }
+        for (attr, ty, aline, acol) in &rc.attrs {
+            let resolve = |n: &String| {
+                b.class_id(n).ok_or_else(|| {
+                    ParseError::new(*aline, *acol, format!("unknown class `{n}`"))
+                })
+            };
+            let at = match ty {
+                RawType::Object(n) => AttrType::Object(resolve(n)?),
+                RawType::SetOf(n) => AttrType::SetOf(resolve(n)?),
+            };
+            b.attribute(child, attr, at)
+                .map_err(|e| schema_err(*aline, *acol, e))?;
+        }
+    }
+    b.finish().map_err(|e| schema_err(1, 1, e))
+}
+
+fn schema_err(line: usize, col: usize, e: SchemaError) -> ParseError {
+    ParseError::new(line, col, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VEHICLE: &str = r#"
+        class Vehicle { AssignedTo: Client; }
+        class Auto : Vehicle {}
+        class Trailer : Vehicle {}
+        class Truck : Vehicle {}
+        class Client { VehRented: {Vehicle}; }
+        class Discount : Client { VehRented: {Auto}; }
+        class Regular : Client {}
+    "#;
+
+    #[test]
+    fn parses_vehicle_rental_schema() {
+        let s = parse_schema(VEHICLE).unwrap();
+        assert_eq!(s.class_count(), 7);
+        let discount = s.class_id("Discount").unwrap();
+        let veh = s.attr_id("VehRented").unwrap();
+        assert_eq!(
+            s.attr_type(discount, veh),
+            Some(AttrType::SetOf(s.class_id("Auto").unwrap()))
+        );
+        assert!(s.is_subclass(discount, s.class_id("Client").unwrap()));
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        // Vehicle references Client before its declaration above; also check
+        // the other order explicitly.
+        let s = parse_schema("class A { F: B; } class B {}").unwrap();
+        assert!(s.class_id("B").is_some());
+    }
+
+    #[test]
+    fn multiple_parents() {
+        let s = parse_schema("class A {} class B {} class C : A, B {}").unwrap();
+        let c = s.class_id("C").unwrap();
+        assert!(s.is_subclass(c, s.class_id("A").unwrap()));
+        assert!(s.is_subclass(c, s.class_id("B").unwrap()));
+    }
+
+    #[test]
+    fn unknown_parent_is_an_error_with_position() {
+        let err = parse_schema("class A : Missing {}").unwrap_err();
+        assert!(err.message.contains("Missing"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn schema_errors_are_surfaced() {
+        let err = parse_schema("class A {} class A {}").unwrap_err();
+        assert!(err.message.contains("declared more than once"));
+        // Invalid refinement.
+        let err = parse_schema(
+            "class P { F: P; } class R {} class Q : P { F: R; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not a subtype"));
+    }
+
+    #[test]
+    fn comments_and_missing_semicolons_tolerated() {
+        let s = parse_schema("// header\nclass A { F: A }").unwrap();
+        assert_eq!(s.class_count(), 1);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let s = parse_schema(VEHICLE).unwrap();
+        let text = s.to_string();
+        let s2 = parse_schema(&text).unwrap();
+        assert_eq!(s.class_count(), s2.class_count());
+        for c in s.classes() {
+            let name = s.class_name(c);
+            let c2 = s2.class_id(name).unwrap();
+            assert_eq!(
+                s.parents(c).len(),
+                s2.parents(c2).len(),
+                "parents of {name}"
+            );
+            assert_eq!(s.effective_type(c).len(), s2.effective_type(c2).len());
+        }
+    }
+}

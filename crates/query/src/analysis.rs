@@ -1,0 +1,400 @@
+//! Term classification, well-formedness (§2.3), and normalization.
+//!
+//! An occurrence of a term in the matrix is a *set occurrence* when it is
+//! the right-hand side of a membership or non-membership atom, and an
+//! *object occurrence* otherwise. A term is an object (resp. set) term when
+//! its equivalence class in `E(Q)` contains a term with an object (resp.
+//! set) occurrence.
+//!
+//! A conjunctive query is **well-formed** when
+//!
+//! 1. every term is an object term or a set term but not both,
+//! 2. every object term of the form `x.A` is equated to some variable, and
+//! 3. every variable has exactly one range atom.
+//!
+//! Conditions (2) and (3) are conveniences, not restrictions; [`normalize`]
+//! repairs violations of them exactly as the paper prescribes (fresh
+//! variables plus equalities, and ranges over all classes).
+
+use crate::atom::Atom;
+use crate::equality::EqualityGraph;
+use crate::error::WellFormedError;
+use crate::query::Query;
+use crate::term::{Term, VarId};
+use oocq_schema::{ClassId, Schema};
+use std::collections::HashSet;
+
+/// The result of analysing a query: its equality graph plus the object/set
+/// classification of every equivalence class.
+#[derive(Clone, Debug)]
+pub struct QueryAnalysis {
+    graph: EqualityGraph,
+    object_roots: HashSet<usize>,
+    set_roots: HashSet<usize>,
+}
+
+impl QueryAnalysis {
+    /// Build `E(Q)` and classify every term.
+    pub fn of(q: &Query) -> QueryAnalysis {
+        let graph = EqualityGraph::build(q);
+        let mut object_roots = HashSet::new();
+        let mut set_roots = HashSet::new();
+        for atom in q.atoms() {
+            match atom {
+                Atom::Range(v, _) | Atom::NonRange(v, _) => {
+                    object_roots.extend(graph.class_id(Term::Var(*v)));
+                }
+                Atom::Eq(a, b) | Atom::Neq(a, b) => {
+                    object_roots.extend(graph.class_id(*a));
+                    object_roots.extend(graph.class_id(*b));
+                }
+                Atom::Member(x, y, a) | Atom::NonMember(x, y, a) => {
+                    object_roots.extend(graph.class_id(Term::Var(*x)));
+                    set_roots.extend(graph.class_id(Term::Attr(*y, *a)));
+                }
+            }
+        }
+        QueryAnalysis {
+            graph,
+            object_roots,
+            set_roots,
+        }
+    }
+
+    /// The underlying equality graph `E(Q)`.
+    pub fn graph(&self) -> &EqualityGraph {
+        &self.graph
+    }
+
+    /// Is `t` an object term?
+    pub fn is_object_term(&self, t: Term) -> bool {
+        self.graph
+            .class_id(t)
+            .is_some_and(|r| self.object_roots.contains(&r))
+    }
+
+    /// Is `t` a set term?
+    pub fn is_set_term(&self, t: Term) -> bool {
+        self.graph
+            .class_id(t)
+            .is_some_and(|r| self.set_roots.contains(&r))
+    }
+}
+
+/// Check the three well-formedness conditions of §2.3.
+pub fn check_well_formed(q: &Query) -> Result<QueryAnalysis, WellFormedError> {
+    let analysis = QueryAnalysis::of(q);
+    // (iii) every variable has exactly one range atom.
+    for v in q.vars() {
+        let n = q.range_count(v);
+        if n != 1 {
+            return Err(WellFormedError::RangeCount {
+                var: q.var_name(v).to_owned(),
+                count: n,
+            });
+        }
+    }
+    // (i) object/set exclusivity, (ii) object attribute terms are equated to
+    // a variable.
+    for &t in analysis.graph.terms() {
+        let obj = analysis.is_object_term(t);
+        let set = analysis.is_set_term(t);
+        if obj && set {
+            return Err(WellFormedError::MixedTerm(describe_term(q, t)));
+        }
+        if !obj && !set {
+            return Err(WellFormedError::UnclassifiedTerm(describe_term(q, t)));
+        }
+        if obj && !t.is_var() && analysis.graph.representative_var(t).is_none() {
+            return Err(WellFormedError::UnequatedAttrTerm(describe_term(q, t)));
+        }
+    }
+    Ok(analysis)
+}
+
+fn describe_term(q: &Query, t: Term) -> String {
+    match t {
+        Term::Var(v) => q.var_name(v).to_owned(),
+        Term::Attr(v, a) => format!("{}.#{}", q.var_name(v), a.index()),
+    }
+}
+
+/// The maximal classes of a schema (no proper superclass). A variable with
+/// no range constraint ranges over the disjunction of these — equivalent,
+/// under the partitioning assumption, to ranging over every class.
+pub fn maximal_classes(schema: &Schema) -> Vec<ClassId> {
+    schema
+        .classes()
+        .filter(|&c| schema.parents(c).is_empty())
+        .collect()
+}
+
+/// Repair well-formedness conditions (ii) and (iii) as described in §2.3:
+///
+/// * a variable with no range atom receives one over all (maximal) classes;
+/// * a variable with several range atoms is split: fresh variables carry the
+///   extra range atoms and are equated to the original;
+/// * an object term `x.A` with no variable in its equivalence class is
+///   equated to a fresh variable ranging over all classes.
+///
+/// Condition (i) cannot be repaired; a violation is reported as an error.
+pub fn normalize(q: &Query, schema: &Schema) -> Result<Query, WellFormedError> {
+    let all = maximal_classes(schema);
+    let mut work = q.clone();
+
+    // (iii): ensure exactly one range atom per variable.
+    let mut extra: Vec<Atom> = Vec::new();
+    let mut rebuilt = crate::query::QueryBuilder::new(q.var_name(q.free_var()));
+    // Recreate the variable table in order so ids are stable.
+    let mut ids: Vec<VarId> = Vec::with_capacity(q.var_count());
+    for v in q.vars() {
+        if v == q.free_var() {
+            ids.push(rebuilt.free());
+        } else {
+            ids.push(rebuilt.var(q.var_name(v)));
+        }
+    }
+    let mut seen_range: Vec<bool> = vec![false; q.var_count()];
+    for atom in work.atoms() {
+        match atom {
+            Atom::Range(v, cs) => {
+                if seen_range[v.index()] {
+                    // Extra range: move it to a fresh equated variable.
+                    let fresh = rebuilt.var(&format!("{}_r", q.var_name(*v)));
+                    rebuilt.range(fresh, cs.iter().copied());
+                    rebuilt.eq_vars(ids[v.index()], fresh);
+                } else {
+                    seen_range[v.index()] = true;
+                    rebuilt.range(ids[v.index()], cs.iter().copied());
+                }
+            }
+            other => {
+                rebuilt.atom(other.map_vars(|v| ids[v.index()]));
+            }
+        }
+    }
+    for v in q.vars() {
+        if !seen_range[v.index()] {
+            rebuilt.range(ids[v.index()], all.iter().copied());
+        }
+    }
+    work = rebuilt.build();
+
+    // (ii): equate unequated object attribute terms to fresh variables.
+    // Adding `z = x.A` never creates new attribute terms, so one extra
+    // analysis round suffices; we loop defensively with a small bound.
+    for _ in 0..4 {
+        let analysis = QueryAnalysis::of(&work);
+        let mut fixes: Vec<Term> = Vec::new();
+        for &t in analysis.graph().terms() {
+            if !t.is_var()
+                && analysis.is_object_term(t)
+                && analysis.graph().representative_var(t).is_none()
+                && !fixes.iter().any(|f| analysis.graph().same(*f, t))
+            {
+                fixes.push(t);
+            }
+        }
+        if fixes.is_empty() {
+            break;
+        }
+        let mut b = builder_from(&work);
+        for (i, t) in fixes.into_iter().enumerate() {
+            let fresh = b.var(&format!("_w{i}"));
+            b.range(fresh, all.iter().copied());
+            b.eq(Term::Var(fresh), t);
+        }
+        work = b.build();
+        extra.clear();
+    }
+    debug_assert!(extra.is_empty());
+
+    check_well_formed(&work)?;
+    Ok(work)
+}
+
+/// Rebuild a [`QueryBuilder`](crate::QueryBuilder) seeded with an existing
+/// query (same variables, same atoms), for appending.
+fn builder_from(q: &Query) -> crate::query::QueryBuilder {
+    let mut b = crate::query::QueryBuilder::new(q.var_name(q.free_var()));
+    let mut ids = Vec::with_capacity(q.var_count());
+    for v in q.vars() {
+        if v == q.free_var() {
+            ids.push(b.free());
+        } else {
+            ids.push(b.var(q.var_name(v)));
+        }
+    }
+    for atom in q.atoms() {
+        b.atom(atom.map_vars(|v| ids[v.index()]));
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use oocq_schema::samples;
+
+    #[test]
+    fn vehicle_query_is_well_formed() {
+        let s = samples::vehicle_rental();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [s.class_id("Vehicle").unwrap()]);
+        b.range(y, [s.class_id("Discount").unwrap()]);
+        b.member(x, y, s.attr_id("VehRented").unwrap());
+        assert!(check_well_formed(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn missing_range_is_detected_and_repaired() {
+        let s = samples::vehicle_rental();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(y, [s.class_id("Discount").unwrap()]);
+        b.member(x, y, s.attr_id("VehRented").unwrap());
+        let q = b.build();
+        assert!(matches!(
+            check_well_formed(&q),
+            Err(WellFormedError::RangeCount { count: 0, .. })
+        ));
+        let fixed = normalize(&q, &s).unwrap();
+        assert_eq!(fixed.range_count(x), 1);
+        // x now ranges over the maximal classes Vehicle and Client.
+        let range = fixed.range_of(x).unwrap();
+        assert_eq!(range.len(), 2);
+    }
+
+    #[test]
+    fn double_range_is_split() {
+        let s = samples::vehicle_rental();
+        let auto = s.class_id("Auto").unwrap();
+        let truck = s.class_id("Truck").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [auto]).range(x, [truck]);
+        let q = b.build();
+        assert!(check_well_formed(&q).is_err());
+        let fixed = normalize(&q, &s).unwrap();
+        assert_eq!(fixed.range_count(fixed.free_var()), 1);
+        assert_eq!(fixed.var_count(), 2);
+        // The fresh variable carries the second range and is equated to x.
+        assert!(fixed
+            .atoms()
+            .iter()
+            .any(|a| matches!(a, Atom::Eq(Term::Var(_), Term::Var(_)))));
+    }
+
+    #[test]
+    fn unequated_object_attr_term_is_repaired() {
+        // x.A = y.A (both object terms, no variable in either class).
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]);
+        b.eq(Term::Attr(x, a), Term::Attr(y, a));
+        let q = b.build();
+        assert!(matches!(
+            check_well_formed(&q),
+            Err(WellFormedError::UnequatedAttrTerm(_))
+        ));
+        let fixed = normalize(&q, &s).unwrap();
+        let analysis = check_well_formed(&fixed).unwrap();
+        assert!(analysis
+            .graph()
+            .representative_var(Term::Attr(x, a))
+            .is_some());
+    }
+
+    #[test]
+    fn mixed_term_is_rejected_even_by_normalize() {
+        // z = y.A makes y.A an object term; x ∈ y.A makes it a set term.
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [d]).range(y, [c]).range(z, [d]);
+        b.eq_attr(z, y, a);
+        b.member(x, y, a);
+        let q = b.build();
+        assert!(matches!(
+            check_well_formed(&q),
+            Err(WellFormedError::MixedTerm(_))
+        ));
+        assert!(normalize(&q, &s).is_err());
+    }
+
+    #[test]
+    fn set_term_classification() {
+        let s = samples::vehicle_rental();
+        let veh = s.attr_id("VehRented").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [s.class_id("Vehicle").unwrap()]);
+        b.range(y, [s.class_id("Discount").unwrap()]);
+        b.member(x, y, veh);
+        let q = b.build();
+        let analysis = QueryAnalysis::of(&q);
+        assert!(analysis.is_set_term(Term::Attr(y, veh)));
+        assert!(!analysis.is_object_term(Term::Attr(y, veh)));
+        assert!(analysis.is_object_term(Term::Var(x)));
+        assert!(analysis.is_object_term(Term::Var(y)));
+    }
+
+    #[test]
+    fn equated_set_terms_share_classification() {
+        // x ∈ y.A and x ∈ z.A with y = z: both attr terms are one set class.
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [t1]).range(y, [t2]).range(z, [t2]);
+        b.eq_vars(y, z);
+        b.member(x, y, a);
+        let q = b.build();
+        let analysis = QueryAnalysis::of(&q);
+        // z.A is not even a node (never occurs) — but y.A is a set term.
+        assert!(analysis.is_set_term(Term::Attr(y, a)));
+        assert!(!analysis.graph().has_term(Term::Attr(z, a)));
+        check_well_formed(&q).unwrap();
+    }
+
+    #[test]
+    fn maximal_classes_of_samples() {
+        let s = samples::vehicle_rental();
+        let names: Vec<&str> = maximal_classes(&s)
+            .iter()
+            .map(|&c| s.class_name(c))
+            .collect();
+        assert_eq!(names, ["Vehicle", "Client"]);
+    }
+
+    #[test]
+    fn normalize_is_identity_on_well_formed_queries() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]).neq_vars(x, y);
+        let q = b.build();
+        let n = normalize(&q, &s).unwrap();
+        assert!(n.same_modulo_atom_order(&q));
+    }
+}

@@ -1,0 +1,128 @@
+//! Atomic formulas (§2.2 of the paper).
+
+use crate::term::{Term, VarId};
+use oocq_schema::{AttrId, ClassId};
+
+/// An atomic formula.
+///
+/// The paper's three families, each with a positive and a negative form:
+///
+/// 1. range / non-range atoms `x θ C₁ ∨ … ∨ Cₙ` with `θ ∈ {∈, ∉}`;
+/// 2. equality / inequality atoms `g(x) θ h(y)` with `θ ∈ {=, ≠}`;
+/// 3. membership / non-membership atoms `x θ y.A` with `θ ∈ {∈, ∉}`.
+///
+/// An atom is *positive* if it is a range, equality, or membership atom.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Atom {
+    /// `x ∈ C₁ ∨ … ∨ Cₙ`: the object denoted by `x` belongs to some `Cᵢ`.
+    Range(VarId, Vec<ClassId>),
+    /// `x ∉ C₁ ∨ … ∨ Cₙ`: the object denoted by `x` belongs to no `Cᵢ`.
+    NonRange(VarId, Vec<ClassId>),
+    /// `g(x) = h(y)`: both terms denote the identical object.
+    Eq(Term, Term),
+    /// `g(x) ≠ h(y)`: the terms denote different objects.
+    Neq(Term, Term),
+    /// `x ∈ y.A`: the object denoted by `x` is a member of the set object
+    /// denoted by `y.A`.
+    Member(VarId, VarId, AttrId),
+    /// `x ∉ y.A`: `x` is not a member of `y.A`.
+    NonMember(VarId, VarId, AttrId),
+}
+
+impl Atom {
+    /// Is this a positive atom (range, equality, or membership)?
+    pub fn is_positive(&self) -> bool {
+        matches!(self, Atom::Range(..) | Atom::Eq(..) | Atom::Member(..))
+    }
+
+    /// Is this an inequality atom? (Used by Corollary 3.2's
+    /// "non-inequality atoms only" precondition.)
+    pub fn is_inequality(&self) -> bool {
+        matches!(self, Atom::Neq(..))
+    }
+
+    /// Every term occurring in the atom, in syntactic order.
+    ///
+    /// Range/non-range atoms contribute the bare variable; membership atoms
+    /// contribute the member variable and the set-valued attribute term.
+    pub fn terms(&self) -> Vec<Term> {
+        match self {
+            Atom::Range(v, _) | Atom::NonRange(v, _) => vec![Term::Var(*v)],
+            Atom::Eq(a, b) | Atom::Neq(a, b) => vec![*a, *b],
+            Atom::Member(x, y, a) | Atom::NonMember(x, y, a) => {
+                vec![Term::Var(*x), Term::Attr(*y, *a)]
+            }
+        }
+    }
+
+    /// Every variable occurring in the atom.
+    pub fn vars(&self) -> Vec<VarId> {
+        match self {
+            Atom::Range(v, _) | Atom::NonRange(v, _) => vec![*v],
+            Atom::Eq(a, b) | Atom::Neq(a, b) => vec![a.var(), b.var()],
+            Atom::Member(x, y, _) | Atom::NonMember(x, y, _) => vec![*x, *y],
+        }
+    }
+
+    /// Apply a variable substitution to the atom.
+    ///
+    /// `map` sends each old variable index to a new [`VarId`]; class lists
+    /// and attributes are untouched. This is `μ(A)` for a variable mapping
+    /// `μ` (§3.1).
+    pub fn map_vars(&self, map: impl Fn(VarId) -> VarId) -> Atom {
+        match self {
+            Atom::Range(v, cs) => Atom::Range(map(*v), cs.clone()),
+            Atom::NonRange(v, cs) => Atom::NonRange(map(*v), cs.clone()),
+            Atom::Eq(a, b) => Atom::Eq(a.with_var(map(a.var())), b.with_var(map(b.var()))),
+            Atom::Neq(a, b) => Atom::Neq(a.with_var(map(a.var())), b.with_var(map(b.var()))),
+            Atom::Member(x, y, a) => Atom::Member(map(*x), map(*y), *a),
+            Atom::NonMember(x, y, a) => Atom::NonMember(map(*x), map(*y), *a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_schema::{AttrId, ClassId};
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn positivity_classification() {
+        let c = ClassId::from_index(0);
+        let a = AttrId::from_index(0);
+        assert!(Atom::Range(v(0), vec![c]).is_positive());
+        assert!(Atom::Eq(Term::Var(v(0)), Term::Var(v(1))).is_positive());
+        assert!(Atom::Member(v(0), v(1), a).is_positive());
+        assert!(!Atom::NonRange(v(0), vec![c]).is_positive());
+        assert!(!Atom::Neq(Term::Var(v(0)), Term::Var(v(1))).is_positive());
+        assert!(!Atom::NonMember(v(0), v(1), a).is_positive());
+    }
+
+    #[test]
+    fn inequality_classification() {
+        let a = AttrId::from_index(0);
+        assert!(Atom::Neq(Term::Var(v(0)), Term::Var(v(1))).is_inequality());
+        assert!(!Atom::NonMember(v(0), v(1), a).is_inequality());
+        assert!(!Atom::Eq(Term::Var(v(0)), Term::Var(v(1))).is_inequality());
+    }
+
+    #[test]
+    fn membership_atom_terms_include_attr_term() {
+        let a = AttrId::from_index(3);
+        let atom = Atom::Member(v(0), v(1), a);
+        assert_eq!(atom.terms(), vec![Term::Var(v(0)), Term::Attr(v(1), a)]);
+        assert_eq!(atom.vars(), vec![v(0), v(1)]);
+    }
+
+    #[test]
+    fn map_vars_rewrites_all_positions() {
+        let a = AttrId::from_index(0);
+        let atom = Atom::Eq(Term::Attr(v(0), a), Term::Var(v(1)));
+        let mapped = atom.map_vars(|x| VarId::from_index(x.index() + 10));
+        assert_eq!(mapped, Atom::Eq(Term::Attr(v(10), a), Term::Var(v(11))));
+    }
+}

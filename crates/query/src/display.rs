@@ -1,0 +1,204 @@
+//! Rendering queries in the calculus-like concrete syntax.
+//!
+//! The output is accepted by `oocq-parser`, so `parse(display(q)) == q` up
+//! to variable ids (a round-trip property test lives in that crate).
+
+use crate::atom::Atom;
+use crate::query::{Query, UnionQuery};
+use crate::term::Term;
+use oocq_schema::{ClassId, Schema};
+use std::fmt;
+
+/// A query paired with its schema for name resolution; implements
+/// [`fmt::Display`].
+pub struct DisplayQuery<'a> {
+    query: &'a Query,
+    schema: &'a Schema,
+}
+
+/// A union query paired with its schema; implements [`fmt::Display`].
+pub struct DisplayUnion<'a> {
+    union: &'a UnionQuery,
+    schema: &'a Schema,
+}
+
+impl Query {
+    /// Render with class/attribute names resolved against `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayQuery<'a> {
+        DisplayQuery {
+            query: self,
+            schema,
+        }
+    }
+}
+
+impl UnionQuery {
+    /// Render with class/attribute names resolved against `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayUnion<'a> {
+        DisplayUnion {
+            union: self,
+            schema,
+        }
+    }
+}
+
+fn write_classes(f: &mut fmt::Formatter<'_>, schema: &Schema, cs: &[ClassId]) -> fmt::Result {
+    for (i, c) in cs.iter().enumerate() {
+        if i > 0 {
+            write!(f, " | ")?;
+        }
+        write!(f, "{}", schema.class_name(*c))?;
+    }
+    Ok(())
+}
+
+fn write_term(f: &mut fmt::Formatter<'_>, q: &Query, schema: &Schema, t: Term) -> fmt::Result {
+    match t {
+        Term::Var(v) => write!(f, "{}", q.var_name(v)),
+        Term::Attr(v, a) => write!(f, "{}.{}", q.var_name(v), schema.attr_name(a)),
+    }
+}
+
+impl fmt::Display for DisplayQuery<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let q = self.query;
+        let s = self.schema;
+        write!(f, "{{ {} |", q.var_name(q.free_var()))?;
+        let bound: Vec<_> = q.vars().filter(|&v| v != q.free_var()).collect();
+        if !bound.is_empty() {
+            write!(f, " exists ")?;
+            for (i, v) in bound.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", q.var_name(*v))?;
+            }
+            write!(f, ":")?;
+        }
+        if q.atoms().is_empty() {
+            write!(f, " true")?;
+        }
+        for (i, atom) in q.atoms().iter().enumerate() {
+            if i > 0 {
+                write!(f, " &")?;
+            }
+            write!(f, " ")?;
+            match atom {
+                Atom::Range(v, cs) => {
+                    write!(f, "{} in ", q.var_name(*v))?;
+                    write_classes(f, s, cs)?;
+                }
+                Atom::NonRange(v, cs) => {
+                    write!(f, "{} not in ", q.var_name(*v))?;
+                    write_classes(f, s, cs)?;
+                }
+                Atom::Eq(a, b) => {
+                    write_term(f, q, s, *a)?;
+                    write!(f, " = ")?;
+                    write_term(f, q, s, *b)?;
+                }
+                Atom::Neq(a, b) => {
+                    write_term(f, q, s, *a)?;
+                    write!(f, " != ")?;
+                    write_term(f, q, s, *b)?;
+                }
+                Atom::Member(x, y, a) => {
+                    write!(f, "{} in {}.{}", q.var_name(*x), q.var_name(*y), s.attr_name(*a))?;
+                }
+                Atom::NonMember(x, y, a) => {
+                    write!(
+                        f,
+                        "{} not in {}.{}",
+                        q.var_name(*x),
+                        q.var_name(*y),
+                        s.attr_name(*a)
+                    )?;
+                }
+            }
+        }
+        write!(f, " }}")
+    }
+}
+
+impl fmt::Display for DisplayUnion<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.union.is_empty() {
+            return write!(f, "union {{}}");
+        }
+        for (i, q) in self.union.iter().enumerate() {
+            if i > 0 {
+                write!(f, " union ")?;
+            }
+            write!(f, "{}", q.display(self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::query::{QueryBuilder, UnionQuery};
+    use oocq_schema::samples;
+
+    #[test]
+    fn vehicle_query_renders_like_the_paper() {
+        let s = samples::vehicle_rental();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [s.class_id("Vehicle").unwrap()]);
+        b.range(y, [s.class_id("Discount").unwrap()]);
+        b.member(x, y, s.attr_id("VehRented").unwrap());
+        let q = b.build();
+        assert_eq!(
+            q.display(&s).to_string(),
+            "{ x | exists y: x in Vehicle & y in Discount & x in y.VehRented }"
+        );
+    }
+
+    #[test]
+    fn negative_atoms_and_disjunction_render() {
+        let s = samples::vehicle_rental();
+        let auto = s.class_id("Auto").unwrap();
+        let truck = s.class_id("Truck").unwrap();
+        let veh = s.attr_id("VehRented").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [auto, truck]);
+        b.range(y, [s.class_id("Client").unwrap()]);
+        b.non_member(x, y, veh);
+        b.neq_vars(x, y);
+        let q = b.build();
+        assert_eq!(
+            q.display(&s).to_string(),
+            "{ x | exists y: x in Auto | Truck & y in Client & x not in y.VehRented & x != y }"
+        );
+    }
+
+    #[test]
+    fn empty_matrix_renders_true() {
+        let s = samples::single_class();
+        let b = QueryBuilder::new("x");
+        let q = b.build();
+        assert_eq!(q.display(&s).to_string(), "{ x | true }");
+    }
+
+    #[test]
+    fn union_renders_with_separator() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let make = || {
+            let mut b = QueryBuilder::new("x");
+            let x = b.free();
+            b.range(x, [c]);
+            b.build()
+        };
+        let u = UnionQuery::new(vec![make(), make()]);
+        assert_eq!(
+            u.display(&s).to_string(),
+            "{ x | x in C } union { x | x in C }"
+        );
+        assert_eq!(UnionQuery::empty().display(&s).to_string(), "union {}");
+    }
+}

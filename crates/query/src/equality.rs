@@ -1,0 +1,335 @@
+//! Algorithm *EqualityGraph* (§2.3 of the paper).
+//!
+//! Given a conjunctive query, the complete equality relationship graph
+//! `E(Q)` closes the explicit equality atoms under
+//!
+//! 1. reflexivity (every term equals itself),
+//! 2. transitivity, and
+//! 3. attribute congruence: if `x = y` for variables `x, y` and both `x.A`
+//!    and `y.A` are **nodes of the graph**, then `x.A = y.A`.
+//!
+//! The nodes are exactly the terms occurring in the query (all variables,
+//! plus every attribute term mentioned by some atom) — congruence never
+//! invents new terms. The equivalence classes of `E(Q)`, written `[f(x)]`,
+//! drive derivability (§3.1), satisfiability, and minimization.
+//!
+//! Implementation: union-find with path halving plus a fixpoint loop for the
+//! congruence rule (attribute terms grouped by attribute, then merged when
+//! their base variables share a class).
+
+use crate::atom::Atom;
+use crate::query::Query;
+use crate::term::{Term, VarId};
+use oocq_schema::AttrId;
+use std::collections::HashMap;
+
+/// The complete equality relationship graph `E(Q)` of a query, exposed as a
+/// partition of the query's terms into equivalence classes.
+#[derive(Clone, Debug)]
+pub struct EqualityGraph {
+    terms: Vec<Term>,
+    index: HashMap<Term, usize>,
+    /// Union-find parent (fully compressed after construction).
+    parent: Vec<usize>,
+    /// Members of each class, keyed by root node; sorted for determinism.
+    members: HashMap<usize, Vec<Term>>,
+}
+
+impl EqualityGraph {
+    /// Run Algorithm *EqualityGraph* on `q`.
+    pub fn build(q: &Query) -> EqualityGraph {
+        let mut terms: Vec<Term> = Vec::new();
+        let mut index: HashMap<Term, usize> = HashMap::new();
+        let intern = |t: Term, terms: &mut Vec<Term>, index: &mut HashMap<Term, usize>| {
+            *index.entry(t).or_insert_with(|| {
+                terms.push(t);
+                terms.len() - 1
+            })
+        };
+        // Step 1(i): every variable and every term occurring in an atom is a
+        // node (the reflexive edge f(x)=f(x) is implicit in union-find).
+        for v in q.vars() {
+            intern(Term::Var(v), &mut terms, &mut index);
+        }
+        for a in q.atoms() {
+            for t in a.terms() {
+                intern(t, &mut terms, &mut index);
+            }
+        }
+
+        let mut parent: Vec<usize> = (0..terms.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+        fn union(parent: &mut [usize], a: usize, b: usize) -> bool {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra == rb {
+                return false;
+            }
+            // Deterministic: smaller index wins as root.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi] = lo;
+            true
+        }
+
+        // Step 1(i)/(ii): explicit equality atoms, closed transitively by
+        // union-find.
+        for a in q.atoms() {
+            if let Atom::Eq(s, t) = a {
+                union(&mut parent, index[s], index[t]);
+            }
+        }
+
+        // Step 1(iii): congruence on attributes, to fixpoint. Group the
+        // attribute-term nodes by attribute; within a group, merge nodes
+        // whose base variables are currently equal.
+        let mut by_attr: HashMap<AttrId, Vec<(usize, usize)>> = HashMap::new();
+        for (node, t) in terms.iter().enumerate() {
+            if let Term::Attr(v, a) = *t {
+                let var_node = index[&Term::Var(v)];
+                by_attr.entry(a).or_default().push((var_node, node));
+            }
+        }
+        loop {
+            let mut changed = false;
+            for group in by_attr.values() {
+                let mut rep: HashMap<usize, usize> = HashMap::new();
+                for &(var_node, attr_node) in group {
+                    let vr = find(&mut parent, var_node);
+                    match rep.get(&vr) {
+                        Some(&first) => changed |= union(&mut parent, first, attr_node),
+                        None => {
+                            rep.insert(vr, attr_node);
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Freeze: full path compression + member lists.
+        for i in 0..parent.len() {
+            let r = find(&mut parent, i);
+            parent[i] = r;
+        }
+        let mut members: HashMap<usize, Vec<Term>> = HashMap::new();
+        for (node, t) in terms.iter().enumerate() {
+            members.entry(parent[node]).or_default().push(*t);
+        }
+        for v in members.values_mut() {
+            v.sort();
+        }
+        EqualityGraph {
+            terms,
+            index,
+            parent,
+            members,
+        }
+    }
+
+    /// Is `t` a node of the graph (i.e. a term occurring in the query)?
+    pub fn has_term(&self, t: Term) -> bool {
+        self.index.contains_key(&t)
+    }
+
+    /// The canonical class id of a term, or `None` if the term does not
+    /// occur in the query.
+    pub fn class_id(&self, t: Term) -> Option<usize> {
+        self.index.get(&t).map(|&n| self.parent[n])
+    }
+
+    /// Are two terms provably equal in `E(Q)`? Terms absent from the query
+    /// are equal only to themselves.
+    pub fn same(&self, a: Term, b: Term) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.class_id(a), self.class_id(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// The equivalence class `[t]`, sorted. Empty slice if `t` is not a node.
+    pub fn class_members(&self, t: Term) -> &[Term] {
+        self.class_id(t)
+            .and_then(|r| self.members.get(&r))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The variables in `[t]`.
+    pub fn vars_in_class(&self, t: Term) -> impl Iterator<Item = VarId> + '_ {
+        self.class_members(t).iter().filter_map(|m| match m {
+            Term::Var(v) => Some(*v),
+            Term::Attr(..) => None,
+        })
+    }
+
+    /// A canonical representative variable for `[t]` (the least variable in
+    /// the class), if the class contains any variable.
+    pub fn representative_var(&self, t: Term) -> Option<VarId> {
+        self.vars_in_class(t).next()
+    }
+
+    /// Iterate over all equivalence classes (sorted member lists), in a
+    /// deterministic order.
+    pub fn classes(&self) -> impl Iterator<Item = &[Term]> {
+        let mut roots: Vec<&Vec<Term>> = self.members.values().collect();
+        roots.sort_by_key(|ms| ms[0]);
+        roots.into_iter().map(Vec::as_slice)
+    }
+
+    /// All terms (nodes) of the graph.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use oocq_schema::{samples, AttrId};
+
+    #[test]
+    fn explicit_equalities_are_transitive() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [c]).range(y, [c]).range(z, [c]);
+        b.eq_vars(x, y).eq_vars(y, z);
+        let g = EqualityGraph::build(&b.build());
+        assert!(g.same(Term::Var(x), Term::Var(z)));
+        assert_eq!(g.class_members(Term::Var(x)).len(), 3);
+    }
+
+    #[test]
+    fn reflexivity_without_explicit_atoms() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]);
+        let g = EqualityGraph::build(&b.build());
+        assert!(g.same(Term::Var(x), Term::Var(x)));
+        assert!(!g.same(Term::Var(x), Term::Var(y)));
+        assert_eq!(g.class_members(Term::Var(x)), &[Term::Var(x)]);
+    }
+
+    #[test]
+    fn congruence_merges_attribute_terms() {
+        // x = y, with x.A and y.A both present ⇒ x.A = y.A (step 1(iii)).
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let u = b.var("u");
+        let v = b.var("v");
+        b.range(x, [c]).range(y, [c]).range(u, [d]).range(v, [d]);
+        b.eq_vars(x, y);
+        b.eq_attr(u, x, a); // u = x.A
+        b.eq_attr(v, y, a); // v = y.A
+        let g = EqualityGraph::build(&b.build());
+        assert!(g.same(Term::Attr(x, a), Term::Attr(y, a)));
+        // ... and transitively u = v.
+        assert!(g.same(Term::Var(u), Term::Var(v)));
+    }
+
+    #[test]
+    fn congruence_does_not_fire_without_both_nodes() {
+        // x = y but only x.A occurs: no new node y.A is invented.
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let u = b.var("u");
+        b.range(x, [c]).range(y, [c]).range(u, [d]);
+        b.eq_vars(x, y);
+        b.eq_attr(u, x, a);
+        let g = EqualityGraph::build(&b.build());
+        assert!(!g.has_term(Term::Attr(y, a)));
+        // same() on an absent term is only reflexive.
+        assert!(g.same(Term::Attr(y, a), Term::Attr(y, a)));
+        assert!(!g.same(Term::Attr(y, a), Term::Attr(x, a)));
+    }
+
+    #[test]
+    fn congruence_cascades_to_fixpoint() {
+        // Chain: u1 = x.A, u2 = y.A, x = y makes u1 = u2; then u1.B / u2.B
+        // must also merge in a second congruence round.
+        let mut sb = oocq_schema::SchemaBuilder::new();
+        let c = sb.class("C").unwrap();
+        sb.attribute(c, "A", oocq_schema::AttrType::Object(c)).unwrap();
+        sb.attribute(c, "B", oocq_schema::AttrType::Object(c)).unwrap();
+        let s = sb.finish().unwrap();
+        let a = s.attr_id("A").unwrap();
+        let bb = s.attr_id("B").unwrap();
+
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let u1 = b.var("u1");
+        let u2 = b.var("u2");
+        let w1 = b.var("w1");
+        let w2 = b.var("w2");
+        for v in [x, y, u1, u2, w1, w2] {
+            b.range(v, [c]);
+        }
+        b.eq_vars(x, y);
+        b.eq_attr(u1, x, a);
+        b.eq_attr(u2, y, a);
+        b.eq_attr(w1, u1, bb);
+        b.eq_attr(w2, u2, bb);
+        let g = EqualityGraph::build(&b.build());
+        assert!(g.same(Term::Var(u1), Term::Var(u2)));
+        assert!(g.same(Term::Attr(u1, bb), Term::Attr(u2, bb)));
+        assert!(g.same(Term::Var(w1), Term::Var(w2)));
+    }
+
+    #[test]
+    fn representative_var_is_least() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]).eq_vars(y, x);
+        let g = EqualityGraph::build(&b.build());
+        assert_eq!(g.representative_var(Term::Var(y)), Some(x));
+    }
+
+    #[test]
+    fn classes_partition_all_terms() {
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let a: AttrId = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let z = b.var("z");
+        b.range(x, [c]).range(z, [d]);
+        b.eq_attr(z, x, a);
+        let g = EqualityGraph::build(&b.build());
+        let total: usize = g.classes().map(<[Term]>::len).sum();
+        assert_eq!(total, g.terms().len());
+        // {x}, {z, x.A}
+        assert_eq!(g.classes().count(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Errors for query analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Violations of the well-formedness conditions of §2.3.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WellFormedError {
+    /// A term is both an object term and a set term (condition (i)); this is
+    /// a genuine error that normalization cannot repair.
+    MixedTerm(String),
+    /// A term has no occurrence classifying it (should not happen once every
+    /// variable has a range atom).
+    UnclassifiedTerm(String),
+    /// An object term of the form `x.A` is not equated to any variable
+    /// (condition (ii)); repaired by normalization.
+    UnequatedAttrTerm(String),
+    /// A variable has `count ≠ 1` range atoms (condition (iii)); repaired by
+    /// normalization.
+    RangeCount {
+        /// The offending variable's name.
+        var: String,
+        /// How many range atoms it has.
+        count: usize,
+    },
+}
+
+impl fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormedError::MixedTerm(t) => {
+                write!(f, "term `{t}` is used both as an object and as a set")
+            }
+            WellFormedError::UnclassifiedTerm(t) => {
+                write!(f, "term `{t}` has no classifying occurrence")
+            }
+            WellFormedError::UnequatedAttrTerm(t) => {
+                write!(f, "object term `{t}` is not equated to any variable")
+            }
+            WellFormedError::RangeCount { var, count } => {
+                write!(f, "variable `{var}` has {count} range atoms, expected exactly 1")
+            }
+        }
+    }
+}
+
+impl Error for WellFormedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_culprit() {
+        assert!(WellFormedError::MixedTerm("y.A".into())
+            .to_string()
+            .contains("y.A"));
+        assert!(WellFormedError::RangeCount {
+            var: "x".into(),
+            count: 2
+        }
+        .to_string()
+        .contains("2 range atoms"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Structural isomorphism of conjunctive queries.
+//!
+//! Two queries are isomorphic when a bijection between their variables maps
+//! the free variable to the free variable and the atom multiset of one onto
+//! the atom multiset of the other. Theorem 4.5 of the paper implies that
+//! equivalent *minimal* terminal positive conjunctive queries are related by
+//! exactly such a bijection (every non-contradictory mapping between them is
+//! bijective), so isomorphism is the right notion of syntactic uniqueness
+//! for minimization results.
+
+use crate::atom::Atom;
+use crate::query::Query;
+use crate::term::VarId;
+use std::collections::BTreeMap;
+
+/// A cheap per-variable invariant: how the variable participates in each
+/// kind of atom. Distinct signatures can never map to one another.
+fn signatures(q: &Query) -> Vec<BTreeMap<String, usize>> {
+    let mut sig: Vec<BTreeMap<String, usize>> = vec![BTreeMap::new(); q.var_count()];
+    let mut bump = |v: VarId, key: String| {
+        *sig[v.index()].entry(key).or_insert(0) += 1;
+    };
+    for a in q.atoms() {
+        match a {
+            Atom::Range(v, cs) => bump(*v, format!("range:{cs:?}")),
+            Atom::NonRange(v, cs) => bump(*v, format!("nonrange:{cs:?}")),
+            Atom::Eq(s, t) | Atom::Neq(s, t) => {
+                let kind = if matches!(a, Atom::Eq(..)) { "eq" } else { "neq" };
+                for (side, other) in [(s, t), (t, s)] {
+                    let shape = match (side, other) {
+                        (crate::term::Term::Var(v), o) => (*v, format!("{kind}:var-vs-{:?}", o.attr())),
+                        (crate::term::Term::Attr(v, at), o) => {
+                            (*v, format!("{kind}:attr{:?}-vs-{:?}", at, o.attr()))
+                        }
+                    };
+                    bump(shape.0, shape.1);
+                }
+            }
+            Atom::Member(x, y, at) => {
+                bump(*x, format!("member-of:{at:?}"));
+                bump(*y, format!("member-owner:{at:?}"));
+            }
+            Atom::NonMember(x, y, at) => {
+                bump(*x, format!("nonmember-of:{at:?}"));
+                bump(*y, format!("nonmember-owner:{at:?}"));
+            }
+        }
+    }
+    sig
+}
+
+fn normalized_atoms(q: &Query, map: &[VarId]) -> Vec<Atom> {
+    let mut atoms: Vec<Atom> = q
+        .atoms()
+        .iter()
+        .map(|a| {
+            // Normalize symmetric atoms so Eq(a,b) and Eq(b,a) compare equal.
+            let m = a.map_vars(|v| map[v.index()]);
+            match m {
+                Atom::Eq(s, t) if t < s => Atom::Eq(t, s),
+                Atom::Neq(s, t) if t < s => Atom::Neq(t, s),
+                other => other,
+            }
+        })
+        .collect();
+    atoms.sort();
+    atoms.dedup();
+    atoms
+}
+
+/// Find a variable bijection witnessing `a ≅ b`, mapping free to free.
+/// Returns the image of each variable of `a`.
+pub fn find_isomorphism(a: &Query, b: &Query) -> Option<Vec<VarId>> {
+    if a.var_count() != b.var_count() {
+        return None;
+    }
+    // Duplicate atoms must not break the comparison: normalize both sides.
+    let (mut a, mut b) = (a.clone(), b.clone());
+    a.dedup_atoms();
+    b.dedup_atoms();
+    let (a, b) = (&a, &b);
+    if a.atoms().len() != b.atoms().len() {
+        return None;
+    }
+    let sig_a = signatures(a);
+    let sig_b = signatures(b);
+    let identity: Vec<VarId> = b.vars().collect();
+    let b_atoms = normalized_atoms(b, &identity);
+
+    let n = a.var_count();
+    let mut map: Vec<Option<VarId>> = vec![None; n];
+    let mut used = vec![false; n];
+    map[a.free_var().index()] = Some(b.free_var());
+    used[b.free_var().index()] = true;
+    if sig_a[a.free_var().index()] != sig_b[b.free_var().index()] {
+        return None;
+    }
+
+    // Assign remaining variables in order, pruning by signature; verify the
+    // atom multisets at the end (atoms-by-atom checking during search is
+    // possible but queries are small).
+    fn recurse(
+        a: &Query,
+        b_atoms: &[Atom],
+        sig_a: &[BTreeMap<String, usize>],
+        sig_b: &[BTreeMap<String, usize>],
+        map: &mut Vec<Option<VarId>>,
+        used: &mut Vec<bool>,
+        next: usize,
+    ) -> bool {
+        let n = map.len();
+        let mut ix = next;
+        while ix < n && map[ix].is_some() {
+            ix += 1;
+        }
+        if ix == n {
+            let full: Vec<VarId> = map.iter().map(|m| m.unwrap()).collect();
+            return normalized_atoms(a, &full) == b_atoms;
+        }
+        for cand in 0..n {
+            if used[cand] || sig_a[ix] != sig_b[cand] {
+                continue;
+            }
+            map[ix] = Some(VarId::from_index(cand));
+            used[cand] = true;
+            if recurse(a, b_atoms, sig_a, sig_b, map, used, ix + 1) {
+                return true;
+            }
+            map[ix] = None;
+            used[cand] = false;
+        }
+        false
+    }
+    recurse(a, &b_atoms, &sig_a, &sig_b, &mut map, &mut used, 0)
+        .then(|| map.into_iter().map(Option::unwrap).collect())
+}
+
+/// Are the two queries structurally isomorphic (same up to renaming of
+/// variables, with free variables corresponding)?
+pub fn isomorphic(a: &Query, b: &Query) -> bool {
+    find_isomorphism(a, b).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use oocq_schema::samples;
+
+    #[test]
+    fn renamed_queries_are_isomorphic() {
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let build = |names: [&str; 3]| {
+            let mut b = QueryBuilder::new(names[0]);
+            let x = b.free();
+            let y = b.var(names[1]);
+            let z = b.var(names[2]);
+            b.range(x, [t1]).range(y, [t2]).range(z, [t1]);
+            b.member(x, y, a).member(z, y, a);
+            b.build()
+        };
+        let q1 = build(["x", "y", "z"]);
+        let q2 = build(["anna", "bert", "carl"]);
+        assert!(isomorphic(&q1, &q2));
+        let iso = find_isomorphism(&q1, &q2).unwrap();
+        assert_eq!(iso[0].index(), 0); // free maps to free
+    }
+
+    #[test]
+    fn atom_order_and_eq_orientation_do_not_matter() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]).eq_vars(x, y);
+        let q1 = b.build();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.eq_vars(y, x).range(y, [c]).range(x, [c]);
+        let q2 = b.build();
+        assert!(isomorphic(&q1, &q2));
+    }
+
+    #[test]
+    fn different_shapes_are_not_isomorphic() {
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [t1]).range(y, [t2]).member(x, y, a);
+        let q1 = b.build();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [t1]).range(y, [t2]).non_member(x, y, a);
+        let q2 = b.build();
+        assert!(!isomorphic(&q1, &q2));
+    }
+
+    #[test]
+    fn free_variable_must_correspond() {
+        // Same atom structure, but the free variable plays a different role.
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [t1]).range(y, [t2]).member(x, y, a);
+        let q1 = b.build();
+        // Here the free variable is the set OWNER, not the member.
+        let mut b = QueryBuilder::new("y");
+        let yf = b.free();
+        let x2 = b.var("x");
+        b.range(x2, [t1]).range(yf, [t2]).member(x2, yf, a);
+        let q2 = b.build();
+        assert!(!isomorphic(&q1, &q2));
+    }
+
+    #[test]
+    fn var_count_mismatch_short_circuits() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [c]);
+        let q1 = b.build();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]);
+        let q2 = b.build();
+        assert!(!isomorphic(&q1, &q2));
+    }
+
+    #[test]
+    fn automorphic_spokes_found() {
+        // Two interchangeable spokes: isomorphism must explore both orders.
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let build = |swap: bool| {
+            let mut b = QueryBuilder::new("o");
+            let o = b.free();
+            let m1 = b.var(if swap { "m2" } else { "m1" });
+            let m2 = b.var(if swap { "m1" } else { "m2" });
+            b.range(o, [t2]).range(m1, [t1]).range(m2, [t1]);
+            b.member(m1, o, a).member(m2, o, a);
+            // Distinguish spokes with an extra equality on one only.
+            b.eq_vars(m1, m1);
+            b.build()
+        };
+        assert!(isomorphic(&build(false), &build(true)));
+    }
+}

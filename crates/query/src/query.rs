@@ -1,0 +1,536 @@
+//! Conjunctive queries and unions of conjunctive queries (§2.2, §2.4).
+
+use crate::atom::Atom;
+use crate::term::{Term, VarId};
+use oocq_schema::{AttrId, ClassId, Schema};
+
+/// A conjunctive query `{ s₀ | ∃s₁…∃sₘ (A₁ & … & Aₖ) }` (§2.2).
+///
+/// The single free variable `s₀` is [`Query::free_var`]; every other
+/// variable is existentially quantified. The matrix is the conjunction of
+/// [`Query::atoms`].
+///
+/// `Query` values are plain syntax: class and attribute identifiers refer to
+/// some [`Schema`], which is passed explicitly to every operation that needs
+/// typing information.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Query {
+    var_names: Vec<String>,
+    free: VarId,
+    atoms: Vec<Atom>,
+}
+
+impl Query {
+    /// Number of variables (free + bound).
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Iterate over all variable ids.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> {
+        (0..self.var_count()).map(VarId::from_index)
+    }
+
+    /// The distinguished free variable `s₀`.
+    pub fn free_var(&self) -> VarId {
+        self.free
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// The matrix atoms, in construction order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The class disjunction of the *first* range atom on `v`, if any.
+    /// Well-formed queries have exactly one.
+    pub fn range_of(&self, v: VarId) -> Option<&[ClassId]> {
+        self.atoms.iter().find_map(|a| match a {
+            Atom::Range(w, cs) if *w == v => Some(cs.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// Number of range atoms mentioning `v`.
+    pub fn range_count(&self, v: VarId) -> usize {
+        self.atoms
+            .iter()
+            .filter(|a| matches!(a, Atom::Range(w, _) if *w == v))
+            .count()
+    }
+
+    /// A query is *positive* if it involves only positive atoms (§2.2).
+    pub fn is_positive(&self) -> bool {
+        self.atoms.iter().all(Atom::is_positive)
+    }
+
+    /// Does `other_than_inequality` hold: no atom is an inequality?
+    /// (Corollary 3.2's precondition.)
+    pub fn is_inequality_free(&self) -> bool {
+        !self.atoms.iter().any(Atom::is_inequality)
+    }
+
+    /// Does the query involve only positive and inequality atoms?
+    /// (Corollary 3.3's precondition.)
+    pub fn is_positive_with_inequalities(&self) -> bool {
+        self.atoms
+            .iter()
+            .all(|a| a.is_positive() || a.is_inequality())
+    }
+
+    /// A conjunctive query is *terminal* if every range atom is `x ∈ C` for
+    /// a single terminal class `C` (§2.4).
+    pub fn is_terminal(&self, schema: &Schema) -> bool {
+        self.atoms.iter().all(|a| match a {
+            Atom::Range(_, cs) => cs.len() == 1 && schema.is_terminal(cs[0]),
+            _ => true,
+        })
+    }
+
+    /// For a terminal query: the unique terminal class `v` ranges over.
+    ///
+    /// Returns `None` when `v` has no single-class range atom.
+    pub fn terminal_class_of(&self, v: VarId) -> Option<ClassId> {
+        match self.range_of(v) {
+            Some([c]) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// `Q & S`: the query extended with additional atoms (§3.1 notation).
+    /// Duplicate atoms are dropped.
+    pub fn with_extra_atoms(&self, extra: impl IntoIterator<Item = Atom>) -> Query {
+        let mut q = self.clone();
+        for a in extra {
+            if !q.atoms.contains(&a) {
+                q.atoms.push(a);
+            }
+        }
+        q
+    }
+
+    /// Apply a variable mapping `μ` to the whole query, producing `μ(Q)`
+    /// (§4): every atom is rewritten, duplicates are removed, and variables
+    /// that no longer occur are dropped (the prefix shrinks accordingly).
+    ///
+    /// The free variable of the result is `μ(free)`. `map[v]` must be a
+    /// valid variable of `self` for every `v`.
+    pub fn apply_mapping(&self, map: &[VarId]) -> Query {
+        debug_assert_eq!(map.len(), self.var_count());
+        let mapped: Vec<Atom> = self
+            .atoms
+            .iter()
+            .map(|a| a.map_vars(|v| map[v.index()]))
+            .collect();
+        let new_free = map[self.free.index()];
+
+        // Which old variables survive?
+        let mut used = vec![false; self.var_count()];
+        used[new_free.index()] = true;
+        for a in &mapped {
+            for v in a.vars() {
+                used[v.index()] = true;
+            }
+        }
+        // Compact variable ids.
+        let mut remap = vec![VarId::from_index(0); self.var_count()];
+        let mut names = Vec::new();
+        for (ix, &u) in used.iter().enumerate() {
+            if u {
+                remap[ix] = VarId::from_index(names.len());
+                names.push(self.var_names[ix].clone());
+            }
+        }
+        let mut atoms: Vec<Atom> = mapped
+            .into_iter()
+            .map(|a| a.map_vars(|v| remap[v.index()]))
+            .collect();
+        atoms.sort();
+        atoms.dedup();
+        Query {
+            var_names: names,
+            free: remap[new_free.index()],
+            atoms,
+        }
+    }
+
+    /// Sort and deduplicate the matrix atoms in place (normal form for
+    /// structural comparison).
+    pub fn dedup_atoms(&mut self) {
+        self.atoms.sort();
+        self.atoms.dedup();
+    }
+
+    /// Structural equality up to atom order.
+    pub fn same_modulo_atom_order(&self, other: &Query) -> bool {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.dedup_atoms();
+        b.dedup_atoms();
+        a == b
+    }
+
+    /// Rename a variable (cosmetic only; ids are unchanged).
+    pub fn rename_var(&mut self, v: VarId, name: &str) {
+        self.var_names[v.index()] = name.to_owned();
+    }
+}
+
+/// Incremental builder for [`Query`].
+///
+/// ```
+/// use oocq_query::QueryBuilder;
+/// use oocq_schema::samples;
+///
+/// let s = samples::vehicle_rental();
+/// let mut b = QueryBuilder::new("x");
+/// let x = b.free();
+/// let y = b.var("y");
+/// b.range(x, [s.class_id("Vehicle").unwrap()]);
+/// b.range(y, [s.class_id("Discount").unwrap()]);
+/// b.member(x, y, s.attr_id("VehRented").unwrap());
+/// let q = b.build();
+/// assert_eq!(q.var_count(), 2);
+/// assert!(q.is_positive());
+/// ```
+#[derive(Clone, Debug)]
+pub struct QueryBuilder {
+    var_names: Vec<String>,
+    free: VarId,
+    atoms: Vec<Atom>,
+}
+
+impl QueryBuilder {
+    /// Start a query whose free variable has the given name.
+    pub fn new(free_name: &str) -> QueryBuilder {
+        QueryBuilder {
+            var_names: vec![free_name.to_owned()],
+            free: VarId::from_index(0),
+            atoms: Vec::new(),
+        }
+    }
+
+    /// The free variable.
+    pub fn free(&self) -> VarId {
+        self.free
+    }
+
+    /// Introduce a bound (existentially quantified) variable.
+    pub fn var(&mut self, name: &str) -> VarId {
+        let v = VarId::from_index(self.var_names.len());
+        self.var_names.push(name.to_owned());
+        v
+    }
+
+    /// Add a range atom `v ∈ C₁ ∨ … ∨ Cₙ`.
+    pub fn range(&mut self, v: VarId, classes: impl IntoIterator<Item = ClassId>) -> &mut Self {
+        self.atoms.push(Atom::Range(v, classes.into_iter().collect()));
+        self
+    }
+
+    /// Add a non-range atom `v ∉ C₁ ∨ … ∨ Cₙ`.
+    pub fn non_range(
+        &mut self,
+        v: VarId,
+        classes: impl IntoIterator<Item = ClassId>,
+    ) -> &mut Self {
+        self.atoms
+            .push(Atom::NonRange(v, classes.into_iter().collect()));
+        self
+    }
+
+    /// Add an equality atom between two terms.
+    pub fn eq(&mut self, a: Term, b: Term) -> &mut Self {
+        self.atoms.push(Atom::Eq(a, b));
+        self
+    }
+
+    /// Add `v = w` between two variables.
+    pub fn eq_vars(&mut self, v: VarId, w: VarId) -> &mut Self {
+        self.eq(Term::Var(v), Term::Var(w))
+    }
+
+    /// Add `v = w.A`.
+    pub fn eq_attr(&mut self, v: VarId, w: VarId, a: AttrId) -> &mut Self {
+        self.eq(Term::Var(v), Term::Attr(w, a))
+    }
+
+    /// Add an inequality atom between two terms.
+    pub fn neq(&mut self, a: Term, b: Term) -> &mut Self {
+        self.atoms.push(Atom::Neq(a, b));
+        self
+    }
+
+    /// Add `v ≠ w` between two variables.
+    pub fn neq_vars(&mut self, v: VarId, w: VarId) -> &mut Self {
+        self.neq(Term::Var(v), Term::Var(w))
+    }
+
+    /// Add a membership atom `x ∈ y.A`.
+    pub fn member(&mut self, x: VarId, y: VarId, a: AttrId) -> &mut Self {
+        self.atoms.push(Atom::Member(x, y, a));
+        self
+    }
+
+    /// Add a non-membership atom `x ∉ y.A`.
+    pub fn non_member(&mut self, x: VarId, y: VarId, a: AttrId) -> &mut Self {
+        self.atoms.push(Atom::NonMember(x, y, a));
+        self
+    }
+
+    /// Add an arbitrary prebuilt atom.
+    pub fn atom(&mut self, a: Atom) -> &mut Self {
+        self.atoms.push(a);
+        self
+    }
+
+    /// Follow a path `start.A₁.A₂…Aₙ`, introducing one fresh variable and
+    /// one equality per step (the paper's encoding of path expressions).
+    /// Returns the variable bound to the end of the path.
+    pub fn path(&mut self, start: VarId, attrs: &[AttrId]) -> VarId {
+        let mut cur = start;
+        for (i, &a) in attrs.iter().enumerate() {
+            let name = format!("{}_p{}", self.var_names[start.index()], i);
+            let next = self.var(&name);
+            self.eq(Term::Var(next), Term::Attr(cur, a));
+            cur = next;
+        }
+        cur
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Query {
+        Query {
+            var_names: self.var_names,
+            free: self.free,
+            atoms: self.atoms,
+        }
+    }
+}
+
+/// A finite union `Q₁ ∪ … ∪ Qₙ` of conjunctive queries (§2.4, §4).
+///
+/// The empty union denotes the unsatisfiable query (empty answer on every
+/// state).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct UnionQuery {
+    queries: Vec<Query>,
+}
+
+impl UnionQuery {
+    /// The empty union (unsatisfiable).
+    pub fn empty() -> UnionQuery {
+        UnionQuery::default()
+    }
+
+    /// A union with the given subqueries.
+    pub fn new(queries: Vec<Query>) -> UnionQuery {
+        UnionQuery { queries }
+    }
+
+    /// A singleton union.
+    pub fn single(q: Query) -> UnionQuery {
+        UnionQuery { queries: vec![q] }
+    }
+
+    /// The subqueries.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of subqueries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Is this the empty union?
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Append a subquery.
+    pub fn push(&mut self, q: Query) {
+        self.queries.push(q);
+    }
+
+    /// Iterate over subqueries.
+    pub fn iter(&self) -> std::slice::Iter<'_, Query> {
+        self.queries.iter()
+    }
+
+    /// Are all subqueries positive?
+    pub fn is_positive(&self) -> bool {
+        self.queries.iter().all(Query::is_positive)
+    }
+
+    /// Are all subqueries terminal?
+    pub fn is_terminal(&self, schema: &Schema) -> bool {
+        self.queries.iter().all(|q| q.is_terminal(schema))
+    }
+}
+
+impl IntoIterator for UnionQuery {
+    type Item = Query;
+    type IntoIter = std::vec::IntoIter<Query>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.queries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a UnionQuery {
+    type Item = &'a Query;
+    type IntoIter = std::slice::Iter<'a, Query>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.queries.iter()
+    }
+}
+
+impl FromIterator<Query> for UnionQuery {
+    fn from_iter<T: IntoIterator<Item = Query>>(iter: T) -> UnionQuery {
+        UnionQuery {
+            queries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_schema::samples;
+
+    fn vehicle_query() -> (oocq_schema::Schema, Query) {
+        let s = samples::vehicle_rental();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [s.class_id("Vehicle").unwrap()]);
+        b.range(y, [s.class_id("Discount").unwrap()]);
+        b.member(x, y, s.attr_id("VehRented").unwrap());
+        (s.clone(), b.build())
+    }
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let (_, q) = vehicle_query();
+        assert_eq!(q.var_count(), 2);
+        assert_eq!(q.atoms().len(), 3);
+        assert_eq!(q.var_name(q.free_var()), "x");
+        assert!(q.is_positive());
+        assert!(q.is_inequality_free());
+    }
+
+    #[test]
+    fn terminality_depends_on_range_classes() {
+        let (s, q) = vehicle_query();
+        // Vehicle is non-terminal, so the query is not terminal.
+        assert!(!q.is_terminal(&s));
+
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [s.class_id("Auto").unwrap()]);
+        let q2 = b.build();
+        assert!(q2.is_terminal(&s));
+        assert_eq!(
+            q2.terminal_class_of(x),
+            Some(s.class_id("Auto").unwrap())
+        );
+    }
+
+    #[test]
+    fn range_lookup_and_count() {
+        let (s, q) = vehicle_query();
+        let x = q.free_var();
+        assert_eq!(q.range_of(x), Some(&[s.class_id("Vehicle").unwrap()][..]));
+        assert_eq!(q.range_count(x), 1);
+    }
+
+    #[test]
+    fn with_extra_atoms_deduplicates() {
+        let (_, q) = vehicle_query();
+        let existing = q.atoms()[0].clone();
+        let aug = q.with_extra_atoms([existing]);
+        assert_eq!(aug.atoms().len(), q.atoms().len());
+    }
+
+    #[test]
+    fn positivity_flags() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]).neq_vars(x, y);
+        let q = b.build();
+        assert!(!q.is_positive());
+        assert!(!q.is_inequality_free());
+        assert!(q.is_positive_with_inequalities());
+    }
+
+    #[test]
+    fn apply_mapping_collapses_and_compacts() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [c]).range(y, [c]).range(z, [c]);
+        b.eq_vars(x, y);
+        let q = b.build();
+        // Map z ↦ y, identity elsewhere: z disappears.
+        let map = vec![x, y, y];
+        let folded = q.apply_mapping(&map);
+        assert_eq!(folded.var_count(), 2);
+        assert_eq!(folded.var_name(folded.free_var()), "x");
+        // Exactly two range atoms and one equality survive.
+        assert_eq!(folded.atoms().len(), 3);
+    }
+
+    #[test]
+    fn path_introduces_fresh_equated_vars() {
+        let s = samples::vehicle_rental();
+        let assigned = s.attr_id("AssignedTo").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let end = b.path(x, &[assigned]);
+        let q = b.build();
+        assert_ne!(end, x);
+        assert_eq!(q.var_count(), 2);
+        assert!(matches!(q.atoms()[0], Atom::Eq(..)));
+    }
+
+    #[test]
+    fn union_basics() {
+        let (_, q) = vehicle_query();
+        let mut u = UnionQuery::empty();
+        assert!(u.is_empty());
+        u.push(q.clone());
+        u.push(q);
+        assert_eq!(u.len(), 2);
+        assert!(u.is_positive());
+        let collected: UnionQuery = u.iter().cloned().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn same_modulo_atom_order() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let build = |flip: bool| {
+            let mut b = QueryBuilder::new("x");
+            let x = b.free();
+            let y = b.var("y");
+            if flip {
+                b.range(y, [c]).range(x, [c]);
+            } else {
+                b.range(x, [c]).range(y, [c]);
+            }
+            b.build()
+        };
+        assert!(build(false).same_modulo_atom_order(&build(true)));
+    }
+}

@@ -1,0 +1,114 @@
+//! Variables and terms (§2.2 of the paper).
+//!
+//! A *term* `f(x)` is either a variable `x` or an attribute selection `x.A`.
+//! Terms let a query refer to a component of an object. Path expressions
+//! `x.A₁.A₂…` are not primitive — the paper notes they are expressible by
+//! introducing intermediate variables, which
+//! [`QueryBuilder::path`](crate::QueryBuilder::path) automates.
+
+use oocq_schema::AttrId;
+use std::fmt;
+
+/// Identifier of a variable within one [`Query`](crate::Query).
+///
+/// Dense index into the query's variable table; the distinguished (free)
+/// variable is always present but not necessarily index 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct from an index previously obtained via [`VarId::index`].
+    #[inline]
+    pub fn from_index(ix: usize) -> VarId {
+        VarId(u32::try_from(ix).expect("variable index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VarId({})", self.0)
+    }
+}
+
+/// A term: `x` or `x.A` (§2.2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// A variable `x`.
+    Var(VarId),
+    /// An attribute selection `x.A`.
+    Attr(VarId, AttrId),
+}
+
+impl Term {
+    /// The variable the term is built from (`x` in both `x` and `x.A`).
+    #[inline]
+    pub fn var(self) -> VarId {
+        match self {
+            Term::Var(v) | Term::Attr(v, _) => v,
+        }
+    }
+
+    /// The attribute, when the term is an attribute selection.
+    #[inline]
+    pub fn attr(self) -> Option<AttrId> {
+        match self {
+            Term::Var(_) => None,
+            Term::Attr(_, a) => Some(a),
+        }
+    }
+
+    /// Is this a bare variable?
+    #[inline]
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Replace the underlying variable, keeping the attribute (if any).
+    #[inline]
+    pub fn with_var(self, v: VarId) -> Term {
+        match self {
+            Term::Var(_) => Term::Var(v),
+            Term::Attr(_, a) => Term::Attr(v, a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_schema::AttrId;
+
+    #[test]
+    fn term_accessors() {
+        let v = VarId::from_index(2);
+        let a = AttrId::from_index(1);
+        assert_eq!(Term::Var(v).var(), v);
+        assert_eq!(Term::Attr(v, a).var(), v);
+        assert_eq!(Term::Var(v).attr(), None);
+        assert_eq!(Term::Attr(v, a).attr(), Some(a));
+        assert!(Term::Var(v).is_var());
+        assert!(!Term::Attr(v, a).is_var());
+    }
+
+    #[test]
+    fn with_var_preserves_shape() {
+        let v = VarId::from_index(0);
+        let w = VarId::from_index(1);
+        let a = AttrId::from_index(0);
+        assert_eq!(Term::Var(v).with_var(w), Term::Var(w));
+        assert_eq!(Term::Attr(v, a).with_var(w), Term::Attr(w, a));
+    }
+
+    #[test]
+    fn terms_order_vars_before_attrs_of_same_var() {
+        let v = VarId::from_index(0);
+        let a = AttrId::from_index(0);
+        assert!(Term::Var(v) < Term::Attr(v, a));
+    }
+}

@@ -1,0 +1,396 @@
+//! Chandra–Merlin containment: `Q₁ ⊆ Q₂` iff there is a homomorphism from
+//! `Q₂` to `Q₁` mapping head to head.
+
+use crate::query::{PredId, RelAtom, RelQuery, RelVar};
+use std::collections::{HashMap, HashSet};
+
+/// Find a homomorphism from `source` to `target`: a variable mapping under
+/// which every body atom of `source` becomes a body atom of `target` and the
+/// head maps pointwise onto `target`'s head.
+///
+/// Predicates are matched **by name** so queries built by different builders
+/// compare correctly.
+pub fn homomorphism(source: &RelQuery, target: &RelQuery) -> Option<Vec<RelVar>> {
+    if source.head().len() != target.head().len() {
+        return None;
+    }
+    // Align predicate ids by name.
+    let mut pred_map: HashMap<PredId, Option<PredId>> = HashMap::new();
+    for a in source.atoms() {
+        pred_map.entry(a.pred).or_insert_with(|| {
+            (0..target.pred_count() as u32)
+                .map(PredId)
+                .find(|&p| target.pred_name(p) == source.pred_name(a.pred))
+        });
+    }
+    // Target atom index: by (pred, arity).
+    let mut by_pred: HashMap<(PredId, usize), Vec<&RelAtom>> = HashMap::new();
+    for a in target.atoms() {
+        by_pred.entry((a.pred, a.args.len())).or_default().push(a);
+    }
+
+    let n = source.var_count();
+    let mut map: Vec<Option<RelVar>> = vec![None; n];
+    // Head must map pointwise.
+    for (sv, tv) in source.head().iter().zip(target.head()) {
+        match map[sv.index()] {
+            None => map[sv.index()] = Some(*tv),
+            Some(prev) if prev == *tv => {}
+            Some(_) => return None,
+        }
+    }
+
+    // Order atoms to bind variables eagerly (simple static order).
+    let atoms: Vec<&RelAtom> = source.atoms().iter().collect();
+    fn recurse(
+        atoms: &[&RelAtom],
+        ix: usize,
+        map: &mut [Option<RelVar>],
+        pred_map: &HashMap<PredId, Option<PredId>>,
+        by_pred: &HashMap<(PredId, usize), Vec<&RelAtom>>,
+    ) -> bool {
+        let Some(atom) = atoms.get(ix) else {
+            return true;
+        };
+        let Some(Some(tp)) = pred_map.get(&atom.pred) else {
+            return false; // predicate absent from target
+        };
+        let Some(candidates) = by_pred.get(&(*tp, atom.args.len())) else {
+            return false;
+        };
+        for cand in candidates {
+            // Try to unify argument lists.
+            let mut touched: Vec<usize> = Vec::new();
+            let mut ok = true;
+            for (sv, tv) in atom.args.iter().zip(&cand.args) {
+                match map[sv.index()] {
+                    None => {
+                        map[sv.index()] = Some(*tv);
+                        touched.push(sv.index());
+                    }
+                    Some(prev) if prev == *tv => {}
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && recurse(atoms, ix + 1, map, pred_map, by_pred) {
+                return true;
+            }
+            for t in touched {
+                map[t] = None;
+            }
+        }
+        false
+    }
+    if !recurse(&atoms, 0, &mut map, &pred_map, &by_pred) {
+        return None;
+    }
+    // Unconstrained variables (not in head or body — degenerate) map to the
+    // first target variable, or themselves if the target is empty.
+    let fallback = target.vars().next().unwrap_or(RelVar(0));
+    Some(map.into_iter().map(|m| m.unwrap_or(fallback)).collect())
+}
+
+/// Chandra–Merlin: `q1 ⊆ q2` iff a homomorphism `q2 → q1` exists.
+pub fn contains(q1: &RelQuery, q2: &RelQuery) -> bool {
+    homomorphism(q2, q1).is_some()
+}
+
+/// `q1 ≡ q2` (homomorphic equivalence).
+pub fn equivalent(q1: &RelQuery, q2: &RelQuery) -> bool {
+    contains(q1, q2) && contains(q2, q1)
+}
+
+/// Compute the core of a conjunctive query: repeatedly fold through a proper
+/// (non-surjective) endomorphism that fixes the head, until none exists. The
+/// result is the unique (up to isomorphism) minimal equivalent query.
+pub fn minimize(q: &RelQuery) -> RelQuery {
+    let mut cur = q.clone();
+    'outer: loop {
+        for drop in cur.vars() {
+            if cur.head().contains(&drop) {
+                continue; // head variables must stay fixed
+            }
+            if let Some(map) = endomorphism_avoiding(&cur, drop) {
+                cur = cur.apply_mapping(&map);
+                continue 'outer;
+            }
+        }
+        return cur;
+    }
+}
+
+/// Is the query its own core?
+pub fn is_minimal(q: &RelQuery) -> bool {
+    q.vars()
+        .filter(|v| !q.head().contains(v))
+        .all(|drop| endomorphism_avoiding(q, drop).is_none())
+}
+
+/// A homomorphism `q → q` fixing the head pointwise and avoiding `drop` in
+/// its image.
+fn endomorphism_avoiding(q: &RelQuery, drop: RelVar) -> Option<Vec<RelVar>> {
+    let mut by_pred: HashMap<(PredId, usize), Vec<&RelAtom>> = HashMap::new();
+    for a in q.atoms() {
+        by_pred.entry((a.pred, a.args.len())).or_default().push(a);
+    }
+    let n = q.var_count();
+    let mut map: Vec<Option<RelVar>> = vec![None; n];
+    for &h in q.head() {
+        if h == drop {
+            return None;
+        }
+        map[h.index()] = Some(h);
+    }
+    let atoms: Vec<&RelAtom> = q.atoms().iter().collect();
+    fn recurse(
+        atoms: &[&RelAtom],
+        ix: usize,
+        drop: RelVar,
+        map: &mut [Option<RelVar>],
+        by_pred: &HashMap<(PredId, usize), Vec<&RelAtom>>,
+    ) -> bool {
+        let Some(atom) = atoms.get(ix) else {
+            return true;
+        };
+        let candidates = &by_pred[&(atom.pred, atom.args.len())];
+        for cand in candidates {
+            if cand.args.contains(&drop) {
+                continue;
+            }
+            let mut touched: Vec<usize> = Vec::new();
+            let mut ok = true;
+            for (sv, tv) in atom.args.iter().zip(&cand.args) {
+                match map[sv.index()] {
+                    None => {
+                        map[sv.index()] = Some(*tv);
+                        touched.push(sv.index());
+                    }
+                    Some(prev) if prev == *tv => {}
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && recurse(atoms, ix + 1, drop, map, by_pred) {
+                return true;
+            }
+            for t in touched {
+                map[t] = None;
+            }
+        }
+        false
+    }
+    if !recurse(&atoms, 0, drop, &mut map, &by_pred) {
+        return None;
+    }
+    // Variables untouched by head or atoms map to themselves; they are
+    // compacted away by `apply_mapping`, so the fold always removes `drop`
+    // (which is neither in the head nor, post-search, in any atom image).
+    Some(
+        map.into_iter()
+            .enumerate()
+            .map(|(ix, m)| m.unwrap_or(RelVar(ix as u32)))
+            .collect(),
+    )
+}
+
+/// A simple relational database: a set of tuples per predicate name.
+pub type RelDb = HashMap<String, HashSet<Vec<u32>>>;
+
+/// Evaluate a conjunctive query over a database (naive backtracking join);
+/// returns the set of head-variable bindings.
+pub fn answer(db: &RelDb, q: &RelQuery) -> HashSet<Vec<u32>> {
+    let mut out = HashSet::new();
+    let n = q.var_count();
+    let mut binding: Vec<Option<u32>> = vec![None; n];
+    let atoms: Vec<&RelAtom> = q.atoms().iter().collect();
+    fn recurse(
+        db: &RelDb,
+        q: &RelQuery,
+        atoms: &[&RelAtom],
+        ix: usize,
+        binding: &mut [Option<u32>],
+        out: &mut HashSet<Vec<u32>>,
+    ) {
+        let Some(atom) = atoms.get(ix) else {
+            if q.head().iter().all(|h| binding[h.index()].is_some()) {
+                out.insert(q.head().iter().map(|h| binding[h.index()].unwrap()).collect());
+            }
+            return;
+        };
+        let Some(tuples) = db.get(q.pred_name(atom.pred)) else {
+            return;
+        };
+        for t in tuples {
+            if t.len() != atom.args.len() {
+                continue;
+            }
+            let mut touched: Vec<usize> = Vec::new();
+            let mut ok = true;
+            for (v, &c) in atom.args.iter().zip(t) {
+                match binding[v.index()] {
+                    None => {
+                        binding[v.index()] = Some(c);
+                        touched.push(v.index());
+                    }
+                    Some(prev) if prev == c => {}
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                recurse(db, q, atoms, ix + 1, binding, out);
+            }
+            for u in touched {
+                binding[u] = None;
+            }
+        }
+    }
+    recurse(db, q, &atoms, 0, &mut binding, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::RelQueryBuilder;
+
+    /// A length-`n` path query: `ans(x0) <- e(x0,x1), …, e(x(n-1),xn)`.
+    fn path(n: usize) -> RelQuery {
+        let mut b = RelQueryBuilder::new();
+        let e = b.pred("e");
+        let x0 = b.var("x0");
+        b.head_var(x0);
+        for i in 0..n {
+            let u = b.var(&format!("x{i}"));
+            let v = b.var(&format!("x{}", i + 1));
+            b.atom(e, [u, v]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn longer_paths_are_contained_in_shorter() {
+        // path(3) ⊆ path(2): hom from path(2) into path(3).
+        assert!(contains(&path(3), &path(2)));
+        assert!(!contains(&path(2), &path(3)));
+    }
+
+    #[test]
+    fn path_with_loop_minimizes() {
+        // ans(x) <- e(x,y), e(y,y): core is itself (no folding possible
+        // since e(x,y) can't map to e(y,y) while fixing head)? Actually
+        // x ↦ y is forbidden (head), y ↦ y fine: already minimal.
+        let mut b = RelQueryBuilder::new();
+        let e = b.pred("e");
+        let x = b.var("x");
+        let y = b.var("y");
+        b.head_var(x);
+        b.atom(e, [x, y]).atom(e, [y, y]);
+        let q = b.build();
+        assert!(is_minimal(&q));
+
+        // ans(x) <- e(x,y), e(x,z), e(z,z): z self-loop; y folds onto z.
+        let mut b = RelQueryBuilder::new();
+        let e = b.pred("e");
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.head_var(x);
+        b.atom(e, [x, y]).atom(e, [x, z]).atom(e, [z, z]);
+        let q = b.build();
+        assert!(!is_minimal(&q));
+        let m = minimize(&q);
+        assert_eq!(m.var_count(), 2);
+        assert!(equivalent(&q, &m));
+    }
+
+    #[test]
+    fn triangle_query_is_its_own_core() {
+        let mut b = RelQueryBuilder::new();
+        let e = b.pred("e");
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.head_var(x);
+        b.atom(e, [x, y]).atom(e, [y, z]).atom(e, [z, x]);
+        let q = b.build();
+        assert!(is_minimal(&q));
+        assert_eq!(minimize(&q).var_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_atoms_collapse() {
+        let mut b = RelQueryBuilder::new();
+        let e = b.pred("e");
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.head_var(x);
+        b.atom(e, [x, y]).atom(e, [x, z]);
+        let q = b.build();
+        let m = minimize(&q);
+        assert_eq!(m.var_count(), 2);
+        assert_eq!(m.atoms().len(), 1);
+        assert!(equivalent(&q, &m));
+    }
+
+    #[test]
+    fn cross_builder_pred_names_align() {
+        let mut b1 = RelQueryBuilder::new();
+        let p = b1.pred("p");
+        let e = b1.pred("e");
+        let x = b1.var("x");
+        b1.head_var(x);
+        b1.atom(p, [x]).atom(e, [x, x]);
+        let q1 = b1.build();
+
+        let mut b2 = RelQueryBuilder::new();
+        // Interned in the opposite order.
+        let e2 = b2.pred("e");
+        let p2 = b2.pred("p");
+        let x2 = b2.var("x");
+        b2.head_var(x2);
+        b2.atom(p2, [x2]).atom(e2, [x2, x2]);
+        let q2 = b2.build();
+        assert!(equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn evaluation_and_containment_agree() {
+        // q1 ⊆ q2 checked on a concrete database.
+        let q1 = path(3);
+        let q2 = path(2);
+        let mut db: RelDb = RelDb::new();
+        db.insert(
+            "e".into(),
+            [vec![1, 2], vec![2, 3], vec![3, 4], vec![7, 7]]
+                .into_iter()
+                .collect(),
+        );
+        let a1 = answer(&db, &q1);
+        let a2 = answer(&db, &q2);
+        assert!(a1.is_subset(&a2));
+        assert!(a1.contains(&vec![1]));
+        assert!(a2.contains(&vec![2]) && !a1.contains(&vec![3]));
+        assert!(a1.contains(&vec![7]));
+    }
+
+    #[test]
+    fn head_arity_mismatch_never_contains() {
+        let mut b = RelQueryBuilder::new();
+        let e = b.pred("e");
+        let x = b.var("x");
+        let y = b.var("y");
+        b.head_var(x).head_var(y);
+        b.atom(e, [x, y]);
+        let two = b.build();
+        assert!(!contains(&two, &path(1)));
+    }
+}

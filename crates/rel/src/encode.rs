@@ -1,0 +1,150 @@
+//! Encoding terminal positive OODB conjunctive queries as relational
+//! conjunctive queries.
+//!
+//! The encoding deliberately **forgets the type system**: classes become
+//! unary predicates, object-valued attribute equalities become binary
+//! `A_obj` atoms, and memberships become binary `A_mem` atoms. Equated
+//! variables are unified before encoding. The benchmarks use this to show
+//! what the classical Chandra–Merlin machinery can and cannot do on the
+//! paper's queries: containment of a single terminal positive query agrees,
+//! but the typing-driven pruning (unsatisfiable expansion branches, Example
+//! 4.1) is invisible to the relational encoding.
+
+use crate::query::{RelQuery, RelQueryBuilder};
+use oocq_query::{Atom, EqualityGraph, Query, Term};
+use oocq_schema::Schema;
+
+/// Encode a terminal **positive** OODB query relationally.
+///
+/// Panics if the query contains negative atoms (callers hold positivity as
+/// an invariant; this is a harness tool, not a public API surface).
+pub fn encode_positive(schema: &Schema, q: &Query) -> RelQuery {
+    let graph = EqualityGraph::build(q);
+    let mut b = RelQueryBuilder::new();
+    // One relational variable per equivalence class of OODB *variables*;
+    // attribute terms are represented through their class representative
+    // when equated to a variable, or through a fresh skolem variable.
+    let rel_of_term = |t: Term, b: &mut RelQueryBuilder| {
+        if let Some(rep) = graph.representative_var(t) {
+            b.var(q.var_name(rep))
+        } else {
+            // Unequated attribute term: name it canonically.
+            match t {
+                Term::Var(v) => b.var(q.var_name(v)),
+                Term::Attr(v, a) => {
+                    let name = format!("{}__{}", q.var_name(v), schema.attr_name(a).to_owned());
+                    b.var(&name)
+                }
+            }
+        }
+    };
+    let free = rel_of_term(Term::Var(q.free_var()), &mut b);
+    b.head_var(free);
+    for atom in q.atoms() {
+        match atom {
+            Atom::Range(v, cs) => {
+                let rv = rel_of_term(Term::Var(*v), &mut b);
+                for c in cs {
+                    let p = b.pred(&format!("class_{}", schema.class_name(*c)));
+                    b.atom(p, [rv]);
+                }
+            }
+            Atom::Eq(s, t) => {
+                // Variable-variable equalities are absorbed by the class
+                // representative; attribute equalities become A_obj edges.
+                for (side, other) in [(*s, *t), (*t, *s)] {
+                    if let Term::Attr(v, a) = side {
+                        let base = rel_of_term(Term::Var(v), &mut b);
+                        let val = rel_of_term(other, &mut b);
+                        let p = b.pred(&format!("{}_obj", schema.attr_name(a)));
+                        b.atom(p, [base, val]);
+                    }
+                }
+            }
+            Atom::Member(x, y, a) => {
+                let mx = rel_of_term(Term::Var(*x), &mut b);
+                let my = rel_of_term(Term::Var(*y), &mut b);
+                let p = b.pred(&format!("{}_mem", schema.attr_name(*a)));
+                b.atom(p, [my, mx]);
+            }
+            negative => panic!("encode_positive given a negative atom: {negative:?}"),
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contain;
+    use oocq_query::QueryBuilder;
+    use oocq_schema::samples;
+
+    fn discount_query(s: &Schema, cls: &str) -> Query {
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [s.class_id(cls).unwrap()]);
+        b.range(y, [s.class_id("Discount").unwrap()]);
+        b.member(x, y, s.attr_id("VehRented").unwrap());
+        b.build()
+    }
+
+    #[test]
+    fn encoding_shape() {
+        let s = samples::vehicle_rental();
+        let rq = encode_positive(&s, &discount_query(&s, "Auto"));
+        let text = rq.to_string();
+        assert!(text.starts_with("ans(x)"));
+        assert!(text.contains("class_Auto(x)"));
+        assert!(text.contains("class_Discount(y)"));
+        assert!(text.contains("VehRented_mem(y, x)"));
+    }
+
+    #[test]
+    fn equated_variables_unify() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]).eq_vars(x, y);
+        let rq = encode_positive(&s, &b.build());
+        // x and y collapse into one relational variable.
+        assert_eq!(rq.var_count(), 1);
+    }
+
+    #[test]
+    fn relational_containment_agrees_on_same_class_queries() {
+        // Two terminal positive queries over identical classes: relational
+        // containment matches the OODB decision (no typing involved).
+        let s = samples::vehicle_rental();
+        let q_auto = discount_query(&s, "Auto");
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [s.class_id("Auto").unwrap()]);
+        let q_loose = b.build();
+        let r1 = encode_positive(&s, &q_auto);
+        let r2 = encode_positive(&s, &q_loose);
+        assert!(contain::contains(&r1, &r2));
+        assert!(!contain::contains(&r2, &r1));
+        assert_eq!(
+            contain::contains(&r1, &r2),
+            oocq_core::contains_terminal(&s, &q_auto, &q_loose).unwrap()
+        );
+    }
+
+    #[test]
+    fn relational_encoding_misses_typing_pruning() {
+        // The Truck variant is unsatisfiable in the OODB (Discount rents
+        // Autos only) hence contained in everything; the untyped relational
+        // encoding cannot see that.
+        let s = samples::vehicle_rental();
+        let q_truck = discount_query(&s, "Truck");
+        let q_auto = discount_query(&s, "Auto");
+        assert!(oocq_core::contains_terminal(&s, &q_truck, &q_auto).unwrap());
+        let r_truck = encode_positive(&s, &q_truck);
+        let r_auto = encode_positive(&s, &q_auto);
+        assert!(!contain::contains(&r_truck, &r_auto));
+    }
+}

@@ -1,0 +1,24 @@
+//! # oocq-rel
+//!
+//! The classical relational conjunctive-query baseline (Chandra–Merlin
+//! 1977) that Chan's OODB theory generalizes: homomorphism-based
+//! containment, core minimization, naive evaluation, and an encoder from
+//! terminal positive OODB queries into untyped relational queries. The
+//! benchmark harness uses this crate to compare the relational machinery
+//! against the typing-aware algorithms of `oocq-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod contain;
+mod encode;
+mod query;
+mod union;
+
+pub use contain::{answer, contains, equivalent, homomorphism, is_minimal, minimize, RelDb};
+pub use encode::encode_positive;
+pub use query::{PredId, RelAtom, RelQuery, RelQueryBuilder, RelVar};
+pub use union::{
+    memberwise_unique_equivalent, minimize_union, nonredundant, union_contains, union_equivalent,
+    RelUnion,
+};

@@ -1,0 +1,252 @@
+//! Classical relational conjunctive queries (Chandra–Merlin 1977).
+//!
+//! The baseline the paper generalizes: queries of the form
+//! `ans(x̄) ← p₁(ū₁), …, pₖ(ūₖ)` over uninterpreted relation symbols, with
+//! no class hierarchy, no typing, and no negation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A variable of a relational query (dense index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelVar(pub u32);
+
+impl RelVar {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A relation symbol (interned per query set via [`RelQueryBuilder`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PredId(pub u32);
+
+/// One body atom `p(v₁, …, vₙ)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelAtom {
+    /// The relation symbol.
+    pub pred: PredId,
+    /// The argument variables.
+    pub args: Vec<RelVar>,
+}
+
+/// A relational conjunctive query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelQuery {
+    pred_names: Vec<String>,
+    var_names: Vec<String>,
+    head: Vec<RelVar>,
+    atoms: Vec<RelAtom>,
+}
+
+impl RelQuery {
+    /// The distinguished (head) variables.
+    pub fn head(&self) -> &[RelVar] {
+        &self.head
+    }
+
+    /// The body atoms.
+    pub fn atoms(&self) -> &[RelAtom] {
+        &self.atoms
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Iterate over variables.
+    pub fn vars(&self) -> impl Iterator<Item = RelVar> {
+        (0..self.var_names.len() as u32).map(RelVar)
+    }
+
+    /// A variable's name.
+    pub fn var_name(&self, v: RelVar) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// A predicate's name.
+    pub fn pred_name(&self, p: PredId) -> &str {
+        &self.pred_names[p.0 as usize]
+    }
+
+    /// Number of distinct predicates mentioned.
+    pub fn pred_count(&self) -> usize {
+        self.pred_names.len()
+    }
+
+    /// Apply a variable mapping, dedup atoms, and drop unused variables.
+    pub fn apply_mapping(&self, map: &[RelVar]) -> RelQuery {
+        debug_assert_eq!(map.len(), self.var_count());
+        let mapped_atoms: Vec<RelAtom> = self
+            .atoms
+            .iter()
+            .map(|a| RelAtom {
+                pred: a.pred,
+                args: a.args.iter().map(|v| map[v.index()]).collect(),
+            })
+            .collect();
+        let mapped_head: Vec<RelVar> = self.head.iter().map(|v| map[v.index()]).collect();
+        let mut used = vec![false; self.var_count()];
+        for v in &mapped_head {
+            used[v.index()] = true;
+        }
+        for a in &mapped_atoms {
+            for v in &a.args {
+                used[v.index()] = true;
+            }
+        }
+        let mut remap = vec![RelVar(0); self.var_count()];
+        let mut names = Vec::new();
+        for (ix, &u) in used.iter().enumerate() {
+            if u {
+                remap[ix] = RelVar(names.len() as u32);
+                names.push(self.var_names[ix].clone());
+            }
+        }
+        let mut atoms: Vec<RelAtom> = mapped_atoms
+            .into_iter()
+            .map(|a| RelAtom {
+                pred: a.pred,
+                args: a.args.into_iter().map(|v| remap[v.index()]).collect(),
+            })
+            .collect();
+        atoms.sort();
+        atoms.dedup();
+        RelQuery {
+            pred_names: self.pred_names.clone(),
+            var_names: names,
+            head: mapped_head.into_iter().map(|v| remap[v.index()]).collect(),
+            atoms,
+        }
+    }
+}
+
+impl fmt::Display for RelQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ans(")?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.var_name(*v))?;
+        }
+        write!(f, ") <- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}(", self.pred_name(a.pred))?;
+            for (j, v) in a.args.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.var_name(*v))?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`RelQuery`].
+#[derive(Default, Clone, Debug)]
+pub struct RelQueryBuilder {
+    pred_names: Vec<String>,
+    pred_by_name: HashMap<String, PredId>,
+    var_names: Vec<String>,
+    var_by_name: HashMap<String, RelVar>,
+    head: Vec<RelVar>,
+    atoms: Vec<RelAtom>,
+}
+
+impl RelQueryBuilder {
+    /// Start an empty builder.
+    pub fn new() -> RelQueryBuilder {
+        RelQueryBuilder::default()
+    }
+
+    /// Intern a variable by name (idempotent).
+    pub fn var(&mut self, name: &str) -> RelVar {
+        if let Some(&v) = self.var_by_name.get(name) {
+            return v;
+        }
+        let v = RelVar(self.var_names.len() as u32);
+        self.var_names.push(name.to_owned());
+        self.var_by_name.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Intern a predicate by name (idempotent).
+    pub fn pred(&mut self, name: &str) -> PredId {
+        if let Some(&p) = self.pred_by_name.get(name) {
+            return p;
+        }
+        let p = PredId(self.pred_names.len() as u32);
+        self.pred_names.push(name.to_owned());
+        self.pred_by_name.insert(name.to_owned(), p);
+        p
+    }
+
+    /// Append a head variable.
+    pub fn head_var(&mut self, v: RelVar) -> &mut Self {
+        self.head.push(v);
+        self
+    }
+
+    /// Append a body atom.
+    pub fn atom(&mut self, pred: PredId, args: impl IntoIterator<Item = RelVar>) -> &mut Self {
+        self.atoms.push(RelAtom {
+            pred,
+            args: args.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> RelQuery {
+        RelQuery {
+            pred_names: self.pred_names,
+            var_names: self.var_names,
+            head: self.head,
+            atoms: self.atoms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interns_names() {
+        let mut b = RelQueryBuilder::new();
+        let x = b.var("x");
+        let x2 = b.var("x");
+        assert_eq!(x, x2);
+        let p = b.pred("edge");
+        assert_eq!(p, b.pred("edge"));
+        b.head_var(x);
+        b.atom(p, [x, x]);
+        let q = b.build();
+        assert_eq!(q.var_count(), 1);
+        assert_eq!(q.to_string(), "ans(x) <- edge(x, x)");
+    }
+
+    #[test]
+    fn apply_mapping_folds_and_compacts() {
+        let mut b = RelQueryBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        let e = b.pred("e");
+        b.head_var(x);
+        b.atom(e, [x, y]).atom(e, [x, z]);
+        let q = b.build();
+        let folded = q.apply_mapping(&[x, y, y]);
+        assert_eq!(folded.var_count(), 2);
+        assert_eq!(folded.atoms().len(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Unions of relational conjunctive queries (Sagiv–Yannakakis 1980).
+//!
+//! The paper's §4 minimization technique is modeled on Sagiv–Yannakakis's
+//! treatment of unions of relational expressions: containment of unions of
+//! conjunctive queries is pairwise (`M ⊆ N` iff every `Qᵢ ⊆ some Pⱼ`), the
+//! nonredundant form is unique up to per-member equivalence, and the
+//! minimal form minimizes each member's core. This module provides that
+//! baseline for comparison with the OODB generalization.
+
+use crate::contain::{contains, equivalent, minimize};
+use crate::query::RelQuery;
+
+/// A union of relational conjunctive queries. The empty union is the
+/// unsatisfiable query.
+#[derive(Clone, Debug, Default)]
+pub struct RelUnion {
+    members: Vec<RelQuery>,
+}
+
+impl RelUnion {
+    /// Build from members.
+    pub fn new(members: Vec<RelQuery>) -> RelUnion {
+        RelUnion { members }
+    }
+
+    /// The member queries.
+    pub fn members(&self) -> &[RelQuery] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Is the union empty?
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Sagiv–Yannakakis: `m ⊆ n` iff each member of `m` is contained in some
+/// member of `n`.
+pub fn union_contains(m: &RelUnion, n: &RelUnion) -> bool {
+    m.members
+        .iter()
+        .all(|q| n.members.iter().any(|p| contains(q, p)))
+}
+
+/// Union equivalence (both containments).
+pub fn union_equivalent(m: &RelUnion, n: &RelUnion) -> bool {
+    union_contains(m, n) && union_contains(n, m)
+}
+
+/// Remove redundant members: any `Qᵢ` contained in a retained `Qⱼ` (`j≠i`)
+/// is dropped, keeping the first of each equivalence group.
+pub fn nonredundant(u: &RelUnion) -> RelUnion {
+    let n = u.members.len();
+    let mut dropped = vec![false; n];
+    for i in 0..n {
+        if dropped[i] {
+            continue;
+        }
+        for j in 0..n {
+            if i == j || dropped[j] || !contains(&u.members[i], &u.members[j]) {
+                continue;
+            }
+            if contains(&u.members[j], &u.members[i]) {
+                if j < i {
+                    dropped[i] = true;
+                    break;
+                }
+            } else {
+                dropped[i] = true;
+                break;
+            }
+        }
+    }
+    RelUnion {
+        members: u
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dropped[*i])
+            .map(|(_, q)| q.clone())
+            .collect(),
+    }
+}
+
+/// The Sagiv–Yannakakis minimal form: nonredundant union of cores.
+pub fn minimize_union(u: &RelUnion) -> RelUnion {
+    let nr = nonredundant(u);
+    RelUnion {
+        members: nr.members.iter().map(minimize).collect(),
+    }
+}
+
+/// Sanity predicate used by tests: two unions are member-wise equivalent
+/// with a unique partner each (the Sagiv–Yannakakis uniqueness property,
+/// mirrored by the paper's Theorem 4.2).
+pub fn memberwise_unique_equivalent(m: &RelUnion, n: &RelUnion) -> bool {
+    if m.len() != n.len() {
+        return false;
+    }
+    m.members.iter().all(|q| {
+        n.members.iter().filter(|p| equivalent(q, p)).count() == 1
+    }) && n.members.iter().all(|p| {
+        m.members.iter().filter(|q| equivalent(q, p)).count() == 1
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::RelQueryBuilder;
+
+    fn path(n: usize) -> RelQuery {
+        let mut b = RelQueryBuilder::new();
+        let e = b.pred("e");
+        let x0 = b.var("x0");
+        b.head_var(x0);
+        for i in 0..n {
+            let u = b.var(&format!("x{i}"));
+            let v = b.var(&format!("x{}", i + 1));
+            b.atom(e, [u, v]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn union_containment_is_pairwise() {
+        let m = RelUnion::new(vec![path(3), path(4)]);
+        let n = RelUnion::new(vec![path(2)]);
+        // Longer paths are contained in shorter ones.
+        assert!(union_contains(&m, &n));
+        assert!(!union_contains(&n, &m));
+    }
+
+    #[test]
+    fn nonredundant_drops_contained_members() {
+        let u = RelUnion::new(vec![path(4), path(2), path(3)]);
+        let nr = nonredundant(&u);
+        // path(4) ⊆ path(2) and path(3) ⊆ path(2): only path(2) survives.
+        assert_eq!(nr.len(), 1);
+        assert_eq!(nr.members()[0].atoms().len(), 2);
+        assert!(union_equivalent(&u, &nr));
+    }
+
+    #[test]
+    fn equivalent_duplicates_keep_first() {
+        let u = RelUnion::new(vec![path(2), path(2)]);
+        assert_eq!(nonredundant(&u).len(), 1);
+    }
+
+    #[test]
+    fn minimize_union_computes_cores() {
+        // A path query with a duplicated (renamed) tail folds in the core.
+        let mut b = RelQueryBuilder::new();
+        let e = b.pred("e");
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.head_var(x);
+        b.atom(e, [x, y]).atom(e, [x, z]);
+        let padded = b.build();
+        let u = RelUnion::new(vec![padded]);
+        let m = minimize_union(&u);
+        assert_eq!(m.members()[0].var_count(), 2);
+        assert!(union_equivalent(&u, &m));
+    }
+
+    #[test]
+    fn uniqueness_of_nonredundant_forms() {
+        let fwd = RelUnion::new(vec![path(1), path(5), path(3)]);
+        let rev = RelUnion::new(vec![path(3), path(5), path(1)]);
+        let a = minimize_union(&fwd);
+        let b = minimize_union(&rev);
+        assert!(memberwise_unique_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn empty_union_is_bottom() {
+        let empty = RelUnion::default();
+        let m = RelUnion::new(vec![path(1)]);
+        assert!(union_contains(&empty, &m));
+        assert!(!union_contains(&m, &empty));
+        assert!(empty.is_empty());
+    }
+}

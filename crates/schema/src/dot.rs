@@ -1,0 +1,75 @@
+//! Graphviz export of the inheritance hierarchy.
+//!
+//! Renders the class DAG with attribute declarations, in the style of the
+//! paper's schema figures (Examples 1.1 and 1.2): inheritance edges point
+//! from subclass to superclass; each node lists its *declared* attributes;
+//! terminal classes are drawn with a double border (they are the classes
+//! whose extents actually hold objects under the partitioning assumption).
+
+use crate::schema::Schema;
+
+impl Schema {
+    /// Render the hierarchy as a Graphviz `digraph`.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph schema {\n  rankdir=BT;\n  node [shape=record];\n");
+        for c in self.classes() {
+            let name = self.class_name(c);
+            let mut label = name.to_owned();
+            let decl = self.declared_type(c);
+            if !decl.is_empty() {
+                label.push('|');
+                let attrs: Vec<String> = decl
+                    .iter()
+                    .map(|(&a, &t)| {
+                        format!("{}: {}", self.attr_name(a), self.display_attr_type(t))
+                            .replace('{', "\\{")
+                            .replace('}', "\\}")
+                    })
+                    .collect();
+                label.push_str(&attrs.join("\\l"));
+                label.push_str("\\l");
+            }
+            let peripheries = if self.is_terminal(c) { 2 } else { 1 };
+            out.push_str(&format!(
+                "  \"{name}\" [label=\"{{{label}}}\", peripheries={peripheries}];\n"
+            ));
+        }
+        for c in self.classes() {
+            for &p in self.parents(c) {
+                out.push_str(&format!(
+                    "  \"{}\" -> \"{}\";\n",
+                    self.class_name(c),
+                    self.class_name(p)
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::samples;
+
+    #[test]
+    fn dot_mentions_every_class_and_edge() {
+        let s = samples::vehicle_rental();
+        let dot = s.to_dot();
+        assert!(dot.starts_with("digraph schema {"));
+        for name in ["Vehicle", "Auto", "Discount", "Regular"] {
+            assert!(dot.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+        assert!(dot.contains("\"Auto\" -> \"Vehicle\""));
+        assert!(dot.contains("\"Discount\" -> \"Client\""));
+        // Set types are brace-escaped for the record syntax.
+        assert!(dot.contains("VehRented: \\{Vehicle\\}"));
+    }
+
+    #[test]
+    fn terminals_get_double_border() {
+        let s = samples::single_class();
+        let dot = s.to_dot();
+        assert!(dot.contains("peripheries=2"));
+    }
+}

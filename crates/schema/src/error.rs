@@ -1,0 +1,114 @@
+//! Errors raised while building or validating a schema.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure modes of [`SchemaBuilder::finish`](crate::SchemaBuilder::finish)
+/// and the incremental builder methods.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SchemaError {
+    /// Two classes were declared with the same name.
+    DuplicateClass(String),
+    /// A class name was referenced (as a parent or in an attribute type)
+    /// but never declared.
+    UnknownClass(String),
+    /// The inheritance hierarchy has a cycle of length greater than one,
+    /// which §2.1 forbids.
+    InheritanceCycle(String),
+    /// The same attribute was declared twice on one class.
+    DuplicateAttribute {
+        /// The declaring class.
+        class: String,
+        /// The repeated attribute.
+        attr: String,
+    },
+    /// A subclass redeclares an inherited attribute with a type that is not
+    /// a subtype of the inherited type, violating schema consistency in the
+    /// sense of Lecluse–Richard \[24\].
+    InvalidRefinement {
+        /// The redeclaring class.
+        class: String,
+        /// The refined attribute.
+        attr: String,
+        /// The type declared on the subclass.
+        declared: String,
+        /// The type inherited from a superclass.
+        inherited: String,
+    },
+    /// Two superclasses hand down incomparable types for the same attribute
+    /// and the subclass does not redeclare it to disambiguate.
+    AmbiguousInheritance {
+        /// The inheriting class.
+        class: String,
+        /// The ambiguous attribute.
+        attr: String,
+    },
+    /// An edge `child ≺ parent` was declared twice.
+    DuplicateEdge {
+        /// The subclass.
+        child: String,
+        /// The superclass.
+        parent: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateClass(name) => {
+                write!(f, "class `{name}` declared more than once")
+            }
+            SchemaError::UnknownClass(name) => write!(f, "unknown class `{name}`"),
+            SchemaError::InheritanceCycle(name) => write!(
+                f,
+                "inheritance hierarchy has a cycle through class `{name}`"
+            ),
+            SchemaError::DuplicateAttribute { class, attr } => {
+                write!(f, "attribute `{attr}` declared twice on class `{class}`")
+            }
+            SchemaError::InvalidRefinement {
+                class,
+                attr,
+                declared,
+                inherited,
+            } => write!(
+                f,
+                "class `{class}` redeclares attribute `{attr}` as `{declared}`, \
+                 which is not a subtype of the inherited `{inherited}`"
+            ),
+            SchemaError::AmbiguousInheritance { class, attr } => write!(
+                f,
+                "class `{class}` inherits incomparable types for attribute `{attr}` \
+                 and must redeclare it"
+            ),
+            SchemaError::DuplicateEdge { child, parent } => {
+                write!(f, "edge `{child} ≺ {parent}` declared twice")
+            }
+        }
+    }
+}
+
+impl Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_names() {
+        let e = SchemaError::InvalidRefinement {
+            class: "Auto".into(),
+            attr: "Owner".into(),
+            declared: "Truck".into(),
+            inherited: "Person".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("Auto") && s.contains("Owner") && s.contains("Person"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&SchemaError::UnknownClass("X".into()));
+    }
+}

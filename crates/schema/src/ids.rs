@@ -1,0 +1,89 @@
+//! Interned identifiers for schema-level names.
+//!
+//! Classes and attributes are referred to by dense `u32` newtypes so that the
+//! containment/minimization hot loops (homomorphism search, equality-graph
+//! closure) can index into vectors instead of hashing strings.
+
+use std::fmt;
+
+/// Identifier of a class name in a [`Schema`](crate::Schema).
+///
+/// `ClassId`s are dense indices assigned in declaration order by
+/// [`SchemaBuilder`](crate::SchemaBuilder); they are only meaningful relative
+/// to the schema that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub(crate) u32);
+
+/// Identifier of an attribute name in a [`Schema`](crate::Schema).
+///
+/// Attribute names are interned schema-wide (the paper treats an attribute
+/// name such as `A` as global: `x.A` is well-typed whenever `x`'s class
+/// declares `A`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub(crate) u32);
+
+impl ClassId {
+    /// Dense index of this class, suitable for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a `ClassId` from an index previously obtained via
+    /// [`ClassId::index`]. The caller must ensure the index belongs to the
+    /// same schema.
+    #[inline]
+    pub fn from_index(ix: usize) -> ClassId {
+        ClassId(u32::try_from(ix).expect("class index exceeds u32"))
+    }
+}
+
+impl AttrId {
+    /// Dense index of this attribute, suitable for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct an `AttrId` from an index previously obtained via
+    /// [`AttrId::index`].
+    #[inline]
+    pub fn from_index(ix: usize) -> AttrId {
+        AttrId(u32::try_from(ix).expect("attribute index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClassId({})", self.0)
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AttrId({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_id_round_trips_through_index() {
+        let id = ClassId(7);
+        assert_eq!(ClassId::from_index(id.index()), id);
+    }
+
+    #[test]
+    fn attr_id_round_trips_through_index() {
+        let id = AttrId(3);
+        assert_eq!(AttrId::from_index(id.index()), id);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_declaration_index() {
+        assert!(ClassId(1) < ClassId(2));
+        assert!(AttrId(0) < AttrId(9));
+    }
+}

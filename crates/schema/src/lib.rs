@@ -1,0 +1,35 @@
+//! # oocq-schema
+//!
+//! OODB schemas for the query model of Chan, *Containment and Minimization
+//! of Positive Conjunctive Queries in OODB's* (PODS 1992), §2.1.
+//!
+//! A schema `S = (C, σ, ≺)` consists of class names `C`, a mapping `σ` from
+//! class names to tuple types, and the inheritance partial order `≺`. This
+//! crate provides:
+//!
+//! * [`SchemaBuilder`] / [`Schema`] — construction with validation of
+//!   acyclicity and Lecluse–Richard consistency (refinements must be
+//!   subtypes), plus precomputed subclass closure, effective (inherited)
+//!   tuple types, terminal classes, and terminal descendant sets;
+//! * [`AttrType`] / [`TupleType`] — the type expressions `type-expr(C)`;
+//! * [`samples`] — the paper's example schemas, used throughout the test
+//!   suite and the experiment harness.
+//!
+//! The **Terminal Class Partitioning Assumption** is global to the library:
+//! objects of a non-terminal class are partitioned by its terminal
+//! descendants in every legal state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dot;
+mod error;
+mod ids;
+mod schema;
+pub mod samples;
+mod types;
+
+pub use error::SchemaError;
+pub use ids::{AttrId, ClassId};
+pub use schema::{Schema, SchemaBuilder, SchemaStats};
+pub use types::{AttrType, TupleType};

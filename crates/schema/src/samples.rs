@@ -1,0 +1,227 @@
+//! The example schemas of the paper, reconstructed from its figures and
+//! prose. Shared by tests, examples, and the experiment harness.
+
+use crate::ids::ClassId;
+use crate::schema::{Schema, SchemaBuilder};
+use crate::types::AttrType;
+
+/// The vehicle-rental schema of **Example 1.1**.
+///
+/// `Auto`, `Trailer`, `Truck` are terminal subclasses of `Vehicle`;
+/// `Discount` and `Regular` are terminal subclasses of `Client`. Clients rent
+/// vehicles via the set-valued attribute `VehRented : {Vehicle}`, which
+/// `Discount` refines to `{Auto}` — discount customers may rent automobiles
+/// only. This refinement is what makes the paper's rewrite of
+/// `x ∈ Vehicle` into `x ∈ Auto` sound.
+pub fn vehicle_rental() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let vehicle = b.class("Vehicle").unwrap();
+    let auto = b.class("Auto").unwrap();
+    let trailer = b.class("Trailer").unwrap();
+    let truck = b.class("Truck").unwrap();
+    let client = b.class("Client").unwrap();
+    let discount = b.class("Discount").unwrap();
+    let regular = b.class("Regular").unwrap();
+    b.subclass(auto, vehicle).unwrap();
+    b.subclass(trailer, vehicle).unwrap();
+    b.subclass(truck, vehicle).unwrap();
+    b.subclass(discount, client).unwrap();
+    b.subclass(regular, client).unwrap();
+    b.attribute(client, "VehRented", AttrType::SetOf(vehicle)).unwrap();
+    b.attribute(discount, "VehRented", AttrType::SetOf(auto)).unwrap();
+    // A little extra structure so evaluation workloads are not degenerate.
+    b.attribute(vehicle, "AssignedTo", AttrType::Object(client)).unwrap();
+    b.finish().unwrap()
+}
+
+/// The schema of **Example 1.2** (and Example 4.1).
+///
+/// `N₁` is partitioned by terminals `T₁, T₂, T₃`; `G` by terminals `H, I`;
+/// `N₂` by terminals `U₁, U₂` (present in the figure, unused by the
+/// queries). Attribute declarations follow the prose:
+///
+/// * `N₁.A : {G}` — inherited by `T₁` and `T₂`, refined on `T₃` to `{I}`
+///   ("if x denotes an object from T₃, then its A-component contains objects
+///   from the class I");
+/// * `B : G` is declared on `T₂` and `T₃` but **not** on `N₁` or `T₁`
+///   ("x cannot be an object from T₁ because T₁ does not have the
+///   attribute B").
+pub fn n1_partition() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let n1 = b.class("N1").unwrap();
+    let t1 = b.class("T1").unwrap();
+    let t2 = b.class("T2").unwrap();
+    let t3 = b.class("T3").unwrap();
+    let g = b.class("G").unwrap();
+    let h = b.class("H").unwrap();
+    let i = b.class("I").unwrap();
+    let n2 = b.class("N2").unwrap();
+    let u1 = b.class("U1").unwrap();
+    let u2 = b.class("U2").unwrap();
+    b.subclass(t1, n1).unwrap();
+    b.subclass(t2, n1).unwrap();
+    b.subclass(t3, n1).unwrap();
+    b.subclass(h, g).unwrap();
+    b.subclass(i, g).unwrap();
+    b.subclass(u1, n2).unwrap();
+    b.subclass(u2, n2).unwrap();
+    b.attribute(n1, "A", AttrType::SetOf(g)).unwrap();
+    b.attribute(t3, "A", AttrType::SetOf(i)).unwrap();
+    b.attribute(t2, "B", AttrType::Object(g)).unwrap();
+    b.attribute(t3, "B", AttrType::Object(g)).unwrap();
+    b.finish().unwrap()
+}
+
+/// The schema of **Example 1.3**.
+///
+/// `C` is a terminal class with an object-valued attribute `A : V`, where
+/// `V` is partitioned by the unrelated terminal classes `T₁` and `T₂` — so
+/// `T₁` and `T₂` are both subtypes of `type(C.A)` as the example requires.
+pub fn unrelated_subtypes() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let c = b.class("C").unwrap();
+    let v = b.class("V").unwrap();
+    let t1 = b.class("T1").unwrap();
+    let t2 = b.class("T2").unwrap();
+    b.subclass(t1, v).unwrap();
+    b.subclass(t2, v).unwrap();
+    b.attribute(c, "A", AttrType::Object(v)).unwrap();
+    b.finish().unwrap()
+}
+
+/// The schema of **Example 3.1**.
+///
+/// Terminal classes `C` and `D`; `C.A : D` (object-valued, used by
+/// `z = y.A`) and `C.B : {D}` so that `{D}` is a subtype of `type(C.B)`.
+pub fn example_31() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let c = b.class("C").unwrap();
+    let d = b.class("D").unwrap();
+    b.attribute(c, "A", AttrType::Object(d)).unwrap();
+    b.attribute(c, "B", AttrType::SetOf(d)).unwrap();
+    b.finish().unwrap()
+}
+
+/// The schema of **Example 3.2**: a single terminal class `C` with no
+/// attributes. Containment there hinges purely on counting distinct objects.
+pub fn single_class() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.class("C").unwrap();
+    b.finish().unwrap()
+}
+
+/// The schema of **Example 3.3**.
+///
+/// Distinct terminal classes `T₁` and `T₂` with `T₂.A : {T₁}`, making `T₁` a
+/// subclass of `type(T₂.A)`'s member class.
+pub fn example_33() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let t1 = b.class("T1").unwrap();
+    let t2 = b.class("T2").unwrap();
+    b.attribute(t2, "A", AttrType::SetOf(t1)).unwrap();
+    b.finish().unwrap()
+}
+
+/// Convenience: look up a class that is known to exist in a sample schema.
+pub fn class(s: &Schema, name: &str) -> ClassId {
+    s.class_id(name)
+        .unwrap_or_else(|| panic!("sample schema lacks class `{name}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AttrType;
+
+    #[test]
+    fn vehicle_rental_terminals() {
+        let s = vehicle_rental();
+        let names: Vec<&str> = s.terminals().iter().map(|&c| s.class_name(c)).collect();
+        assert_eq!(names, ["Auto", "Trailer", "Truck", "Discount", "Regular"]);
+    }
+
+    #[test]
+    fn discount_refines_veh_rented_to_autos() {
+        let s = vehicle_rental();
+        let veh_rented = s.attr_id("VehRented").unwrap();
+        let auto = class(&s, "Auto");
+        assert_eq!(
+            s.attr_type(class(&s, "Discount"), veh_rented),
+            Some(AttrType::SetOf(auto))
+        );
+        let vehicle = class(&s, "Vehicle");
+        assert_eq!(
+            s.attr_type(class(&s, "Regular"), veh_rented),
+            Some(AttrType::SetOf(vehicle))
+        );
+    }
+
+    #[test]
+    fn n1_partition_attribute_layout() {
+        let s = n1_partition();
+        let a = s.attr_id("A").unwrap();
+        let bb = s.attr_id("B").unwrap();
+        // T1 has A (inherited {G}) but no B.
+        assert_eq!(
+            s.attr_type(class(&s, "T1"), a),
+            Some(AttrType::SetOf(class(&s, "G")))
+        );
+        assert_eq!(s.attr_type(class(&s, "T1"), bb), None);
+        // T3 refines A to {I}.
+        assert_eq!(
+            s.attr_type(class(&s, "T3"), a),
+            Some(AttrType::SetOf(class(&s, "I")))
+        );
+        // T2 and T3 both carry B : G.
+        for t in ["T2", "T3"] {
+            assert_eq!(
+                s.attr_type(class(&s, t), bb),
+                Some(AttrType::Object(class(&s, "G")))
+            );
+        }
+    }
+
+    #[test]
+    fn n1_terminal_descendants() {
+        let s = n1_partition();
+        let n1 = class(&s, "N1");
+        let names: Vec<&str> = s
+            .terminal_descendants(n1)
+            .iter()
+            .map(|&c| s.class_name(c))
+            .collect();
+        assert_eq!(names, ["T1", "T2", "T3"]);
+        let g = class(&s, "G");
+        let names: Vec<&str> = s
+            .terminal_descendants(g)
+            .iter()
+            .map(|&c| s.class_name(c))
+            .collect();
+        assert_eq!(names, ["H", "I"]);
+    }
+
+    #[test]
+    fn unrelated_subtypes_layout() {
+        let s = unrelated_subtypes();
+        assert!(s.is_terminal(class(&s, "T1")));
+        assert!(s.is_terminal(class(&s, "T2")));
+        assert!(s.is_terminal(class(&s, "C")));
+        assert!(!s.is_terminal(class(&s, "V")));
+        let a = s.attr_id("A").unwrap();
+        assert_eq!(
+            s.attr_type(class(&s, "C"), a),
+            Some(AttrType::Object(class(&s, "V")))
+        );
+    }
+
+    #[test]
+    fn all_samples_build() {
+        // Each sample's builder must validate.
+        let _ = vehicle_rental();
+        let _ = n1_partition();
+        let _ = unrelated_subtypes();
+        let _ = example_31();
+        let _ = single_class();
+        let _ = example_33();
+    }
+}

@@ -1,0 +1,771 @@
+//! Schemas `S = (C, σ, ≺)` (§2.1 of the paper).
+//!
+//! A schema is a set of class names `C`, a mapping `σ` from class names to
+//! tuple types, and a partial order `≺` (the user-defined inheritance
+//! hierarchy; `A ≺ B` reads "A is a subclass of B"). The hierarchy must have
+//! no cycle of length greater than one. We only admit *consistent* schemas in
+//! the sense of Lecluse–Richard: a subclass may refine an inherited attribute
+//! only to a subtype.
+//!
+//! Throughout the library the **Terminal Class Partitioning Assumption**
+//! holds: in every legal state, the objects of a non-terminal class are
+//! partitioned by the objects of its terminal descendants. The schema
+//! therefore precomputes the set of terminal descendants of every class.
+
+use crate::error::SchemaError;
+use crate::ids::{AttrId, ClassId};
+use crate::types::{AttrType, TupleType};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Incremental builder for [`Schema`].
+///
+/// Classes are declared first, then edges and attribute declarations; all
+/// closure computation and consistency checking happens in
+/// [`SchemaBuilder::finish`].
+#[derive(Default, Clone, Debug)]
+pub struct SchemaBuilder {
+    class_names: Vec<String>,
+    class_by_name: HashMap<String, ClassId>,
+    attr_names: Vec<String>,
+    attr_by_name: HashMap<String, AttrId>,
+    /// `parents[c]` = direct superclasses of `c`.
+    parents: Vec<Vec<ClassId>>,
+    /// Attributes declared directly on each class (before inheritance).
+    declared: Vec<TupleType>,
+}
+
+impl SchemaBuilder {
+    /// Create an empty builder.
+    pub fn new() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Declare a new class.
+    pub fn class(&mut self, name: &str) -> Result<ClassId, SchemaError> {
+        if self.class_by_name.contains_key(name) {
+            return Err(SchemaError::DuplicateClass(name.to_owned()));
+        }
+        let id = ClassId::from_index(self.class_names.len());
+        self.class_names.push(name.to_owned());
+        self.class_by_name.insert(name.to_owned(), id);
+        self.parents.push(Vec::new());
+        self.declared.push(TupleType::new());
+        Ok(id)
+    }
+
+    /// Intern an attribute name (idempotent).
+    pub fn attr(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.attr_by_name.get(name) {
+            return id;
+        }
+        let id = AttrId::from_index(self.attr_names.len());
+        self.attr_names.push(name.to_owned());
+        self.attr_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Declare `child ≺ parent`. Self-edges are ignored (the partial order
+    /// is reflexive by definition); duplicate edges are rejected.
+    pub fn subclass(&mut self, child: ClassId, parent: ClassId) -> Result<(), SchemaError> {
+        if child == parent {
+            return Ok(());
+        }
+        if self.parents[child.index()].contains(&parent) {
+            return Err(SchemaError::DuplicateEdge {
+                child: self.class_names[child.index()].clone(),
+                parent: self.class_names[parent.index()].clone(),
+            });
+        }
+        self.parents[child.index()].push(parent);
+        Ok(())
+    }
+
+    /// Declare attribute `name : ty` directly on `class`.
+    pub fn attribute(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        ty: AttrType,
+    ) -> Result<AttrId, SchemaError> {
+        let attr = self.attr(name);
+        if self.declared[class.index()].contains_key(&attr) {
+            return Err(SchemaError::DuplicateAttribute {
+                class: self.class_names[class.index()].clone(),
+                attr: name.to_owned(),
+            });
+        }
+        self.declared[class.index()].insert(attr, ty);
+        Ok(attr)
+    }
+
+    /// Look up a class declared earlier on this builder.
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.class_by_name.get(name).copied()
+    }
+
+    /// Validate the hierarchy, compute the subtyping closure, resolve
+    /// attribute inheritance, and freeze into an immutable [`Schema`].
+    pub fn finish(self) -> Result<Schema, SchemaError> {
+        let n = self.class_names.len();
+
+        // Children lists (inverse of `parents`).
+        let mut children: Vec<Vec<ClassId>> = vec![Vec::new(); n];
+        for (c, ps) in self.parents.iter().enumerate() {
+            for &p in ps {
+                children[p.index()].push(ClassId::from_index(c));
+            }
+        }
+
+        // Topological order with parents before children (DFS over the
+        // `parents` relation; a back edge means a cycle of length > 1).
+        let order = topo_order(&self.parents, &self.class_names)?;
+
+        // Reflexive-transitive ancestor sets as bitsets:
+        // ancestors[c] ∋ d  ⟺  c ≺ d or c = d.
+        let words = n.div_ceil(64);
+        let mut ancestors: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+        for &c in &order {
+            let ci = c.index();
+            ancestors[ci][ci / 64] |= 1u64 << (ci % 64);
+            // Clone parent masks to appease the borrow checker; hierarchies
+            // are small (tens of classes) so this is never hot.
+            let masks: Vec<Vec<u64>> = self.parents[ci]
+                .iter()
+                .map(|p| ancestors[p.index()].clone())
+                .collect();
+            for mask in masks {
+                for (w, m) in ancestors[ci].iter_mut().zip(mask) {
+                    *w |= m;
+                }
+            }
+        }
+
+        // Effective tuple types, resolved in topological order.
+        let mut effective: Vec<TupleType> = vec![TupleType::new(); n];
+        let subclass = |a: ClassId, b: ClassId| -> bool {
+            ancestors[a.index()][b.index() / 64] >> (b.index() % 64) & 1 == 1
+        };
+        let attr_subtype = |a: AttrType, b: AttrType| -> bool {
+            match (a, b) {
+                (AttrType::Object(x), AttrType::Object(y)) => subclass(x, y),
+                (AttrType::SetOf(x), AttrType::SetOf(y)) => subclass(x, y),
+                _ => false,
+            }
+        };
+        for &c in &order {
+            let ci = c.index();
+            // Gather every inherited candidate type per attribute.
+            let mut inherited: HashMap<AttrId, Vec<AttrType>> = HashMap::new();
+            for &p in &self.parents[ci] {
+                for (&a, &t) in &effective[p.index()] {
+                    inherited.entry(a).or_default().push(t);
+                }
+            }
+            let mut eff = TupleType::new();
+            for (&a, cands) in &inherited {
+                if self.declared[ci].contains_key(&a) {
+                    continue; // resolved by redeclaration below
+                }
+                // Pick a candidate that is a subtype of all others; if the
+                // candidates are incomparable the schema is ambiguous.
+                let best = cands
+                    .iter()
+                    .copied()
+                    .find(|&t| cands.iter().all(|&u| attr_subtype(t, u)));
+                match best {
+                    Some(t) => {
+                        eff.insert(a, t);
+                    }
+                    None => {
+                        return Err(SchemaError::AmbiguousInheritance {
+                            class: self.class_names[ci].clone(),
+                            attr: self.attr_names[a.index()].clone(),
+                        })
+                    }
+                }
+            }
+            for (&a, &t) in &self.declared[ci] {
+                if let Some(cands) = inherited.get(&a) {
+                    for &u in cands {
+                        if !attr_subtype(t, u) {
+                            return Err(SchemaError::InvalidRefinement {
+                                class: self.class_names[ci].clone(),
+                                attr: self.attr_names[a.index()].clone(),
+                                declared: display_attr_type(&self.class_names, t),
+                                inherited: display_attr_type(&self.class_names, u),
+                            });
+                        }
+                    }
+                }
+                eff.insert(a, t);
+            }
+            effective[ci] = eff;
+        }
+
+        // Terminal classes: no proper descendant.
+        let terminals: Vec<ClassId> = (0..n)
+            .map(ClassId::from_index)
+            .filter(|c| children[c.index()].is_empty())
+            .collect();
+
+        // Terminal descendants per class (sorted by id for determinism).
+        let mut term_desc: Vec<Vec<ClassId>> = vec![Vec::new(); n];
+        for &t in &terminals {
+            for (c, desc) in term_desc.iter_mut().enumerate() {
+                if subclass(t, ClassId::from_index(c)) {
+                    desc.push(t);
+                }
+            }
+        }
+
+        Ok(Schema {
+            class_names: self.class_names,
+            class_by_name: self.class_by_name,
+            attr_names: self.attr_names,
+            attr_by_name: self.attr_by_name,
+            parents: self.parents,
+            children,
+            declared: self.declared,
+            effective,
+            ancestors,
+            terminals,
+            term_desc,
+        })
+    }
+}
+
+fn display_attr_type(class_names: &[String], t: AttrType) -> String {
+    match t {
+        AttrType::Object(c) => class_names[c.index()].clone(),
+        AttrType::SetOf(c) => format!("{{{}}}", class_names[c.index()]),
+    }
+}
+
+/// DFS-based topological sort of classes such that every class appears after
+/// all of its (direct and indirect) superclasses. Errors on cycles.
+fn topo_order(parents: &[Vec<ClassId>], names: &[String]) -> Result<Vec<ClassId>, SchemaError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = parents.len();
+    let mut mark = vec![Mark::White; n];
+    let mut order = Vec::with_capacity(n);
+    // Iterative DFS; (node, next-parent-index) frames.
+    for start in 0..n {
+        if mark[start] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        mark[start] = Mark::Grey;
+        while let Some(&mut (node, ref mut ix)) = stack.last_mut() {
+            if *ix < parents[node].len() {
+                let p = parents[node][*ix].index();
+                *ix += 1;
+                match mark[p] {
+                    Mark::White => {
+                        mark[p] = Mark::Grey;
+                        stack.push((p, 0));
+                    }
+                    Mark::Grey => {
+                        return Err(SchemaError::InheritanceCycle(names[p].clone()));
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                mark[node] = Mark::Black;
+                order.push(ClassId::from_index(node));
+                stack.pop();
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// An immutable, validated schema.
+///
+/// Construct via [`SchemaBuilder`]. All derived structure — the
+/// reflexive-transitive subclass relation, effective (inherited) tuple types,
+/// terminal classes, and terminal descendant sets — is precomputed.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    class_names: Vec<String>,
+    class_by_name: HashMap<String, ClassId>,
+    attr_names: Vec<String>,
+    attr_by_name: HashMap<String, AttrId>,
+    parents: Vec<Vec<ClassId>>,
+    children: Vec<Vec<ClassId>>,
+    declared: Vec<TupleType>,
+    effective: Vec<TupleType>,
+    /// Bitset per class: reflexive-transitive ancestors.
+    ancestors: Vec<Vec<u64>>,
+    terminals: Vec<ClassId>,
+    term_desc: Vec<Vec<ClassId>>,
+}
+
+impl Schema {
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Number of interned attribute names.
+    pub fn attr_count(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Iterate over every class id in declaration order.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.class_count()).map(ClassId::from_index)
+    }
+
+    /// Name of a class.
+    pub fn class_name(&self, c: ClassId) -> &str {
+        &self.class_names[c.index()]
+    }
+
+    /// Name of an attribute.
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        &self.attr_names[a.index()]
+    }
+
+    /// Look up a class by name.
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.class_by_name.get(name).copied()
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attr_by_name.get(name).copied()
+    }
+
+    /// Reflexive subclass test: `a ≺ b` or `a = b`.
+    #[inline]
+    pub fn is_subclass(&self, a: ClassId, b: ClassId) -> bool {
+        self.ancestors[a.index()][b.index() / 64] >> (b.index() % 64) & 1 == 1
+    }
+
+    /// Strict subclass test: `a ≺ b` and `a ≠ b`.
+    #[inline]
+    pub fn is_strict_subclass(&self, a: ClassId, b: ClassId) -> bool {
+        a != b && self.is_subclass(a, b)
+    }
+
+    /// Is `c` a terminal class (no proper descendant)?
+    pub fn is_terminal(&self, c: ClassId) -> bool {
+        self.children[c.index()].is_empty()
+    }
+
+    /// All terminal classes, in declaration order.
+    pub fn terminals(&self) -> &[ClassId] {
+        &self.terminals
+    }
+
+    /// The terminal descendants of `c` (including `c` itself when terminal).
+    ///
+    /// Under the Terminal Class Partitioning Assumption the extent of `c` in
+    /// any legal state is the disjoint union of the extents of exactly these
+    /// classes.
+    pub fn terminal_descendants(&self, c: ClassId) -> &[ClassId] {
+        &self.term_desc[c.index()]
+    }
+
+    /// Direct superclasses of `c`.
+    pub fn parents(&self, c: ClassId) -> &[ClassId] {
+        &self.parents[c.index()]
+    }
+
+    /// Direct subclasses of `c`.
+    pub fn children(&self, c: ClassId) -> &[ClassId] {
+        &self.children[c.index()]
+    }
+
+    /// The attributes declared directly on `c` (no inheritance).
+    pub fn declared_type(&self, c: ClassId) -> &TupleType {
+        &self.declared[c.index()]
+    }
+
+    /// `σ(c)` with inheritance resolved: every attribute `c` possesses, at
+    /// its most refined type.
+    pub fn effective_type(&self, c: ClassId) -> &TupleType {
+        &self.effective[c.index()]
+    }
+
+    /// The effective type of attribute `a` on class `c`, if `c` has it.
+    pub fn attr_type(&self, c: ClassId, a: AttrId) -> Option<AttrType> {
+        self.effective[c.index()].get(&a).copied()
+    }
+
+    /// Subtype relation on attribute type expressions (§2.1): covariant in
+    /// the class for both object and set types, never across the two kinds.
+    pub fn attr_subtype(&self, a: AttrType, b: AttrType) -> bool {
+        match (a, b) {
+            (AttrType::Object(x), AttrType::Object(y)) => self.is_subclass(x, y),
+            (AttrType::SetOf(x), AttrType::SetOf(y)) => self.is_subclass(x, y),
+            _ => false,
+        }
+    }
+
+    /// Subtype relation on whole tuple types: `a ≤ b` iff `a` has every
+    /// attribute of `b` at a subtype.
+    pub fn tuple_subtype(&self, a: &TupleType, b: &TupleType) -> bool {
+        b.iter().all(|(attr, &tb)| {
+            a.get(attr)
+                .is_some_and(|&ta| self.attr_subtype(ta, tb))
+        })
+    }
+
+    /// Render an attribute type with class names.
+    pub fn display_attr_type(&self, t: AttrType) -> String {
+        display_attr_type(&self.class_names, t)
+    }
+}
+
+impl fmt::Display for Schema {
+    /// Renders the schema in the DSL syntax accepted by `oocq-parser`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in self.classes() {
+            write!(f, "class {}", self.class_name(c))?;
+            if !self.parents(c).is_empty() {
+                let ps: Vec<&str> = self.parents(c).iter().map(|&p| self.class_name(p)).collect();
+                write!(f, " : {}", ps.join(", "))?;
+            }
+            let decl = self.declared_type(c);
+            if decl.is_empty() {
+                writeln!(f, " {{}}")?;
+            } else {
+                writeln!(f, " {{")?;
+                for (&a, &t) in decl {
+                    writeln!(f, "  {}: {};", self.attr_name(a), self.display_attr_type(t))?;
+                }
+                writeln!(f, "}}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Schema {
+        // D ≺ B, D ≺ C, B ≺ A, C ≺ A
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A").unwrap();
+        let bb = b.class("B").unwrap();
+        let c = b.class("C").unwrap();
+        let d = b.class("D").unwrap();
+        b.subclass(bb, a).unwrap();
+        b.subclass(c, a).unwrap();
+        b.subclass(d, bb).unwrap();
+        b.subclass(d, c).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn subclass_is_reflexive_and_transitive() {
+        let s = diamond();
+        let (a, d) = (s.class_id("A").unwrap(), s.class_id("D").unwrap());
+        assert!(s.is_subclass(a, a));
+        assert!(s.is_subclass(d, a));
+        assert!(!s.is_subclass(a, d));
+        assert!(!s.is_strict_subclass(a, a));
+        assert!(s.is_strict_subclass(d, a));
+    }
+
+    #[test]
+    fn terminals_of_diamond() {
+        let s = diamond();
+        let d = s.class_id("D").unwrap();
+        assert_eq!(s.terminals(), &[d]);
+        assert!(s.is_terminal(d));
+        assert!(!s.is_terminal(s.class_id("A").unwrap()));
+        assert_eq!(s.terminal_descendants(s.class_id("A").unwrap()), &[d]);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = SchemaBuilder::new();
+        let x = b.class("X").unwrap();
+        let y = b.class("Y").unwrap();
+        b.subclass(x, y).unwrap();
+        b.subclass(y, x).unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(SchemaError::InheritanceCycle(_))
+        ));
+    }
+
+    #[test]
+    fn self_edge_is_ignored() {
+        let mut b = SchemaBuilder::new();
+        let x = b.class("X").unwrap();
+        b.subclass(x, x).unwrap();
+        let s = b.finish().unwrap();
+        assert!(s.is_terminal(x));
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut b = SchemaBuilder::new();
+        b.class("X").unwrap();
+        assert!(matches!(b.class("X"), Err(SchemaError::DuplicateClass(_))));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = SchemaBuilder::new();
+        let x = b.class("X").unwrap();
+        let y = b.class("Y").unwrap();
+        b.subclass(x, y).unwrap();
+        assert!(matches!(
+            b.subclass(x, y),
+            Err(SchemaError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn attributes_are_inherited() {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person").unwrap();
+        let student = b.class("Student").unwrap();
+        b.subclass(student, person).unwrap();
+        b.attribute(person, "Friend", AttrType::Object(person)).unwrap();
+        let s = b.finish().unwrap();
+        let friend = s.attr_id("Friend").unwrap();
+        assert_eq!(
+            s.attr_type(s.class_id("Student").unwrap(), friend),
+            Some(AttrType::Object(s.class_id("Person").unwrap()))
+        );
+        // ... but declared_type of Student stays empty.
+        assert!(s.declared_type(s.class_id("Student").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn valid_refinement_accepted_and_wins() {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person").unwrap();
+        let student = b.class("Student").unwrap();
+        b.subclass(student, person).unwrap();
+        b.attribute(person, "Friend", AttrType::Object(person)).unwrap();
+        b.attribute(student, "Friend", AttrType::Object(student)).unwrap();
+        let s = b.finish().unwrap();
+        let friend = s.attr_id("Friend").unwrap();
+        let student = s.class_id("Student").unwrap();
+        assert_eq!(s.attr_type(student, friend), Some(AttrType::Object(student)));
+    }
+
+    #[test]
+    fn invalid_refinement_rejected() {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person").unwrap();
+        let student = b.class("Student").unwrap();
+        let rock = b.class("Rock").unwrap();
+        b.subclass(student, person).unwrap();
+        b.attribute(person, "Friend", AttrType::Object(person)).unwrap();
+        b.attribute(student, "Friend", AttrType::Object(rock)).unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(SchemaError::InvalidRefinement { .. })
+        ));
+    }
+
+    #[test]
+    fn object_to_set_refinement_rejected() {
+        let mut b = SchemaBuilder::new();
+        let p = b.class("P").unwrap();
+        let q = b.class("Q").unwrap();
+        b.subclass(q, p).unwrap();
+        b.attribute(p, "A", AttrType::Object(p)).unwrap();
+        b.attribute(q, "A", AttrType::SetOf(p)).unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(SchemaError::InvalidRefinement { .. })
+        ));
+    }
+
+    #[test]
+    fn diamond_inheritance_resolves_to_most_specific() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A").unwrap();
+        let b1 = b.class("B1").unwrap();
+        let b2 = b.class("B2").unwrap();
+        let d = b.class("D").unwrap();
+        b.subclass(b1, a).unwrap();
+        b.subclass(b2, a).unwrap();
+        b.subclass(d, b1).unwrap();
+        b.subclass(d, b2).unwrap();
+        b.attribute(b1, "X", AttrType::Object(b1)).unwrap();
+        b.attribute(b2, "X", AttrType::Object(a)).unwrap();
+        // B1 ≤ A, so Object(B1) is a subtype of Object(A): D gets Object(B1).
+        let s = b.finish().unwrap();
+        let x = s.attr_id("X").unwrap();
+        assert_eq!(
+            s.attr_type(s.class_id("D").unwrap(), x),
+            Some(AttrType::Object(s.class_id("B1").unwrap()))
+        );
+    }
+
+    #[test]
+    fn ambiguous_diamond_inheritance_rejected() {
+        let mut b = SchemaBuilder::new();
+        let b1 = b.class("B1").unwrap();
+        let b2 = b.class("B2").unwrap();
+        let d = b.class("D").unwrap();
+        let u = b.class("U").unwrap();
+        let v = b.class("V").unwrap();
+        b.subclass(d, b1).unwrap();
+        b.subclass(d, b2).unwrap();
+        b.attribute(b1, "X", AttrType::Object(u)).unwrap();
+        b.attribute(b2, "X", AttrType::Object(v)).unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(SchemaError::AmbiguousInheritance { .. })
+        ));
+    }
+
+    #[test]
+    fn ambiguity_resolved_by_redeclaration() {
+        let mut b = SchemaBuilder::new();
+        let b1 = b.class("B1").unwrap();
+        let b2 = b.class("B2").unwrap();
+        let d = b.class("D").unwrap();
+        let u = b.class("U").unwrap();
+        let v = b.class("V").unwrap();
+        let w = b.class("W").unwrap();
+        b.subclass(w, u).unwrap();
+        b.subclass(w, v).unwrap();
+        b.subclass(d, b1).unwrap();
+        b.subclass(d, b2).unwrap();
+        b.attribute(b1, "X", AttrType::Object(u)).unwrap();
+        b.attribute(b2, "X", AttrType::Object(v)).unwrap();
+        b.attribute(d, "X", AttrType::Object(w)).unwrap();
+        let s = b.finish().unwrap();
+        let x = s.attr_id("X").unwrap();
+        assert_eq!(
+            s.attr_type(s.class_id("D").unwrap(), x),
+            Some(AttrType::Object(s.class_id("W").unwrap()))
+        );
+    }
+
+    #[test]
+    fn tuple_subtype_checks_width_and_depth() {
+        let s = diamond();
+        let a = s.class_id("A").unwrap();
+        let d = s.class_id("D").unwrap();
+        let mut sup = TupleType::new();
+        let mut sub = TupleType::new();
+        let attr = AttrId::from_index(0);
+        sup.insert(attr, AttrType::Object(a));
+        sub.insert(attr, AttrType::Object(d));
+        assert!(s.tuple_subtype(&sub, &sup));
+        assert!(!s.tuple_subtype(&sup, &sub));
+        // Width subtyping: extra attributes on the subtype are fine.
+        sub.insert(AttrId::from_index(1), AttrType::SetOf(a));
+        assert!(s.tuple_subtype(&sub, &sup));
+        assert!(s.tuple_subtype(&sub, &TupleType::new()));
+    }
+
+    #[test]
+    fn display_round_trips_class_names() {
+        let s = diamond();
+        let text = s.to_string();
+        assert!(text.contains("class D : B, C"));
+    }
+}
+
+/// Aggregate shape metrics of a schema (see [`Schema::statistics`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaStats {
+    /// Total classes.
+    pub classes: usize,
+    /// Terminal classes.
+    pub terminals: usize,
+    /// Maximal (root) classes.
+    pub roots: usize,
+    /// Longest subclass chain (edges), 0 for a flat schema.
+    pub depth: usize,
+    /// Largest direct-subclass fan-out of any class.
+    pub max_fanout: usize,
+    /// Attribute declarations (before inheritance).
+    pub declared_attrs: usize,
+    /// Attribute slots after inheritance, summed over classes.
+    pub effective_attrs: usize,
+}
+
+impl Schema {
+    /// Hierarchy and attribute metrics, used by the experiment harness to
+    /// describe generated workloads.
+    pub fn statistics(&self) -> SchemaStats {
+        // Depth via longest path over the parents relation (acyclic).
+        let mut depth_of = vec![usize::MAX; self.class_count()];
+        fn depth(s: &Schema, c: ClassId, memo: &mut [usize]) -> usize {
+            if memo[c.index()] != usize::MAX {
+                return memo[c.index()];
+            }
+            let d = s
+                .parents(c)
+                .iter()
+                .map(|&p| depth(s, p, memo) + 1)
+                .max()
+                .unwrap_or(0);
+            memo[c.index()] = d;
+            d
+        }
+        let depth = self
+            .classes()
+            .map(|c| depth(self, c, &mut depth_of))
+            .max()
+            .unwrap_or(0);
+        SchemaStats {
+            classes: self.class_count(),
+            terminals: self.terminals().len(),
+            roots: self.classes().filter(|&c| self.parents(c).is_empty()).count(),
+            depth,
+            max_fanout: self
+                .classes()
+                .map(|c| self.children(c).len())
+                .max()
+                .unwrap_or(0),
+            declared_attrs: self.classes().map(|c| self.declared_type(c).len()).sum(),
+            effective_attrs: self.classes().map(|c| self.effective_type(c).len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use crate::samples;
+
+    #[test]
+    fn vehicle_rental_statistics() {
+        let s = samples::vehicle_rental();
+        let st = s.statistics();
+        assert_eq!(st.classes, 7);
+        assert_eq!(st.terminals, 5);
+        assert_eq!(st.roots, 2);
+        assert_eq!(st.depth, 1);
+        assert_eq!(st.max_fanout, 3);
+        assert_eq!(st.declared_attrs, 3); // VehRented x2 + AssignedTo
+        // Effective: Vehicle(1)+Auto(1)+Trailer(1)+Truck(1)+Client(1)
+        // +Discount(1)+Regular(1) = 7.
+        assert_eq!(st.effective_attrs, 7);
+    }
+
+    #[test]
+    fn deep_chain_depth() {
+        let mut b = crate::SchemaBuilder::new();
+        let a = b.class("A").unwrap();
+        let bb = b.class("B").unwrap();
+        let c = b.class("C").unwrap();
+        b.subclass(bb, a).unwrap();
+        b.subclass(c, bb).unwrap();
+        let s = b.finish().unwrap();
+        assert_eq!(s.statistics().depth, 2);
+        assert_eq!(s.statistics().max_fanout, 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Type expressions over class names (`type-expr(C)` in the paper, §2.1).
+//!
+//! Following Lecluse–Richard (reference [24] of the paper) a class is mapped
+//! by `σ` to a *tuple type* whose components are attribute/type pairs. The
+//! paper restricts attribute component types to the two forms actually used
+//! by its term language (`x.A` denoting an object, `x ∈ y.A` denoting set
+//! membership): a class name (object-valued attribute) or a set of a class
+//! name (set-valued attribute). This loses no representational power for the
+//! query class studied — see the remark after Example 1.1 referencing [16].
+
+use crate::ids::{AttrId, ClassId};
+use std::collections::BTreeMap;
+
+/// The type of a single attribute component inside a tuple type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AttrType {
+    /// Object-valued attribute: the component holds the identifier of an
+    /// object belonging to the named class (or one of its descendants), or
+    /// the null value `Λ`.
+    Object(ClassId),
+    /// Set-valued attribute: the component holds a set object whose members
+    /// belong to the named class (or its descendants), or the null value `Λ`.
+    SetOf(ClassId),
+}
+
+impl AttrType {
+    /// The class name mentioned by this type expression.
+    #[inline]
+    pub fn class(self) -> ClassId {
+        match self {
+            AttrType::Object(c) | AttrType::SetOf(c) => c,
+        }
+    }
+
+    /// `true` for `SetOf` types.
+    #[inline]
+    pub fn is_set(self) -> bool {
+        matches!(self, AttrType::SetOf(_))
+    }
+}
+
+/// A tuple type: a finite map from attribute names to component types.
+///
+/// `σ(C)` for each class `C`. Stored as a `BTreeMap` so iteration order is
+/// deterministic (important for reproducible expansion/minimization output).
+pub type TupleType = BTreeMap<AttrId, AttrType>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_type_class_extraction() {
+        let c = ClassId::from_index(4);
+        assert_eq!(AttrType::Object(c).class(), c);
+        assert_eq!(AttrType::SetOf(c).class(), c);
+    }
+
+    #[test]
+    fn attr_type_set_discrimination() {
+        let c = ClassId::from_index(0);
+        assert!(!AttrType::Object(c).is_set());
+        assert!(AttrType::SetOf(c).is_set());
+    }
+}

@@ -1,0 +1,236 @@
+//! Human-readable state dumps and statistics.
+
+use crate::state::State;
+use crate::value::Value;
+use oocq_schema::Schema;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A state paired with its schema for rendering; implements
+/// [`fmt::Display`].
+pub struct DisplayState<'a> {
+    state: &'a State,
+    schema: &'a Schema,
+}
+
+impl State {
+    /// Render the state object-by-object with resolved names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayState<'a> {
+        DisplayState {
+            state: self,
+            schema,
+        }
+    }
+
+    /// Per-terminal-class object counts plus aggregate attribute statistics.
+    pub fn statistics(&self, schema: &Schema) -> StateStats {
+        let mut per_class: BTreeMap<String, usize> = BTreeMap::new();
+        let mut null_attrs = 0usize;
+        let mut object_attrs = 0usize;
+        let mut set_attrs = 0usize;
+        let mut set_members = 0usize;
+        for o in self.oids() {
+            let c = self.class_of(o);
+            *per_class
+                .entry(schema.class_name(c).to_owned())
+                .or_insert(0) += 1;
+            for &a in schema.effective_type(c).keys() {
+                match self.attr(o, a) {
+                    Value::Null => null_attrs += 1,
+                    Value::Obj(_) => object_attrs += 1,
+                    Value::Set(ms) => {
+                        set_attrs += 1;
+                        set_members += ms.len();
+                    }
+                }
+            }
+        }
+        StateStats {
+            objects: self.object_count(),
+            per_class,
+            null_attrs,
+            object_attrs,
+            set_attrs,
+            set_members,
+        }
+    }
+}
+
+/// Aggregate statistics of a state (see [`State::statistics`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateStats {
+    /// Total object count.
+    pub objects: usize,
+    /// Objects per terminal class name.
+    pub per_class: BTreeMap<String, usize>,
+    /// Attribute slots holding `Λ`.
+    pub null_attrs: usize,
+    /// Attribute slots holding an object reference.
+    pub object_attrs: usize,
+    /// Attribute slots holding a set.
+    pub set_attrs: usize,
+    /// Total members across all set slots.
+    pub set_members: usize,
+}
+
+impl fmt::Display for StateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} objects (", self.objects)?;
+        for (i, (name, n)) in self.per_class.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}: {n}")?;
+        }
+        write!(
+            f,
+            "); attrs: {} obj, {} set ({} members), {} null",
+            self.object_attrs, self.set_attrs, self.set_members, self.null_attrs
+        )
+    }
+}
+
+impl fmt::Display for DisplayState<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for o in self.state.oids() {
+            let c = self.state.class_of(o);
+            write!(f, "{o}: {}", self.schema.class_name(c))?;
+            let mut first = true;
+            for &a in self.schema.effective_type(c).keys() {
+                let v = self.state.attr(o, a);
+                if v.is_null() {
+                    continue;
+                }
+                write!(f, "{}", if first { " { " } else { ", " })?;
+                first = false;
+                match v {
+                    Value::Obj(t) => write!(f, "{} = {t}", self.schema.attr_name(a))?,
+                    Value::Set(ms) => {
+                        let items: Vec<String> = ms.iter().map(|m| m.to_string()).collect();
+                        write!(f, "{} = {{{}}}", self.schema.attr_name(a), items.join(", "))?;
+                    }
+                    Value::Null => unreachable!(),
+                }
+            }
+            if !first {
+                write!(f, " }}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::state::StateBuilder;
+    use oocq_schema::samples;
+
+    #[test]
+    fn dump_renders_objects_and_values() {
+        let s = samples::vehicle_rental();
+        let veh = s.attr_id("VehRented").unwrap();
+        let mut b = StateBuilder::new();
+        let a = b.object(s.class_id("Auto").unwrap());
+        let d = b.object(s.class_id("Discount").unwrap());
+        b.set_members(d, veh, [a]);
+        let st = b.finish(&s).unwrap();
+        let text = st.display(&s).to_string();
+        assert!(text.contains("o0: Auto"));
+        assert!(text.contains("o1: Discount { VehRented = {o0} }"));
+    }
+
+    #[test]
+    fn statistics_count_kinds() {
+        let s = samples::vehicle_rental();
+        let veh = s.attr_id("VehRented").unwrap();
+        let assigned = s.attr_id("AssignedTo").unwrap();
+        let mut b = StateBuilder::new();
+        let a = b.object(s.class_id("Auto").unwrap());
+        let d = b.object(s.class_id("Discount").unwrap());
+        b.set_members(d, veh, [a]);
+        b.set_obj(a, assigned, d);
+        let st = b.finish(&s).unwrap();
+        let stats = st.statistics(&s);
+        assert_eq!(stats.objects, 2);
+        assert_eq!(stats.per_class["Auto"], 1);
+        assert_eq!(stats.object_attrs, 1);
+        assert_eq!(stats.set_attrs, 1);
+        assert_eq!(stats.set_members, 1);
+        // Discount also has AssignedTo? No — AssignedTo is on Vehicle.
+        // Null slots: none remaining for Auto; Discount has none unset? It
+        // has VehRented set. So zero nulls.
+        assert_eq!(stats.null_attrs, 0);
+        let text = stats.to_string();
+        assert!(text.contains("2 objects"));
+        assert!(text.contains("Auto: 1"));
+    }
+
+    #[test]
+    fn null_slots_are_counted() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        b.object(s.class_id("Auto").unwrap()); // AssignedTo left null
+        let st = b.finish(&s).unwrap();
+        assert_eq!(st.statistics(&s).null_attrs, 1);
+    }
+}
+
+impl State {
+    /// Render the object graph as a Graphviz `digraph`: one node per object
+    /// (labelled with its oid and class), a solid edge per object-valued
+    /// attribute, and a dashed edge per set membership.
+    pub fn to_dot(&self, schema: &Schema) -> String {
+        let mut out = String::from("digraph state {\n  node [shape=box];\n");
+        for o in self.oids() {
+            out.push_str(&format!(
+                "  \"{o}\" [label=\"{o}: {}\"];\n",
+                schema.class_name(self.class_of(o))
+            ));
+        }
+        for o in self.oids() {
+            for &a in schema.effective_type(self.class_of(o)).keys() {
+                match self.attr(o, a) {
+                    Value::Null => {}
+                    Value::Obj(t) => {
+                        out.push_str(&format!(
+                            "  \"{o}\" -> \"{t}\" [label=\"{}\"];\n",
+                            schema.attr_name(a)
+                        ));
+                    }
+                    Value::Set(ms) => {
+                        for m in ms {
+                            out.push_str(&format!(
+                                "  \"{o}\" -> \"{m}\" [label=\"{}\", style=dashed];\n",
+                                schema.attr_name(a)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use crate::state::StateBuilder;
+    use oocq_schema::samples;
+
+    #[test]
+    fn state_dot_has_nodes_and_both_edge_styles() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let a = b.object(s.class_id("Auto").unwrap());
+        let d = b.object(s.class_id("Discount").unwrap());
+        b.set_members(d, s.attr_id("VehRented").unwrap(), [a]);
+        b.set_obj(a, s.attr_id("AssignedTo").unwrap(), d);
+        let st = b.finish(&s).unwrap();
+        let dot = st.to_dot(&s);
+        assert!(dot.contains("\"o0\" [label=\"o0: Auto\"]"));
+        assert!(dot.contains("\"o1\" -> \"o0\" [label=\"VehRented\", style=dashed]"));
+        assert!(dot.contains("\"o0\" -> \"o1\" [label=\"AssignedTo\"]"));
+    }
+}

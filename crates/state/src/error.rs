@@ -1,0 +1,106 @@
+//! Errors raised by legal-state validation.
+
+use crate::value::Oid;
+use std::error::Error;
+use std::fmt;
+
+/// Ways a state can fail validation against a schema.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StateError {
+    /// An object was created in a non-terminal class, violating the
+    /// Terminal Class Partitioning Assumption.
+    NonTerminalClass {
+        /// The offending object.
+        oid: Oid,
+        /// Its declared class.
+        class: String,
+    },
+    /// An attribute was set that the object's class does not possess.
+    UnknownAttribute {
+        /// The offending object.
+        oid: Oid,
+        /// Its class.
+        class: String,
+        /// The undeclared attribute.
+        attr: String,
+    },
+    /// An object value was given for a set attribute or vice versa.
+    KindMismatch {
+        /// The offending object.
+        oid: Oid,
+        /// The attribute.
+        attr: String,
+        /// Whether the schema declares the attribute as set-valued.
+        declared_set: bool,
+    },
+    /// A referenced oid does not exist in the state.
+    DanglingOid {
+        /// The referencing object.
+        oid: Oid,
+        /// The missing reference.
+        target: Oid,
+    },
+    /// A referenced object's class is not a subclass of the attribute's
+    /// declared class.
+    ClassMismatch {
+        /// The referencing object.
+        oid: Oid,
+        /// The referenced object.
+        target: Oid,
+        /// The referenced object's class.
+        found: String,
+        /// The class required by the attribute type.
+        expected: String,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::NonTerminalClass { oid, class } => {
+                write!(f, "object {oid} instantiates non-terminal class `{class}`")
+            }
+            StateError::UnknownAttribute { oid, class, attr } => {
+                write!(f, "object {oid} of class `{class}` has no attribute `{attr}`")
+            }
+            StateError::KindMismatch {
+                oid,
+                attr,
+                declared_set,
+            } => {
+                let want = if *declared_set { "a set" } else { "an object" };
+                write!(f, "attribute `{attr}` of {oid} must hold {want} value")
+            }
+            StateError::DanglingOid { oid, target } => {
+                write!(f, "object {oid} references nonexistent object {target}")
+            }
+            StateError::ClassMismatch {
+                oid,
+                target,
+                found,
+                expected,
+            } => write!(
+                f,
+                "object {oid} references {target} of class `{found}` where a \
+                 subclass of `{expected}` is required"
+            ),
+        }
+    }
+}
+
+impl Error for StateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_oids() {
+        let e = StateError::DanglingOid {
+            oid: Oid::from_index(1),
+            target: Oid::from_index(7),
+        };
+        let s = e.to_string();
+        assert!(s.contains("o1") && s.contains("o7"));
+    }
+}

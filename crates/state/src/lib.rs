@@ -1,0 +1,19 @@
+//! # oocq-state
+//!
+//! OODB states for the model of Chan (PODS 1992): object identifiers,
+//! objects with terminal classes and attribute values (including the null
+//! value `Λ` of §2.2), class extents under the Terminal Class Partitioning
+//! Assumption, and legal-state validation against a schema.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dump;
+mod error;
+mod state;
+mod value;
+
+pub use dump::{DisplayState, StateStats};
+pub use error::StateError;
+pub use state::{Object, State, StateBuilder};
+pub use value::{Oid, Value};

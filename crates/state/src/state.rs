@@ -1,0 +1,308 @@
+//! Database states and legal-state validation.
+//!
+//! A *state* assigns to each object identifier a terminal class and values
+//! for the attributes of that class. The **Terminal Class Partitioning
+//! Assumption** (§2.1) is built in: every object belongs to exactly one
+//! terminal class, and the extent of a non-terminal class is the disjoint
+//! union of the extents of its terminal descendants.
+
+use crate::error::StateError;
+use crate::value::{Oid, Value};
+use oocq_schema::{AttrId, AttrType, ClassId, Schema};
+use std::collections::HashMap;
+
+/// One object: its terminal class and its attribute components.
+///
+/// Attributes of the class that are absent from `attrs` hold the null value
+/// `Λ`.
+#[derive(Clone, Debug)]
+pub struct Object {
+    class: ClassId,
+    attrs: HashMap<AttrId, Value>,
+}
+
+impl Object {
+    /// The object's (terminal) class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The value of attribute `a` (null when unset).
+    pub fn attr(&self, a: AttrId) -> &Value {
+        self.attrs.get(&a).unwrap_or(&Value::Null)
+    }
+}
+
+/// A validated database state.
+#[derive(Clone, Debug)]
+pub struct State {
+    objects: Vec<Object>,
+    /// Extent of each **class** (not just terminals), precomputed under the
+    /// partitioning assumption; indexed by `ClassId::index()`.
+    extents: Vec<Vec<Oid>>,
+}
+
+impl State {
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Iterate over every oid.
+    pub fn oids(&self) -> impl Iterator<Item = Oid> {
+        (0..self.object_count()).map(Oid::from_index)
+    }
+
+    /// The terminal class of an object.
+    pub fn class_of(&self, o: Oid) -> ClassId {
+        self.objects[o.index()].class
+    }
+
+    /// The value of attribute `a` on object `o` (null when unset or when the
+    /// object's class lacks the attribute).
+    pub fn attr(&self, o: Oid, a: AttrId) -> &Value {
+        self.objects[o.index()].attr(a)
+    }
+
+    /// The extent of any class: all objects whose terminal class is a
+    /// terminal descendant of `c` (or `c` itself).
+    pub fn extent(&self, c: ClassId) -> &[Oid] {
+        &self.extents[c.index()]
+    }
+
+    /// Does object `o` belong to class `c` (directly or via inheritance)?
+    pub fn is_member(&self, schema: &Schema, o: Oid, c: ClassId) -> bool {
+        schema.is_subclass(self.class_of(o), c)
+    }
+}
+
+/// Builder for [`State`]; validation happens in [`StateBuilder::finish`].
+#[derive(Clone, Debug, Default)]
+pub struct StateBuilder {
+    objects: Vec<Object>,
+}
+
+impl StateBuilder {
+    /// Start an empty state.
+    pub fn new() -> StateBuilder {
+        StateBuilder::default()
+    }
+
+    /// Create an object of the given class (must be terminal; checked at
+    /// [`StateBuilder::finish`]). All attributes start null.
+    pub fn object(&mut self, class: ClassId) -> Oid {
+        let oid = Oid::from_index(self.objects.len());
+        self.objects.push(Object {
+            class,
+            attrs: HashMap::new(),
+        });
+        oid
+    }
+
+    /// Set an attribute value on an object created earlier.
+    pub fn set(&mut self, o: Oid, a: AttrId, v: Value) -> &mut Self {
+        self.objects[o.index()].attrs.insert(a, v);
+        self
+    }
+
+    /// Convenience: set an object-valued attribute.
+    pub fn set_obj(&mut self, o: Oid, a: AttrId, target: Oid) -> &mut Self {
+        self.set(o, a, Value::Obj(target))
+    }
+
+    /// Convenience: set a set-valued attribute.
+    pub fn set_members(
+        &mut self,
+        o: Oid,
+        a: AttrId,
+        members: impl IntoIterator<Item = Oid>,
+    ) -> &mut Self {
+        self.set(o, a, Value::set(members))
+    }
+
+    /// Validate against the schema and freeze.
+    ///
+    /// A state is *legal* when every object's class is terminal, every set
+    /// attribute is declared by the object's class with a matching kind
+    /// (object vs. set), every referenced oid exists, and every referenced
+    /// object's class is a terminal descendant of the attribute's declared
+    /// class.
+    pub fn finish(self, schema: &Schema) -> Result<State, StateError> {
+        let n = self.objects.len();
+        for (ix, obj) in self.objects.iter().enumerate() {
+            let oid = Oid::from_index(ix);
+            if !schema.is_terminal(obj.class) {
+                return Err(StateError::NonTerminalClass {
+                    oid,
+                    class: schema.class_name(obj.class).to_owned(),
+                });
+            }
+            for (&a, v) in &obj.attrs {
+                let Some(decl) = schema.attr_type(obj.class, a) else {
+                    return Err(StateError::UnknownAttribute {
+                        oid,
+                        class: schema.class_name(obj.class).to_owned(),
+                        attr: schema.attr_name(a).to_owned(),
+                    });
+                };
+                let check_target = |target: Oid| -> Result<(), StateError> {
+                    if target.index() >= n {
+                        return Err(StateError::DanglingOid { oid, target });
+                    }
+                    let tc = self.objects[target.index()].class;
+                    if !schema.is_subclass(tc, decl.class()) {
+                        return Err(StateError::ClassMismatch {
+                            oid,
+                            target,
+                            found: schema.class_name(tc).to_owned(),
+                            expected: schema.class_name(decl.class()).to_owned(),
+                        });
+                    }
+                    Ok(())
+                };
+                match (decl, v) {
+                    (_, Value::Null) => {}
+                    (AttrType::Object(_), Value::Obj(t)) => check_target(*t)?,
+                    (AttrType::SetOf(_), Value::Set(ms)) => {
+                        for &m in ms {
+                            check_target(m)?;
+                        }
+                    }
+                    _ => {
+                        return Err(StateError::KindMismatch {
+                            oid,
+                            attr: schema.attr_name(a).to_owned(),
+                            declared_set: decl.is_set(),
+                        })
+                    }
+                }
+            }
+        }
+
+        // Precompute every class extent.
+        let mut extents: Vec<Vec<Oid>> = vec![Vec::new(); schema.class_count()];
+        for (ix, obj) in self.objects.iter().enumerate() {
+            let oid = Oid::from_index(ix);
+            for c in schema.classes() {
+                if schema.is_subclass(obj.class, c) {
+                    extents[c.index()].push(oid);
+                }
+            }
+        }
+        Ok(State {
+            objects: self.objects,
+            extents,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_schema::samples;
+
+    #[test]
+    fn empty_state_is_legal() {
+        let s = samples::vehicle_rental();
+        let st = StateBuilder::new().finish(&s).unwrap();
+        assert_eq!(st.object_count(), 0);
+        assert!(st.extent(s.class_id("Vehicle").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn extents_respect_partitioning() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let a1 = b.object(s.class_id("Auto").unwrap());
+        let t1 = b.object(s.class_id("Truck").unwrap());
+        let _d = b.object(s.class_id("Discount").unwrap());
+        let st = b.finish(&s).unwrap();
+        assert_eq!(st.extent(s.class_id("Vehicle").unwrap()), &[a1, t1]);
+        assert_eq!(st.extent(s.class_id("Auto").unwrap()), &[a1]);
+        assert_eq!(st.extent(s.class_id("Client").unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn non_terminal_object_rejected() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        b.object(s.class_id("Vehicle").unwrap());
+        assert!(matches!(
+            b.finish(&s),
+            Err(StateError::NonTerminalClass { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let a = b.object(s.class_id("Auto").unwrap());
+        // VehRented belongs to clients, not vehicles.
+        b.set_members(a, s.attr_id("VehRented").unwrap(), [a]);
+        assert!(matches!(
+            b.finish(&s),
+            Err(StateError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let d = b.object(s.class_id("Discount").unwrap());
+        let a = b.object(s.class_id("Auto").unwrap());
+        // VehRented is set-valued; an object value is illegal.
+        b.set_obj(d, s.attr_id("VehRented").unwrap(), a);
+        assert!(matches!(b.finish(&s), Err(StateError::KindMismatch { .. })));
+    }
+
+    #[test]
+    fn member_class_must_match_refined_type() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let d = b.object(s.class_id("Discount").unwrap());
+        let t = b.object(s.class_id("Truck").unwrap());
+        // Discount.VehRented : {Auto}; a Truck member is illegal.
+        b.set_members(d, s.attr_id("VehRented").unwrap(), [t]);
+        assert!(matches!(
+            b.finish(&s),
+            Err(StateError::ClassMismatch { .. })
+        ));
+        // ... but legal on a Regular client, whose type is {Vehicle}.
+        let mut b = StateBuilder::new();
+        let r = b.object(s.class_id("Regular").unwrap());
+        let t = b.object(s.class_id("Truck").unwrap());
+        b.set_members(r, s.attr_id("VehRented").unwrap(), [t]);
+        assert!(b.finish(&s).is_ok());
+    }
+
+    #[test]
+    fn dangling_oid_rejected() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let d = b.object(s.class_id("Discount").unwrap());
+        b.set_members(d, s.attr_id("VehRented").unwrap(), [Oid::from_index(99)]);
+        assert!(matches!(b.finish(&s), Err(StateError::DanglingOid { .. })));
+    }
+
+    #[test]
+    fn unset_attribute_reads_null() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let d = b.object(s.class_id("Discount").unwrap());
+        let st = b.finish(&s).unwrap();
+        assert!(st.attr(d, s.attr_id("VehRented").unwrap()).is_null());
+    }
+
+    #[test]
+    fn membership_via_inheritance() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let a = b.object(s.class_id("Auto").unwrap());
+        let st = b.finish(&s).unwrap();
+        assert!(st.is_member(&s, a, s.class_id("Vehicle").unwrap()));
+        assert!(st.is_member(&s, a, s.class_id("Auto").unwrap()));
+        assert!(!st.is_member(&s, a, s.class_id("Truck").unwrap()));
+    }
+}

@@ -1,0 +1,115 @@
+//! Object identifiers and attribute values.
+
+use std::fmt;
+
+/// An object identifier. Oids are dense indices into a
+/// [`State`](crate::State)'s object table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(pub(crate) u32);
+
+impl Oid {
+    /// Dense index of this oid.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct from an index previously obtained via [`Oid::index`].
+    #[inline]
+    pub fn from_index(ix: usize) -> Oid {
+        Oid(u32::try_from(ix).expect("oid index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// The value of an attribute component of an object.
+///
+/// §2.2 introduces the null value `Λ` as a possible attribute value; with
+/// nulls present, queries are evaluated in 3-valued logic. A set-valued
+/// attribute may be null (`Λ`, unknown set) or an actual — possibly empty —
+/// set; the two behave differently under (non-)membership.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// The null value `Λ`.
+    Null,
+    /// An object reference (for object-typed attributes).
+    Obj(Oid),
+    /// A set object (for set-typed attributes); members sorted, deduplicated.
+    Set(Vec<Oid>),
+}
+
+impl Value {
+    /// Build a set value from arbitrary members (sorted and deduplicated).
+    pub fn set(members: impl IntoIterator<Item = Oid>) -> Value {
+        let mut v: Vec<Oid> = members.into_iter().collect();
+        v.sort();
+        v.dedup();
+        Value::Set(v)
+    }
+
+    /// Is this the null value `Λ`?
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Membership test; `None` means *unknown* (the value is null or not a
+    /// set, so 3-valued logic applies).
+    pub fn contains(&self, o: Oid) -> Option<bool> {
+        match self {
+            Value::Set(ms) => Some(ms.binary_search(&o).is_ok()),
+            Value::Null | Value::Obj(_) => None,
+        }
+    }
+
+    /// The referenced object for object-valued attributes; `None` when null
+    /// or a set.
+    pub fn as_obj(&self) -> Option<Oid> {
+        match self {
+            Value::Obj(o) => Some(*o),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_sorts_and_dedups() {
+        let v = Value::set([Oid(3), Oid(1), Oid(3), Oid(2)]);
+        assert_eq!(v, Value::Set(vec![Oid(1), Oid(2), Oid(3)]));
+    }
+
+    #[test]
+    fn contains_is_three_valued() {
+        assert_eq!(Value::set([Oid(1)]).contains(Oid(1)), Some(true));
+        assert_eq!(Value::set([Oid(1)]).contains(Oid(2)), Some(false));
+        assert_eq!(Value::Null.contains(Oid(1)), None);
+        assert_eq!(Value::Obj(Oid(0)).contains(Oid(0)), None);
+    }
+
+    #[test]
+    fn as_obj_only_on_object_values() {
+        assert_eq!(Value::Obj(Oid(4)).as_obj(), Some(Oid(4)));
+        assert_eq!(Value::Null.as_obj(), None);
+        assert_eq!(Value::set([]).as_obj(), None);
+    }
+
+    #[test]
+    fn oid_round_trip() {
+        assert_eq!(Oid::from_index(9).index(), 9);
+    }
+}

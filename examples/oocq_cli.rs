@@ -1,0 +1,52 @@
+//! A command-line workbench: executes `.oocq` program files — a schema,
+//! named queries, and analysis commands (`check`, `explain`, `satisfiable`,
+//! `expand`, `minimize`).
+//!
+//! Run with a file:    `cargo run --example oocq_cli -- path/to/file.oocq`
+//! Run the demo:       `cargo run --example oocq_cli`
+
+use oocq::run_workbench;
+
+const DEMO: &str = r#"
+schema {
+    class Vehicle {}
+    class Auto : Vehicle {}
+    class Trailer : Vehicle {}
+    class Truck : Vehicle {}
+    class Client { VehRented: {Vehicle}; }
+    class Discount : Client { VehRented: {Auto}; }
+    class Regular : Client {}
+}
+
+query AllVehicles   = { x | x in Vehicle }
+query DiscountRides = { x | exists y: x in Vehicle & y in Discount & x in y.VehRented }
+query TruckRides    = { x | exists y: x in Truck & y in Discount & x in y.VehRented }
+
+satisfiable TruckRides
+check DiscountRides <= AllVehicles
+check AllVehicles == DiscountRides
+explain TruckRides <= DiscountRides
+expand DiscountRides
+minimize DiscountRides
+"#;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let source = match args.first() {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            println!("(no file given; running the built-in demo program)\n");
+            DEMO.to_owned()
+        }
+    };
+    match run_workbench(&source) {
+        Ok(transcript) => print!("{transcript}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

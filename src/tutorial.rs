@@ -1,0 +1,140 @@
+//! # Tutorial: from schema to search-space-optimal query
+//!
+//! A guided tour of the library, following the paper's own narrative. Every
+//! snippet is a doctest; run them with `cargo test --doc`.
+//!
+//! ## 1. Schemas are constraints
+//!
+//! A schema `S = (C, σ, ≺)` declares classes, inheritance, and typed
+//! attributes. Subclasses may *refine* inherited attributes to subtypes —
+//! this is where the optimization potential lives:
+//!
+//! ```
+//! use oocq::parse_schema;
+//!
+//! let schema = parse_schema(r#"
+//!     class Vehicle {}
+//!     class Auto : Vehicle {}
+//!     class Truck : Vehicle {}
+//!     class Client { Rents: {Vehicle}; }
+//!     class Discount : Client { Rents: {Auto}; }   // the refinement
+//! "#)?;
+//!
+//! // Terminal classes partition the objects (the paper's global
+//! // assumption): Vehicle's extent is exactly Auto's plus Truck's.
+//! let vehicle = schema.class_id("Vehicle").unwrap();
+//! assert_eq!(schema.terminal_descendants(vehicle).len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## 2. Queries and the equality graph
+//!
+//! Queries are conjunctions of range, (in)equality, and (non-)membership
+//! atoms. Algorithm *EqualityGraph* closes the explicit equalities under
+//! transitivity and attribute congruence — `x = y` forces `x.A = y.A`:
+//!
+//! ```
+//! use oocq::{parse_query, parse_schema, EqualityGraph, Term};
+//!
+//! let schema = parse_schema("class C { A: C; }")?;
+//! let q = parse_query(&schema, "{ x | exists y, u, v: x in C & y in C \
+//!     & u in C & v in C & x = y & u = x.A & v = y.A }")?;
+//! let graph = EqualityGraph::build(&q);
+//! // u and v denote the same object, though no atom says so directly.
+//! let u = q.vars().nth(2).unwrap();
+//! let v = q.vars().nth(3).unwrap();
+//! assert!(graph.same(Term::Var(u), Term::Var(v)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## 3. Satisfiability explains itself
+//!
+//! Terminal queries (each variable in one terminal class) have decidable
+//! satisfiability, with machine-readable reasons — the engine behind
+//! Example 4.1's pruning:
+//!
+//! ```
+//! use oocq::{parse_query, parse_schema, satisfiability, Satisfiability};
+//!
+//! let schema = parse_schema(r#"
+//!     class Client { Rents: {Auto}; }
+//!     class Auto {} class Truck {}
+//! "#)?;
+//! let q = parse_query(&schema,
+//!     "{ x | exists y: x in Truck & y in Client & x in y.Rents }")?;
+//! let Satisfiability::Unsatisfiable(reason) = satisfiability(&schema, &q)? else {
+//!     panic!("a Truck can never be in a {{Auto}}-typed set");
+//! };
+//! assert!(reason.to_string().contains("cannot be a member"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## 4. Containment, certified
+//!
+//! `Q₁ ⊆ Q₂` is decided through non-contradictory variable mappings; the
+//! certificate shows the mapping (or the augmentation branch that refutes
+//! containment — here, Example 3.2's triangle):
+//!
+//! ```
+//! use oocq::{decide_containment, parse_query, parse_schema, Containment};
+//!
+//! let schema = parse_schema("class C {}")?;
+//! let chain = parse_query(&schema,
+//!     "{ x | exists y, z: x in C & y in C & z in C & x != y & y != z }")?;
+//! let triangle = parse_query(&schema,
+//!     "{ x | exists y, z: x in C & y in C & z in C & x != y & y != z & x != z }")?;
+//! let proof = decide_containment(&schema, &chain, &triangle)?;
+//! assert!(!proof.holds());
+//! // The refutation names the branch: the state class where x = z.
+//! assert!(proof.render(&schema, &chain, &triangle).contains("x = z"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## 5. Minimization, exactly
+//!
+//! The §4 pipeline returns the search-space-optimal union. The report form
+//! traces each stage:
+//!
+//! ```
+//! use oocq::{minimize_positive_report, parse_query, parse_schema};
+//!
+//! let schema = parse_schema(r#"
+//!     class N1 { A: {G}; }
+//!     class T1 : N1 {}
+//!     class T2 : N1 { B: G; }
+//!     class T3 : N1 { A: {I}; B: G; }
+//!     class G {} class H : G {} class I : G {}
+//! "#)?;
+//! let q = parse_query(&schema, "{ x | exists y, s: x in N1 & y in G & s in H \
+//!     & y = x.B & y in x.A & s in x.A }")?;
+//! let report = minimize_positive_report(&schema, &q)?;
+//! assert_eq!(report.expanded, 6);           // Proposition 2.1
+//! assert_eq!(report.unsatisfiable.len(), 4); // Theorem 2.2
+//! assert_eq!(report.folds.len(), 1);        // Theorem 4.3
+//! assert_eq!(report.result.len(), 2);       // Q₂′ ∪ Q₅ of Example 4.1
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## 6. Ground truth: evaluation over states
+//!
+//! Everything above is syntactic; `oocq-eval` provides the model-theoretic
+//! semantics the theorems speak about — including 3-valued logic for nulls:
+//!
+//! ```
+//! use oocq::{answer, parse_query, parse_schema, StateBuilder};
+//!
+//! let schema = parse_schema("class C { A: D; } class D {}")?;
+//! let q = parse_query(&schema, "{ x | exists z: x in C & z in D & z = x.A }")?;
+//!
+//! let mut b = StateBuilder::new();
+//! let c = b.object(schema.class_id("C").unwrap());
+//! let _d = b.object(schema.class_id("D").unwrap());
+//! let state = b.finish(&schema)?; // c.A is the null value Λ
+//!
+//! // `z = x.A` is UNKNOWN under nulls, and unknown is not an answer.
+//! assert!(answer(&schema, &state, &q).is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Continue with the runnable programs in `examples/` and the workbench
+//! format ([`crate::parse_program`] / [`crate::run_workbench`]).

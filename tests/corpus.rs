@@ -1,0 +1,51 @@
+//! Golden-file tests: every workbench program in `tests/corpus/` runs and
+//! its transcript matches the committed `.expected` file exactly.
+//!
+//! Regenerate the expectations after an intentional output change with
+//! `UPDATE_EXPECT=1 cargo test --test corpus`.
+
+use oocq::run_workbench;
+use std::path::Path;
+
+fn check(name: &str) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let program = std::fs::read_to_string(dir.join(format!("{name}.oocq")))
+        .unwrap_or_else(|e| panic!("missing corpus program {name}: {e}"));
+    let transcript = run_workbench(&program).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+    let expected_path = dir.join(format!("{name}.expected"));
+    if std::env::var_os("UPDATE_EXPECT").is_some() {
+        std::fs::write(&expected_path, &transcript).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path)
+        .unwrap_or_else(|e| panic!("missing {name}.expected ({e}); run with UPDATE_EXPECT=1"));
+    assert_eq!(
+        transcript, expected,
+        "transcript drift for {name}; run with UPDATE_EXPECT=1 if intentional"
+    );
+}
+
+#[test]
+fn vehicle_rental() {
+    check("vehicle_rental");
+}
+
+#[test]
+fn n1_partition() {
+    check("n1_partition");
+}
+
+#[test]
+fn inequalities() {
+    check("inequalities");
+}
+
+#[test]
+fn paths() {
+    check("paths");
+}
+
+#[test]
+fn university() {
+    check("university");
+}

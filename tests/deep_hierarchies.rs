@@ -1,0 +1,98 @@
+//! Multi-level inheritance: the paper's machinery on hierarchies deeper
+//! than the examples' two levels. Expansion counts, containment across
+//! levels, and minimization with mid-level range atoms.
+
+use oocq::gen::deep_schema;
+use oocq::{
+    contains_positive, contains_terminal, expand, expansion_size, minimize_positive, parse_query,
+    union_equivalent, UnionQuery,
+};
+
+#[test]
+fn expansion_counts_multiply_down_the_tree() {
+    // depth 3, branching 2: the root has 8 terminals, mid-level C0 has 4.
+    let s = deep_schema(3, 2);
+    let q = parse_query(&s, "{ x | exists y: x in C & y in C0 & y = x.next }").unwrap();
+    assert_eq!(expansion_size(&s, &q).unwrap(), 8 * 4);
+    let u = expand(&s, &q).unwrap();
+    assert_eq!(u.len(), 32);
+    // All combinations are satisfiable: `next : C` admits every terminal.
+    assert_eq!(oocq::expand_satisfiable(&s, &q).unwrap().len(), 32);
+}
+
+#[test]
+fn range_at_different_levels_orders_queries() {
+    // { x in C0 } ⊆ { x in C } and both strict against a sibling subtree.
+    let s = deep_schema(3, 2);
+    let level = |cls: &str| parse_query(&s, &format!("{{ x | x in {cls} }}")).unwrap();
+    assert!(contains_positive(&s, &level("C0"), &level("C")).unwrap());
+    assert!(!contains_positive(&s, &level("C"), &level("C0")).unwrap());
+    assert!(contains_positive(&s, &level("C010"), &level("C01")).unwrap());
+    assert!(!contains_positive(&s, &level("C010"), &level("C00")).unwrap());
+    // Disjoint subtrees are incomparable.
+    assert!(!contains_positive(&s, &level("C0"), &level("C1")).unwrap());
+    assert!(!contains_positive(&s, &level("C1"), &level("C0")).unwrap());
+}
+
+#[test]
+fn union_of_children_equals_parent() {
+    // Under the partitioning assumption, C0 ∪ C1 ≡ C.
+    let s = deep_schema(2, 2);
+    let q = parse_query(&s, "{ x | x in C }").unwrap();
+    let parent = oocq::expand_satisfiable(&s, &q).unwrap();
+    let q0 = parse_query(&s, "{ x | x in C0 }").unwrap();
+    let q1 = parse_query(&s, "{ x | x in C1 }").unwrap();
+    let mut children = UnionQuery::empty();
+    for part in [q0, q1] {
+        for sub in oocq::expand_satisfiable(&s, &part).unwrap() {
+            children.push(sub);
+        }
+    }
+    assert!(union_equivalent(&s, &parent, &children).unwrap());
+}
+
+#[test]
+fn terminal_containment_ignores_intermediate_levels() {
+    // Two terminal queries over the same leaf: classic folding containment,
+    // unaffected by the depth of the hierarchy above.
+    let s = deep_schema(4, 2);
+    let q1 = parse_query(
+        &s,
+        "{ x | exists y, z: x in C0000 & y in C0000 & z in C0000 & y = x.next & z = y.next }",
+    )
+    .unwrap();
+    let q2 = parse_query(&s, "{ x | exists y: x in C0000 & y in C0000 & y = x.next }").unwrap();
+    assert!(contains_terminal(&s, &q1, &q2).unwrap());
+    assert!(!contains_terminal(&s, &q2, &q1).unwrap());
+}
+
+#[test]
+fn minimization_scales_over_deep_trees() {
+    // The star query at the root expands to (2^2)^2 = 16 subqueries before
+    // minimization; spokes collapse within each subquery and subsumed
+    // subqueries drop out.
+    let s = deep_schema(2, 2);
+    let q = parse_query(
+        &s,
+        "{ x | exists y, z: x in C & y in C & z in C & y in x.items & z in x.items }",
+    )
+    .unwrap();
+    let m = minimize_positive(&s, &q).unwrap();
+    // Each subquery keeps one spoke.
+    for sub in &m {
+        assert_eq!(sub.var_count(), 2);
+    }
+    // x has 4 terminal choices and the (merged) spoke 4: at most 16 remain;
+    // no pair is redundant because terminal classes differ pairwise.
+    assert_eq!(m.len(), 16);
+    assert!(oocq::union_equivalent(
+        &s,
+        &m,
+        &oocq::expand_satisfiable(&s, &parse_query(
+            &s,
+            "{ x | exists y: x in C & y in C & y in x.items }"
+        ).unwrap())
+        .unwrap()
+    )
+    .unwrap());
+}

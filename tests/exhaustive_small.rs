@@ -1,0 +1,137 @@
+//! Exhaustive cross-validation on a small query space: every terminal
+//! positive query over the Example 3.3 schema with up to three variables
+//! and atoms drawn from a fixed pool, pairwise checked — Corollary 3.4's
+//! verdict must agree with the canonical-state oracle on *all* pairs, not
+//! just random samples.
+
+use oocq::{canonical_contains, contains_terminal, is_satisfiable, Query, QueryBuilder, Schema};
+
+/// Enumerate queries: variables v0 (free), v1, v2 with fixed classes
+/// (v0 ∈ T1, v1 ∈ T2, v2 ∈ T1), and any subset of the candidate atom pool.
+fn enumerate_queries(s: &Schema) -> Vec<Query> {
+    let t1 = s.class_id("T1").unwrap();
+    let t2 = s.class_id("T2").unwrap();
+    let a = s.attr_id("A").unwrap();
+    let mut out = Vec::new();
+    // Atom pool indices: 0: v0 ∈ v1.A, 1: v2 ∈ v1.A, 2: v0 = v2.
+    for mask in 0u8..8 {
+        let mut b = QueryBuilder::new("v0");
+        let v0 = b.free();
+        let v1 = b.var("v1");
+        let v2 = b.var("v2");
+        b.range(v0, [t1]).range(v1, [t2]).range(v2, [t1]);
+        if mask & 1 != 0 {
+            b.member(v0, v1, a);
+        }
+        if mask & 2 != 0 {
+            b.member(v2, v1, a);
+        }
+        if mask & 4 != 0 {
+            b.eq_vars(v0, v2);
+        }
+        out.push(b.build());
+    }
+    // Two-variable variants.
+    for mask in 0u8..2 {
+        let mut b = QueryBuilder::new("v0");
+        let v0 = b.free();
+        let v1 = b.var("v1");
+        b.range(v0, [t1]).range(v1, [t2]);
+        if mask & 1 != 0 {
+            b.member(v0, v1, a);
+        }
+        out.push(b.build());
+    }
+    // One-variable variants.
+    for cls in [t1, t2] {
+        let mut b = QueryBuilder::new("v0");
+        let v0 = b.free();
+        b.range(v0, [cls]);
+        out.push(b.build());
+    }
+    out
+}
+
+#[test]
+fn corollary_34_agrees_with_canonical_oracle_on_all_pairs() {
+    let s = oocq::parse_schema("class T1 {} class T2 { A: {T1}; }").unwrap();
+    let queries = enumerate_queries(&s);
+    assert_eq!(queries.len(), 12);
+    let mut checked = 0usize;
+    for q1 in &queries {
+        for q2 in &queries {
+            let algo = contains_terminal(&s, q1, q2).unwrap();
+            match canonical_contains(&s, q1, q2) {
+                Some(oracle) => assert_eq!(
+                    algo,
+                    oracle,
+                    "disagreement:\n  Q1 = {}\n  Q2 = {}",
+                    q1.display(&s),
+                    q2.display(&s)
+                ),
+                None => assert!(algo, "unsat Q1 must be contained in everything"),
+            }
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 144);
+}
+
+#[test]
+fn containment_is_a_preorder_on_the_space() {
+    // Reflexivity and transitivity over the whole enumerated space.
+    let s = oocq::parse_schema("class T1 {} class T2 { A: {T1}; }").unwrap();
+    let queries = enumerate_queries(&s);
+    let n = queries.len();
+    let mut cont = vec![vec![false; n]; n];
+    for (i, q1) in queries.iter().enumerate() {
+        for (j, q2) in queries.iter().enumerate() {
+            cont[i][j] = contains_terminal(&s, q1, q2).unwrap();
+        }
+        assert!(cont[i][i], "reflexivity failed for {}", q1.display(&s));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                if cont[i][j] && cont[j][k] {
+                    assert!(
+                        cont[i][k],
+                        "transitivity failed: {} <= {} <= {}",
+                        queries[i].display(&s),
+                        queries[j].display(&s),
+                        queries[k].display(&s)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn minimization_lands_on_a_least_element_of_each_equivalence_class() {
+    // For every satisfiable query in the space, its minimized form is
+    // equivalent, minimal, and no smaller equivalent query exists in the
+    // space.
+    let s = oocq::parse_schema("class T1 {} class T2 { A: {T1}; }").unwrap();
+    let queries = enumerate_queries(&s);
+    for q in &queries {
+        if !is_satisfiable(&s, q).unwrap() {
+            continue;
+        }
+        let m = oocq::minimize_terminal_positive(&s, q).unwrap();
+        assert!(oocq::equivalent_terminal(&s, q, &m).unwrap());
+        assert!(oocq::is_minimal_terminal_positive(&s, &m).unwrap());
+        for other in &queries {
+            if is_satisfiable(&s, other).unwrap()
+                && oocq::equivalent_terminal(&s, q, other).unwrap()
+            {
+                assert!(
+                    m.var_count() <= other.var_count(),
+                    "{} not minimal: {} is smaller",
+                    m.display(&s),
+                    other.display(&s)
+                );
+            }
+        }
+    }
+}

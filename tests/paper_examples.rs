@@ -1,0 +1,245 @@
+//! Every worked example of the paper, replayed end-to-end through the
+//! public API (parser → algorithms → evaluator). These are the E1–E8
+//! experiments of EXPERIMENTS.md in test form.
+
+use oocq::{
+    answer, answer_union, canonical_contains, contains_terminal, equivalent_terminal, expand,
+    expand_satisfiable, is_minimal_terminal_positive, is_satisfiable, minimize_positive,
+    parse_query, parse_schema, refute_containment, satisfiability, union_cost, union_equivalent,
+    Satisfiability, Schema, StateBuilder, UnionQuery,
+};
+
+fn vehicle_schema() -> Schema {
+    parse_schema(
+        r#"
+        class Vehicle {}
+        class Auto : Vehicle {}
+        class Trailer : Vehicle {}
+        class Truck : Vehicle {}
+        class Client { VehRented: {Vehicle}; }
+        class Discount : Client { VehRented: {Auto}; }
+        class Regular : Client {}
+        "#,
+    )
+    .unwrap()
+}
+
+fn n1_schema() -> Schema {
+    parse_schema(
+        r#"
+        class N1 { A: {G}; }
+        class T1 : N1 {}
+        class T2 : N1 { B: G; }
+        class T3 : N1 { A: {I}; B: G; }
+        class G {}
+        class H : G {}
+        class I : G {}
+        "#,
+    )
+    .unwrap()
+}
+
+/// E1 / Example 1.1: the Vehicle query is equivalent to the Auto query.
+#[test]
+fn e1_example_11_vehicle_narrows_to_auto() {
+    let s = vehicle_schema();
+    let q = parse_query(
+        &s,
+        "{ x | exists y: x in Vehicle & y in Discount & x in y.VehRented }",
+    )
+    .unwrap();
+    let m = minimize_positive(&s, &q).unwrap();
+    assert_eq!(
+        m.display(&s).to_string(),
+        "{ x | exists y: x in Auto & y in Discount & x in y.VehRented }"
+    );
+
+    // Observable equivalence on a state exercising every class.
+    let veh = s.attr_id("VehRented").unwrap();
+    let mut b = StateBuilder::new();
+    let a1 = b.object(s.class_id("Auto").unwrap());
+    let a2 = b.object(s.class_id("Auto").unwrap());
+    let t1 = b.object(s.class_id("Truck").unwrap());
+    let d = b.object(s.class_id("Discount").unwrap());
+    let r = b.object(s.class_id("Regular").unwrap());
+    b.set_members(d, veh, [a1]);
+    b.set_members(r, veh, [a2, t1]);
+    let st = b.finish(&s).unwrap();
+    assert_eq!(answer(&s, &st, &q), answer_union(&s, &st, &m));
+    assert_eq!(answer(&s, &st, &q).len(), 1);
+}
+
+/// E2 / Examples 1.2 & 4.1: `Q ≡ Q₂′ ∪ Q₅`, search-space-optimal.
+#[test]
+fn e2_example_12_41_full_pipeline() {
+    let s = n1_schema();
+    let q = parse_query(
+        &s,
+        "{ x | exists y, s: x in N1 & y in G & s in H & y = x.B & y in x.A & s in x.A }",
+    )
+    .unwrap();
+    let m = minimize_positive(&s, &q).unwrap();
+    assert_eq!(m.len(), 2);
+    let q2_prime = parse_query(&s, "{ x | exists y: x in T2 & y in H & y = x.B & y in x.A }")
+        .unwrap();
+    let q5 = parse_query(
+        &s,
+        "{ x | exists y, s: x in T2 & y in I & s in H & y = x.B & y in x.A & s in x.A }",
+    )
+    .unwrap();
+    let expected = UnionQuery::new(vec![q2_prime, q5]);
+    assert!(union_equivalent(&s, &m, &expected).unwrap());
+    // Neither subquery contains the other (nonredundancy).
+    assert!(!contains_terminal(&s, &expected.queries()[0], &expected.queries()[1]).unwrap());
+    assert!(!contains_terminal(&s, &expected.queries()[1], &expected.queries()[0]).unwrap());
+    // And both are variable-minimal.
+    for sub in &m {
+        assert!(is_minimal_terminal_positive(&s, sub).unwrap());
+    }
+    // Cost: T2 twice, H twice, I once — and nothing else.
+    let cost = union_cost(&s, &m);
+    let get = |n: &str| cost.get(&s.class_id(n).unwrap()).copied().unwrap_or(0);
+    assert_eq!(
+        (get("T1"), get("T2"), get("T3"), get("H"), get("I")),
+        (0, 2, 0, 2, 1)
+    );
+}
+
+/// E3 / Example 1.3: conditions imply `x ≠ y`, so adding it changes nothing.
+#[test]
+fn e3_example_13_implied_inequality() {
+    let s = parse_schema("class C { A: V; } class V {} class T1 : V {} class T2 : V {}").unwrap();
+    let q1 = parse_query(
+        &s,
+        "{ x | exists y, s, t: x in C & y in C & s in T1 & t in T2 & s = x.A & t = y.A & x != y }",
+    )
+    .unwrap();
+    let q2 = parse_query(
+        &s,
+        "{ x | exists y, s, t: x in C & y in C & s in T1 & t in T2 & s = x.A & t = y.A }",
+    )
+    .unwrap();
+    assert!(equivalent_terminal(&s, &q1, &q2).unwrap());
+}
+
+/// E4 / Example 2.1: the vehicle query expands to exactly three terminal
+/// subqueries, one per terminal descendant of Vehicle.
+#[test]
+fn e4_example_21_expansion() {
+    let s = vehicle_schema();
+    let q = parse_query(
+        &s,
+        "{ x | exists y: x in Vehicle & y in Discount & x in y.VehRented }",
+    )
+    .unwrap();
+    let u = expand(&s, &q).unwrap();
+    assert_eq!(u.len(), 3);
+    let classes: Vec<&str> = u
+        .iter()
+        .map(|sub| s.class_name(sub.terminal_class_of(sub.free_var()).unwrap()))
+        .collect();
+    assert_eq!(classes, ["Auto", "Trailer", "Truck"]);
+    // Only the Auto branch is satisfiable.
+    assert_eq!(expand_satisfiable(&s, &q).unwrap().len(), 1);
+}
+
+/// E5 / Example 3.1: `Q₁ ⊆ Q₂` and `Q₂ ⊄ Q₁`, with the canonical-state
+/// oracle agreeing.
+#[test]
+fn e5_example_31_one_directional_containment() {
+    let s = parse_schema("class C { A: D; B: {D}; } class D {}").unwrap();
+    let q1 = parse_query(
+        &s,
+        "{ x | exists y, z: x in C & y in C & z in D & z = y.A & z in y.B & x = y }",
+    )
+    .unwrap();
+    let q2 = parse_query(&s, "{ y | exists z: y in C & z in D & z = y.A }").unwrap();
+    assert!(contains_terminal(&s, &q1, &q2).unwrap());
+    assert!(!contains_terminal(&s, &q2, &q1).unwrap());
+    assert_eq!(canonical_contains(&s, &q1, &q2), Some(true));
+    assert_eq!(canonical_contains(&s, &q2, &q1), Some(false));
+}
+
+/// E6 / Example 3.2: `Q₁ ≡ Q₂` but `Q₁ ⊄ Q₃` (counting distinct objects),
+/// cross-checked by brute force on explicit states.
+#[test]
+fn e6_example_32_counting_distinct_objects() {
+    let s = parse_schema("class C {}").unwrap();
+    let q1 = parse_query(
+        &s,
+        "{ x | exists y, z: x in C & y in C & z in C & x != y & y != z }",
+    )
+    .unwrap();
+    let q2 = parse_query(&s, "{ x | exists y: x in C & y in C & x != y }").unwrap();
+    let q3 = parse_query(
+        &s,
+        "{ x | exists y, z: x in C & y in C & z in C & x != y & y != z & x != z }",
+    )
+    .unwrap();
+    assert!(equivalent_terminal(&s, &q1, &q2).unwrap());
+    assert!(contains_terminal(&s, &q3, &q1).unwrap());
+    assert!(!contains_terminal(&s, &q1, &q3).unwrap());
+
+    // Brute force: on a 2-object state, Q1 answers but Q3 does not.
+    let c = s.class_id("C").unwrap();
+    let mut b = StateBuilder::new();
+    b.object(c);
+    b.object(c);
+    let two = b.finish(&s).unwrap();
+    let u1 = UnionQuery::single(q1);
+    let u3 = UnionQuery::single(q3);
+    assert!(refute_containment(&s, &[two], &u1, &u3).is_some());
+}
+
+/// E7 / Example 3.3: the non-membership direction fails, and a concrete
+/// witness state shows why.
+#[test]
+fn e7_example_33_non_membership() {
+    let s = parse_schema("class T1 {} class T2 { A: {T1}; }").unwrap();
+    let q1 = parse_query(&s, "{ x | exists y: x in T1 & y in T2 }").unwrap();
+    let q2 = parse_query(&s, "{ x | exists y: x in T1 & y in T2 & x not in y.A }").unwrap();
+    assert!(contains_terminal(&s, &q2, &q1).unwrap());
+    assert!(!contains_terminal(&s, &q1, &q2).unwrap());
+
+    // Witness: a state where the only T1 object IS in y.A.
+    let a = s.attr_id("A").unwrap();
+    let mut b = StateBuilder::new();
+    let x = b.object(s.class_id("T1").unwrap());
+    let y = b.object(s.class_id("T2").unwrap());
+    b.set_members(y, a, [x]);
+    let st = b.finish(&s).unwrap();
+    assert!(answer(&s, &st, &q1).contains(&x));
+    assert!(!answer(&s, &st, &q2).contains(&x));
+}
+
+/// E8: the satisfiability verdicts of Example 4.1, with reasons.
+#[test]
+fn e8_example_41_satisfiability_table() {
+    let s = n1_schema();
+    let q = parse_query(
+        &s,
+        "{ x | exists y, s: x in N1 & y in G & s in H & y = x.B & y in x.A & s in x.A }",
+    )
+    .unwrap();
+    let u = expand(&s, &q).unwrap();
+    assert_eq!(u.len(), 6);
+    let verdicts: Vec<bool> = u
+        .iter()
+        .map(|sub| is_satisfiable(&s, sub).unwrap())
+        .collect();
+    // Order: (T1,H), (T1,I), (T2,H), (T2,I), (T3,H), (T3,I).
+    assert_eq!(verdicts, [false, false, true, true, false, false]);
+    // The unsatisfiable ones carry the reasons the paper argues informally.
+    for (i, sub) in u.iter().enumerate() {
+        if !verdicts[i] {
+            let Satisfiability::Unsatisfiable(reason) = satisfiability(&s, sub).unwrap() else {
+                panic!("expected unsat");
+            };
+            let msg = reason.to_string();
+            assert!(
+                msg.contains("no attribute `B`") || msg.contains("cannot be a member"),
+                "unexpected reason: {msg}"
+            );
+        }
+    }
+}

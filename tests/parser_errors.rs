@@ -1,0 +1,101 @@
+//! Error-reporting quality of the parsers: every diagnostic carries the
+//! right position and names the offending construct.
+
+use oocq::{parse_program, parse_query, parse_schema, parse_union};
+
+fn schema() -> oocq::Schema {
+    parse_schema("class C { A: C; S: {C}; } class D : C {}").unwrap()
+}
+
+#[test]
+fn schema_error_positions() {
+    // Unknown parent on line 2.
+    let err = parse_schema("class A {}\nclass B : Nope {}").unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.message.contains("Nope"));
+
+    // Bad token inside a class body.
+    let err = parse_schema("class A { 5: B; }").unwrap_err();
+    assert_eq!(err.line, 1);
+    assert!(err.message.contains("unexpected character"));
+
+    // Missing braces.
+    let err = parse_schema("class A").unwrap_err();
+    assert!(err.message.contains("expected"));
+}
+
+#[test]
+fn query_error_positions() {
+    let s = schema();
+    // Undeclared variable on line 2.
+    let err = parse_query(&s, "{ x | x in C\n  & x = zz }").unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.message.contains("undeclared variable `zz`"));
+
+    // Unknown class.
+    let err = parse_query(&s, "{ x | x in Unknown }").unwrap_err();
+    assert!(err.message.contains("unknown class `Unknown`"));
+
+    // Unknown attribute in a path.
+    let err = parse_query(&s, "{ x | exists y: x in C & y = x.Bogus }").unwrap_err();
+    assert!(err.message.contains("unknown attribute `Bogus`"));
+
+    // Operator soup.
+    let err = parse_query(&s, "{ x | x ~ y }").unwrap_err();
+    assert!(err.message.contains("unexpected character `~`"));
+
+    // `not` without `in`.
+    let err = parse_query(&s, "{ x | exists y: x not y }").unwrap_err();
+    assert!(err.message.contains("expected `in` after `not`"));
+}
+
+#[test]
+fn union_error_positions() {
+    let s = schema();
+    let err = parse_union(&s, "{ x | x in C } union { y | y in Nope }").unwrap_err();
+    assert!(err.message.contains("unknown class"));
+    // Garbage between members.
+    let err = parse_union(&s, "{ x | x in C } onion { x | x in C }").unwrap_err();
+    assert!(err.message.contains("end of input") || err.message.contains("expected"));
+}
+
+#[test]
+fn program_error_positions() {
+    // Commands referencing queries defined later are still unknown at use.
+    let err = parse_program(
+        "schema { class C {} }\ncheck Q <= Q\nquery Q = { x | x in C }",
+    )
+    .unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.message.contains("unknown query `Q`"));
+
+    // Wrong operator in a check.
+    let err = parse_program(
+        "schema { class C {} } query Q = { x | x in C } check Q != Q",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("expected `<=`"));
+}
+
+#[test]
+fn display_of_errors_is_position_prefixed() {
+    let err = parse_schema("class A : Nope {}").unwrap_err();
+    let text = err.to_string();
+    assert!(text.starts_with("1:"), "got {text}");
+}
+
+#[test]
+fn deeply_nested_but_valid_inputs_parse() {
+    let s = schema();
+    // A long conjunction with every atom family and path sugar.
+    let q = parse_query(
+        &s,
+        "{ x | exists y, z: x in C | D & y in C & z in C \
+           & y = x.A & z != x.A.A & z in y.S & z not in x.A.S & x not in D }",
+    )
+    .unwrap();
+    assert!(q.var_count() >= 3);
+    // Round trip of the desugared form.
+    let text = q.display(&s).to_string();
+    assert_eq!(parse_query(&s, &text).unwrap(), q);
+}

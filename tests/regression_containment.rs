@@ -1,0 +1,177 @@
+//! A catalog of hand-constructed containment cases that pin down the
+//! subtle mechanisms of Theorem 3.1 — each test documents which mechanism
+//! would give the wrong answer if removed.
+
+use oocq::{contains_terminal, equivalent_terminal, parse_query, parse_schema};
+
+/// The `W` (membership-augmentation) mechanism is load-bearing: without it,
+/// a naive single-mapping check would wrongly accept this containment.
+///
+/// `Q₁` has the set term `y.A` (via `w ∈ y.A`) but never asserts `x ∈ y.A`;
+/// `Q₂` demands `x ∉ y.A`. On states where `x` happens to be a member, `Q₁`
+/// answers and `Q₂` does not — detected exactly by the branch
+/// `Q₁ & {x ∈ y.A}`.
+#[test]
+fn w_augmentation_rejects_false_containment() {
+    let s = parse_schema("class T1 {} class T2 { A: {T1}; }").unwrap();
+    let q1 = parse_query(
+        &s,
+        "{ x | exists y, w: x in T1 & y in T2 & w in T1 & w in y.A }",
+    )
+    .unwrap();
+    let q2 = parse_query(&s, "{ x | exists y: x in T1 & y in T2 & x not in y.A }").unwrap();
+    // With W = ∅ alone the identity mapping would be non-contradictory
+    // (x ∈ y.A is not derivable in Q₁) — the W branch refutes it.
+    assert!(!contains_terminal(&s, &q1, &q2).unwrap());
+    // Sanity: the reverse strict direction also fails (Q₂ lacks w ∈ y.A).
+    assert!(!contains_terminal(&s, &q2, &q1).unwrap());
+}
+
+/// Deep congruence cascades: equality of bases propagates through two
+/// attribute hops before the mapping's equality atom becomes derivable.
+#[test]
+fn congruence_cascade_derives_two_hop_equalities() {
+    let s = parse_schema("class C { A: C; B: C; }").unwrap();
+    let q1 = parse_query(
+        &s,
+        "{ x | exists y, u, v, w1, w2: x in C & y in C & u in C & v in C & w1 in C & w2 in C \
+           & x = y & u = x.A & v = y.A & w1 = u.B & w2 = v.B }",
+    )
+    .unwrap();
+    // Q₂ asks for the A-then-B path only; μ(w) = w2 needs u = v (congruence
+    // round 1) and then w1 = w2 (round 2).
+    let q2 = parse_query(
+        &s,
+        "{ x | exists u, w: x in C & u in C & w in C & u = x.A & w = u.B }",
+    )
+    .unwrap();
+    assert!(contains_terminal(&s, &q1, &q2).unwrap());
+    // The reverse also holds: Q₁'s duplicated path folds onto Q₂'s single
+    // path (map x,y ↦ x; u,v ↦ u; w1,w2 ↦ w) — the queries are equivalent,
+    // and minimization indeed collapses Q₁ to Q₂'s size.
+    assert!(contains_terminal(&s, &q2, &q1).unwrap());
+    let m = oocq::minimize_terminal_positive(&s, &q1).unwrap();
+    assert_eq!(m.var_count(), q2.var_count());
+}
+
+/// Membership derives through equated owners and equated members
+/// simultaneously (`s ∈ [x]`, `t ∈ [y]` in the §3.1 definition).
+#[test]
+fn membership_derivation_through_both_sides() {
+    let s = parse_schema("class T1 {} class T2 { A: {T1}; }").unwrap();
+    let q1 = parse_query(
+        &s,
+        "{ x | exists x2, y, y2: x in T1 & x2 in T1 & y in T2 & y2 in T2 \
+           & x = x2 & y = y2 & x2 in y2.A }",
+    )
+    .unwrap();
+    let q2 = parse_query(&s, "{ x | exists y: x in T1 & y in T2 & x in y.A }").unwrap();
+    assert!(contains_terminal(&s, &q1, &q2).unwrap());
+    assert!(contains_terminal(&s, &q2, &q1).unwrap());
+}
+
+/// Refined set attributes: a membership into a `{Auto}`-typed set IS a
+/// membership into the inherited `{Vehicle}`-typed attribute — same
+/// attribute name, so the mapping carries over; the refinement only
+/// constrains satisfiability, not derivability.
+#[test]
+fn refined_attribute_memberships_are_compatible() {
+    let s = parse_schema(
+        "class Vehicle {} class Auto : Vehicle {}
+         class Client { R: {Vehicle}; } class Discount : Client { R: {Auto}; }
+         class Regular : Client {}",
+    )
+    .unwrap();
+    let q1 = parse_query(&s, "{ x | exists y: x in Auto & y in Discount & x in y.R }").unwrap();
+    let q2 = parse_query(&s, "{ x | exists y: x in Auto & y in Regular & x in y.R }").unwrap();
+    // Different owner classes: incomparable (range atoms must match exactly).
+    assert!(!contains_terminal(&s, &q1, &q2).unwrap());
+    assert!(!contains_terminal(&s, &q2, &q1).unwrap());
+    // But weakening the member side is fine within one owner class.
+    let q3 = parse_query(&s, "{ x | exists y: x in Auto & y in Discount & x in y.R }").unwrap();
+    assert!(equivalent_terminal(&s, &q1, &q3).unwrap());
+}
+
+/// An inequality whose operands are attribute terms: non-contradiction
+/// requires both terms to EXIST as object terms in the target (the paper's
+/// "f(s) and g(t) are object terms in Q" condition).
+#[test]
+fn inequality_over_attribute_terms_needs_witness_terms() {
+    let s = parse_schema("class C { A: C; }").unwrap();
+    // Q₂ requires x.A ≠ y.A.
+    let q2 = parse_query(
+        &s,
+        "{ x | exists y, u, v: x in C & y in C & u in C & v in C \
+           & u = x.A & v = y.A & u != v }",
+    )
+    .unwrap();
+    // Q₁ has both attribute terms; nothing proves them distinct, nothing
+    // merges them. On the augmentation branch that merges u and v, the
+    // inequality is contradicted and no mapping exists — so Q₁ ⊄ Q₂.
+    let q1 = parse_query(
+        &s,
+        "{ x | exists y, u, v: x in C & y in C & u in C & v in C & u = x.A & v = y.A }",
+    )
+    .unwrap();
+    assert!(!contains_terminal(&s, &q1, &q2).unwrap());
+    // Q₁ augmented with nothing still contains the weaker Q₃ without the
+    // inequality.
+    assert!(contains_terminal(&s, &q2, &q1).unwrap());
+
+    // A query LACKING the attribute terms entirely can never map the
+    // inequality's operands: not contained either.
+    let bare = parse_query(&s, "{ x | exists y: x in C & y in C }").unwrap();
+    assert!(!contains_terminal(&s, &bare, &q2).unwrap());
+}
+
+/// The free-variable anchor (condition (i)): a mapping exists but sends the
+/// answer variable to the wrong equivalence class, so containment fails.
+#[test]
+fn free_variable_anchor_is_enforced() {
+    let s = parse_schema("class T1 {} class T2 { A: {T1}; }").unwrap();
+    // Q₂ answers the member; Q₁ answers a DIFFERENT T1 object.
+    let q1 = parse_query(
+        &s,
+        "{ x | exists m, y: x in T1 & m in T1 & y in T2 & m in y.A }",
+    )
+    .unwrap();
+    let q2 = parse_query(&s, "{ m | exists y: m in T1 & y in T2 & m in y.A }").unwrap();
+    // Atom-wise Q₂ maps into Q₁ (m ↦ m, y ↦ y), but τ(μ(m)) ≠ τ(x):
+    assert!(!contains_terminal(&s, &q1, &q2).unwrap());
+    // Equating x and m repairs it.
+    let q1_eq = parse_query(
+        &s,
+        "{ x | exists m, y: x in T1 & m in T1 & y in T2 & m in y.A & x = m }",
+    )
+    .unwrap();
+    assert!(contains_terminal(&s, &q1_eq, &q2).unwrap());
+}
+
+/// Unsatisfiable augmentation branches are vacuous: Example 1.3's pattern
+/// at one more level of indirection (the merge is killed two congruence
+/// steps later).
+#[test]
+fn deep_inconsistent_augmentations_are_skipped() {
+    // x ≠ y is implied: x.A and y.A hold D-objects whose P values live in
+    // disjoint terminal classes S1/S2.
+    let s = parse_schema(
+        "class C { A: D; } class D { P: V; } class V {} class S1 : V {} class S2 : V {}",
+    )
+    .unwrap();
+    let q1 = parse_query(
+        &s,
+        "{ x | exists y, d1, d2, p1, p2: x in C & y in C & d1 in D & d2 in D \
+           & p1 in S1 & p2 in S2 & d1 = x.A & d2 = y.A & p1 = d1.P & p2 = d2.P & x != y }",
+    )
+    .unwrap();
+    let q2 = parse_query(
+        &s,
+        "{ x | exists y, d1, d2, p1, p2: x in C & y in C & d1 in D & d2 in D \
+           & p1 in S1 & p2 in S2 & d1 = x.A & d2 = y.A & p1 = d1.P & p2 = d2.P }",
+    )
+    .unwrap();
+    // Merging x=y forces d1=d2 (congruence on A) then p1=p2 (congruence on
+    // P) — a class conflict S1/S2 two steps away. The branch is skipped, so
+    // the queries are equivalent just like in Example 1.3.
+    assert!(equivalent_terminal(&s, &q1, &q2).unwrap());
+}

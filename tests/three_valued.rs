@@ -1,0 +1,169 @@
+//! Edge-case semantics of the 3-valued evaluation (§2.2): the null value
+//! `Λ` in every atom position, null sets vs. empty sets, and how the
+//! algorithms stay sound in the presence of unknowns.
+
+use oocq::{
+    answer, answer_planned, contains_terminal, parse_query, parse_schema, Query, Schema,
+    StateBuilder,
+};
+use std::collections::BTreeSet;
+
+fn schema() -> Schema {
+    parse_schema("class C { A: D; B: {D}; } class D {}").unwrap()
+}
+
+fn q(s: &Schema, text: &str) -> Query {
+    parse_query(s, text).unwrap()
+}
+
+#[test]
+fn equality_with_null_is_unknown_in_both_orientations() {
+    let s = schema();
+    let mut b = StateBuilder::new();
+    let _c = b.object(s.class_id("C").unwrap()); // A, B null
+    let _d = b.object(s.class_id("D").unwrap());
+    let st = b.finish(&s).unwrap();
+    for text in [
+        "{ x | exists z: x in C & z in D & z = x.A }",
+        "{ x | exists z: x in C & z in D & x.A = z }",
+    ] {
+        assert!(answer(&s, &st, &q(&s, text)).is_empty(), "{text}");
+    }
+}
+
+#[test]
+fn inequality_with_null_is_unknown_not_true() {
+    // x.A is null: `z != x.A` is unknown, so nothing qualifies.
+    let s = schema();
+    let mut b = StateBuilder::new();
+    let _c = b.object(s.class_id("C").unwrap());
+    let _d = b.object(s.class_id("D").unwrap());
+    let st = b.finish(&s).unwrap();
+    let query = q(&s, "{ x | exists z: x in C & z in D & z != x.A }");
+    assert!(answer(&s, &st, &query).is_empty());
+    // With A set to some OTHER object, the inequality is definitely true.
+    let mut b = StateBuilder::new();
+    let c = b.object(s.class_id("C").unwrap());
+    let d1 = b.object(s.class_id("D").unwrap());
+    let d2 = b.object(s.class_id("D").unwrap());
+    b.set_obj(c, s.attr_id("A").unwrap(), d1);
+    let st = b.finish(&s).unwrap();
+    let ans = answer(&s, &st, &query);
+    assert_eq!(ans, BTreeSet::from([c]));
+    let _ = d2;
+}
+
+#[test]
+fn null_set_vs_empty_set_for_membership_and_non_membership() {
+    let s = schema();
+    let a = s.attr_id("B").unwrap();
+    // Object with NULL set.
+    let mut b = StateBuilder::new();
+    let c_null = b.object(s.class_id("C").unwrap());
+    let d = b.object(s.class_id("D").unwrap());
+    let st_null = b.finish(&s).unwrap();
+    // Object with EMPTY set.
+    let mut b = StateBuilder::new();
+    let c_empty = b.object(s.class_id("C").unwrap());
+    let d2 = b.object(s.class_id("D").unwrap());
+    b.set_members(c_empty, a, []);
+    let st_empty = b.finish(&s).unwrap();
+
+    let member = q(&s, "{ z | exists x: z in D & x in C & z in x.B }");
+    let non_member = q(&s, "{ z | exists x: z in D & x in C & z not in x.B }");
+
+    // Null set: both membership AND non-membership are unknown.
+    assert!(answer(&s, &st_null, &member).is_empty());
+    assert!(answer(&s, &st_null, &non_member).is_empty());
+    // Empty set: membership false, non-membership true.
+    assert!(answer(&s, &st_empty, &member).is_empty());
+    assert_eq!(answer(&s, &st_empty, &non_member), BTreeSet::from([d2]));
+    let _ = (c_null, d);
+}
+
+#[test]
+fn unknown_is_contagious_through_conjunction() {
+    // One true atom + one unknown atom: the matrix is unknown, not true.
+    let s = schema();
+    let mut b = StateBuilder::new();
+    let c = b.object(s.class_id("C").unwrap());
+    let d = b.object(s.class_id("D").unwrap());
+    b.set_obj(c, s.attr_id("A").unwrap(), d); // A set, B null
+    let st = b.finish(&s).unwrap();
+    let query = q(&s, "{ z | exists x: z in D & x in C & z = x.A & z in x.B }");
+    assert!(answer(&s, &st, &query).is_empty());
+    // Dropping the unknown conjunct makes the object qualify.
+    let query = q(&s, "{ z | exists x: z in D & x in C & z = x.A }");
+    assert_eq!(answer(&s, &st, &query), BTreeSet::from([d]));
+}
+
+#[test]
+fn existential_quantification_needs_only_one_true_branch() {
+    // Two C objects: one with null A, one with A = d. The null one does not
+    // block the existential.
+    let s = schema();
+    let mut b = StateBuilder::new();
+    let _c_null = b.object(s.class_id("C").unwrap());
+    let c_set = b.object(s.class_id("C").unwrap());
+    let d = b.object(s.class_id("D").unwrap());
+    b.set_obj(c_set, s.attr_id("A").unwrap(), d);
+    let st = b.finish(&s).unwrap();
+    let query = q(&s, "{ z | exists x: z in D & x in C & z = x.A }");
+    assert_eq!(answer(&s, &st, &query), BTreeSet::from([d]));
+}
+
+#[test]
+fn example_31_containment_reflects_null_semantics() {
+    // The paper's informal argument for Example 3.1: whenever Q1 is
+    // satisfied, y.A is non-null — so Q1 ⊆ Q2 despite 3-valued logic.
+    // Verified here on states, alongside the algorithmic verdict.
+    let s = schema();
+    let q1 = q(
+        &s,
+        "{ x | exists y, z: x in C & y in C & z in D & z = y.A & z in y.B & x = y }",
+    );
+    let q2 = q(&s, "{ y | exists z: y in C & z in D & z = y.A }");
+    assert!(contains_terminal(&s, &q1, &q2).unwrap());
+
+    let mut b = StateBuilder::new();
+    let c = b.object(s.class_id("C").unwrap());
+    let d = b.object(s.class_id("D").unwrap());
+    b.set_obj(c, s.attr_id("A").unwrap(), d);
+    b.set_members(c, s.attr_id("B").unwrap(), [d]);
+    let st = b.finish(&s).unwrap();
+    let a1 = answer(&s, &st, &q1);
+    let a2 = answer(&s, &st, &q2);
+    assert!(a1.is_subset(&a2));
+    assert_eq!(a1, BTreeSet::from([c]));
+}
+
+#[test]
+fn planned_evaluator_handles_null_generators() {
+    // The planned evaluator binds z from x.A; with x.A null it must produce
+    // nothing (and agree with naive).
+    let s = schema();
+    let mut b = StateBuilder::new();
+    let _c = b.object(s.class_id("C").unwrap());
+    let _d = b.object(s.class_id("D").unwrap());
+    let st = b.finish(&s).unwrap();
+    let query = q(&s, "{ x | exists z: x in C & z in D & z = x.A }");
+    assert_eq!(answer_planned(&s, &st, &query), answer(&s, &st, &query));
+    assert!(answer_planned(&s, &st, &query).is_empty());
+}
+
+#[test]
+fn non_range_atoms_are_two_valued() {
+    // Range and non-range atoms never evaluate to unknown: an object either
+    // is in a class or is not.
+    let s = schema();
+    let mut b = StateBuilder::new();
+    let c = b.object(s.class_id("C").unwrap());
+    let d = b.object(s.class_id("D").unwrap());
+    let st = b.finish(&s).unwrap();
+    let query = q(&s, "{ x | x not in D }");
+    // Needs normalization? `x` has no range atom — evaluator falls back to
+    // all oids.
+    assert_eq!(answer(&s, &st, &query), BTreeSet::from([c]));
+    let query = q(&s, "{ x | x not in C }");
+    assert_eq!(answer(&s, &st, &query), BTreeSet::from([d]));
+}

@@ -1,0 +1,102 @@
+//! Integration of the introspection tooling: Graphviz exports, schema and
+//! state statistics, query displays, and the optimizer session — over
+//! generated workloads rather than handcrafted fixtures.
+
+use oocq::gen::{random_schema, random_state, workload_schema, SchemaParams, StateParams};
+use oocq::{parse_schema, Optimizer, QueryBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn schema_dot_round_trips_through_generated_schemas() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let s = random_schema(&mut rng, &SchemaParams::default());
+    let dot = s.to_dot();
+    // Every class appears exactly once as a node definition.
+    for c in s.classes() {
+        let needle = format!("\"{}\" [label=", s.class_name(c));
+        assert_eq!(dot.matches(&needle).count(), 1);
+    }
+    // Edge count equals the number of declared parent links.
+    let edges: usize = s.classes().map(|c| s.parents(c).len()).sum();
+    assert_eq!(dot.matches(" -> ").count(), edges);
+}
+
+#[test]
+fn schema_statistics_of_generated_schema() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let p = SchemaParams {
+        roots: 3,
+        branching: 4,
+        object_attrs: 1,
+        set_attrs: 1,
+        refine_prob: 0.0,
+    };
+    let s = random_schema(&mut rng, &p);
+    let st = s.statistics();
+    assert_eq!(st.roots, 3);
+    assert_eq!(st.terminals, 12);
+    assert_eq!(st.depth, 1);
+    assert_eq!(st.max_fanout, 4);
+    assert_eq!(st.declared_attrs, 6); // (1 obj + 1 set) per root
+}
+
+#[test]
+fn state_statistics_and_dot_agree_on_edge_counts() {
+    let s = workload_schema(2);
+    let mut rng = StdRng::seed_from_u64(17);
+    let st = random_state(
+        &mut rng,
+        &s,
+        &StateParams {
+            objects: 20,
+            fill_prob: 0.7,
+            max_set: 3,
+        },
+    );
+    let stats = st.statistics(&s);
+    assert_eq!(stats.objects, 20);
+    let dot = st.to_dot(&s);
+    // Solid edges = object attrs; dashed edges = set members.
+    assert_eq!(dot.matches("style=dashed").count(), stats.set_members);
+    let solid = dot.matches(" -> ").count() - stats.set_members;
+    assert_eq!(solid, stats.object_attrs);
+    // The textual dump mentions every object.
+    let dump = st.display(&s).to_string();
+    for o in st.oids() {
+        assert!(dump.contains(&format!("{o}:")));
+    }
+}
+
+#[test]
+fn optimizer_session_over_a_workload() {
+    let s = parse_schema(
+        "class Vehicle {} class Auto : Vehicle {} class Truck : Vehicle {}
+         class Client { R: {Vehicle}; } class Discount : Client { R: {Auto}; }",
+    )
+    .unwrap();
+    let mut opt = Optimizer::new(&s);
+    // A workload of repeated queries: each distinct query minimized once.
+    let make = |cls: &str| {
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [s.class_id(cls).unwrap()]);
+        b.range(y, [s.class_id("Discount").unwrap()]);
+        b.member(x, y, s.attr_id("R").unwrap());
+        b.build()
+    };
+    for _ in 0..5 {
+        for cls in ["Vehicle", "Auto", "Truck"] {
+            let q = make(cls);
+            let m = opt.minimize(&q).unwrap();
+            match cls {
+                "Truck" => assert!(m.is_empty()), // unsatisfiable
+                _ => assert_eq!(m.len(), 1),
+            }
+        }
+    }
+    let stats = opt.stats();
+    assert_eq!(stats.minimize_misses, 3);
+    assert_eq!(stats.minimize_hits, 12);
+}

@@ -1,0 +1,111 @@
+//! Union-level behaviour (§4: Theorems 4.1 and 4.2) through the public API
+//! and the parser's `union` syntax.
+
+use oocq::{
+    nonredundant_union, parse_schema, parse_union, union_contains, union_equivalent, UnionQuery,
+};
+
+fn setup() -> (oocq::Schema, UnionQuery, UnionQuery) {
+    let s = parse_schema(
+        "class Vehicle {} class Auto : Vehicle {} class Truck : Vehicle {}
+         class Trailer : Vehicle {} class Client { VehRented: {Vehicle}; }
+         class Discount : Client { VehRented: {Auto}; }",
+    )
+    .unwrap();
+    let m = parse_union(&s, "{ x | x in Auto } union { x | x in Truck }").unwrap();
+    let n = parse_union(
+        &s,
+        "{ x | x in Truck } union { x | x in Auto } union { x | x in Trailer }",
+    )
+    .unwrap();
+    (s, m, n)
+}
+
+#[test]
+fn theorem_41_pairwise_containment() {
+    let (s, m, n) = setup();
+    assert!(union_contains(&s, &m, &n).unwrap());
+    assert!(!union_contains(&s, &n, &m).unwrap());
+    assert!(!union_equivalent(&s, &m, &n).unwrap());
+}
+
+#[test]
+fn empty_union_is_least_element() {
+    let (s, m, _) = setup();
+    let empty = UnionQuery::empty();
+    assert!(union_contains(&s, &empty, &m).unwrap());
+    assert!(!union_contains(&s, &m, &empty).unwrap());
+    assert!(union_equivalent(&s, &empty, &UnionQuery::empty()).unwrap());
+}
+
+#[test]
+fn union_with_unsatisfiable_member_collapses() {
+    let s = setup().0;
+    // The Truck-for-discount branch is unsatisfiable; the union equals its
+    // Auto part.
+    let with_dead = parse_union(
+        &s,
+        "{ x | exists y: x in Auto & y in Discount & x in y.VehRented } union \
+         { x | exists y: x in Truck & y in Discount & x in y.VehRented }",
+    )
+    .unwrap();
+    let alive = parse_union(
+        &s,
+        "{ x | exists y: x in Auto & y in Discount & x in y.VehRented }",
+    )
+    .unwrap();
+    assert!(union_equivalent(&s, &with_dead, &alive).unwrap());
+    let nr = nonredundant_union(&s, &with_dead).unwrap();
+    assert_eq!(nr.len(), 1);
+}
+
+#[test]
+fn theorem_42_nonredundant_forms_are_memberwise_equivalent() {
+    let (s, _, n) = setup();
+    // Two different presentations of the same union.
+    let forward = nonredundant_union(&s, &n).unwrap();
+    let reversed: UnionQuery = n.iter().rev().cloned().collect();
+    let backward = nonredundant_union(&s, &reversed).unwrap();
+    assert_eq!(forward.len(), backward.len());
+    // Each member of one has exactly one equivalent partner in the other.
+    for q in &forward {
+        let partners = backward
+            .iter()
+            .filter(|p| oocq::equivalent_terminal(&s, q, p).unwrap())
+            .count();
+        assert_eq!(partners, 1, "member {} lacks a unique partner", q.display(&s));
+    }
+}
+
+#[test]
+fn subsumption_inside_one_union() {
+    let s = setup().0;
+    // A constrained Auto query is redundant next to the plain Auto query.
+    let u = parse_union(
+        &s,
+        "{ x | exists y: x in Auto & y in Discount & x in y.VehRented } union { x | x in Auto }",
+    )
+    .unwrap();
+    let nr = nonredundant_union(&s, &u).unwrap();
+    assert_eq!(nr.len(), 1);
+    assert_eq!(nr.queries()[0].var_count(), 1);
+    assert!(union_equivalent(&s, &u, &nr).unwrap());
+}
+
+#[test]
+fn union_answers_distribute_over_members() {
+    use oocq::{answer, answer_union, StateBuilder};
+    let (s, m, _) = setup();
+    let mut b = StateBuilder::new();
+    let a = b.object(s.class_id("Auto").unwrap());
+    let t = b.object(s.class_id("Truck").unwrap());
+    let _tr = b.object(s.class_id("Trailer").unwrap());
+    let st = b.finish(&s).unwrap();
+    let whole = answer_union(&s, &st, &m);
+    let mut parts = std::collections::BTreeSet::new();
+    for q in &m {
+        parts.extend(answer(&s, &st, q));
+    }
+    assert_eq!(whole, parts);
+    assert_eq!(whole, std::collections::BTreeSet::from([a, t]));
+}
