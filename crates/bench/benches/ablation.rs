@@ -9,12 +9,11 @@
 //!   canonical-state oracle (freeze + evaluate) — two complete procedures
 //!   for the same question; the mapping search avoids materializing a state.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oocq_bench::Harness;
 use oocq_eval::canonical_contains;
 use oocq_gen::{chain_query, workload_schema};
 use oocq_query::{EqualityGraph, QueryBuilder};
 use oocq_schema::{AttrType, Schema, SchemaBuilder};
-use std::hint::black_box;
 
 /// A schema with `n` object attributes `A0 … A{n-1}` on one class.
 fn multi_attr_schema(n: usize) -> Schema {
@@ -49,13 +48,14 @@ fn cascade_query(s: &Schema, n: usize) -> oocq_query::Query {
     b.build()
 }
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("a1_equality_graph");
+fn main() {
+    let h = Harness::from_env();
+
     for n in [4usize, 8, 16, 32] {
         let s = multi_attr_schema(n);
         let cascade = cascade_query(&s, n);
-        g.bench_with_input(BenchmarkId::new("congruence_cascade", n), &n, |b, _| {
-            b.iter(|| black_box(EqualityGraph::build(&cascade)))
+        h.run("a1_equality_graph", &format!("congruence_cascade/{n}"), || {
+            EqualityGraph::build(&cascade)
         });
         // Flat chain: same variable count, no congruence interaction.
         let cls = s.class_id("C").unwrap();
@@ -69,39 +69,27 @@ fn bench_ablation(c: &mut Criterion) {
             prev = v;
         }
         let flat = qb.build();
-        g.bench_with_input(BenchmarkId::new("flat_chain", n), &n, |b, _| {
-            b.iter(|| black_box(EqualityGraph::build(&flat)))
+        h.run("a1_equality_graph", &format!("flat_chain/{n}"), || {
+            EqualityGraph::build(&flat)
         });
     }
-    g.finish();
 
     let ws = workload_schema(3);
-    let mut g = c.benchmark_group("a1_satisfiability");
     for n in [4usize, 8, 16, 32] {
         let q = chain_query(&ws, n);
-        g.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
-            b.iter(|| black_box(oocq_core::is_satisfiable(&ws, &q).unwrap()))
+        h.run("a1_satisfiability", &format!("chain/{n}"), || {
+            oocq_core::is_satisfiable(&ws, &q).unwrap()
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("a1_decision_procedure");
     for n in [2usize, 4, 8] {
         let q1 = chain_query(&ws, n);
         let q2 = chain_query(&ws, n - 1);
-        g.bench_with_input(BenchmarkId::new("cor34_mapping", n), &n, |b, _| {
-            b.iter(|| black_box(oocq_core::contains_terminal(&ws, &q1, &q2).unwrap()))
+        h.run("a1_decision_procedure", &format!("cor34_mapping/{n}"), || {
+            oocq_core::contains_terminal(&ws, &q1, &q2).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("canonical_oracle", n), &n, |b, _| {
-            b.iter(|| black_box(canonical_contains(&ws, &q1, &q2).unwrap()))
+        h.run("a1_decision_procedure", &format!("canonical_oracle/{n}"), || {
+            canonical_contains(&ws, &q1, &q2).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_ablation
-}
-criterion_main!(benches);

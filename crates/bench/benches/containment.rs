@@ -8,56 +8,41 @@
 //! overhead (equality-graph + typing indexes) over the bare relational
 //! homomorphism search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oocq_bench::Harness;
 use oocq_gen::{chain_query, star_query, workload_schema};
 use oocq_rel::encode_positive;
-use std::hint::black_box;
 
-fn bench_containment(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_env();
     let schema = workload_schema(3);
 
-    let mut g = c.benchmark_group("b1_chain_contains");
     for n in [2usize, 4, 8, 12, 16] {
         let q1 = chain_query(&schema, n);
         let q2 = chain_query(&schema, n - 1);
-        g.bench_with_input(BenchmarkId::new("oodb_cor34", n), &n, |b, _| {
-            b.iter(|| {
-                let r = oocq_core::contains_terminal(&schema, &q1, &q2).unwrap();
-                assert!(r);
-                black_box(r)
-            })
+        h.run("b1_chain_contains", &format!("oodb_cor34/{n}"), || {
+            let r = oocq_core::contains_terminal(&schema, &q1, &q2).unwrap();
+            assert!(r);
+            r
         });
         let r1 = encode_positive(&schema, &q1);
         let r2 = encode_positive(&schema, &q2);
-        g.bench_with_input(BenchmarkId::new("rel_chandra_merlin", n), &n, |b, _| {
-            b.iter(|| {
-                let r = oocq_rel::contains(&r1, &r2);
-                assert!(r);
-                black_box(r)
-            })
+        h.run("b1_chain_contains", &format!("rel_chandra_merlin/{n}"), || {
+            let r = oocq_rel::contains(&r1, &r2);
+            assert!(r);
+            r
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("b1_star_contains");
     for n in [2usize, 4, 8, 12] {
         let q1 = star_query(&schema, n);
         let q2 = star_query(&schema, n / 2);
-        g.bench_with_input(BenchmarkId::new("oodb_cor34", n), &n, |b, _| {
-            b.iter(|| black_box(oocq_core::contains_terminal(&schema, &q1, &q2).unwrap()))
+        h.run("b1_star_contains", &format!("oodb_cor34/{n}"), || {
+            oocq_core::contains_terminal(&schema, &q1, &q2).unwrap()
         });
         let r1 = encode_positive(&schema, &q1);
         let r2 = encode_positive(&schema, &q2);
-        g.bench_with_input(BenchmarkId::new("rel_chandra_merlin", n), &n, |b, _| {
-            b.iter(|| black_box(oocq_rel::contains(&r1, &r2)))
+        h.run("b1_star_contains", &format!("rel_chandra_merlin/{n}"), || {
+            oocq_rel::contains(&r1, &r2)
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_containment
-}
-criterion_main!(benches);

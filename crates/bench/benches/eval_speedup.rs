@@ -6,15 +6,13 @@
 //! factor win that tracks the extent ratio (≈ 3× here, amplified by the
 //! join inside the membership check).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use oocq_gen::{random_state, StateParams};
+use oocq_bench::Harness;
+use oocq_gen::{random_state, StateParams, StdRng};
 use oocq_parser::parse_query;
 use oocq_schema::samples;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
 
-fn bench_eval_speedup(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_env();
     let schema = samples::vehicle_rental();
     let q = parse_query(
         &schema,
@@ -24,7 +22,6 @@ fn bench_eval_speedup(c: &mut Criterion) {
     let optimal = oocq_core::minimize_positive(&schema, &q).unwrap();
     let mut rng = StdRng::seed_from_u64(77);
 
-    let mut g = c.benchmark_group("b6_eval");
     for objects in [100usize, 400, 1600] {
         let state = random_state(
             &mut rng,
@@ -35,33 +32,17 @@ fn bench_eval_speedup(c: &mut Criterion) {
                 max_set: 6,
             },
         );
-        g.throughput(Throughput::Elements(objects as u64));
-        g.bench_with_input(BenchmarkId::new("naive", objects), &objects, |b, _| {
-            b.iter(|| black_box(oocq_eval::answer(&schema, &state, &q)))
+        h.run("b6_eval", &format!("naive/{objects}"), || {
+            oocq_eval::answer(&schema, &state, &q)
         });
-        g.bench_with_input(BenchmarkId::new("minimized", objects), &objects, |b, _| {
-            b.iter(|| black_box(oocq_eval::answer_union(&schema, &state, &optimal)))
+        h.run("b6_eval", &format!("minimized/{objects}"), || {
+            oocq_eval::answer_union(&schema, &state, &optimal)
         });
         // Third series: the planned evaluator on the MINIMIZED query — the
         // optimizer's static pruning composes with runtime propagation.
         let plan = oocq_eval::Plan::compile(&optimal.queries()[0]);
-        g.bench_with_input(BenchmarkId::new("minimized_planned", objects), &objects, |b, _| {
-            b.iter(|| {
-                black_box(oocq_eval::answer_with_plan(
-                    &schema,
-                    &state,
-                    &optimal.queries()[0],
-                    &plan,
-                ))
-            })
+        h.run("b6_eval", &format!("minimized_planned/{objects}"), || {
+            oocq_eval::answer_with_plan(&schema, &state, &optimal.queries()[0], &plan)
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_eval_speedup
-}
-criterion_main!(benches);

@@ -6,10 +6,9 @@
 //! Example-4.1-style `partition_schema` removes the configured fraction of
 //! branches.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oocq_bench::Harness;
 use oocq_gen::partition_schema;
 use oocq_query::QueryBuilder;
-use std::hint::black_box;
 
 /// `vars` variables all ranging over the non-terminal root `N`, each with a
 /// `y = x.B`-style constraint that only some terminals satisfy.
@@ -31,40 +30,29 @@ fn wide_query(schema: &oocq_schema::Schema, vars: usize) -> oocq_query::Query {
     b.build()
 }
 
-fn bench_expansion(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_env();
+
     // Branching sweep at fixed variable count.
-    let mut g = c.benchmark_group("b3_branching");
     for branching in [2usize, 4, 8, 16] {
         let schema = partition_schema(branching, branching / 2, 0);
         let q = wide_query(&schema, 3);
-        g.bench_with_input(BenchmarkId::new("expand", branching), &branching, |b, _| {
-            b.iter(|| black_box(oocq_core::expand(&schema, &q).unwrap().len()))
+        h.run("b3_branching", &format!("expand/{branching}"), || {
+            oocq_core::expand(&schema, &q).unwrap().len()
         });
-        g.bench_with_input(
-            BenchmarkId::new("expand_satisfiable", branching),
-            &branching,
-            |b, _| {
-                b.iter(|| black_box(oocq_core::expand_satisfiable(&schema, &q).unwrap().len()))
-            },
+        h.run(
+            "b3_branching",
+            &format!("expand_satisfiable/{branching}"),
+            || oocq_core::expand_satisfiable(&schema, &q).unwrap().len(),
         );
     }
-    g.finish();
 
     // Variable-count sweep at fixed branching: output is 4^n · 2.
-    let mut g = c.benchmark_group("b3_vars");
     let schema = partition_schema(4, 2, 1);
     for vars in [1usize, 2, 3, 4, 5] {
         let q = wide_query(&schema, vars);
-        g.bench_with_input(BenchmarkId::new("expand", vars), &vars, |b, _| {
-            b.iter(|| black_box(oocq_core::expand(&schema, &q).unwrap().len()))
+        h.run("b3_vars", &format!("expand/{vars}"), || {
+            oocq_core::expand(&schema, &q).unwrap().len()
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_expansion
-}
-criterion_main!(benches);

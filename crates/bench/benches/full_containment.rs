@@ -9,41 +9,34 @@
 //! once membership candidates exist, demonstrated on a star-with-inequality
 //! workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oocq_bench::Harness;
 use oocq_gen::{inequality_chain, star_query, workload_schema};
 use oocq_query::QueryBuilder;
 use oocq_schema::samples;
-use std::hint::black_box;
 
-fn bench_full_containment(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_env();
     let s = samples::single_class();
     let cls = s.class_id("C").unwrap();
 
-    let mut g = c.benchmark_group("b2_inequality_chain");
     for n in [2usize, 3, 4, 5, 6] {
         let q1 = inequality_chain(&s, cls, n, false);
         let q2 = inequality_chain(&s, cls, 2, false);
-        g.bench_with_input(BenchmarkId::new("auto_cor33", n), &n, |b, _| {
-            b.iter(|| {
-                let r = oocq_core::contains_terminal(&s, &q1, &q2).unwrap();
-                assert!(r);
-                black_box(r)
-            })
+        h.run("b2_inequality_chain", &format!("auto_cor33/{n}"), || {
+            let r = oocq_core::contains_terminal(&s, &q1, &q2).unwrap();
+            assert!(r);
+            r
         });
-        g.bench_with_input(BenchmarkId::new("forced_thm31", n), &n, |b, _| {
-            b.iter(|| {
-                let r = oocq_core::contains_terminal_full(&s, &q1, &q2).unwrap();
-                assert!(r);
-                black_box(r)
-            })
+        h.run("b2_inequality_chain", &format!("forced_thm31/{n}"), || {
+            let r = oocq_core::contains_terminal_full(&s, &q1, &q2).unwrap();
+            assert!(r);
+            r
         });
     }
-    g.finish();
 
     // Positive right-hand side: Corollary 3.4 needs ONE mapping, while the
     // forced Theorem 3.1 enumeration still walks every consistent partition
     // of q1's variables — the structural gap the corollaries buy.
-    let mut g = c.benchmark_group("b2_positive_rhs");
     for n in [3usize, 4, 5, 6, 7] {
         let q1 = inequality_chain(&s, cls, n, false);
         let q2 = {
@@ -53,29 +46,23 @@ fn bench_full_containment(c: &mut Criterion) {
             b.range(x, [cls]).range(y, [cls]);
             b.build()
         };
-        g.bench_with_input(BenchmarkId::new("auto_cor34", n), &n, |b, _| {
-            b.iter(|| {
-                let r = oocq_core::contains_terminal(&s, &q1, &q2).unwrap();
-                assert!(r);
-                black_box(r)
-            })
+        h.run("b2_positive_rhs", &format!("auto_cor34/{n}"), || {
+            let r = oocq_core::contains_terminal(&s, &q1, &q2).unwrap();
+            assert!(r);
+            r
         });
-        g.bench_with_input(BenchmarkId::new("forced_thm31", n), &n, |b, _| {
-            b.iter(|| {
-                let r = oocq_core::contains_terminal_full(&s, &q1, &q2).unwrap();
-                assert!(r);
-                black_box(r)
-            })
+        h.run("b2_positive_rhs", &format!("forced_thm31/{n}"), || {
+            let r = oocq_core::contains_terminal_full(&s, &q1, &q2).unwrap();
+            assert!(r);
+            r
         });
     }
-    g.finish();
 
     // A workload with set terms, so Theorem 3.1's W subsets are non-trivial:
     // star query target with a non-membership source.
     let ws = workload_schema(2);
     let items = ws.attr_id("items").unwrap();
     let leaf = ws.class_id("Leaf0").unwrap();
-    let mut g = c.benchmark_group("b2_with_membership_candidates");
     for n in [1usize, 2, 3, 4] {
         let q1 = star_query(&ws, n);
         // q2: star(1) plus a non-membership between fresh vars — forces the
@@ -90,19 +77,15 @@ fn bench_full_containment(c: &mut Criterion) {
             b.non_member(z, x, items);
             b.build()
         };
-        g.bench_with_input(BenchmarkId::new("auto_cor32", n), &n, |b, _| {
-            b.iter(|| black_box(oocq_core::contains_terminal(&ws, &q1, &q2).unwrap()))
-        });
-        g.bench_with_input(BenchmarkId::new("forced_thm31", n), &n, |b, _| {
-            b.iter(|| black_box(oocq_core::contains_terminal_full(&ws, &q1, &q2).unwrap()))
-        });
+        h.run(
+            "b2_with_membership_candidates",
+            &format!("auto_cor32/{n}"),
+            || oocq_core::contains_terminal(&ws, &q1, &q2).unwrap(),
+        );
+        h.run(
+            "b2_with_membership_candidates",
+            &format!("forced_thm31/{n}"),
+            || oocq_core::contains_terminal_full(&ws, &q1, &q2).unwrap(),
+        );
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_full_containment
-}
-criterion_main!(benches);

@@ -8,59 +8,42 @@
 //! scale comparison. Expected shape: folding dominates on collapsible
 //! queries; minimality certification is the floor cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oocq_bench::Harness;
 use oocq_gen::{rigid_star_query, star_query, workload_schema};
 use oocq_query::UnionQuery;
 use oocq_rel::encode_positive;
-use std::hint::black_box;
 
-fn bench_minimization(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_env();
     let schema = workload_schema(3);
 
-    let mut g = c.benchmark_group("b4_star_minimize");
     for n in [2usize, 4, 6, 8] {
         let collapsible = star_query(&schema, n);
-        g.bench_with_input(BenchmarkId::new("oodb_collapsible", n), &n, |b, _| {
-            b.iter(|| {
-                let m = oocq_core::minimize_terminal_positive(&schema, &collapsible).unwrap();
-                assert_eq!(m.var_count(), 2);
-                black_box(m)
-            })
+        h.run("b4_star_minimize", &format!("oodb_collapsible/{n}"), || {
+            let m = oocq_core::minimize_terminal_positive(&schema, &collapsible).unwrap();
+            assert_eq!(m.var_count(), 2);
+            m
         });
         let rigid = rigid_star_query(&schema, n);
-        g.bench_with_input(BenchmarkId::new("oodb_already_minimal", n), &n, |b, _| {
-            b.iter(|| {
-                let m = oocq_core::minimize_terminal_positive(&schema, &rigid).unwrap();
-                assert_eq!(m.var_count(), n + 1);
-                black_box(m)
-            })
+        h.run("b4_star_minimize", &format!("oodb_already_minimal/{n}"), || {
+            let m = oocq_core::minimize_terminal_positive(&schema, &rigid).unwrap();
+            assert_eq!(m.var_count(), n + 1);
+            m
         });
         let rel = encode_positive(&schema, &collapsible);
-        g.bench_with_input(BenchmarkId::new("rel_core", n), &n, |b, _| {
-            b.iter(|| black_box(oocq_rel::minimize(&rel)))
+        h.run("b4_star_minimize", &format!("rel_core/{n}"), || {
+            oocq_rel::minimize(&rel)
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("b4_nonredundant_union");
     for k in [2usize, 4, 8] {
         // Q_i = star(i+1): each strictly contained in the previous, so only
         // star(1) survives. Quadratic containment matrix over k subqueries.
         let u = UnionQuery::new((0..k).map(|i| star_query(&schema, i + 1)).collect());
-        g.bench_with_input(BenchmarkId::new("subqueries", k), &k, |b, _| {
-            b.iter(|| {
-                let nr = oocq_core::nonredundant_union(&schema, &u).unwrap();
-                assert_eq!(nr.len(), 1);
-                black_box(nr)
-            })
+        h.run("b4_nonredundant_union", &format!("subqueries/{k}"), || {
+            let nr = oocq_core::nonredundant_union(&schema, &u).unwrap();
+            assert_eq!(nr.len(), 1);
+            nr
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_minimization
-}
-criterion_main!(benches);

@@ -7,13 +7,12 @@
 //! typing-based pruning (few classes carrying `B`) keeps the pipeline cheap
 //! even at high branching.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oocq_bench::Harness;
 use oocq_gen::partition_schema;
 use oocq_parser::parse_query;
-use std::hint::black_box;
 
-fn bench_search_space(c: &mut Criterion) {
-    let mut g = c.benchmark_group("b5_pipeline");
+fn main() {
+    let h = Harness::from_env();
     for terminals in [3usize, 6, 12, 24] {
         // Heavy pruning: only 2 terminals carry B; 1 refines A away.
         let schema = partition_schema(terminals, 2, 1);
@@ -22,11 +21,9 @@ fn bench_search_space(c: &mut Criterion) {
             "{ x | exists y, s: x in N & y in G & s in H & y = x.B & y in x.A & s in x.A }",
         )
         .unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("pruned_to_2", terminals),
-            &terminals,
-            |b, _| b.iter(|| black_box(oocq_core::minimize_positive(&schema, &q).unwrap())),
-        );
+        h.run("b5_pipeline", &format!("pruned_to_2/{terminals}"), || {
+            oocq_core::minimize_positive(&schema, &q).unwrap()
+        });
 
         // No pruning: every terminal carries B, none refines A.
         let schema = partition_schema(terminals, terminals, 0);
@@ -35,18 +32,8 @@ fn bench_search_space(c: &mut Criterion) {
             "{ x | exists y, s: x in N & y in G & s in H & y = x.B & y in x.A & s in x.A }",
         )
         .unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("unpruned", terminals),
-            &terminals,
-            |b, _| b.iter(|| black_box(oocq_core::minimize_positive(&schema, &q).unwrap())),
-        );
+        h.run("b5_pipeline", &format!("unpruned/{terminals}"), || {
+            oocq_core::minimize_positive(&schema, &q).unwrap()
+        });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_search_space
-}
-criterion_main!(benches);

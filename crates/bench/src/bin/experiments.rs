@@ -10,8 +10,7 @@ use oocq_gen as gen;
 use oocq_parser::{parse_query, parse_schema};
 use oocq_query::{Query, UnionQuery};
 use oocq_schema::Schema;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gen::StdRng;
 use std::time::Instant;
 
 fn vehicle_schema() -> Schema {

@@ -1,0 +1,616 @@
+//! The branch engine behind the Theorem 3.1 containment enumeration.
+//!
+//! Theorem 3.1 quantifies over *branches*: one per pair `(S, W)` of a
+//! consistent equality augmentation `S` of `Q₁` and a subset `W` of the
+//! satisfiable membership augmentations of `Q₁&S`. The engine makes that
+//! branch space explicit and cheap to walk:
+//!
+//! * **Global index space.** Branches are numbered `0..total` — each
+//!   consistent `S` contributes a contiguous block of `2^|T(S)|` indices,
+//!   one per membership-subset bitmask, in the same order the old inline
+//!   double loop produced them. A single `u64` therefore names a branch,
+//!   which is what makes work-stealing and deterministic merging trivial.
+//! * **Shared per-`S` state.** For each consistent `S` the plan stores the
+//!   augmented query `Q₁&S`, its [`QueryAnalysis`] (computed incrementally
+//!   from the base analysis via [`QueryAnalysis::extended`] rather than from
+//!   scratch), and the derivability indexes ([`TargetIndexes`]) the mapping
+//!   search consults. A `W` subset adds membership atoms only: those merge
+//!   no equivalence classes and touch no typing check, so *all* `2^|T(S)|`
+//!   branches of the block share one analysis and one index, and a branch is
+//!   materialized by inserting at most `|T(S)|` membership keys into a
+//!   cloned hash set ([`TargetCtx::add_member_key`]) — no query rebuild, no
+//!   re-analysis, no per-branch satisfiability pass (a `debug_assert`
+//!   rechecks that claim in test builds).
+//! * **Worker pool with deterministic early exit.** In parallel mode,
+//!   workers claim branch indexes from an atomic counter and publish
+//!   refutations into an atomic minimum. Claims are handed out in order and
+//!   a worker only stops claiming once its claimed index reaches a *known*
+//!   refuted index, so every branch below the true first refutation is
+//!   evaluated; the final minimum is therefore exactly the branch the serial
+//!   scan would have reported, and on success the witnesses — sorted by
+//!   branch index — are exactly the serial witness list. Parallel and serial
+//!   modes are observationally identical, which `tests/branch_engine.rs`
+//!   checks by differential testing.
+//!
+//! [`EngineConfig`] selects the mode: `OOCQ_THREADS=1` (or
+//! [`EngineConfig::serial`]) forces the reference serial path, and small
+//! branch counts fall back to it automatically since spawning threads for a
+//! handful of mapping searches costs more than it saves.
+
+use crate::derive::{find_mapping, MappingGoal, TargetCtx, TargetIndexes};
+use crate::error::CoreError;
+use crate::explain::{Containment, MappingWitness};
+use crate::satisfiability;
+use oocq_query::{Atom, Query, QueryAnalysis, Term, VarId};
+use oocq_schema::{AttrId, AttrType, ClassId, Schema};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on the number of branches (equality augmentations times
+/// membership subsets) the Theorem 3.1 enumeration will explore, as a guard
+/// against accidentally exponential inputs. Exceeding it is a recoverable
+/// [`CoreError::BranchLimit`], not a panic.
+pub const MAX_BRANCHES: u64 = 1 << 22;
+
+/// How the containment engine schedules branch evaluation.
+///
+/// The default ([`EngineConfig::from_env`]) honours the `OOCQ_THREADS`
+/// environment variable and otherwise uses the machine's available
+/// parallelism. `OOCQ_THREADS=1` — or [`EngineConfig::serial`] — selects the
+/// serial reference path, which evaluates branches in index order on the
+/// calling thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for branch evaluation (`<= 1` means serial).
+    pub threads: usize,
+    /// Branch counts below this run serially even when `threads > 1` —
+    /// thread startup dwarfs a few mapping searches.
+    pub min_parallel_branches: u64,
+}
+
+impl EngineConfig {
+    /// Threads from `OOCQ_THREADS` (a positive integer; `0` or unset means
+    /// auto-detect), defaulting to the machine's available parallelism.
+    pub fn from_env() -> EngineConfig {
+        let requested = std::env::var("OOCQ_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0);
+        let threads = requested.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        EngineConfig {
+            threads,
+            min_parallel_branches: 8,
+        }
+    }
+
+    /// The serial reference engine: one thread, no fan-out anywhere.
+    pub fn serial() -> EngineConfig {
+        EngineConfig {
+            threads: 1,
+            min_parallel_branches: u64::MAX,
+        }
+    }
+
+    /// A parallel engine with an explicit thread count.
+    pub fn with_threads(threads: usize) -> EngineConfig {
+        EngineConfig {
+            threads: threads.max(1),
+            min_parallel_branches: 8,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig::from_env()
+    }
+}
+
+/// One consistent equality augmentation `S` with everything its `2^|T(S)|`
+/// membership-subset branches share.
+struct SBranch {
+    /// The augmentation atoms `S` (equalities between representative
+    /// variables).
+    s_atoms: Vec<Atom>,
+    /// `Q₁&S`.
+    q1s: Query,
+    /// Analysis of `Q₁&S`, extended incrementally from the base analysis.
+    analysis: QueryAnalysis,
+    /// Derivability indexes over `Q₁&S`.
+    indexes: TargetIndexes,
+    /// The satisfiable membership augmentations `T(S)`, bit `i` of a branch
+    /// mask selecting `w_candidates[i]`.
+    w_candidates: Vec<Atom>,
+    /// The membership key of each candidate under `analysis`, precomputed so
+    /// a branch context is ready after `|W|` hash-set inserts.
+    w_keys: Vec<(usize, usize, AttrId)>,
+    /// First global branch index of this block.
+    offset: u64,
+}
+
+/// The explicit branch space of one Theorem 3.1 containment check
+/// `Q₁ ⊆ Q₂`: every consistent `(S, W)` pair, numbered `0..total`, with the
+/// per-`S` state shared across each block.
+pub(crate) struct BranchPlan<'a> {
+    schema: &'a Schema,
+    /// Terminal class of each `Q₁` variable (augmentations add no
+    /// variables, so one vector serves every branch).
+    classes1: &'a [ClassId],
+    sbranches: Vec<SBranch>,
+    total: u64,
+}
+
+impl<'a> BranchPlan<'a> {
+    /// Enumerate the branch space for a satisfiable, non-range-stripped
+    /// terminal `q1`. `enum_s` / `enum_w` select which dimensions the chosen
+    /// strategy actually quantifies over (Corollaries 3.2–3.4 fix one or
+    /// both to the trivial choice).
+    pub(crate) fn build(
+        schema: &'a Schema,
+        q1: &'a Query,
+        classes1: &'a [ClassId],
+        enum_s: bool,
+        enum_w: bool,
+    ) -> Result<BranchPlan<'a>, CoreError> {
+        let base = QueryAnalysis::of(q1);
+        let s_choices = if enum_s {
+            equality_augmentations(q1, classes1, &base)?
+        } else {
+            vec![Vec::new()]
+        };
+
+        let mut sbranches: Vec<SBranch> = Vec::new();
+        let mut total: u64 = 0;
+        for s_atoms in s_choices {
+            let q1s = q1.with_extra_atoms(s_atoms.clone());
+            let analysis = base.extended(&s_atoms);
+            if !satisfiability::check(schema, &q1s, classes1, &analysis).is_satisfiable() {
+                continue; // inconsistent augmentation: vacuous branch block
+            }
+            let w_candidates = if enum_w {
+                membership_candidates(schema, &q1s, classes1, &analysis)
+            } else {
+                Vec::new()
+            };
+            let subsets = 1u64
+                .checked_shl(w_candidates.len() as u32)
+                .unwrap_or(u64::MAX);
+            let new_total = total.saturating_add(subsets);
+            if new_total > MAX_BRANCHES {
+                return Err(CoreError::BranchLimit {
+                    branches: new_total,
+                    limit: MAX_BRANCHES,
+                });
+            }
+            let graph = analysis.graph();
+            let w_keys = w_candidates
+                .iter()
+                .map(|a| match a {
+                    Atom::Member(x, t, attr) => (
+                        graph.class_id(Term::Var(*x)).expect("var node"),
+                        graph.class_id(Term::Var(*t)).expect("var node"),
+                        *attr,
+                    ),
+                    _ => unreachable!("membership candidates are Member atoms"),
+                })
+                .collect();
+            let indexes = TargetIndexes::build(&q1s, classes1, &analysis);
+            sbranches.push(SBranch {
+                s_atoms,
+                q1s,
+                analysis,
+                indexes,
+                w_candidates,
+                w_keys,
+                offset: total,
+            });
+            total = new_total;
+        }
+        Ok(BranchPlan {
+            schema,
+            classes1,
+            sbranches,
+            total,
+        })
+    }
+
+    /// The `S`-block containing a global branch index, and the membership
+    /// bitmask within it.
+    fn locate(&self, idx: u64) -> (&SBranch, u64) {
+        debug_assert!(idx < self.total);
+        let i = self.sbranches.partition_point(|sb| sb.offset <= idx) - 1;
+        let sb = &self.sbranches[i];
+        (sb, idx - sb.offset)
+    }
+
+    /// The augmentation atoms `S ∪ W` of a branch, in the order the witness
+    /// certificates report them.
+    fn augmentation_of(&self, idx: u64) -> Vec<Atom> {
+        let (sb, mask) = self.locate(idx);
+        let mut atoms = sb.s_atoms.clone();
+        atoms.extend(
+            sb.w_candidates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, a)| a.clone()),
+        );
+        atoms
+    }
+
+    /// Evaluate one branch: does a non-contradictory mapping
+    /// `μ : q2 → Q₁&S&W` exist?
+    fn eval(&self, q2: &Query, classes2: &[ClassId], idx: u64) -> Option<Vec<VarId>> {
+        let (sb, mask) = self.locate(idx);
+        // Membership atoms merge no classes and add no typing obligations
+        // beyond what the candidate filter already checked, so Q₁&S&W shares
+        // Q₁&S's analysis and satisfiability. Recheck that from scratch in
+        // test builds.
+        #[cfg(debug_assertions)]
+        {
+            let q1sw = sb.q1s.with_extra_atoms(
+                sb.w_candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, a)| a.clone()),
+            );
+            debug_assert!(
+                satisfiability::check(
+                    self.schema,
+                    &q1sw,
+                    self.classes1,
+                    &QueryAnalysis::of(&q1sw)
+                )
+                .is_satisfiable(),
+                "candidate-filtered membership augmentation must stay satisfiable"
+            );
+        }
+        let mut ctx = TargetCtx::new(self.schema, self.classes1, &sb.analysis, &sb.indexes);
+        for (i, &key) in sb.w_keys.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                ctx.add_member_key(key);
+            }
+        }
+        let goal = MappingGoal {
+            source: q2,
+            source_classes: classes2,
+            free_anchor: sb.q1s.free_var(),
+            avoid_in_image: None,
+        };
+        find_mapping(&ctx, &goal)
+    }
+
+    /// Decide containment over the whole branch space. Serial and parallel
+    /// modes return identical values, including witness order and the
+    /// identity of the failing branch.
+    pub(crate) fn run(&self, q2: &Query, classes2: &[ClassId], cfg: &EngineConfig) -> Containment {
+        if cfg.threads <= 1 || self.total < cfg.min_parallel_branches {
+            self.run_serial(q2, classes2)
+        } else {
+            self.run_parallel(q2, classes2, cfg.threads)
+        }
+    }
+
+    fn run_serial(&self, q2: &Query, classes2: &[ClassId]) -> Containment {
+        let mut witnesses: Vec<MappingWitness> = Vec::new();
+        for idx in 0..self.total {
+            match self.eval(q2, classes2, idx) {
+                Some(assignment) => witnesses.push(MappingWitness {
+                    augmentation: self.augmentation_of(idx),
+                    assignment,
+                }),
+                None => {
+                    return Containment::Fails {
+                        augmentation: self.augmentation_of(idx),
+                    }
+                }
+            }
+        }
+        Containment::Holds(witnesses)
+    }
+
+    fn run_parallel(&self, q2: &Query, classes2: &[ClassId], threads: usize) -> Containment {
+        let workers = threads.min(self.total.min(usize::MAX as u64) as usize).max(1);
+        let next = AtomicU64::new(0);
+        // Smallest refuted branch index seen so far; `u64::MAX` = none.
+        // Invariant: it only ever holds refuted indexes, so every branch
+        // below the *first* refutation keeps getting claimed and evaluated,
+        // and the final minimum equals the serial scan's first failure.
+        let min_fail = AtomicU64::new(u64::MAX);
+        let collected: Mutex<Vec<(u64, Vec<VarId>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(u64, Vec<VarId>)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= self.total || idx >= min_fail.load(Ordering::Acquire) {
+                            break;
+                        }
+                        match self.eval(q2, classes2, idx) {
+                            Some(assignment) => local.push((idx, assignment)),
+                            None => {
+                                min_fail.fetch_min(idx, Ordering::AcqRel);
+                            }
+                        }
+                    }
+                    if !local.is_empty() {
+                        collected.lock().unwrap().extend(local);
+                    }
+                });
+            }
+        });
+        let first_fail = min_fail.into_inner();
+        if first_fail != u64::MAX {
+            return Containment::Fails {
+                augmentation: self.augmentation_of(first_fail),
+            };
+        }
+        let mut found = collected.into_inner().unwrap();
+        found.sort_unstable_by_key(|&(idx, _)| idx);
+        Containment::Holds(
+            found
+                .into_iter()
+                .map(|(idx, assignment)| MappingWitness {
+                    augmentation: self.augmentation_of(idx),
+                    assignment,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Enumerate the equality-augmentation candidates `S` of Theorem 3.1: one
+/// per partition of `q1`'s variable equivalence classes, merging only blocks
+/// whose variables share a terminal class (merging across classes is always
+/// inconsistent, so those partitions are skipped at the source). Errors with
+/// [`CoreError::BranchLimit`] once the partition count alone exceeds
+/// [`MAX_BRANCHES`].
+fn equality_augmentations(
+    q1: &Query,
+    classes: &[ClassId],
+    analysis: &QueryAnalysis,
+) -> Result<Vec<Vec<Atom>>, CoreError> {
+    let graph = analysis.graph();
+    // Current variable blocks: representative variable per equivalence class.
+    let mut reps: Vec<VarId> = Vec::new();
+    let mut seen_roots: HashSet<usize> = HashSet::new();
+    for v in q1.vars() {
+        let r = graph.class_id(Term::Var(v)).expect("var node");
+        if seen_roots.insert(r) {
+            reps.push(v);
+        }
+    }
+    let block_class: Vec<ClassId> = reps.iter().map(|v| classes[v.index()]).collect();
+    let k = reps.len();
+
+    // Restricted-growth enumeration of partitions of the k blocks, where a
+    // block may only join a group of the same terminal class.
+    let mut assignment = vec![0usize; k];
+    fn recurse(
+        i: usize,
+        groups: &mut Vec<ClassId>,
+        assignment: &mut [usize],
+        block_class: &[ClassId],
+        out: &mut Vec<Vec<usize>>,
+    ) -> bool {
+        if out.len() as u64 > MAX_BRANCHES {
+            return false;
+        }
+        if i == assignment.len() {
+            out.push(assignment.to_vec());
+            return true;
+        }
+        for g in 0..groups.len() {
+            if groups[g] == block_class[i] {
+                assignment[i] = g;
+                if !recurse(i + 1, groups, assignment, block_class, out) {
+                    return false;
+                }
+            }
+        }
+        groups.push(block_class[i]);
+        assignment[i] = groups.len() - 1;
+        let ok = recurse(i + 1, groups, assignment, block_class, out);
+        groups.pop();
+        ok
+    }
+    let mut partitions: Vec<Vec<usize>> = Vec::new();
+    if !recurse(
+        0,
+        &mut Vec::new(),
+        &mut assignment,
+        &block_class,
+        &mut partitions,
+    ) {
+        return Err(CoreError::BranchLimit {
+            branches: partitions.len() as u64,
+            limit: MAX_BRANCHES,
+        });
+    }
+
+    let mut out: Vec<Vec<Atom>> = Vec::with_capacity(partitions.len());
+    for p in partitions {
+        let mut atoms: Vec<Atom> = Vec::new();
+        let mut first_of_group: Vec<Option<VarId>> = vec![None; k];
+        for (block, &g) in p.iter().enumerate() {
+            match first_of_group[g] {
+                None => first_of_group[g] = Some(reps[block]),
+                Some(first) => atoms.push(Atom::Eq(Term::Var(first), Term::Var(reps[block]))),
+            }
+        }
+        out.push(atoms);
+    }
+    Ok(out)
+}
+
+/// The candidate membership augmentations `T` of Theorem 3.1 for `Q₁&S`:
+/// atoms `x ∈ t.P` with `x` a variable, `t.P` a set term, the addition
+/// satisfiable, and the membership not already derivable (adding a derivable
+/// membership changes nothing, so it is pruned to halve the subset space).
+fn membership_candidates(
+    schema: &Schema,
+    q1s: &Query,
+    classes: &[ClassId],
+    analysis: &QueryAnalysis,
+) -> Vec<Atom> {
+    // `Q₁&S` has the same variables as `Q₁`, so the caller's class vector
+    // stays valid.
+    debug_assert_eq!(classes.len(), q1s.var_count());
+    let graph = analysis.graph();
+    let var_root = |v: VarId| graph.class_id(Term::Var(v)).expect("var node");
+
+    // One representative set term per equivalence class of set terms.
+    let mut set_reps: Vec<(VarId, AttrId)> = Vec::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    for &t in graph.terms() {
+        if let Term::Attr(v, a) = t {
+            if analysis.is_set_term(t) && seen.insert(graph.class_id(t).expect("node")) {
+                set_reps.push((v, a));
+            }
+        }
+    }
+
+    // Index the memberships Q₁&S derives and the non-memberships it asserts,
+    // by equivalence-class key, so each candidate is two hash probes instead
+    // of two scans of the atom list.
+    let mut derived: HashSet<(usize, usize, AttrId)> = HashSet::new();
+    let mut excluded: HashSet<(usize, usize, AttrId)> = HashSet::new();
+    for atom in q1s.atoms() {
+        match atom {
+            Atom::Member(s, u, b) => {
+                derived.insert((var_root(*s), var_root(*u), *b));
+            }
+            Atom::NonMember(s, u, b) => {
+                excluded.insert((var_root(*s), var_root(*u), *b));
+            }
+            _ => {}
+        }
+    }
+
+    let mut out: Vec<Atom> = Vec::new();
+    for &(t, a) in &set_reps {
+        let Some(AttrType::SetOf(d)) = schema.attr_type(classes[t.index()], a) else {
+            continue; // ill-typed set term: Q₁&S was unsatisfiable anyway
+        };
+        let t_root = var_root(t);
+        for x in q1s.vars() {
+            if !schema.terminal_descendants(d).contains(&classes[x.index()]) {
+                continue; // x can never be a member: not in T
+            }
+            let key = (var_root(x), t_root, a);
+            if derived.contains(&key) || excluded.contains(&key) {
+                continue;
+            }
+            out.push(Atom::Member(x, t, a));
+        }
+    }
+    out
+}
+
+/// Evaluate `items[0..n]` in index order, stopping at the first result
+/// `is_stop` accepts, and return the evaluated prefix as `(index, result)`
+/// pairs sorted by index — the stop item included, later items dropped.
+///
+/// With `threads > 1` the items are evaluated by a claim-counter worker pool
+/// using the same discipline as the branch engine (a worker stops claiming
+/// once its claim reaches a known stop index), so the returned prefix — and
+/// in particular the *first* stop item — is identical to the serial scan's.
+/// Used to fan out the pairwise checks of Theorem 4.1 and the per-subquery
+/// satisfiability filter of Proposition 2.1.
+pub(crate) fn par_prefix<T, F, S>(n: usize, threads: usize, eval: F, is_stop: S) -> Vec<(usize, T)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    S: Fn(&T) -> bool + Sync,
+{
+    if threads <= 1 || n < 2 {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = eval(i);
+            let stop = is_stop(&r);
+            out.push((i, r));
+            if stop {
+                break;
+            }
+        }
+        return out;
+    }
+    let workers = threads.min(n);
+    let next = AtomicU64::new(0);
+    let stop_at = AtomicU64::new(u64::MAX);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n as u64 || idx > stop_at.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let r = eval(idx as usize);
+                    if is_stop(&r) {
+                        stop_at.fetch_min(idx, Ordering::AcqRel);
+                    }
+                    local.push((idx as usize, r));
+                }
+                if !local.is_empty() {
+                    collected.lock().unwrap().extend(local);
+                }
+            });
+        }
+    });
+    let cut = stop_at.into_inner();
+    let mut out = collected.into_inner().unwrap();
+    out.retain(|&(idx, _)| idx as u64 <= cut);
+    out.sort_unstable_by_key(|&(idx, _)| idx);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_env_defaults_are_sane() {
+        let cfg = EngineConfig::from_env();
+        assert!(cfg.threads >= 1);
+        assert!(cfg.min_parallel_branches >= 1);
+        assert_eq!(EngineConfig::serial().threads, 1);
+        assert_eq!(EngineConfig::with_threads(0).threads, 1);
+        assert_eq!(EngineConfig::with_threads(4).threads, 4);
+    }
+
+    #[test]
+    fn par_prefix_serial_and_parallel_agree() {
+        for threads in [1, 2, 4, 8] {
+            let got = par_prefix(100, threads, |i| i * i, |&r| r >= 49);
+            assert_eq!(got.len(), 8, "threads = {threads}");
+            assert_eq!(got[7], (7, 49));
+            for (k, &(idx, v)) in got.iter().enumerate() {
+                assert_eq!(idx, k);
+                assert_eq!(v, k * k);
+            }
+        }
+    }
+
+    #[test]
+    fn par_prefix_without_stop_covers_everything() {
+        let got = par_prefix(37, 4, |i| i, |_| false);
+        assert_eq!(got.len(), 37);
+        assert!(got.iter().enumerate().all(|(k, &(idx, v))| idx == k && v == k));
+    }
+
+    #[test]
+    fn par_prefix_empty_and_single() {
+        assert!(par_prefix(0, 4, |i| i, |_| false).is_empty());
+        assert_eq!(par_prefix(1, 4, |i| i + 10, |_| true), vec![(0, 10)]);
+    }
+}

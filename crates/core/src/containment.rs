@@ -14,18 +14,18 @@
 //! `Q₂ → Q₁` (Cor. 3.4). [`strategy_for`] picks the cheapest sound variant;
 //! [`contains_terminal_full`] forces the full Theorem 3.1 enumeration (used
 //! by the benchmarks to measure what the corollaries save).
+//!
+//! Branch enumeration and scheduling live in [`crate::branch`]: the
+//! functions here build a [`BranchPlan`] and run it under an
+//! [`EngineConfig`] — either the caller's (the `*_with` variants) or the
+//! environment's ([`EngineConfig::from_env`], honouring `OOCQ_THREADS`).
 
-use crate::derive::{find_mapping, MappingGoal, TargetCtx};
+use crate::branch::{par_prefix, BranchPlan, EngineConfig};
 use crate::error::CoreError;
-use crate::explain::{Containment, MappingWitness};
+use crate::explain::Containment;
 use crate::satisfiability::{self, strip_non_range, var_classes, Satisfiability};
-use oocq_query::{Atom, Query, QueryAnalysis, Term, UnionQuery, VarId};
-use oocq_schema::{AttrType, ClassId, Schema};
-
-/// Upper bound on the number of variable-partition augmentations times
-/// membership subsets explored by the full Theorem 3.1 check, as a guard
-/// against accidentally exponential inputs.
-const MAX_BRANCHES: u64 = 1 << 22;
+use oocq_query::{Query, QueryAnalysis, UnionQuery};
+use oocq_schema::Schema;
 
 /// Which containment condition applies, by the atom content of the
 /// right-hand query `Q₂`.
@@ -88,7 +88,17 @@ pub fn strategy_for(q2: &Query) -> Strategy {
 /// assert!(!contains_terminal(&s, &two, &three).unwrap());
 /// ```
 pub fn contains_terminal(schema: &Schema, q1: &Query, q2: &Query) -> Result<bool, CoreError> {
-    Ok(decide_with(schema, q1, q2, strategy_for(q2))?.holds())
+    contains_terminal_with(schema, q1, q2, &EngineConfig::from_env())
+}
+
+/// [`contains_terminal`] under an explicit [`EngineConfig`].
+pub fn contains_terminal_with(
+    schema: &Schema,
+    q1: &Query,
+    q2: &Query,
+    cfg: &EngineConfig,
+) -> Result<bool, CoreError> {
+    Ok(decide_with(schema, q1, q2, strategy_for(q2), cfg)?.holds())
 }
 
 /// Decide `q1 ⊆ q2` and return the full certificate: witness mappings for
@@ -99,14 +109,37 @@ pub fn decide_containment(
     q1: &Query,
     q2: &Query,
 ) -> Result<Containment, CoreError> {
-    decide_with(schema, q1, q2, strategy_for(q2))
+    decide_containment_with(schema, q1, q2, &EngineConfig::from_env())
+}
+
+/// [`decide_containment`] under an explicit [`EngineConfig`]. The
+/// certificate is independent of the configuration: parallel runs report
+/// the same witnesses in the same order, and the same failing branch, as
+/// [`EngineConfig::serial`].
+pub fn decide_containment_with(
+    schema: &Schema,
+    q1: &Query,
+    q2: &Query,
+    cfg: &EngineConfig,
+) -> Result<Containment, CoreError> {
+    decide_with(schema, q1, q2, strategy_for(q2), cfg)
 }
 
 /// Decide `q1 ⊆ q2` using the full Theorem 3.1 enumeration regardless of
 /// `q2`'s shape (sound for every terminal `q2`; used to benchmark the
 /// corollaries' savings).
 pub fn contains_terminal_full(schema: &Schema, q1: &Query, q2: &Query) -> Result<bool, CoreError> {
-    Ok(decide_with(schema, q1, q2, Strategy::Full)?.holds())
+    contains_terminal_full_with(schema, q1, q2, &EngineConfig::from_env())
+}
+
+/// [`contains_terminal_full`] under an explicit [`EngineConfig`].
+pub fn contains_terminal_full_with(
+    schema: &Schema,
+    q1: &Query,
+    q2: &Query,
+    cfg: &EngineConfig,
+) -> Result<bool, CoreError> {
+    Ok(decide_with(schema, q1, q2, Strategy::Full, cfg)?.holds())
 }
 
 /// `q1 ≡ q2` for terminal conjunctive queries.
@@ -128,6 +161,7 @@ fn decide_with(
     q1: &Query,
     q2: &Query,
     strategy: Strategy,
+    cfg: &EngineConfig,
 ) -> Result<Containment, CoreError> {
     if let Satisfiability::Unsatisfiable(reason) = satisfiability::satisfiability(schema, q1)? {
         return Ok(Containment::HoldsVacuously(reason));
@@ -146,206 +180,27 @@ fn decide_with(
     );
     let enum_w = matches!(strategy, Strategy::Full | Strategy::InequalityFree);
 
-    let s_choices = if enum_s {
-        equality_augmentations(&q1, &classes1)
-    } else {
-        vec![Vec::new()]
-    };
-
-    let mut branches: u64 = 0;
-    let mut witnesses: Vec<MappingWitness> = Vec::new();
-    for s_atoms in s_choices {
-        let q1s = q1.with_extra_atoms(s_atoms.clone());
-        if !is_sat(schema, &q1s)? {
-            continue; // inconsistent augmentation: vacuous branch
-        }
-        let w_candidates = if enum_w {
-            membership_candidates(schema, &q1s, &classes1)
-        } else {
-            Vec::new()
-        };
-        assert!(
-            w_candidates.len() <= 22,
-            "containment check has {} membership candidates; the Theorem 3.1 \
-             subset enumeration would not terminate in reasonable time",
-            w_candidates.len()
-        );
-        let subsets: u64 = 1u64 << w_candidates.len();
-        for mask in 0..subsets {
-            branches += 1;
-            if branches > MAX_BRANCHES {
-                // Give up loudly rather than loop for hours; callers at this
-                // size should restructure their queries.
-                panic!(
-                    "containment check exceeded {MAX_BRANCHES} augmentation branches; \
-                     query too large for the Theorem 3.1 enumeration"
-                );
-            }
-            let w_atoms: Vec<Atom> = w_candidates
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| mask >> i & 1 == 1)
-                .map(|(_, a)| a.clone())
-                .collect();
-            let mut augmentation: Vec<Atom> = s_atoms.clone();
-            augmentation.extend(w_atoms.iter().cloned());
-            let q1sw = q1s.with_extra_atoms(w_atoms);
-            if !is_sat(schema, &q1sw)? {
-                continue;
-            }
-            let ctx = TargetCtx::new(schema, q1sw)?;
-            let goal = MappingGoal {
-                source: &q2,
-                source_classes: &classes2,
-                free_anchor: ctx.q.free_var(),
-                avoid_in_image: None,
-            };
-            match find_mapping(&ctx, &goal) {
-                Some(assignment) => witnesses.push(MappingWitness {
-                    augmentation,
-                    assignment,
-                }),
-                None => return Ok(Containment::Fails { augmentation }),
-            }
-        }
-    }
-    Ok(Containment::Holds(witnesses))
-}
-
-/// Enumerate the equality-augmentation candidates `S` of Theorem 3.1: one
-/// per partition of `q1`'s variable equivalence classes, merging only
-/// blocks whose variables share a terminal class (merging across classes is
-/// always inconsistent, so those partitions are skipped at the source).
-fn equality_augmentations(q1: &Query, classes: &[ClassId]) -> Vec<Vec<Atom>> {
-    let analysis = QueryAnalysis::of(q1);
-    let graph = analysis.graph();
-    // Current variable blocks: representative variable per equivalence class.
-    let mut reps: Vec<VarId> = Vec::new();
-    let mut seen_roots: Vec<usize> = Vec::new();
-    for v in q1.vars() {
-        let r = graph.class_id(Term::Var(v)).expect("var node");
-        if !seen_roots.contains(&r) {
-            seen_roots.push(r);
-            reps.push(v);
-        }
-    }
-    let block_class: Vec<ClassId> = reps.iter().map(|v| classes[v.index()]).collect();
-    let k = reps.len();
-
-    // Restricted-growth enumeration of partitions of the k blocks, where a
-    // block may only join a group of the same terminal class.
-    let mut out: Vec<Vec<Atom>> = Vec::new();
-    let mut assignment = vec![0usize; k];
-    fn recurse(
-        i: usize,
-        groups: &mut Vec<ClassId>,
-        assignment: &mut [usize],
-        block_class: &[ClassId],
-        out: &mut Vec<Vec<usize>>,
-    ) {
-        if i == assignment.len() {
-            out.push(assignment.to_vec());
-            return;
-        }
-        for g in 0..groups.len() {
-            if groups[g] == block_class[i] {
-                assignment[i] = g;
-                recurse(i + 1, groups, assignment, block_class, out);
-            }
-        }
-        groups.push(block_class[i]);
-        assignment[i] = groups.len() - 1;
-        recurse(i + 1, groups, assignment, block_class, out);
-        groups.pop();
-    }
-    let mut partitions: Vec<Vec<usize>> = Vec::new();
-    recurse(
-        0,
-        &mut Vec::new(),
-        &mut assignment,
-        &block_class,
-        &mut partitions,
-    );
-
-    for p in partitions {
-        let mut atoms: Vec<Atom> = Vec::new();
-        let mut first_of_group: Vec<Option<VarId>> = vec![None; k];
-        for (block, &g) in p.iter().enumerate() {
-            match first_of_group[g] {
-                None => first_of_group[g] = Some(reps[block]),
-                Some(first) => atoms.push(Atom::Eq(Term::Var(first), Term::Var(reps[block]))),
-            }
-        }
-        out.push(atoms);
-    }
-    out
-}
-
-/// The candidate membership augmentations `T` of Theorem 3.1 for `Q₁&S`:
-/// atoms `x ∈ t.P` with `x` a variable, `t.P` a set term, the addition
-/// satisfiable, and the membership not already derivable (adding a derivable
-/// membership changes nothing, so it is pruned to halve the subset space).
-fn membership_candidates(schema: &Schema, q1s: &Query, classes: &[ClassId]) -> Vec<Atom> {
-    // `Q₁&S` has the same variables as `Q₁`, so the caller's class vector
-    // stays valid.
-    debug_assert_eq!(classes.len(), q1s.var_count());
-    let analysis = QueryAnalysis::of(q1s);
-    let graph = analysis.graph();
-
-    // One representative set term per equivalence class of set terms.
-    let mut set_reps: Vec<(VarId, oocq_schema::AttrId)> = Vec::new();
-    let mut seen: Vec<usize> = Vec::new();
-    for &t in graph.terms() {
-        if let Term::Attr(v, a) = t {
-            if analysis.is_set_term(t) {
-                let root = graph.class_id(t).expect("node");
-                if !seen.contains(&root) {
-                    seen.push(root);
-                    set_reps.push((v, a));
-                }
-            }
-        }
-    }
-
-    let derivable = |x: VarId, t: VarId, a: oocq_schema::AttrId| {
-        q1s.atoms().iter().any(|atom| {
-            matches!(atom, Atom::Member(s, u, b)
-                if *b == a
-                    && graph.same(Term::Var(*s), Term::Var(x))
-                    && graph.same(Term::Var(*u), Term::Var(t)))
-        })
-    };
-    let contradicted = |x: VarId, t: VarId, a: oocq_schema::AttrId| {
-        q1s.atoms().iter().any(|atom| {
-            matches!(atom, Atom::NonMember(s, u, b)
-                if *b == a
-                    && graph.same(Term::Var(*s), Term::Var(x))
-                    && graph.same(Term::Var(*u), Term::Var(t)))
-        })
-    };
-
-    let mut out: Vec<Atom> = Vec::new();
-    for &(t, a) in &set_reps {
-        let Some(AttrType::SetOf(d)) = schema.attr_type(classes[t.index()], a) else {
-            continue; // ill-typed set term: Q₁&S was unsatisfiable anyway
-        };
-        for x in q1s.vars() {
-            if !schema.terminal_descendants(d).contains(&classes[x.index()]) {
-                continue; // x can never be a member: not in T
-            }
-            if derivable(x, t, a) || contradicted(x, t, a) {
-                continue;
-            }
-            out.push(Atom::Member(x, t, a));
-        }
-    }
-    out
+    let plan = BranchPlan::build(schema, &q1, &classes1, enum_s, enum_w)?;
+    Ok(plan.run(&q2, &classes2, cfg))
 }
 
 /// Theorem 4.1: containment of unions of terminal **positive** conjunctive
 /// queries is pairwise: `M ⊆ N` iff every satisfiable `Qᵢ` of `M` is
 /// contained in some `Pⱼ` of `N`.
 pub fn union_contains(schema: &Schema, m: &UnionQuery, n: &UnionQuery) -> Result<bool, CoreError> {
+    union_contains_with(schema, m, n, &EngineConfig::from_env())
+}
+
+/// [`union_contains`] under an explicit [`EngineConfig`]. With
+/// `cfg.threads > 1` the per-`Qᵢ` checks of Theorem 4.1 fan out across the
+/// worker pool (each inner containment then runs serially — the queries are
+/// positive, so each is a single branch anyway).
+pub fn union_contains_with(
+    schema: &Schema,
+    m: &UnionQuery,
+    n: &UnionQuery,
+    cfg: &EngineConfig,
+) -> Result<bool, CoreError> {
     for q in m {
         if !q.is_positive() {
             return Err(CoreError::NotPositive);
@@ -356,16 +211,36 @@ pub fn union_contains(schema: &Schema, m: &UnionQuery, n: &UnionQuery) -> Result
             return Err(CoreError::NotPositive);
         }
     }
-    'outer: for q in m {
+    let queries: Vec<&Query> = m.iter().collect();
+    let parallel = cfg.threads > 1 && queries.len() >= 2;
+    let inner = if parallel {
+        EngineConfig::serial()
+    } else {
+        *cfg
+    };
+    // Is Qᵢ covered — unsatisfiable, or contained in some Pⱼ?
+    let covered = |i: usize| -> Result<bool, CoreError> {
+        let q = queries[i];
         if !is_sat(schema, q)? {
-            continue; // unsatisfiable subquery contributes nothing
+            return Ok(true); // unsatisfiable subquery contributes nothing
         }
         for p in n {
-            if contains_terminal(schema, q, p)? {
-                continue 'outer;
+            if contains_terminal_with(schema, q, p, &inner)? {
+                return Ok(true);
             }
         }
-        return Ok(false);
+        Ok(false)
+    };
+    let results = par_prefix(
+        queries.len(),
+        if parallel { cfg.threads } else { 1 },
+        covered,
+        |r| !matches!(r, Ok(true)),
+    );
+    for (_, r) in results {
+        if !r? {
+            return Ok(false);
+        }
     }
     Ok(true)
 }
@@ -379,14 +254,25 @@ pub fn union_equivalent(schema: &Schema, m: &UnionQuery, n: &UnionQuery) -> Resu
 /// conjunctive queries: normalize, expand to terminal unions
 /// (Proposition 2.1), then apply Theorem 4.1.
 pub fn contains_positive(schema: &Schema, q1: &Query, q2: &Query) -> Result<bool, CoreError> {
+    contains_positive_with(schema, q1, q2, &EngineConfig::from_env())
+}
+
+/// [`contains_positive`] under an explicit [`EngineConfig`] (governing both
+/// the expansion filter and the pairwise union checks).
+pub fn contains_positive_with(
+    schema: &Schema,
+    q1: &Query,
+    q2: &Query,
+    cfg: &EngineConfig,
+) -> Result<bool, CoreError> {
     if !q1.is_positive() || !q2.is_positive() {
         return Err(CoreError::NotPositive);
     }
     let n1 = oocq_query::normalize(q1, schema)?;
     let n2 = oocq_query::normalize(q2, schema)?;
-    let u1 = crate::expand::expand_satisfiable(schema, &n1)?;
-    let u2 = crate::expand::expand_satisfiable(schema, &n2)?;
-    union_contains(schema, &u1, &u2)
+    let u1 = crate::expand::expand_satisfiable_with(schema, &n1, cfg)?;
+    let u2 = crate::expand::expand_satisfiable_with(schema, &n2, cfg)?;
+    union_contains_with(schema, &u1, &u2, cfg)
 }
 
 /// `q1 ≡ q2` for positive conjunctive queries.
@@ -572,6 +458,65 @@ mod tests {
         assert!(contains_terminal_full(&s, &q2, &q1).unwrap());
         let (q3, _) = example_32_query(&s, true);
         assert!(!contains_terminal_full(&s, &q1, &q3).unwrap());
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_certificates() {
+        // Force the Full strategy (both S and W enumerated) and compare the
+        // entire certificate — witness list, order, failing branch — between
+        // the serial reference engine and a 4-thread pool with no serial
+        // fallback.
+        let s = samples::single_class();
+        let par = EngineConfig {
+            threads: 4,
+            min_parallel_branches: 1,
+        };
+        let ser = EngineConfig::serial();
+        let (q1, q2) = example_32_query(&s, false);
+        let (q3, _) = example_32_query(&s, true);
+        for (a, b) in [(&q1, &q2), (&q2, &q1), (&q1, &q3), (&q3, &q1)] {
+            let serial = decide_containment_with(&s, a, b, &ser).unwrap();
+            let parallel = decide_containment_with(&s, a, b, &par).unwrap();
+            assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn branch_limit_is_recoverable() {
+        // One set term plus 23 candidate member variables makes 2^23
+        // membership subsets — over MAX_BRANCHES. Strategy must be
+        // InequalityFree (q2 has a non-membership atom) so W is enumerated.
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x0");
+        let x0 = b.free();
+        b.range(x0, [t1]);
+        for i in 1..24 {
+            let xi = b.var(&format!("x{i}"));
+            b.range(xi, [t1]);
+        }
+        let y = b.var("y");
+        b.range(y, [t2]);
+        // x0 ∈ y.A makes y.A a set term; x1..x23 are then 23 fresh candidate
+        // memberships (x0's is derivable, hence pruned).
+        b.member(x0, y, a);
+        let q1 = b.build();
+
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y2 = b.var("y");
+        b.range(x, [t1]).range(y2, [t2]);
+        b.non_member(x, y2, a);
+        let q2 = b.build();
+
+        assert_eq!(strategy_for(&q2), Strategy::InequalityFree);
+        assert!(matches!(
+            contains_terminal(&s, &q1, &q2),
+            Err(CoreError::BranchLimit { branches, limit })
+                if branches > limit && limit == crate::MAX_BRANCHES
+        ));
     }
 
     #[test]

@@ -28,17 +28,14 @@ use oocq_query::{Atom, Query, QueryAnalysis, Term, VarId};
 use oocq_schema::{AttrId, ClassId, Schema};
 use std::collections::{HashMap, HashSet};
 
-/// A containment target `Q₁` (possibly augmented) with the indexes needed to
-/// answer derivability queries in O(1).
-pub(crate) struct TargetCtx<'s> {
-    pub(crate) schema: &'s Schema,
-    pub(crate) q: Query,
-    /// Terminal class of each variable.
-    pub(crate) classes: Vec<ClassId>,
-    pub(crate) analysis: QueryAnalysis,
+/// Derivability indexes over a target query, computed once and shared by
+/// every [`TargetCtx`] built on the same (query, analysis) pair. The branch
+/// engine builds one of these per `S`-augmentation and reuses it across all
+/// `2^|W|` membership subsets of that augmentation.
+pub(crate) struct TargetIndexes {
     /// Derived membership instances `(root[s], root[t], A)` for each atom
     /// `s ∈ t.A`.
-    members: HashSet<(usize, usize, AttrId)>,
+    pub(crate) members: HashSet<(usize, usize, AttrId)>,
     /// For `(root of base-variable class, A)`: the class of the object term
     /// `s.A` (unique when present, by congruence).
     obj_attr_image: HashMap<(usize, AttrId), usize>,
@@ -49,11 +46,13 @@ pub(crate) struct TargetCtx<'s> {
     by_class: HashMap<ClassId, Vec<VarId>>,
 }
 
-impl<'s> TargetCtx<'s> {
-    /// Index a terminal target query.
-    pub(crate) fn new(schema: &'s Schema, q: Query) -> Result<TargetCtx<'s>, CoreError> {
-        let classes = var_classes(schema, &q)?;
-        let analysis = QueryAnalysis::of(&q);
+impl TargetIndexes {
+    /// Build the indexes for `q` under the given analysis.
+    pub(crate) fn build(
+        q: &Query,
+        classes: &[ClassId],
+        analysis: &QueryAnalysis,
+    ) -> TargetIndexes {
         let graph = analysis.graph();
         let var_root =
             |v: VarId| graph.class_id(Term::Var(v)).expect("variable is always a node");
@@ -80,16 +79,52 @@ impl<'s> TargetCtx<'s> {
         for v in q.vars() {
             by_class.entry(classes[v.index()]).or_default().push(v);
         }
-        Ok(TargetCtx {
-            schema,
-            q,
-            classes,
-            analysis,
+        TargetIndexes {
             members,
             obj_attr_image,
             set_attr_present,
             by_class,
-        })
+        }
+    }
+}
+
+/// A containment target `Q₁` (possibly augmented) viewed through precomputed
+/// indexes that answer derivability queries in O(1). Borrows all heavy state
+/// (query, classes, analysis, indexes), so constructing one per augmentation
+/// branch costs only a clone of the membership key set — which the branch
+/// engine then extends in place with the branch's `W` atoms.
+pub(crate) struct TargetCtx<'s> {
+    pub(crate) schema: &'s Schema,
+    /// Terminal class of each variable.
+    pub(crate) classes: &'s [ClassId],
+    pub(crate) analysis: &'s QueryAnalysis,
+    shared: &'s TargetIndexes,
+    /// Membership keys: `shared.members` plus any per-branch `W` additions.
+    members: HashSet<(usize, usize, AttrId)>,
+}
+
+impl<'s> TargetCtx<'s> {
+    /// View a terminal target query through prebuilt indexes.
+    pub(crate) fn new(
+        schema: &'s Schema,
+        classes: &'s [ClassId],
+        analysis: &'s QueryAnalysis,
+        shared: &'s TargetIndexes,
+    ) -> TargetCtx<'s> {
+        TargetCtx {
+            schema,
+            classes,
+            analysis,
+            shared,
+            members: shared.members.clone(),
+        }
+    }
+
+    /// Record an additional derived membership `(root[x], root[t], A)` —
+    /// used by the branch engine to fold a branch's `W` atoms into the
+    /// index without re-scanning the query.
+    pub(crate) fn add_member_key(&mut self, key: (usize, usize, AttrId)) {
+        self.members.insert(key);
     }
 
     #[inline]
@@ -106,6 +141,7 @@ impl<'s> TargetCtx<'s> {
         match t {
             Term::Var(v) => Some(self.var_root(v)),
             Term::Attr(v, a) => self
+                .shared
                 .obj_attr_image
                 .get(&(self.var_root(v), a))
                 .copied(),
@@ -142,7 +178,7 @@ impl<'s> TargetCtx<'s> {
     /// Does `Q` *not* contradict `x ∉ y.A` for mapped variables?
     pub(crate) fn not_contradict_nonmember(&self, x: VarId, y: VarId, a: AttrId) -> bool {
         let key = (self.var_root(y), a);
-        self.set_attr_present.contains(&key) && !self.derives_member(x, y, a)
+        self.shared.set_attr_present.contains(&key) && !self.derives_member(x, y, a)
     }
 
     /// Does `Q` *not* contradict `x ∉ C₁ ∨ … ∨ Cₙ`? (Only used defensively;
@@ -170,12 +206,47 @@ impl<'s> TargetCtx<'s> {
 
     /// Variables of the target in a given terminal class.
     pub(crate) fn vars_of_class(&self, c: ClassId) -> &[VarId] {
-        self.by_class.get(&c).map(Vec::as_slice).unwrap_or(&[])
+        self.shared.by_class.get(&c).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Are two target variables in the same equivalence class of `E(Q)`?
     pub(crate) fn same_var_class(&self, a: VarId, b: VarId) -> bool {
         self.var_root(a) == self.var_root(b)
+    }
+}
+
+/// An owning bundle of everything a [`TargetCtx`] borrows, for callers (the
+/// minimizers) that index one query at a time rather than sharing state
+/// across branches.
+pub(crate) struct TargetData {
+    q: Query,
+    classes: Vec<ClassId>,
+    analysis: QueryAnalysis,
+    indexes: TargetIndexes,
+}
+
+impl TargetData {
+    /// Analyse and index a terminal target query.
+    pub(crate) fn new(schema: &Schema, q: Query) -> Result<TargetData, CoreError> {
+        let classes = var_classes(schema, &q)?;
+        let analysis = QueryAnalysis::of(&q);
+        let indexes = TargetIndexes::build(&q, &classes, &analysis);
+        Ok(TargetData {
+            q,
+            classes,
+            analysis,
+            indexes,
+        })
+    }
+
+    /// The indexed query.
+    pub(crate) fn query(&self) -> &Query {
+        &self.q
+    }
+
+    /// Borrow a [`TargetCtx`] view.
+    pub(crate) fn ctx<'s>(&'s self, schema: &'s Schema) -> TargetCtx<'s> {
+        TargetCtx::new(schema, &self.classes, &self.analysis, &self.indexes)
     }
 }
 
@@ -278,7 +349,7 @@ mod tests {
     use oocq_schema::samples;
 
     /// Example 3.1's Q₁ indexed as a target.
-    fn example_31_ctx(s: &Schema) -> TargetCtx<'_> {
+    fn example_31_data(s: &Schema) -> TargetData {
         let c = s.class_id("C").unwrap();
         let d = s.class_id("D").unwrap();
         let a = s.attr_id("A").unwrap();
@@ -291,14 +362,15 @@ mod tests {
         b.eq_attr(z, y, a);
         b.member(z, y, bb);
         b.eq_vars(x, y);
-        TargetCtx::new(s, b.build()).unwrap()
+        TargetData::new(s, b.build()).unwrap()
     }
 
     #[test]
     fn derives_equality_through_congruent_base() {
         // Q₁ ⊢ z = x.A even though the atom says z = y.A, because x = y.
         let s = samples::example_31();
-        let ctx = example_31_ctx(&s);
+        let data = example_31_data(&s);
+        let ctx = data.ctx(&s);
         let a = s.attr_id("A").unwrap();
         let x = VarId::from_index(0);
         let z = VarId::from_index(2);
@@ -311,7 +383,8 @@ mod tests {
     #[test]
     fn derives_membership_through_equalities() {
         let s = samples::example_31();
-        let ctx = example_31_ctx(&s);
+        let data = example_31_data(&s);
+        let ctx = data.ctx(&s);
         let bb = s.attr_id("B").unwrap();
         let x = VarId::from_index(0);
         let z = VarId::from_index(2);
@@ -323,7 +396,8 @@ mod tests {
     #[test]
     fn non_contradiction_of_inequalities() {
         let s = samples::example_31();
-        let ctx = example_31_ctx(&s);
+        let data = example_31_data(&s);
+        let ctx = data.ctx(&s);
         let x = VarId::from_index(0);
         let y = VarId::from_index(1);
         let z = VarId::from_index(2);
@@ -336,7 +410,8 @@ mod tests {
     #[test]
     fn non_contradiction_of_non_membership() {
         let s = samples::example_31();
-        let ctx = example_31_ctx(&s);
+        let data = example_31_data(&s);
+        let ctx = data.ctx(&s);
         let bb = s.attr_id("B").unwrap();
         let a = s.attr_id("A").unwrap();
         let x = VarId::from_index(0);
@@ -354,7 +429,8 @@ mod tests {
     fn example_31_containment_mapping_exists() {
         // μ : Q₂ → Q₁ with μ(y) = x, μ(z) = z.
         let s = samples::example_31();
-        let ctx = example_31_ctx(&s);
+        let data = example_31_data(&s);
+        let ctx = data.ctx(&s);
         let c = s.class_id("C").unwrap();
         let d = s.class_id("D").unwrap();
         let a = s.attr_id("A").unwrap();
@@ -368,7 +444,7 @@ mod tests {
         let goal = MappingGoal {
             source: &q2,
             source_classes: &classes2,
-            free_anchor: ctx.q.free_var(),
+            free_anchor: data.query().free_var(),
             avoid_in_image: None,
         };
         let map = find_mapping(&ctx, &goal).expect("mapping must exist");
@@ -391,7 +467,8 @@ mod tests {
         let z2 = b.var("z");
         b.range(y2, [c]).range(z2, [d]);
         b.eq_attr(z2, y2, a);
-        let ctx = TargetCtx::new(&s, b.build()).unwrap();
+        let data = TargetData::new(&s, b.build()).unwrap();
+        let ctx = data.ctx(&s);
 
         let mut b = QueryBuilder::new("x");
         let x = b.free();
@@ -406,7 +483,7 @@ mod tests {
         let goal = MappingGoal {
             source: &q1,
             source_classes: &classes1,
-            free_anchor: ctx.q.free_var(),
+            free_anchor: data.query().free_var(),
             avoid_in_image: None,
         };
         assert!(find_mapping(&ctx, &goal).is_none());
@@ -421,7 +498,8 @@ mod tests {
         let y = b.var("y");
         b.range(x, [c]).range(y, [c]);
         let q = b.build();
-        let ctx = TargetCtx::new(&s, q.clone()).unwrap();
+        let data = TargetData::new(&s, q.clone()).unwrap();
+        let ctx = data.ctx(&s);
         let classes = var_classes(&s, &q).unwrap();
         // Self-map avoiding y exists (fold y onto x)...
         let goal = MappingGoal {

@@ -18,6 +18,16 @@ pub enum CoreError {
     /// A positive conjunctive query was required (§4) but the query contains
     /// a negative atom.
     NotPositive,
+    /// The Theorem 3.1 enumeration would have to explore more augmentation
+    /// branches than the engine's guard allows. Callers at this size should
+    /// restructure their queries.
+    BranchLimit {
+        /// How many branches the enumeration needs (a lower bound when the
+        /// count saturates).
+        branches: u64,
+        /// The engine's guard ([`crate::MAX_BRANCHES`]).
+        limit: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +41,11 @@ impl fmt::Display for CoreError {
             CoreError::NotPositive => {
                 write!(f, "query contains a negative atom but must be positive")
             }
+            CoreError::BranchLimit { branches, limit } => write!(
+                f,
+                "containment check needs {branches} augmentation branches, \
+                 over the limit of {limit}"
+            ),
         }
     }
 }

@@ -6,10 +6,16 @@
 //! terminal conjunctive queries obtained by choosing, for every variable,
 //! one terminal descendant of its range disjunction.
 
+use crate::branch::{par_prefix, EngineConfig};
 use crate::error::CoreError;
 use crate::satisfiability::{self, Satisfiability};
 use oocq_query::{Atom, Query, QueryAnalysis, QueryBuilder, UnionQuery};
 use oocq_schema::{ClassId, Schema};
+
+/// Expansions below this size are filtered serially even under a parallel
+/// [`EngineConfig`] — a handful of satisfiability checks is cheaper than a
+/// thread spawn.
+const MIN_PARALLEL_SUBQUERIES: usize = 32;
 
 /// The terminal choices for each variable: the deduplicated union of the
 /// terminal descendants of its range classes, in schema order.
@@ -119,14 +125,41 @@ pub fn expand(schema: &Schema, q: &Query) -> Result<UnionQuery, CoreError> {
 /// atoms stripped (§2.5). This is the first stage of the §4 minimization
 /// pipeline.
 pub fn expand_satisfiable(schema: &Schema, q: &Query) -> Result<UnionQuery, CoreError> {
+    expand_satisfiable_with(schema, q, &EngineConfig::from_env())
+}
+
+/// [`expand_satisfiable`] under an explicit [`EngineConfig`]: with
+/// `cfg.threads > 1` the per-subquery satisfiability checks fan out across
+/// the worker pool (the surviving subqueries keep their expansion order
+/// either way).
+pub fn expand_satisfiable_with(
+    schema: &Schema,
+    q: &Query,
+    cfg: &EngineConfig,
+) -> Result<UnionQuery, CoreError> {
+    let expanded = expand(schema, q)?;
+    let subs: Vec<&Query> = expanded.iter().collect();
+    let keep = |i: usize| -> Result<Option<Query>, CoreError> {
+        let sub = subs[i];
+        let classes = satisfiability::var_classes(schema, sub)?;
+        let analysis = QueryAnalysis::of(sub);
+        Ok(
+            match satisfiability::check(schema, sub, &classes, &analysis) {
+                Satisfiability::Satisfiable => Some(satisfiability::strip_non_range(sub)),
+                Satisfiability::Unsatisfiable(_) => None,
+            },
+        )
+    };
+    let threads = if cfg.threads > 1 && subs.len() >= MIN_PARALLEL_SUBQUERIES {
+        cfg.threads
+    } else {
+        1
+    };
+    let results = par_prefix(subs.len(), threads, keep, |r| r.is_err());
     let mut out = UnionQuery::empty();
-    for sub in expand(schema, q)? {
-        let classes = satisfiability::var_classes(schema, &sub)?;
-        let analysis = QueryAnalysis::of(&sub);
-        if let Satisfiability::Satisfiable =
-            satisfiability::check(schema, &sub, &classes, &analysis)
-        {
-            out.push(satisfiability::strip_non_range(&sub));
+    for (_, r) in results {
+        if let Some(survivor) = r? {
+            out.push(survivor);
         }
     }
     Ok(out)

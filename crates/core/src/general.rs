@@ -19,7 +19,7 @@
 //! and a correct one can be missed).
 
 use crate::containment::{contains_terminal, equivalent_terminal};
-use crate::derive::{find_mapping, MappingGoal, TargetCtx};
+use crate::derive::{find_mapping, MappingGoal, TargetData};
 use crate::error::CoreError;
 use crate::satisfiability::{is_satisfiable, strip_non_range, var_classes};
 use oocq_query::{normalize, Query, UnionQuery};
@@ -38,10 +38,11 @@ pub fn minimize_terminal_general(schema: &Schema, q: &Query) -> Result<Query, Co
     'outer: loop {
         let classes = var_classes(schema, &cur)?;
         let free = cur.free_var();
-        let ctx = TargetCtx::new(schema, cur.clone())?;
+        let data = TargetData::new(schema, cur.clone())?;
+        let ctx = data.ctx(schema);
         for drop in cur.vars() {
             let goal = MappingGoal {
-                source: &cur,
+                source: data.query(),
                 source_classes: &classes,
                 free_anchor: free,
                 avoid_in_image: Some(drop),

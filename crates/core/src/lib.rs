@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod branch;
 mod containment;
 mod derive;
 mod error;
@@ -27,14 +28,16 @@ mod minimize;
 mod optimizer;
 mod satisfiability;
 
+pub use branch::{EngineConfig, MAX_BRANCHES};
 pub use containment::{
-    contains_positive, contains_terminal, contains_terminal_full, decide_containment,
-    equivalent_positive, equivalent_terminal, strategy_for, union_contains, union_equivalent,
-    Strategy,
+    contains_positive, contains_positive_with, contains_terminal, contains_terminal_full,
+    contains_terminal_full_with, contains_terminal_with, decide_containment,
+    decide_containment_with, equivalent_positive, equivalent_terminal, strategy_for,
+    union_contains, union_contains_with, union_equivalent, Strategy,
 };
 pub use explain::{Containment, MappingWitness};
 pub use error::CoreError;
-pub use expand::{expand, expand_satisfiable, expansion_size};
+pub use expand::{expand, expand_satisfiable, expand_satisfiable_with, expansion_size};
 pub use general::{minimize_general, minimize_terminal_general};
 pub use optimizer::{Optimizer, OptimizerStats};
 pub use minimize::{

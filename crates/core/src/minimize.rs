@@ -20,7 +20,7 @@
 //! variables `x` — the objects the query logically accesses.
 
 use crate::containment::contains_terminal;
-use crate::derive::{find_mapping, MappingGoal, TargetCtx};
+use crate::derive::{find_mapping, MappingGoal, TargetData};
 use crate::error::CoreError;
 use crate::expand::expand_satisfiable;
 use crate::satisfiability::{is_satisfiable, var_classes};
@@ -175,10 +175,11 @@ pub fn minimize_terminal_positive(schema: &Schema, q: &Query) -> Result<Query, C
     'outer: loop {
         let classes = var_classes(schema, &cur)?;
         let free = cur.free_var();
-        let ctx = TargetCtx::new(schema, cur.clone())?;
+        let data = TargetData::new(schema, cur.clone())?;
+        let ctx = data.ctx(schema);
         for drop in cur.vars() {
             let goal = MappingGoal {
-                source: &cur,
+                source: data.query(),
                 source_classes: &classes,
                 free_anchor: free,
                 avoid_in_image: Some(drop),
@@ -211,10 +212,11 @@ pub fn is_minimal_terminal_positive(schema: &Schema, q: &Query) -> Result<bool, 
         return Ok(true);
     }
     let classes = var_classes(schema, q)?;
-    let ctx = TargetCtx::new(schema, q.clone())?;
+    let data = TargetData::new(schema, q.clone())?;
+    let ctx = data.ctx(schema);
     for drop in q.vars() {
         let goal = MappingGoal {
-            source: q,
+            source: data.query(),
             source_classes: &classes,
             free_anchor: q.free_var(),
             avoid_in_image: Some(drop),

@@ -32,7 +32,8 @@
 
 use crate::error::CoreError;
 use oocq_query::{Atom, Query, QueryAnalysis, Term, VarId};
-use oocq_schema::{AttrType, ClassId, Schema};
+use oocq_schema::{AttrId, AttrType, ClassId, Schema};
+use std::collections::HashSet;
 
 /// Why a terminal conjunctive query is unsatisfiable.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -261,6 +262,17 @@ pub(crate) fn check(
         }
     }
 
+    // Check 6 compares each non-membership against the derived memberships;
+    // index those once, on first use, instead of rescanning the atom list
+    // per non-membership (the containment search calls this on thousands of
+    // augmented queries).
+    let mut member_keys: Option<HashSet<(usize, usize, AttrId)>> = None;
+    let var_root = |v: VarId| {
+        graph
+            .class_id(Term::Var(v))
+            .expect("variable is always a node")
+    };
+
     // Checks 4–7: walk the atoms.
     for atom in q.atoms() {
         match atom {
@@ -289,13 +301,16 @@ pub(crate) fn check(
             Atom::NonMember(x, y, a) => {
                 // Contradiction with a derived membership: some atom
                 // `s ∈ t.A` with s ∈ [x] and t ∈ [y].
-                let contradicted = q.atoms().iter().any(|other| {
-                    matches!(other, Atom::Member(s, t, b)
-                        if b == a
-                            && graph.same(Term::Var(*s), Term::Var(*x))
-                            && graph.same(Term::Var(*t), Term::Var(*y)))
+                let keys = member_keys.get_or_insert_with(|| {
+                    q.atoms()
+                        .iter()
+                        .filter_map(|other| match other {
+                            Atom::Member(s, t, b) => Some((var_root(*s), var_root(*t), *b)),
+                            _ => None,
+                        })
+                        .collect()
                 });
-                if contradicted {
+                if keys.contains(&(var_root(*x), var_root(*y), *a)) {
                     return U(UnsatReason::NonMembershipConflict {
                         atom: format!(
                             "{} not in {}",

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 mod query_gen;
+pub mod rng;
 mod schema_gen;
 mod state_gen;
 
@@ -17,5 +18,6 @@ pub use query_gen::{
     chain_query, inequality_chain, random_positive, random_terminal_positive, rigid_star_query,
     star_query, QueryParams,
 };
+pub use rng::{Rng, StdRng};
 pub use schema_gen::{deep_schema, partition_schema, random_schema, workload_schema, SchemaParams};
 pub use state_gen::{random_state, state_family, StateParams};

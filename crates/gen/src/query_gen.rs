@@ -3,7 +3,7 @@
 
 use oocq_query::{Query, QueryBuilder};
 use oocq_schema::{AttrType, ClassId, Schema};
-use rand::Rng;
+use crate::rng::Rng;
 
 /// A chain query over [`workload_schema`](crate::workload_schema):
 ///
@@ -218,8 +218,7 @@ mod tests {
     use crate::schema_gen::workload_schema;
     use oocq_query::check_well_formed;
     use oocq_schema::samples;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn chain_query_shape() {

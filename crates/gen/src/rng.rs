@@ -1,0 +1,195 @@
+//! Minimal deterministic pseudo-random number generator.
+//!
+//! The generators in this crate only need uniform integers, booleans, and a
+//! seedable stream that is stable across runs and platforms. Rather than pull
+//! in an external crate for that, we keep a small self-contained PRNG here:
+//! `StdRng` is a [SplitMix64](https://prng.di.unimi.it/splitmix64.c)-seeded
+//! xoshiro256** generator, which passes the usual statistical batteries and is
+//! more than adequate for workload generation and randomized testing.
+//!
+//! The API mirrors the subset of `rand` the crate historically used
+//! (`gen_range`, `gen_bool`, `seed_from_u64`), so call sites read the same.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Ranges that can be sampled uniformly. Implemented for `Range<usize>` and
+/// `RangeInclusive<usize>` (the only shapes the generators need).
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Item;
+    /// Draw one uniform sample from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Item;
+}
+
+impl SampleRange for Range<usize> {
+    type Item = usize;
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + uniform_below(rng, span) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Item = usize;
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range called with empty range");
+        let span = (hi - lo) as u64 + 1; // hi - lo < 2^63 in practice; no overflow path needed
+        lo + uniform_below(rng, span) as usize
+    }
+}
+
+/// Unbiased uniform draw in `0..n` via Lemire's multiply-then-reject method.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let threshold = n.wrapping_neg() % n; // 2^64 mod n
+    loop {
+        let x = rng.next_u64();
+        let wide = x as u128 * n as u128;
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+/// Source of uniform random `u64`s plus the derived sampling helpers.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits from the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range`.
+    fn gen_range<T: SampleRange>(&mut self, range: T) -> T::Item
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 uniform mantissa bits, the standard float-in-[0,1) construction.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The crate's standard generator: xoshiro256** seeded via SplitMix64.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Deterministically derive a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        // SplitMix64 expansion of the seed into the full 256-bit state, as
+        // recommended by the xoshiro authors (avoids the all-zero state).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** step.
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw(rng: &mut impl Rng) -> usize {
+            rng.gen_range(0..10)
+        }
+        let mut rng = StdRng::seed_from_u64(23);
+        let _ = draw(&mut rng);
+        let r = &mut rng;
+        let _ = draw(r); // reborrow through &mut &mut StdRng
+    }
+}

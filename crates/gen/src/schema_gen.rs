@@ -1,7 +1,7 @@
 //! Random and parameterized schema generators.
 
 use oocq_schema::{AttrType, ClassId, Schema, SchemaBuilder};
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Parameters for [`random_schema`].
 #[derive(Clone, Copy, Debug)]
@@ -152,8 +152,7 @@ pub fn partition_schema(terminals: usize, b_on: usize, refine_a: usize) -> Schem
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn random_schema_is_consistent_and_sized() {

@@ -2,7 +2,7 @@
 
 use oocq_schema::{AttrType, Schema};
 use oocq_state::{Oid, State, StateBuilder};
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Parameters for [`random_state`].
 #[derive(Clone, Copy, Debug)]
@@ -106,8 +106,7 @@ mod tests {
     use super::*;
     use oocq_schema::samples;
     use oocq_state::Value;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn random_states_are_legal_and_sized() {

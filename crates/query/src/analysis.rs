@@ -61,6 +61,44 @@ impl QueryAnalysis {
         }
     }
 
+    /// Analyse `q.with_extra_atoms(extra)` incrementally: the equality graph
+    /// is extended via [`EqualityGraph::extended`] (no rebuild from the
+    /// query), and the object/set classification is carried over by remapping
+    /// the old class roots through the extended graph, then classifying the
+    /// extra atoms. Produces exactly what `QueryAnalysis::of` would on the
+    /// augmented query, at a fraction of the cost; this is the containment
+    /// branch engine's per-augmentation fast path.
+    pub fn extended(&self, extra: &[Atom]) -> QueryAnalysis {
+        let graph = self.graph.extended(extra);
+        // Roots computed on the base graph are node indices, which are stable
+        // under extension; classes can only merge, so remapping through the
+        // new canonical map preserves every classification.
+        let mut object_roots: HashSet<usize> =
+            self.object_roots.iter().map(|&r| graph.canonical(r)).collect();
+        let mut set_roots: HashSet<usize> =
+            self.set_roots.iter().map(|&r| graph.canonical(r)).collect();
+        for atom in extra {
+            match atom {
+                Atom::Range(v, _) | Atom::NonRange(v, _) => {
+                    object_roots.extend(graph.class_id(Term::Var(*v)));
+                }
+                Atom::Eq(a, b) | Atom::Neq(a, b) => {
+                    object_roots.extend(graph.class_id(*a));
+                    object_roots.extend(graph.class_id(*b));
+                }
+                Atom::Member(x, y, a) | Atom::NonMember(x, y, a) => {
+                    object_roots.extend(graph.class_id(Term::Var(*x)));
+                    set_roots.extend(graph.class_id(Term::Attr(*y, *a)));
+                }
+            }
+        }
+        QueryAnalysis {
+            graph,
+            object_roots,
+            set_roots,
+        }
+    }
+
     /// The underlying equality graph `E(Q)`.
     pub fn graph(&self) -> &EqualityGraph {
         &self.graph
@@ -373,6 +411,36 @@ mod tests {
         assert!(analysis.is_set_term(Term::Attr(y, a)));
         assert!(!analysis.graph().has_term(Term::Attr(z, a)));
         check_well_formed(&q).unwrap();
+    }
+
+    #[test]
+    fn extended_analysis_matches_full_reanalysis() {
+        let s = samples::vehicle_rental();
+        let veh = s.class_id("Vehicle").unwrap();
+        let cli = s.class_id("Client").unwrap();
+        let a = s.attr_id("VehRented").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [veh]).range(y, [cli]).range(z, [cli]);
+        b.member(x, y, a);
+        let q = b.build();
+        let base = QueryAnalysis::of(&q);
+
+        // An equality plus a membership over a previously-absent attr term:
+        // both the graph and the classification must match a fresh analysis.
+        let extra = vec![
+            Atom::Eq(Term::Var(y), Term::Var(z)),
+            Atom::Member(x, z, a),
+        ];
+        let ext = base.extended(&extra);
+        let full = QueryAnalysis::of(&q.with_extra_atoms(extra));
+        assert_eq!(ext.graph().terms(), full.graph().terms());
+        for &t in full.graph().terms() {
+            assert_eq!(ext.is_object_term(t), full.is_object_term(t), "{t:?}");
+            assert_eq!(ext.is_set_term(t), full.is_set_term(t), "{t:?}");
+        }
     }
 
     #[test]

@@ -133,6 +133,114 @@ impl EqualityGraph {
         }
     }
 
+    /// Extend the graph with additional atoms **incrementally**, without
+    /// rebuilding from the query. Produces exactly the same graph as
+    /// [`EqualityGraph::build`] on `q.with_extra_atoms(extra)`:
+    ///
+    /// * terms are interned in the same order (existing nodes keep their
+    ///   indices; genuinely new terms — rare, e.g. a representative-variable
+    ///   attribute term introduced by a membership augmentation — are
+    ///   appended, exactly as a full rebuild would append them);
+    /// * the union-find links the larger root under the smaller, so the root
+    ///   of every class is its minimum node index regardless of union order;
+    /// * the congruence closure is a least fixpoint, hence confluent.
+    ///
+    /// Together these make the result independent of whether the extra atoms
+    /// were present from the start or added here. The containment branch
+    /// engine relies on this to share one base graph across thousands of
+    /// augmentation branches instead of re-running the fixpoint from scratch.
+    pub fn extended(&self, extra: &[Atom]) -> EqualityGraph {
+        let mut terms = self.terms.clone();
+        let mut index = self.index.clone();
+        for a in extra {
+            for t in a.terms() {
+                index.entry(t).or_insert_with(|| {
+                    terms.push(t);
+                    terms.len() - 1
+                });
+            }
+        }
+
+        // The frozen parent array is a valid (fully compressed) union-find
+        // state; resume from it.
+        let mut parent = self.parent.clone();
+        parent.extend(self.parent.len()..terms.len());
+
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        fn union(parent: &mut [usize], a: usize, b: usize) -> bool {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra == rb {
+                return false;
+            }
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi] = lo;
+            true
+        }
+
+        for a in extra {
+            if let Atom::Eq(s, t) = a {
+                union(&mut parent, index[s], index[t]);
+            }
+        }
+
+        let mut by_attr: HashMap<AttrId, Vec<(usize, usize)>> = HashMap::new();
+        for (node, t) in terms.iter().enumerate() {
+            if let Term::Attr(v, a) = *t {
+                let var_node = index[&Term::Var(v)];
+                by_attr.entry(a).or_default().push((var_node, node));
+            }
+        }
+        loop {
+            let mut changed = false;
+            for group in by_attr.values() {
+                let mut rep: HashMap<usize, usize> = HashMap::new();
+                for &(var_node, attr_node) in group {
+                    let vr = find(&mut parent, var_node);
+                    match rep.get(&vr) {
+                        Some(&first) => changed |= union(&mut parent, first, attr_node),
+                        None => {
+                            rep.insert(vr, attr_node);
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        for i in 0..parent.len() {
+            let r = find(&mut parent, i);
+            parent[i] = r;
+        }
+        let mut members: HashMap<usize, Vec<Term>> = HashMap::new();
+        for (node, t) in terms.iter().enumerate() {
+            members.entry(parent[node]).or_default().push(*t);
+        }
+        for v in members.values_mut() {
+            v.sort();
+        }
+        EqualityGraph {
+            terms,
+            index,
+            parent,
+            members,
+        }
+    }
+
+    /// The canonical (root) node of graph node `n`. Used to remap class roots
+    /// computed against a base graph onto an [`extended`](Self::extended)
+    /// graph, where classes may have merged but node indices are stable.
+    pub fn canonical(&self, n: usize) -> usize {
+        self.parent[n]
+    }
+
     /// Is `t` a node of the graph (i.e. a term occurring in the query)?
     pub fn has_term(&self, t: Term) -> bool {
         self.index.contains_key(&t)
@@ -313,6 +421,78 @@ mod tests {
         b.range(x, [c]).range(y, [c]).eq_vars(y, x);
         let g = EqualityGraph::build(&b.build());
         assert_eq!(g.representative_var(Term::Var(y)), Some(x));
+    }
+
+    fn assert_same_graph(a: &EqualityGraph, b: &EqualityGraph) {
+        assert_eq!(a.terms(), b.terms());
+        let ca: Vec<&[Term]> = a.classes().collect();
+        let cb: Vec<&[Term]> = b.classes().collect();
+        assert_eq!(ca, cb);
+        for (n, _) in a.terms().iter().enumerate() {
+            assert_eq!(a.canonical(n), b.canonical(n));
+        }
+    }
+
+    #[test]
+    fn extended_matches_full_rebuild() {
+        let s = samples::example_31();
+        let c = s.class_id("C").unwrap();
+        let d = s.class_id("D").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let u = b.var("u");
+        let v = b.var("v");
+        b.range(x, [c]).range(y, [c]).range(u, [d]).range(v, [d]);
+        b.eq_attr(u, x, a); // u = x.A
+        b.eq_attr(v, y, a); // v = y.A
+        let q = b.build();
+        let base = EqualityGraph::build(&q);
+
+        // Equating x = y must trigger the congruence x.A = y.A in the
+        // extension, exactly as in a rebuild.
+        let extra = vec![Atom::Eq(Term::Var(x), Term::Var(y))];
+        let ext = base.extended(&extra);
+        let rebuilt = EqualityGraph::build(&q.with_extra_atoms(extra));
+        assert_same_graph(&ext, &rebuilt);
+        assert!(ext.same(Term::Var(u), Term::Var(v)));
+    }
+
+    #[test]
+    fn extended_interns_new_terms_in_rebuild_order() {
+        // A membership augmentation can mention an attribute term that is not
+        // yet a node; the extension must append it exactly where a rebuild
+        // would.
+        let s = samples::vehicle_rental();
+        let veh = s.class_id("Vehicle").unwrap();
+        let cli = s.class_id("Client").unwrap();
+        let a = s.attr_id("VehRented").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [veh]).range(y, [cli]);
+        let q = b.build();
+        let base = EqualityGraph::build(&q);
+        assert!(!base.has_term(Term::Attr(y, a)));
+
+        let extra = vec![Atom::Member(x, y, a)];
+        let ext = base.extended(&extra);
+        let rebuilt = EqualityGraph::build(&q.with_extra_atoms(extra));
+        assert_same_graph(&ext, &rebuilt);
+        assert!(ext.has_term(Term::Attr(y, a)));
+    }
+
+    #[test]
+    fn extended_with_no_atoms_is_identity() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]).eq_vars(x, y);
+        let g = EqualityGraph::build(&b.build());
+        assert_same_graph(&g.extended(&[]), &g);
     }
 
     #[test]

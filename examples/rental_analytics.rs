@@ -9,8 +9,7 @@
 
 use oocq::gen::{random_state, StateParams};
 use oocq::{answer, answer_union, minimize_positive, parse_query, samples};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use oocq::gen::StdRng;
 use std::time::Instant;
 
 fn main() {

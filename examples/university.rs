@@ -11,8 +11,7 @@ use oocq::{
     answer, answer_union, decide_containment, minimize_positive_report, parse_query,
     parse_schema, Optimizer,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use oocq::gen::StdRng;
 
 fn main() {
     // People split into staff and students; students into undergrads and

@@ -62,14 +62,18 @@
 #![warn(missing_docs)]
 
 pub use oocq_core::{
-    contains_positive, contains_terminal, contains_terminal_full, cost_leq, decide_containment,
-    equivalent_positive,
-    equivalent_terminal, expand, expand_satisfiable, expansion_size, is_minimal_terminal_positive,
+    contains_positive, contains_positive_with, contains_terminal, contains_terminal_full,
+    contains_terminal_full_with, contains_terminal_with, cost_leq, decide_containment,
+    decide_containment_with, equivalent_positive,
+    equivalent_terminal, expand, expand_satisfiable, expand_satisfiable_with, expansion_size,
+    is_minimal_terminal_positive,
     is_satisfiable, minimize_general, minimize_positive, minimize_positive_report,
     minimize_terminal_general, minimize_terminal_positive, nonredundant_union,
     satisfiability, search_space_cost, strategy_for, strip_non_range, term_class, union_contains,
-    union_cost, union_equivalent, var_classes, Containment, CoreError, MappingWitness,
+    union_contains_with, union_cost, union_equivalent, var_classes, Containment, CoreError,
+    EngineConfig, MappingWitness,
     MinimizationReport, Optimizer, OptimizerStats, Satisfiability, Strategy, UnsatReason,
+    MAX_BRANCHES,
 };
 pub use oocq_eval::{
     answer, answer_planned, answer_union, answer_with_plan, canonical_contains, canonical_state,

@@ -4,8 +4,7 @@
 
 use oocq::gen::{random_schema, random_state, workload_schema, SchemaParams, StateParams};
 use oocq::{parse_schema, Optimizer, QueryBuilder};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use oocq::gen::StdRng;
 
 #[test]
 fn schema_dot_round_trips_through_generated_schemas() {
