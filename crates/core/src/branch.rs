@@ -37,6 +37,7 @@
 //! branch counts fall back to it automatically since spawning threads for a
 //! handful of mapping searches costs more than it saves.
 
+use crate::cache::DecisionCache;
 use crate::derive::{find_mapping, MappingGoal, TargetCtx, TargetIndexes};
 use crate::error::CoreError;
 use crate::explain::{Containment, MappingWitness};
@@ -45,7 +46,7 @@ use oocq_query::{Atom, Query, QueryAnalysis, Term, VarId};
 use oocq_schema::{AttrId, AttrType, ClassId, Schema};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Upper bound on the number of branches (equality augmentations times
 /// membership subsets) the Theorem 3.1 enumeration will explore, as a guard
@@ -53,30 +54,64 @@ use std::sync::Mutex;
 /// [`CoreError::BranchLimit`], not a panic.
 pub const MAX_BRANCHES: u64 = 1 << 22;
 
-/// How the containment engine schedules branch evaluation.
+/// How the containment engine schedules branch evaluation, plus the
+/// optional collaborators every decision entry point consults.
 ///
 /// The default ([`EngineConfig::from_env`]) honours the `OOCQ_THREADS`
 /// environment variable and otherwise uses the machine's available
 /// parallelism. `OOCQ_THREADS=1` — or [`EngineConfig::serial`] — selects the
 /// serial reference path, which evaluates branches in index order on the
 /// calling thread.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Neither collaborator affects *what* is decided — a cache may only replay
+/// values the engine would compute, and the isomorphism fast path only
+/// short-circuits checks whose outcome renaming already determines — so
+/// every configuration is observationally identical on decision values.
+#[derive(Clone)]
 pub struct EngineConfig {
     /// Worker threads for branch evaluation (`<= 1` means serial).
     pub threads: usize,
     /// Branch counts below this run serially even when `threads > 1` —
     /// thread startup dwarfs a few mapping searches.
     pub min_parallel_branches: u64,
+    /// Memo table consulted (and fed) by the boolean containment and
+    /// minimization entry points. `None` (the default) decides everything
+    /// from scratch.
+    pub cache: Option<Arc<dyn DecisionCache>>,
+    /// Short-circuit equivalence-shaped checks through
+    /// [`oocq_query::isomorphic`] before running Theorem 3.1 (isomorphic
+    /// queries are equivalent). On by default; exists as a switch so tests
+    /// can show the fast path changes nothing.
+    pub iso_fast_path: bool,
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("threads", &self.threads)
+            .field("min_parallel_branches", &self.min_parallel_branches)
+            .field("cache", &self.cache.as_ref().map(|_| "Some(<dyn DecisionCache>)"))
+            .field("iso_fast_path", &self.iso_fast_path)
+            .finish()
+    }
+}
+
+/// Parse an `OOCQ_THREADS`-style value: a positive integer selects that
+/// many worker threads; anything else (unset, empty, `0`, negative,
+/// non-numeric, trailing junk) means "no explicit request" and the caller
+/// falls back to auto-detection. Surrounding whitespace is tolerated.
+pub(crate) fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
 }
 
 impl EngineConfig {
-    /// Threads from `OOCQ_THREADS` (a positive integer; `0` or unset means
-    /// auto-detect), defaulting to the machine's available parallelism.
+    /// Threads from `OOCQ_THREADS` (a positive integer; `0`, malformed, or
+    /// unset means auto-detect), defaulting to the machine's available
+    /// parallelism. This is the single reading of `OOCQ_THREADS` shared by
+    /// the branch engine and the `oocq-serve` worker pool.
     pub fn from_env() -> EngineConfig {
-        let requested = std::env::var("OOCQ_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&t| t > 0);
+        let requested = parse_threads(std::env::var("OOCQ_THREADS").ok().as_deref());
         let threads = requested.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -84,24 +119,54 @@ impl EngineConfig {
         });
         EngineConfig {
             threads,
-            min_parallel_branches: 8,
+            ..EngineConfig::serial_defaults(8)
         }
     }
 
     /// The serial reference engine: one thread, no fan-out anywhere.
     pub fn serial() -> EngineConfig {
-        EngineConfig {
-            threads: 1,
-            min_parallel_branches: u64::MAX,
-        }
+        EngineConfig::serial_defaults(u64::MAX)
     }
 
     /// A parallel engine with an explicit thread count.
     pub fn with_threads(threads: usize) -> EngineConfig {
         EngineConfig {
             threads: threads.max(1),
-            min_parallel_branches: 8,
+            ..EngineConfig::serial_defaults(8)
         }
+    }
+
+    fn serial_defaults(min_parallel_branches: u64) -> EngineConfig {
+        EngineConfig {
+            threads: 1,
+            min_parallel_branches,
+            cache: None,
+            iso_fast_path: true,
+        }
+    }
+
+    /// This configuration with its fan-out disabled but its collaborators
+    /// (cache, fast path) kept — what an already-parallel outer loop hands
+    /// to the per-item inner checks.
+    pub fn serial_inner(&self) -> EngineConfig {
+        EngineConfig {
+            threads: 1,
+            min_parallel_branches: u64::MAX,
+            ..self.clone()
+        }
+    }
+
+    /// This configuration with a decision cache installed.
+    pub fn with_cache(mut self, cache: Arc<dyn DecisionCache>) -> EngineConfig {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// This configuration with the isomorphism fast path disabled (used by
+    /// regression tests to show the fast path is invisible).
+    pub fn without_iso_fast_path(mut self) -> EngineConfig {
+        self.iso_fast_path = false;
+        self
     }
 }
 
@@ -583,9 +648,36 @@ mod tests {
         let cfg = EngineConfig::from_env();
         assert!(cfg.threads >= 1);
         assert!(cfg.min_parallel_branches >= 1);
+        assert!(cfg.cache.is_none());
+        assert!(cfg.iso_fast_path);
         assert_eq!(EngineConfig::serial().threads, 1);
         assert_eq!(EngineConfig::with_threads(0).threads, 1);
         assert_eq!(EngineConfig::with_threads(4).threads, 4);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some("1")), Some(1));
+        assert_eq!(parse_threads(Some("  8  ")), Some(8), "whitespace trimmed");
+    }
+
+    #[test]
+    fn parse_threads_rejects_malformed_values() {
+        for bad in ["", "  ", "0", "-3", "abc", "4x", "3.5", "0x10", "+ 2"] {
+            assert_eq!(parse_threads(Some(bad)), None, "input {bad:?}");
+        }
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn serial_inner_keeps_collaborators() {
+        let cfg = EngineConfig::with_threads(4).without_iso_fast_path();
+        let inner = cfg.serial_inner();
+        assert_eq!(inner.threads, 1);
+        assert_eq!(inner.min_parallel_branches, u64::MAX);
+        assert!(!inner.iso_fast_path);
+        assert!(inner.cache.is_none());
     }
 
     #[test]

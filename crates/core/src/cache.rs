@@ -1,0 +1,49 @@
+//! The decision-cache hook consulted by the containment and minimization
+//! entry points.
+//!
+//! The engine itself stays stateless: a [`DecisionCache`] is an optional
+//! collaborator installed on [`EngineConfig`](crate::EngineConfig) that may
+//! answer a decision before the Theorem 3.1 / §4 machinery runs, and is
+//! offered every decision the machinery does compute. The canonical
+//! implementation (`oocq-service`'s `CanonicalDecisionCache`) keys entries
+//! by schema fingerprint plus isomorphism-invariant canonical forms, so a
+//! renamed copy of a cached query hits; but the trait deliberately receives
+//! the raw [`Schema`] and [`Query`] values and leaves the keying policy to
+//! the implementor.
+//!
+//! # Soundness contract
+//!
+//! `get_contains(s, q1, q2)` may return `Some(v)` only if `v` is the value
+//! `q1 ⊆ q2` under schema `s` — for containment that value is invariant
+//! under variable renaming of either side, which is what licenses canonical
+//! keying. `get_minimized(s, q)` must return a union **structurally
+//! identical** (variable names included) to what
+//! [`minimize_positive`](crate::minimize_positive) would produce for `q`,
+//! because minimization results are rendered back to users; implementations
+//! therefore key minimization entries by the exact query, not its canonical
+//! class. Certificates ([`decide_containment`](crate::decide_containment))
+//! are never cached: their witness text mentions concrete variable names on
+//! both sides and is cheap to recompute relative to its size.
+
+use oocq_query::{Query, UnionQuery};
+use oocq_schema::Schema;
+
+/// A memo table for containment and minimization decisions, shared across
+/// threads (`Send + Sync`: the service consults one cache from a whole
+/// worker pool).
+///
+/// All methods take `&self`; implementations handle their own locking.
+pub trait DecisionCache: Send + Sync {
+    /// A previously recorded value of `q1 ⊆ q2` under `schema`, if any.
+    fn get_contains(&self, schema: &Schema, q1: &Query, q2: &Query) -> Option<bool>;
+
+    /// Record `q1 ⊆ q2 = holds` under `schema`.
+    fn put_contains(&self, schema: &Schema, q1: &Query, q2: &Query, holds: bool);
+
+    /// A previously recorded minimization of `q` under `schema`, if any.
+    /// Must be structurally identical to the engine's output for `q`.
+    fn get_minimized(&self, schema: &Schema, q: &Query) -> Option<UnionQuery>;
+
+    /// Record the minimization of `q` under `schema`.
+    fn put_minimized(&self, schema: &Schema, q: &Query, result: &UnionQuery);
+}

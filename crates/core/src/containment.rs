@@ -91,14 +91,25 @@ pub fn contains_terminal(schema: &Schema, q1: &Query, q2: &Query) -> Result<bool
     contains_terminal_with(schema, q1, q2, &EngineConfig::from_env())
 }
 
-/// [`contains_terminal`] under an explicit [`EngineConfig`].
+/// [`contains_terminal`] under an explicit [`EngineConfig`]. Consults (and
+/// feeds) `cfg.cache` when one is installed; the cached value is the same
+/// boolean the engine computes, so the cache is observationally invisible.
 pub fn contains_terminal_with(
     schema: &Schema,
     q1: &Query,
     q2: &Query,
     cfg: &EngineConfig,
 ) -> Result<bool, CoreError> {
-    Ok(decide_with(schema, q1, q2, strategy_for(q2), cfg)?.holds())
+    if let Some(cache) = &cfg.cache {
+        if let Some(hit) = cache.get_contains(schema, q1, q2) {
+            return Ok(hit);
+        }
+    }
+    let holds = decide_with(schema, q1, q2, strategy_for(q2), cfg)?.holds();
+    if let Some(cache) = &cfg.cache {
+        cache.put_contains(schema, q1, q2, holds);
+    }
+    Ok(holds)
 }
 
 /// Decide `q1 ⊆ q2` and return the full certificate: witness mappings for
@@ -144,7 +155,25 @@ pub fn contains_terminal_full_with(
 
 /// `q1 ≡ q2` for terminal conjunctive queries.
 pub fn equivalent_terminal(schema: &Schema, q1: &Query, q2: &Query) -> Result<bool, CoreError> {
-    Ok(contains_terminal(schema, q1, q2)? && contains_terminal(schema, q2, q1)?)
+    equivalent_terminal_with(schema, q1, q2, &EngineConfig::from_env())
+}
+
+/// [`equivalent_terminal`] under an explicit [`EngineConfig`]. With
+/// `cfg.iso_fast_path` (the default), structurally isomorphic queries are
+/// recognized as equivalent without running Theorem 3.1 at all — a variable
+/// renaming preserves the answer set, so isomorphic queries are equivalent
+/// over every schema.
+pub fn equivalent_terminal_with(
+    schema: &Schema,
+    q1: &Query,
+    q2: &Query,
+    cfg: &EngineConfig,
+) -> Result<bool, CoreError> {
+    if cfg.iso_fast_path && oocq_query::isomorphic(q1, q2) {
+        return Ok(true);
+    }
+    Ok(contains_terminal_with(schema, q1, q2, cfg)?
+        && contains_terminal_with(schema, q2, q1, cfg)?)
 }
 
 fn is_sat(schema: &Schema, q: &Query) -> Result<bool, CoreError> {
@@ -214,9 +243,9 @@ pub fn union_contains_with(
     let queries: Vec<&Query> = m.iter().collect();
     let parallel = cfg.threads > 1 && queries.len() >= 2;
     let inner = if parallel {
-        EngineConfig::serial()
+        cfg.serial_inner()
     } else {
-        *cfg
+        cfg.clone()
     };
     // Is Qᵢ covered — unsatisfiable, or contained in some Pⱼ?
     let covered = |i: usize| -> Result<bool, CoreError> {
@@ -268,16 +297,59 @@ pub fn contains_positive_with(
     if !q1.is_positive() || !q2.is_positive() {
         return Err(CoreError::NotPositive);
     }
+    if let Some(cache) = &cfg.cache {
+        if let Some(hit) = cache.get_contains(schema, q1, q2) {
+            return Ok(hit);
+        }
+    }
     let n1 = oocq_query::normalize(q1, schema)?;
     let n2 = oocq_query::normalize(q2, schema)?;
     let u1 = crate::expand::expand_satisfiable_with(schema, &n1, cfg)?;
     let u2 = crate::expand::expand_satisfiable_with(schema, &n2, cfg)?;
-    union_contains_with(schema, &u1, &u2, cfg)
+    let holds = union_contains_with(schema, &u1, &u2, cfg)?;
+    if let Some(cache) = &cfg.cache {
+        cache.put_contains(schema, q1, q2, holds);
+    }
+    Ok(holds)
 }
 
 /// `q1 ≡ q2` for positive conjunctive queries.
 pub fn equivalent_positive(schema: &Schema, q1: &Query, q2: &Query) -> Result<bool, CoreError> {
     Ok(contains_positive(schema, q1, q2)? && contains_positive(schema, q2, q1)?)
+}
+
+/// Containment dispatch across query shapes: §3 for terminal pairs, §4 for
+/// positive pairs, left-expansion against a terminal right side. Shapes
+/// outside the fragment the paper proves decidable are rejected with
+/// [`CoreError::NotPositive`].
+pub fn dispatch_containment(schema: &Schema, qa: &Query, qb: &Query) -> Result<bool, CoreError> {
+    dispatch_containment_with(schema, qa, qb, &EngineConfig::from_env())
+}
+
+/// [`dispatch_containment`] under an explicit [`EngineConfig`].
+pub fn dispatch_containment_with(
+    schema: &Schema,
+    qa: &Query,
+    qb: &Query,
+    cfg: &EngineConfig,
+) -> Result<bool, CoreError> {
+    if qa.is_terminal(schema) && qb.is_terminal(schema) {
+        return contains_terminal_with(schema, qa, qb, cfg);
+    }
+    if qa.is_positive() && qb.is_positive() {
+        return contains_positive_with(schema, qa, qb, cfg);
+    }
+    if qb.is_terminal(schema) {
+        let ua = crate::expand::expand_satisfiable_with(schema, &oocq_query::normalize(qa, schema)?, cfg)?;
+        for sub in &ua {
+            if !contains_terminal_with(schema, sub, qb, cfg)? {
+                return Ok(false);
+            }
+        }
+        return Ok(true);
+    }
+    // Outside the decidable fragment the paper establishes.
+    Err(CoreError::NotPositive)
 }
 
 #[cfg(test)]
@@ -470,6 +542,7 @@ mod tests {
         let par = EngineConfig {
             threads: 4,
             min_parallel_branches: 1,
+            ..EngineConfig::serial()
         };
         let ser = EngineConfig::serial();
         let (q1, q2) = example_32_query(&s, false);
@@ -548,6 +621,125 @@ mod tests {
             union_contains(&s, &u, &u),
             Err(CoreError::NotPositive)
         ));
+    }
+
+    #[test]
+    fn iso_fast_path_is_invisible_in_equivalence() {
+        // With and without the isomorphism short-circuit, equivalent_terminal
+        // answers identically — including on a renamed pair (fast path fires)
+        // and on non-isomorphic pairs both equivalent and inequivalent.
+        let s = samples::single_class();
+        let (q1, q2) = example_32_query(&s, false);
+        let (q3, _) = example_32_query(&s, true);
+        // A renamed copy of q1: isomorphic, so the fast path fires.
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("a");
+        let a = b.free();
+        let bv = b.var("b");
+        let cv = b.var("c");
+        b.range(a, [c]).range(bv, [c]).range(cv, [c]);
+        b.neq_vars(a, bv).neq_vars(bv, cv);
+        let q1_renamed = b.build();
+        assert!(oocq_query::isomorphic(&q1, &q1_renamed));
+        assert!(!oocq_query::isomorphic(&q1, &q2));
+
+        let on = EngineConfig::serial();
+        let off = EngineConfig::serial().without_iso_fast_path();
+        for (x, y) in [(&q1, &q1_renamed), (&q1, &q2), (&q2, &q1), (&q1, &q3), (&q3, &q1)] {
+            assert_eq!(
+                equivalent_terminal_with(&s, x, y, &on).unwrap(),
+                equivalent_terminal_with(&s, x, y, &off).unwrap(),
+            );
+        }
+        // q1 ≡ q2 holds despite non-isomorphism; q1 ≢ q3.
+        assert!(equivalent_terminal_with(&s, &q1, &q2, &on).unwrap());
+        assert!(!equivalent_terminal_with(&s, &q1, &q3, &on).unwrap());
+    }
+
+    /// A fake cache that counts traffic and remembers puts verbatim —
+    /// enough to observe the entry points consulting and feeding it.
+    struct CountingCache {
+        store: std::sync::Mutex<
+            std::collections::HashMap<(String, String), bool>,
+        >,
+        gets: std::sync::atomic::AtomicUsize,
+        hits: std::sync::atomic::AtomicUsize,
+        puts: std::sync::atomic::AtomicUsize,
+    }
+
+    impl CountingCache {
+        fn new() -> Self {
+            CountingCache {
+                store: std::sync::Mutex::new(std::collections::HashMap::new()),
+                gets: 0.into(),
+                hits: 0.into(),
+                puts: 0.into(),
+            }
+        }
+        fn key(schema: &Schema, q1: &Query, q2: &Query) -> (String, String) {
+            (
+                q1.display(schema).to_string(),
+                q2.display(schema).to_string(),
+            )
+        }
+    }
+
+    impl crate::DecisionCache for CountingCache {
+        fn get_contains(&self, schema: &Schema, q1: &Query, q2: &Query) -> Option<bool> {
+            use std::sync::atomic::Ordering::Relaxed;
+            self.gets.fetch_add(1, Relaxed);
+            let hit = self
+                .store
+                .lock()
+                .unwrap()
+                .get(&Self::key(schema, q1, q2))
+                .copied();
+            if hit.is_some() {
+                self.hits.fetch_add(1, Relaxed);
+            }
+            hit
+        }
+        fn put_contains(&self, schema: &Schema, q1: &Query, q2: &Query, holds: bool) {
+            self.puts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.store
+                .lock()
+                .unwrap()
+                .insert(Self::key(schema, q1, q2), holds);
+        }
+        fn get_minimized(
+            &self,
+            _schema: &Schema,
+            _q: &Query,
+        ) -> Option<oocq_query::UnionQuery> {
+            None
+        }
+        fn put_minimized(
+            &self,
+            _schema: &Schema,
+            _q: &Query,
+            _result: &oocq_query::UnionQuery,
+        ) {
+        }
+    }
+
+    #[test]
+    fn decision_cache_is_consulted_and_invisible() {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = samples::single_class();
+        let (q1, q2) = example_32_query(&s, false);
+        let cache = std::sync::Arc::new(CountingCache::new());
+        let cached = EngineConfig::serial().with_cache(cache.clone());
+        let plain = EngineConfig::serial();
+
+        let cold = contains_terminal_with(&s, &q1, &q2, &cached).unwrap();
+        assert_eq!(cache.hits.load(Relaxed), 0);
+        assert_eq!(cache.puts.load(Relaxed), 1);
+        let warm = contains_terminal_with(&s, &q1, &q2, &cached).unwrap();
+        assert_eq!(cache.hits.load(Relaxed), 1);
+        assert_eq!(cache.puts.load(Relaxed), 1, "hits are not re-put");
+        let uncached = contains_terminal_with(&s, &q1, &q2, &plain).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold, uncached, "cache-on equals cache-off");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 mod branch;
+mod cache;
 mod containment;
 mod derive;
 mod error;
@@ -29,10 +30,12 @@ mod optimizer;
 mod satisfiability;
 
 pub use branch::{EngineConfig, MAX_BRANCHES};
+pub use cache::DecisionCache;
 pub use containment::{
     contains_positive, contains_positive_with, contains_terminal, contains_terminal_full,
     contains_terminal_full_with, contains_terminal_with, decide_containment,
-    decide_containment_with, equivalent_positive, equivalent_terminal, strategy_for,
+    decide_containment_with, dispatch_containment, dispatch_containment_with,
+    equivalent_positive, equivalent_terminal, equivalent_terminal_with, strategy_for,
     union_contains, union_contains_with, union_equivalent, Strategy,
 };
 pub use explain::{Containment, MappingWitness};
@@ -42,7 +45,8 @@ pub use general::{minimize_general, minimize_terminal_general};
 pub use optimizer::{Optimizer, OptimizerStats};
 pub use minimize::{
     cost_leq, is_minimal_terminal_positive, minimize_positive, minimize_positive_report,
-    minimize_terminal_positive, nonredundant_union, search_space_cost, term_class, union_cost,
+    minimize_positive_report_with, minimize_positive_with, minimize_terminal_positive,
+    nonredundant_union, nonredundant_union_with, search_space_cost, term_class, union_cost,
     MinimizationReport,
 };
 pub use satisfiability::{

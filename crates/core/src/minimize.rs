@@ -19,12 +19,13 @@
 //! occurrences of each terminal class in `term-class(Q, x)` summed over the
 //! variables `x` — the objects the query logically accesses.
 
-use crate::containment::contains_terminal;
+use crate::branch::EngineConfig;
+use crate::containment::contains_terminal_with;
 use crate::derive::{find_mapping, MappingGoal, TargetData};
 use crate::error::CoreError;
-use crate::expand::expand_satisfiable;
+use crate::expand::expand_satisfiable_with;
 use crate::satisfiability::{is_satisfiable, var_classes};
-use oocq_query::{normalize, Atom, Query, UnionQuery};
+use oocq_query::{isomorphic, normalize, Atom, Query, UnionQuery};
 use oocq_schema::{ClassId, Schema};
 use std::collections::BTreeMap;
 
@@ -78,6 +79,17 @@ pub fn cost_leq(a: &BTreeMap<ClassId, usize>, b: &BTreeMap<ClassId, usize>) -> b
 /// a retained `Qⱼ` (`j ≠ i`) is dropped, keeping the first representative of
 /// each equivalence group.
 pub fn nonredundant_union(schema: &Schema, u: &UnionQuery) -> Result<UnionQuery, CoreError> {
+    nonredundant_union_with(schema, u, &EngineConfig::from_env())
+}
+
+/// [`nonredundant_union`] under an explicit [`EngineConfig`] (governing the
+/// pairwise containment checks: threads, decision cache, and the
+/// isomorphism fast path).
+pub fn nonredundant_union_with(
+    schema: &Schema,
+    u: &UnionQuery,
+    cfg: &EngineConfig,
+) -> Result<UnionQuery, CoreError> {
     let sat: Vec<&Query> = u
         .iter()
         .map(|q| Ok::<_, CoreError>((q, is_satisfiable(schema, q)?)))
@@ -85,7 +97,7 @@ pub fn nonredundant_union(schema: &Schema, u: &UnionQuery) -> Result<UnionQuery,
         .into_iter()
         .filter_map(|(q, s)| s.then_some(q))
         .collect();
-    let dropped = redundancy_flags(schema, &sat)?;
+    let dropped = redundancy_flags(schema, &sat, cfg)?;
     Ok(sat
         .into_iter()
         .enumerate()
@@ -97,14 +109,25 @@ pub fn nonredundant_union(schema: &Schema, u: &UnionQuery) -> Result<UnionQuery,
 /// For a slice of satisfiable terminal positive queries: which are redundant
 /// (contained in a retained other)? Equivalent groups keep their first
 /// member.
-fn redundancy_flags(schema: &Schema, sat: &[&Query]) -> Result<Vec<bool>, CoreError> {
+fn redundancy_flags(
+    schema: &Schema,
+    sat: &[&Query],
+    cfg: &EngineConfig,
+) -> Result<Vec<bool>, CoreError> {
     let n = sat.len();
     // contains[i][j] = Qᵢ ⊆ Qⱼ.
     let mut cont = vec![vec![false; n]; n];
     for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                cont[i][j] = contains_terminal(schema, sat[i], sat[j])?;
+        for j in (i + 1)..n {
+            // Expansion branches of one query are frequently renamed copies
+            // of each other; isomorphic queries are equivalent, so both
+            // directions hold without running Theorem 3.1.
+            if cfg.iso_fast_path && isomorphic(sat[i], sat[j]) {
+                cont[i][j] = true;
+                cont[j][i] = true;
+            } else {
+                cont[i][j] = contains_terminal_with(schema, sat[i], sat[j], cfg)?;
+                cont[j][i] = contains_terminal_with(schema, sat[j], sat[i], cfg)?;
             }
         }
     }
@@ -286,6 +309,18 @@ pub fn minimize_positive_report(
     schema: &Schema,
     q: &Query,
 ) -> Result<MinimizationReport, CoreError> {
+    minimize_positive_report_with(schema, q, &EngineConfig::from_env())
+}
+
+/// [`minimize_positive_report`] under an explicit [`EngineConfig`]. The
+/// trace itself is never cached (it is a rendering artifact, cheap relative
+/// to its size), but the redundancy checks it runs honour the
+/// configuration's cache and fast path.
+pub fn minimize_positive_report_with(
+    schema: &Schema,
+    q: &Query,
+    cfg: &EngineConfig,
+) -> Result<MinimizationReport, CoreError> {
     use crate::satisfiability::{satisfiability, Satisfiability};
     if !q.is_positive() {
         return Err(CoreError::NotPositive);
@@ -304,7 +339,7 @@ pub fn minimize_positive_report(
         }
     }
     let refs: Vec<&Query> = survivors.iter().collect();
-    let dropped = redundancy_flags(schema, &refs)?;
+    let dropped = redundancy_flags(schema, &refs, cfg)?;
     let mut redundant = Vec::new();
     let mut kept: Vec<Query> = Vec::new();
     for (i, sub) in survivors.iter().enumerate() {
@@ -363,17 +398,41 @@ pub fn minimize_positive_report(
 /// );
 /// ```
 pub fn minimize_positive(schema: &Schema, q: &Query) -> Result<UnionQuery, CoreError> {
+    minimize_positive_with(schema, q, &EngineConfig::from_env())
+}
+
+/// [`minimize_positive`] under an explicit [`EngineConfig`]. When
+/// `cfg.cache` is installed, the whole pipeline result is memoized per
+/// exact query — minimization output carries variable names, so the cache
+/// key must distinguish renamed inputs (see
+/// [`DecisionCache`](crate::DecisionCache)'s contract) — while the
+/// pairwise redundancy checks inside additionally benefit from the
+/// canonical containment entries.
+pub fn minimize_positive_with(
+    schema: &Schema,
+    q: &Query,
+    cfg: &EngineConfig,
+) -> Result<UnionQuery, CoreError> {
     if !q.is_positive() {
         return Err(CoreError::NotPositive);
     }
+    if let Some(cache) = &cfg.cache {
+        if let Some(hit) = cache.get_minimized(schema, q) {
+            return Ok(hit);
+        }
+    }
     let normalized = normalize(q, schema)?;
-    let expanded = expand_satisfiable(schema, &normalized)?;
-    let nonred = nonredundant_union(schema, &expanded)?;
+    let expanded = expand_satisfiable_with(schema, &normalized, cfg)?;
+    let nonred = nonredundant_union_with(schema, &expanded, cfg)?;
     let minimized: Result<Vec<Query>, CoreError> = nonred
         .iter()
         .map(|sub| minimize_terminal_positive(schema, sub))
         .collect();
-    Ok(UnionQuery::new(minimized?))
+    let result = UnionQuery::new(minimized?);
+    if let Some(cache) = &cfg.cache {
+        cache.put_minimized(schema, q, &result);
+    }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -514,6 +573,48 @@ mod tests {
         let nr = nonredundant_union(&s, &u).unwrap();
         assert_eq!(nr.len(), 1);
         assert_eq!(nr.queries()[0].var_count(), 1);
+    }
+
+    #[test]
+    fn nonredundant_union_iso_fast_path_is_invisible() {
+        // A union with a renamed duplicate (isomorphic pair), a strictly
+        // contained subquery, and an incomparable one: with and without the
+        // isomorphism fast path the retained set is identical.
+        let s = samples::vehicle_rental();
+        let auto = s.class_id("Auto").unwrap();
+        let mk_simple = |free: &str| {
+            let mut b = QueryBuilder::new(free);
+            let x = b.free();
+            b.range(x, [auto]);
+            b.build()
+        };
+        let mk_restricted = || {
+            let mut b = QueryBuilder::new("x");
+            let x = b.free();
+            let y = b.var("y");
+            b.range(x, [auto]);
+            b.range(y, [s.class_id("Discount").unwrap()]);
+            b.member(x, y, s.attr_id("VehRented").unwrap());
+            b.build()
+        };
+        let mk_truck = || {
+            let mut b = QueryBuilder::new("x");
+            let x = b.free();
+            b.range(x, [s.class_id("Truck").unwrap()]);
+            b.build()
+        };
+        let u = UnionQuery::new(vec![
+            mk_restricted(),
+            mk_simple("x"),
+            mk_simple("renamed"),
+            mk_truck(),
+        ]);
+        let on = crate::EngineConfig::serial();
+        let off = crate::EngineConfig::serial().without_iso_fast_path();
+        let nr_on = nonredundant_union_with(&s, &u, &on).unwrap();
+        let nr_off = nonredundant_union_with(&s, &u, &off).unwrap();
+        assert_eq!(nr_on, nr_off);
+        assert_eq!(nr_on.len(), 2); // simple("x") + truck survive
     }
 
     #[test]

@@ -235,6 +235,25 @@ mod tests {
     }
 
     #[test]
+    fn display_is_a_fixpoint_for_reparsed_schemas() {
+        // The rendered description of a schema is stable under
+        // parse→render — which is what lets `oocq-service` use the
+        // description string as a collision-free schema cache key.
+        for s in [
+            oocq_schema::samples::single_class(),
+            oocq_schema::samples::vehicle_rental(),
+            oocq_schema::samples::n1_partition(),
+            oocq_schema::samples::unrelated_subtypes(),
+            oocq_schema::samples::example_31(),
+            oocq_schema::samples::example_33(),
+        ] {
+            let text = s.to_string();
+            let reparsed = parse_schema(&text).unwrap();
+            assert_eq!(reparsed.to_string(), text);
+        }
+    }
+
+    #[test]
     fn display_round_trips_through_parser() {
         let s = parse_schema(VEHICLE).unwrap();
         let text = s.to_string();

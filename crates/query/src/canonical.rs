@@ -1,0 +1,378 @@
+//! Canonical labeling of conjunctive queries.
+//!
+//! [`canonical_form`] maps a [`Query`] to a [`CanonicalQuery`] such that two
+//! queries have **equal** canonical forms exactly when they are
+//! [`isomorphic`](crate::isomorphism::isomorphic) (same up to renaming of
+//! variables, atom order, atom duplication, and the orientation of symmetric
+//! atoms, with free variables corresponding). This upgrades the pairwise
+//! isomorphism test into a hashable key: a decision cache can memoize
+//! per-equivalence-class instead of per-syntactic-spelling, which is what
+//! lets a containment service answer renamed copies of a query from cache.
+//!
+//! The algorithm refines the per-variable signatures of
+//! [`crate::isomorphism`] by Weisfeiler–Leman-style color refinement (each
+//! round folds the colors of a variable's co-occurring variables into its
+//! own color) until the partition stabilizes, then backtracks over the
+//! orderings *within* each color class, keeping the lexicographically least
+//! normalized atom vector. Both the refinement and the class ordering are
+//! functions of the atom structure alone, so the search space — and hence
+//! its minimum — is identical for isomorphic queries; conversely, equal
+//! canonical forms exhibit an explicit variable bijection, so the map is
+//! exact, not heuristic. The free variable is seeded with a distinct color,
+//! pinning it to canonical position 0.
+//!
+//! Worst-case cost is the product of the factorials of the color-class
+//! sizes, reached only by highly automorphic queries (e.g. `k`
+//! interchangeable spokes); the queries this workspace manipulates keep the
+//! classes near-singleton after refinement.
+
+use crate::atom::Atom;
+use crate::isomorphism::{normalized_atoms, signatures};
+use crate::query::Query;
+use crate::term::VarId;
+use std::collections::BTreeMap;
+
+/// An isomorphism-invariant canonical form of a [`Query`].
+///
+/// Variable names are erased; variables are renumbered so that the free
+/// variable is `0` and the atom vector (sorted, deduplicated, symmetric
+/// atoms orientation-normalized) is lexicographically least among all
+/// labelings the canonical search admits. Two queries compare equal —
+/// and hash equal — iff they are isomorphic.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonicalQuery {
+    /// Number of variables (free + bound).
+    var_count: usize,
+    /// The canonical atom vector, sorted and deduplicated.
+    atoms: Vec<Atom>,
+}
+
+impl CanonicalQuery {
+    /// Number of variables of the underlying query.
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// The canonical atom vector (free variable is `0`).
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+}
+
+/// One refinement round: fold each variable's co-occurrence structure
+/// (atom kind + current colors of the other variables in the atom) into a
+/// new color. Returns the new color vector; colors are ranks into the
+/// sorted key set, so they are invariant under variable renaming.
+fn refine_round(q: &Query, color: &[usize]) -> Vec<usize> {
+    let n = q.var_count();
+    // Per-variable multiset of incidence keys.
+    let mut keys: Vec<Vec<String>> = vec![Vec::new(); n];
+    for a in q.atoms() {
+        match a {
+            Atom::Range(v, cs) => keys[v.index()].push(format!("r:{cs:?}")),
+            Atom::NonRange(v, cs) => keys[v.index()].push(format!("nr:{cs:?}")),
+            Atom::Eq(s, t) | Atom::Neq(s, t) => {
+                let kind = if matches!(a, Atom::Eq(..)) { "eq" } else { "ne" };
+                for (side, other) in [(s, t), (t, s)] {
+                    keys[side.var().index()].push(format!(
+                        "{kind}:{:?}/{:?}:{}",
+                        side.attr(),
+                        other.attr(),
+                        color[other.var().index()]
+                    ));
+                }
+            }
+            Atom::Member(x, y, at) => {
+                keys[x.index()].push(format!("m:{at:?}:{}", color[y.index()]));
+                keys[y.index()].push(format!("mo:{at:?}:{}", color[x.index()]));
+            }
+            Atom::NonMember(x, y, at) => {
+                keys[x.index()].push(format!("n:{at:?}:{}", color[y.index()]));
+                keys[y.index()].push(format!("no:{at:?}:{}", color[x.index()]));
+            }
+        }
+    }
+    // New color = rank of (old color, sorted incidence keys).
+    let mut sig: Vec<(usize, Vec<String>)> = Vec::with_capacity(n);
+    for v in 0..n {
+        keys[v].sort();
+        sig.push((color[v], std::mem::take(&mut keys[v])));
+    }
+    let mut ranks: BTreeMap<&(usize, Vec<String>), usize> = BTreeMap::new();
+    for s in &sig {
+        let next = ranks.len();
+        ranks.entry(s).or_insert(next);
+    }
+    // BTreeMap assigned insertion-order ids; re-rank by key order so the
+    // result is independent of variable iteration order.
+    let sorted: BTreeMap<&(usize, Vec<String>), usize> = ranks
+        .keys()
+        .enumerate()
+        .map(|(rank, &k)| (k, rank))
+        .collect();
+    sig.iter().map(|s| sorted[s]).collect()
+}
+
+/// The stable coloring: initial signatures (free variable seeded with a
+/// distinct marker), refined until the number of color classes stops
+/// growing.
+fn stable_coloring(q: &Query) -> Vec<usize> {
+    let base = signatures(q);
+    let mut init: Vec<(bool, &BTreeMap<String, usize>)> = Vec::with_capacity(q.var_count());
+    for v in q.vars() {
+        init.push((v != q.free_var(), &base[v.index()]));
+    }
+    let mut ranks: BTreeMap<&(bool, &BTreeMap<String, usize>), usize> = BTreeMap::new();
+    for s in &init {
+        let next = ranks.len();
+        ranks.entry(s).or_insert(next);
+    }
+    let sorted: BTreeMap<&(bool, &BTreeMap<String, usize>), usize> = ranks
+        .keys()
+        .enumerate()
+        .map(|(rank, &k)| (k, rank))
+        .collect();
+    let mut color: Vec<usize> = init.iter().map(|s| sorted[s]).collect();
+    let mut classes = color.iter().collect::<std::collections::HashSet<_>>().len();
+    loop {
+        let next = refine_round(q, &color);
+        let next_classes = next.iter().collect::<std::collections::HashSet<_>>().len();
+        if next_classes == classes {
+            return color;
+        }
+        color = next;
+        classes = next_classes;
+    }
+}
+
+/// Search all orderings within color classes for the lexicographically
+/// least normalized atom vector. `order[pos]` = old variable at canonical
+/// position `pos`; classes are visited in color order, so position blocks
+/// are fixed and only intra-class orderings branch.
+fn search(
+    q: &Query,
+    classes: &[Vec<VarId>],
+    class_ix: usize,
+    picked_in_class: usize,
+    order: &mut Vec<VarId>,
+    used: &mut Vec<bool>,
+    best: &mut Option<Vec<Atom>>,
+) {
+    if class_ix == classes.len() {
+        // order is complete: build old→new map and the candidate vector.
+        let mut map = vec![VarId::from_index(0); q.var_count()];
+        for (new, old) in order.iter().enumerate() {
+            map[old.index()] = VarId::from_index(new);
+        }
+        let cand = normalized_atoms(q, &map);
+        if best.as_ref().map_or(true, |b| cand < *b) {
+            *best = Some(cand);
+        }
+        return;
+    }
+    let class = &classes[class_ix];
+    if picked_in_class == class.len() {
+        search(q, classes, class_ix + 1, 0, order, used, best);
+        return;
+    }
+    for &v in class {
+        if used[v.index()] {
+            continue;
+        }
+        used[v.index()] = true;
+        order.push(v);
+        search(q, classes, class_ix, picked_in_class + 1, order, used, best);
+        order.pop();
+        used[v.index()] = false;
+    }
+}
+
+/// The canonical form of a query. See the module docs for the guarantee:
+/// `canonical_form(a) == canonical_form(b)` iff `isomorphic(a, b)`.
+pub fn canonical_form(q: &Query) -> CanonicalQuery {
+    let mut q = q.clone();
+    q.dedup_atoms();
+    let color = stable_coloring(&q);
+    // Group variables by color, classes sorted by color (ascending). The
+    // free variable's seed marker gives it the unique least color, so it
+    // always lands at canonical position 0.
+    let max_color = color.iter().copied().max().unwrap_or(0);
+    let mut classes: Vec<Vec<VarId>> = vec![Vec::new(); max_color + 1];
+    for v in q.vars() {
+        classes[color[v.index()]].push(v);
+    }
+    classes.retain(|c| !c.is_empty());
+    debug_assert_eq!(classes[0], vec![q.free_var()], "free var has least color");
+
+    let mut best: Option<Vec<Atom>> = None;
+    let mut order: Vec<VarId> = Vec::with_capacity(q.var_count());
+    let mut used = vec![false; q.var_count()];
+    search(&q, &classes, 0, 0, &mut order, &mut used, &mut best);
+    CanonicalQuery {
+        var_count: q.var_count(),
+        atoms: best.expect("canonical search visits at least one labeling"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isomorphism::isomorphic;
+    use crate::query::QueryBuilder;
+    use oocq_schema::samples;
+
+    #[test]
+    fn renaming_and_atom_order_are_invisible() {
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let build = |names: [&str; 3], flip: bool| {
+            let mut b = QueryBuilder::new(names[0]);
+            let x = b.free();
+            let y = b.var(names[1]);
+            let z = b.var(names[2]);
+            if flip {
+                b.member(z, y, a).member(x, y, a);
+                b.range(z, [t1]).range(y, [t2]).range(x, [t1]);
+            } else {
+                b.range(x, [t1]).range(y, [t2]).range(z, [t1]);
+                b.member(x, y, a).member(z, y, a);
+            }
+            b.build()
+        };
+        let c1 = canonical_form(&build(["x", "y", "z"], false));
+        let c2 = canonical_form(&build(["anna", "bert", "carl"], true));
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn free_variable_role_distinguishes() {
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [t1]).range(y, [t2]).member(x, y, a);
+        let member_free = b.build();
+        let mut b = QueryBuilder::new("y");
+        let yf = b.free();
+        let x2 = b.var("x");
+        b.range(x2, [t1]).range(yf, [t2]).member(x2, yf, a);
+        let owner_free = b.build();
+        assert_ne!(canonical_form(&member_free), canonical_form(&owner_free));
+    }
+
+    #[test]
+    fn duplicate_atoms_are_invisible() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [c]).range(x, [c]);
+        let dup = b.build();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [c]);
+        assert_eq!(canonical_form(&dup), canonical_form(&b.build()));
+    }
+
+    #[test]
+    fn eq_orientation_is_invisible() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let build = |swap: bool| {
+            let mut b = QueryBuilder::new("x");
+            let x = b.free();
+            let y = b.var("y");
+            b.range(x, [c]).range(y, [c]);
+            if swap {
+                b.eq_vars(y, x);
+            } else {
+                b.eq_vars(x, y);
+            }
+            b.build()
+        };
+        assert_eq!(canonical_form(&build(false)), canonical_form(&build(true)));
+    }
+
+    #[test]
+    fn automorphic_spokes_canonicalize_identically() {
+        // Interchangeable spokes leave a non-singleton color class; the
+        // backtracking min must agree across declaration orders.
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let build = |perm: [usize; 3]| {
+            let mut b = QueryBuilder::new("o");
+            let o = b.free();
+            let names = ["m1", "m2", "m3"];
+            let ms: Vec<_> = perm.iter().map(|&i| b.var(names[i])).collect();
+            b.range(o, [t2]);
+            for &m in &ms {
+                b.range(m, [t1]);
+                b.member(m, o, a);
+            }
+            b.build()
+        };
+        let c = canonical_form(&build([0, 1, 2]));
+        assert_eq!(c, canonical_form(&build([2, 0, 1])));
+        assert_eq!(c, canonical_form(&build([1, 2, 0])));
+    }
+
+    #[test]
+    fn agrees_with_pairwise_isomorphism() {
+        // Canonical equality must coincide with isomorphic() across a mixed
+        // family: some isomorphic pairs, some near-misses.
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut family: Vec<crate::query::Query> = Vec::new();
+        for (member, extra_range) in
+            [(true, false), (true, true), (false, false), (false, true)]
+        {
+            for name in ["x", "renamed"] {
+                let mut b = QueryBuilder::new(name);
+                let x = b.free();
+                let y = b.var("y");
+                b.range(x, [t1]).range(y, [t2]);
+                if member {
+                    b.member(x, y, a);
+                } else {
+                    b.non_member(x, y, a);
+                }
+                if extra_range {
+                    let z = b.var("z");
+                    b.range(z, [t1]);
+                }
+                family.push(b.build());
+            }
+        }
+        for qa in &family {
+            for qb in &family {
+                assert_eq!(
+                    canonical_form(qa) == canonical_form(qb),
+                    isomorphic(qa, qb),
+                    "canonical/isomorphism disagreement:\n  {qa:?}\n  {qb:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_form_exposes_shape() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [c]).range(y, [c]);
+        let cf = canonical_form(&b.build());
+        assert_eq!(cf.var_count(), 2);
+        assert_eq!(cf.atoms().len(), 2);
+    }
+}

@@ -14,8 +14,9 @@ use crate::term::VarId;
 use std::collections::BTreeMap;
 
 /// A cheap per-variable invariant: how the variable participates in each
-/// kind of atom. Distinct signatures can never map to one another.
-fn signatures(q: &Query) -> Vec<BTreeMap<String, usize>> {
+/// kind of atom. Distinct signatures can never map to one another. Shared
+/// with [`crate::canonical`], which refines these into a canonical labeling.
+pub(crate) fn signatures(q: &Query) -> Vec<BTreeMap<String, usize>> {
     let mut sig: Vec<BTreeMap<String, usize>> = vec![BTreeMap::new(); q.var_count()];
     let mut bump = |v: VarId, key: String| {
         *sig[v.index()].entry(key).or_insert(0) += 1;
@@ -49,7 +50,7 @@ fn signatures(q: &Query) -> Vec<BTreeMap<String, usize>> {
     sig
 }
 
-fn normalized_atoms(q: &Query, map: &[VarId]) -> Vec<Atom> {
+pub(crate) fn normalized_atoms(q: &Query, map: &[VarId]) -> Vec<Atom> {
     let mut atoms: Vec<Atom> = q
         .atoms()
         .iter()

@@ -14,6 +14,7 @@
 
 mod analysis;
 mod atom;
+mod canonical;
 mod display;
 mod equality;
 mod error;
@@ -23,6 +24,7 @@ mod term;
 
 pub use analysis::{check_well_formed, maximal_classes, normalize, QueryAnalysis};
 pub use atom::Atom;
+pub use canonical::{canonical_form, CanonicalQuery};
 pub use display::{DisplayQuery, DisplayUnion};
 pub use equality::EqualityGraph;
 pub use error::WellFormedError;

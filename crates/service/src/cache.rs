@@ -1,0 +1,360 @@
+//! The canonical-form decision cache.
+//!
+//! [`CanonicalDecisionCache`] implements [`oocq_core::DecisionCache`] with
+//! isomorphism-invariant keys:
+//!
+//! * **Schema fingerprint.** A schema is keyed by its full rendered
+//!   description ([`Schema`]'s `Display`, the DSL text `oocq-parser`
+//!   accepts) — deterministic because tuple types iterate in `BTreeMap`
+//!   order, and collision-free because the whole description is the key,
+//!   not a hash of it. Fingerprints are interned to `Arc<str>` so the many
+//!   cache entries of one session share one allocation.
+//! * **Containment entries** are keyed by
+//!   `(fingerprint, canonical_form(Q₁), canonical_form(Q₂))` using
+//!   [`oocq_query::canonical_form`]. Containment is invariant under
+//!   variable renaming of either side, so a renamed copy of a previously
+//!   decided pair hits — which is exactly what `nonredundant_union`'s
+//!   O(n²) pairwise checks over expansion branches need.
+//! * **Minimization entries** are keyed by
+//!   `(fingerprint, rendered query)` — the *exact* query, because
+//!   minimization output carries variable names back to the user and must
+//!   stay bit-identical to an uncached run (see the
+//!   [`DecisionCache`] soundness contract).
+//!
+//! Storage is a sharded `RwLock` LRU: keys hash to one of [`SHARD_COUNT`]
+//! shards, reads take the shard's read lock and refresh the entry's access
+//! stamp with a relaxed atomic store, writes take the write lock and evict
+//! the least-recently-stamped entry once the shard exceeds its capacity
+//! share. A global relaxed counter supplies the stamps.
+
+use oocq_core::DecisionCache;
+use oocq_query::{canonical_form, CanonicalQuery, Query, UnionQuery};
+use oocq_schema::Schema;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent lock shards per table. Sixteen keeps write
+/// contention negligible for worker pools an order of magnitude larger
+/// while the per-shard eviction scans stay short.
+pub const SHARD_COUNT: usize = 16;
+
+/// Default total capacity (entries per table) when `OOCQ_CACHE_CAPACITY`
+/// is unset.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ContainsKey {
+    schema: Arc<str>,
+    q1: CanonicalQuery,
+    q2: CanonicalQuery,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct MinimizeKey {
+    schema: Arc<str>,
+    query: String,
+}
+
+struct Entry<V> {
+    value: V,
+    /// Last-access stamp from the cache's global clock; relaxed ordering is
+    /// enough because stamps only steer eviction, never correctness.
+    stamp: AtomicU64,
+}
+
+/// One sharded LRU table.
+struct Lru<K, V> {
+    shards: Vec<RwLock<HashMap<K, Entry<V>>>>,
+    per_shard_cap: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Lru<K, V> {
+    fn new(capacity: usize) -> Lru<K, V> {
+        Lru {
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+            per_shard_cap: capacity.div_ceil(SHARD_COUNT).max(1),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Entry<V>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARD_COUNT]
+    }
+
+    fn get(&self, key: &K, clock: &AtomicU64) -> Option<V> {
+        let shard = self.shard(key).read().unwrap();
+        shard.get(key).map(|e| {
+            e.stamp.store(clock.fetch_add(1, Relaxed) + 1, Relaxed);
+            e.value.clone()
+        })
+    }
+
+    /// Insert, evicting the shard's least-recently-used entry on overflow.
+    /// Returns whether an eviction happened.
+    fn put(&self, key: K, value: V, clock: &AtomicU64) -> bool {
+        let mut shard = self.shard(&key).write().unwrap();
+        let stamp = AtomicU64::new(clock.fetch_add(1, Relaxed) + 1);
+        shard.insert(key, Entry { value, stamp });
+        if shard.len() > self.per_shard_cap {
+            let victim = shard
+                .iter()
+                .min_by_key(|(_, e)| e.stamp.load(Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(k) = victim {
+                shard.remove(&k);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+}
+
+/// A point-in-time snapshot of cache traffic (see
+/// [`CanonicalDecisionCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Containment lookups answered from cache.
+    pub contains_hits: u64,
+    /// Containment lookups that missed.
+    pub contains_misses: u64,
+    /// Minimization lookups answered from cache.
+    pub minimize_hits: u64,
+    /// Minimization lookups that missed.
+    pub minimize_misses: u64,
+    /// Entries evicted by the LRU policy (both tables).
+    pub evictions: u64,
+}
+
+/// The shared, thread-safe decision cache of `oocq-serve`. See the module
+/// docs for the keying scheme.
+pub struct CanonicalDecisionCache {
+    contains: Lru<ContainsKey, bool>,
+    minimized: Lru<MinimizeKey, UnionQuery>,
+    /// Interned schema fingerprints, keyed by the rendered description.
+    schema_keys: RwLock<HashMap<String, Arc<str>>>,
+    clock: AtomicU64,
+    contains_hits: AtomicU64,
+    contains_misses: AtomicU64,
+    minimize_hits: AtomicU64,
+    minimize_misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CanonicalDecisionCache {
+    /// A cache holding up to `capacity` entries in each of its two tables.
+    pub fn new(capacity: usize) -> CanonicalDecisionCache {
+        CanonicalDecisionCache {
+            contains: Lru::new(capacity),
+            minimized: Lru::new(capacity),
+            schema_keys: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            contains_hits: AtomicU64::new(0),
+            contains_misses: AtomicU64::new(0),
+            minimize_hits: AtomicU64::new(0),
+            minimize_misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity from `OOCQ_CACHE_CAPACITY` (a positive integer), defaulting
+    /// to [`DEFAULT_CAPACITY`].
+    pub fn from_env() -> CanonicalDecisionCache {
+        let cap = std::env::var("OOCQ_CACHE_CAPACITY")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_CAPACITY);
+        CanonicalDecisionCache::new(cap)
+    }
+
+    /// The interned fingerprint of a schema: its full rendered description.
+    pub fn schema_key(&self, schema: &Schema) -> Arc<str> {
+        let text = schema.to_string();
+        if let Some(k) = self.schema_keys.read().unwrap().get(&text) {
+            return k.clone();
+        }
+        let mut keys = self.schema_keys.write().unwrap();
+        keys.entry(text.clone())
+            .or_insert_with(|| Arc::from(text.as_str()))
+            .clone()
+    }
+
+    /// Traffic counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            contains_hits: self.contains_hits.load(Relaxed),
+            contains_misses: self.contains_misses.load(Relaxed),
+            minimize_hits: self.minimize_hits.load(Relaxed),
+            minimize_misses: self.minimize_misses.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+        }
+    }
+
+    /// Total live entries across both tables (test/diagnostic aid).
+    pub fn len(&self) -> usize {
+        self.contains.len() + self.minimized.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn contains_key(&self, schema: &Schema, q1: &Query, q2: &Query) -> ContainsKey {
+        ContainsKey {
+            schema: self.schema_key(schema),
+            q1: canonical_form(q1),
+            q2: canonical_form(q2),
+        }
+    }
+
+    fn minimize_key(&self, schema: &Schema, q: &Query) -> MinimizeKey {
+        MinimizeKey {
+            schema: self.schema_key(schema),
+            query: q.display(schema).to_string(),
+        }
+    }
+}
+
+impl DecisionCache for CanonicalDecisionCache {
+    fn get_contains(&self, schema: &Schema, q1: &Query, q2: &Query) -> Option<bool> {
+        let key = self.contains_key(schema, q1, q2);
+        let hit = self.contains.get(&key, &self.clock);
+        match hit {
+            Some(_) => self.contains_hits.fetch_add(1, Relaxed),
+            None => self.contains_misses.fetch_add(1, Relaxed),
+        };
+        hit
+    }
+
+    fn put_contains(&self, schema: &Schema, q1: &Query, q2: &Query, holds: bool) {
+        let key = self.contains_key(schema, q1, q2);
+        if self.contains.put(key, holds, &self.clock) {
+            self.evictions.fetch_add(1, Relaxed);
+        }
+    }
+
+    fn get_minimized(&self, schema: &Schema, q: &Query) -> Option<UnionQuery> {
+        let key = self.minimize_key(schema, q);
+        let hit = self.minimized.get(&key, &self.clock);
+        match hit {
+            Some(_) => self.minimize_hits.fetch_add(1, Relaxed),
+            None => self.minimize_misses.fetch_add(1, Relaxed),
+        };
+        hit
+    }
+
+    fn put_minimized(&self, schema: &Schema, q: &Query, result: &UnionQuery) {
+        let key = self.minimize_key(schema, q);
+        if self.minimized.put(key, result.clone(), &self.clock) {
+            self.evictions.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_query::QueryBuilder;
+    use oocq_schema::samples;
+
+    fn simple(s: &Schema, free: &str, bound: &str) -> Query {
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new(free);
+        let x = b.free();
+        let y = b.var(bound);
+        b.range(x, [c]).range(y, [c]).neq_vars(x, y);
+        b.build()
+    }
+
+    #[test]
+    fn renamed_queries_hit_the_containment_cache() {
+        let s = samples::single_class();
+        let cache = CanonicalDecisionCache::new(64);
+        let (q1, q2) = (simple(&s, "x", "y"), simple(&s, "x", "y"));
+        assert_eq!(cache.get_contains(&s, &q1, &q2), None);
+        cache.put_contains(&s, &q1, &q2, true);
+        // Exact repeat hits.
+        assert_eq!(cache.get_contains(&s, &q1, &q2), Some(true));
+        // A renamed copy on both sides hits the same entry.
+        let (r1, r2) = (simple(&s, "a", "b"), simple(&s, "u", "v"));
+        assert_eq!(cache.get_contains(&s, &r1, &r2), Some(true));
+        let st = cache.stats();
+        assert_eq!(st.contains_hits, 2);
+        assert_eq!(st.contains_misses, 1);
+    }
+
+    #[test]
+    fn different_schemas_do_not_collide() {
+        let s1 = samples::single_class();
+        let s2 = samples::vehicle_rental();
+        let cache = CanonicalDecisionCache::new(64);
+        let q = simple(&s1, "x", "y");
+        cache.put_contains(&s1, &q, &q, true);
+        // Same queries under a different schema: distinct fingerprint.
+        assert_eq!(cache.get_contains(&s2, &q, &q), None);
+        assert_eq!(cache.get_contains(&s1, &q, &q), Some(true));
+    }
+
+    #[test]
+    fn minimize_entries_are_exact_keyed() {
+        let s = samples::single_class();
+        let cache = CanonicalDecisionCache::new(64);
+        let q = simple(&s, "x", "y");
+        let renamed = simple(&s, "a", "b");
+        let result = UnionQuery::single(q.clone());
+        cache.put_minimized(&s, &q, &result);
+        assert_eq!(cache.get_minimized(&s, &q), Some(result));
+        // Isomorphic but differently named: must MISS (output carries names).
+        assert_eq!(cache.get_minimized(&s, &renamed), None);
+    }
+
+    #[test]
+    fn capacity_is_bounded_by_lru_eviction() {
+        let s = samples::single_class();
+        let c = s.class_id("C").unwrap();
+        let cache = CanonicalDecisionCache::new(SHARD_COUNT); // 1 entry/shard
+        // Insert many structurally distinct keys: k-chains of inequalities
+        // anchored at the free variable (asymmetric, so canonicalization
+        // is cheap — unlike cliques, whose symmetry forces backtracking).
+        let chain = |k: usize| {
+            let mut b = QueryBuilder::new("x0");
+            let vars: Vec<_> = std::iter::once(b.free())
+                .chain((1..k).map(|i| b.var(&format!("x{i}"))))
+                .collect();
+            for &v in &vars {
+                b.range(v, [c]);
+            }
+            for w in vars.windows(2) {
+                b.neq_vars(w[0], w[1]);
+            }
+            b.build()
+        };
+        let probe = chain(1);
+        for k in 1..=48 {
+            cache.put_contains(&s, &chain(k), &probe, true);
+        }
+        assert!(cache.len() <= SHARD_COUNT, "len {} > cap", cache.len());
+        assert!(cache.stats().evictions >= 48 - SHARD_COUNT as u64);
+        // The newest entry survives in its shard.
+        assert_eq!(cache.get_contains(&s, &chain(48), &probe), Some(true));
+    }
+
+    #[test]
+    fn schema_fingerprints_are_interned() {
+        let s = samples::vehicle_rental();
+        let cache = CanonicalDecisionCache::new(8);
+        let k1 = cache.schema_key(&s);
+        let k2 = cache.schema_key(&s.clone());
+        assert!(Arc::ptr_eq(&k1, &k2));
+        assert!(k1.contains("class Vehicle"));
+    }
+}

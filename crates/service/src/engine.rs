@@ -1,0 +1,430 @@
+//! The shared service engine: named schema sessions, decision execution,
+//! and per-request statistics.
+//!
+//! Sessions are immutable snapshots. `schema`/`query` commands build a new
+//! [`Session`] value and swap the `Arc` in under a short write lock;
+//! decision requests capture the `Arc` **at dispatch time, in input
+//! order**, so a worker still computing against an old schema is unaffected
+//! by a concurrent redefinition — and the response stream reads as if the
+//! commands ran sequentially.
+
+use crate::cache::CanonicalDecisionCache;
+use crate::protocol::{Request, RequestStats};
+use crate::runner::run_program_with;
+use oocq_core::{
+    contains_terminal_with, decide_containment_with, dispatch_containment_with, expand,
+    expand_satisfiable_with, minimize_positive_with, satisfiability, DecisionCache, EngineConfig,
+    Satisfiability,
+};
+use oocq_parser::{parse_program, parse_query, parse_schema};
+use oocq_query::{normalize, Query, UnionQuery};
+use oocq_schema::Schema;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// An immutable snapshot of one named session: a schema plus the queries
+/// defined against it.
+pub struct Session {
+    name: String,
+    schema: Arc<Schema>,
+    queries: HashMap<String, Query>,
+}
+
+impl Session {
+    /// The session's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn query(&self, q: &str) -> Result<&Query, String> {
+        self.queries
+            .get(q)
+            .ok_or_else(|| format!("unknown query `{q}` in session `{}`", self.name))
+    }
+}
+
+/// A per-request cache view: delegates to the shared cache (when enabled)
+/// and counts hits and computed decisions for the stats suffix. A `put`
+/// marks one decision the engine actually computed, so `decided` counts
+/// branch-engine runs whether or not caching is on.
+struct CountingView {
+    inner: Option<Arc<CanonicalDecisionCache>>,
+    hits: AtomicU64,
+    decided: AtomicU64,
+}
+
+impl DecisionCache for CountingView {
+    fn get_contains(&self, s: &Schema, q1: &Query, q2: &Query) -> Option<bool> {
+        let r = self.inner.as_ref().and_then(|c| c.get_contains(s, q1, q2));
+        if r.is_some() {
+            self.hits.fetch_add(1, Relaxed);
+        }
+        r
+    }
+
+    fn put_contains(&self, s: &Schema, q1: &Query, q2: &Query, holds: bool) {
+        self.decided.fetch_add(1, Relaxed);
+        if let Some(c) = &self.inner {
+            c.put_contains(s, q1, q2, holds);
+        }
+    }
+
+    fn get_minimized(&self, s: &Schema, q: &Query) -> Option<UnionQuery> {
+        let r = self.inner.as_ref().and_then(|c| c.get_minimized(s, q));
+        if r.is_some() {
+            self.hits.fetch_add(1, Relaxed);
+        }
+        r
+    }
+
+    fn put_minimized(&self, s: &Schema, q: &Query, result: &UnionQuery) {
+        self.decided.fetch_add(1, Relaxed);
+        if let Some(c) = &self.inner {
+            c.put_minimized(s, q, result);
+        }
+    }
+}
+
+/// The shared engine behind one `oocq-serve` process: the decision cache,
+/// the base [`EngineConfig`], and the session table.
+pub struct ServiceEngine {
+    cache: Option<Arc<CanonicalDecisionCache>>,
+    base: EngineConfig,
+    sessions: RwLock<HashMap<String, Arc<Session>>>,
+}
+
+impl ServiceEngine {
+    /// An engine with the default-capacity canonical cache.
+    pub fn new(base: EngineConfig) -> ServiceEngine {
+        ServiceEngine::with_cache(base, Some(Arc::new(CanonicalDecisionCache::from_env())))
+    }
+
+    /// An engine with an explicit (or no) cache.
+    pub fn with_cache(
+        base: EngineConfig,
+        cache: Option<Arc<CanonicalDecisionCache>>,
+    ) -> ServiceEngine {
+        ServiceEngine {
+            cache,
+            base,
+            sessions: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Configuration from the environment: `OOCQ_THREADS` for the pool
+    /// size, `OOCQ_CACHE_CAPACITY` for the cache (`0` disables it).
+    pub fn from_env() -> ServiceEngine {
+        let cache = match std::env::var("OOCQ_CACHE_CAPACITY").ok().as_deref().map(str::trim) {
+            Some("0") => None,
+            _ => Some(Arc::new(CanonicalDecisionCache::from_env())),
+        };
+        ServiceEngine::with_cache(EngineConfig::from_env(), cache)
+    }
+
+    /// The worker-pool size this engine wants (`base.threads`).
+    pub fn pool_threads(&self) -> usize {
+        self.base.threads
+    }
+
+    /// The shared decision cache, if enabled.
+    pub fn cache(&self) -> Option<&Arc<CanonicalDecisionCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Create or replace a named session from schema DSL text. Replacing a
+    /// session drops its query bindings (they were resolved against the
+    /// old schema's identifiers).
+    pub fn define_schema(&self, session: &str, text: &str) -> Result<String, String> {
+        let schema = parse_schema(text).map_err(|e| format!("parse error at {e}"))?;
+        let classes = schema.class_count();
+        let snapshot = Arc::new(Session {
+            name: session.to_owned(),
+            schema: Arc::new(schema),
+            queries: HashMap::new(),
+        });
+        self.sessions
+            .write()
+            .unwrap()
+            .insert(session.to_owned(), snapshot);
+        Ok(format!("session {session}: {classes} classes"))
+    }
+
+    /// Bind (or rebind) a named query in a session — copy-on-write: the
+    /// old snapshot stays valid for requests already dispatched against it.
+    pub fn define_query(&self, session: &str, name: &str, text: &str) -> Result<String, String> {
+        let old = self.session(session)?;
+        let q = parse_query(&old.schema, text).map_err(|e| format!("parse error at {e}"))?;
+        let mut queries = old.queries.clone();
+        queries.insert(name.to_owned(), q);
+        let snapshot = Arc::new(Session {
+            name: old.name.clone(),
+            schema: old.schema.clone(),
+            queries,
+        });
+        self.sessions
+            .write()
+            .unwrap()
+            .insert(session.to_owned(), snapshot);
+        Ok(format!("query {name} defined in session {session}"))
+    }
+
+    /// The current snapshot of a session.
+    pub fn session(&self, name: &str) -> Result<Arc<Session>, String> {
+        self.sessions.read().unwrap().get(name).cloned().ok_or_else(|| {
+            format!("unknown session `{name}` (define it with `schema {name} <text>`)")
+        })
+    }
+
+    /// Capture the session snapshot a decision request should run against,
+    /// in input order. `run` is self-contained and needs none.
+    pub fn snapshot_for(&self, req: &Request) -> Result<Option<Arc<Session>>, String> {
+        match req {
+            Request::Satisfiable { session, .. }
+            | Request::Contains { session, .. }
+            | Request::Equivalent { session, .. }
+            | Request::Explain { session, .. }
+            | Request::Expand { session, .. }
+            | Request::Minimize { session, .. } => self.session(session).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The [`EngineConfig`] one decision request runs under: serial fan-out
+    /// when the worker pool itself is parallel (requests are the unit of
+    /// concurrency), the full branch engine otherwise.
+    fn decision_config(&self, view: Arc<CountingView>) -> EngineConfig {
+        let cfg = if self.base.threads > 1 {
+            self.base.serial_inner()
+        } else {
+            self.base.clone()
+        };
+        cfg.with_cache(view)
+    }
+
+    /// Execute one decision request against a pre-captured snapshot.
+    /// Returns the response payload (or error message) plus stats.
+    pub fn execute(
+        &self,
+        req: &Request,
+        snapshot: Option<&Arc<Session>>,
+    ) -> (Result<String, String>, RequestStats) {
+        let start = Instant::now();
+        let view = Arc::new(CountingView {
+            inner: self.cache.clone(),
+            hits: AtomicU64::new(0),
+            decided: AtomicU64::new(0),
+        });
+        let cfg = self.decision_config(view.clone());
+        let result = self.execute_inner(req, snapshot, &cfg);
+        let stats = RequestStats {
+            cached: view.hits.load(Relaxed),
+            decided: view.decided.load(Relaxed),
+            wall_us: start.elapsed().as_micros() as u64,
+            threads: self.base.threads,
+        };
+        (result, stats)
+    }
+
+    fn execute_inner(
+        &self,
+        req: &Request,
+        snapshot: Option<&Arc<Session>>,
+        cfg: &EngineConfig,
+    ) -> Result<String, String> {
+        let core = |e: oocq_core::CoreError| e.to_string();
+        let wf = |e: oocq_query::WellFormedError| e.to_string();
+        let session = || snapshot.ok_or_else(|| "internal: missing session snapshot".to_owned());
+        match req {
+            Request::Satisfiable { query, .. } => {
+                let ses = session()?;
+                let s = ses.schema();
+                let q = ses.query(query)?;
+                let n = normalize(q, s).map_err(wf)?;
+                let u = expand(s, &n).map_err(core)?;
+                let mut out = String::new();
+                for sub in &u {
+                    match satisfiability(s, sub).map_err(core)? {
+                        Satisfiability::Satisfiable => {
+                            let _ = writeln!(out, "SAT   {}", sub.display(s));
+                        }
+                        Satisfiability::Unsatisfiable(reason) => {
+                            let _ = writeln!(out, "UNSAT {} ({reason})", sub.display(s));
+                        }
+                    }
+                }
+                Ok(out.trim_end().to_owned())
+            }
+            Request::Contains { q1, q2, .. } => {
+                let ses = session()?;
+                let holds =
+                    dispatch_containment_with(ses.schema(), ses.query(q1)?, ses.query(q2)?, cfg)
+                        .map_err(core)?;
+                Ok(if holds { "holds" } else { "FAILS" }.to_owned())
+            }
+            Request::Equivalent { q1, q2, .. } => {
+                let ses = session()?;
+                let (s, qa, qb) = (ses.schema(), ses.query(q1)?, ses.query(q2)?);
+                let holds = dispatch_containment_with(s, qa, qb, cfg).map_err(core)?
+                    && dispatch_containment_with(s, qb, qa, cfg).map_err(core)?;
+                Ok(if holds { "holds" } else { "FAILS" }.to_owned())
+            }
+            Request::Explain { q1, q2, .. } => {
+                let ses = session()?;
+                let (s, qa, qb) = (ses.schema(), ses.query(q1)?, ses.query(q2)?);
+                if qa.is_terminal(s) && qb.is_terminal(s) {
+                    let proof = decide_containment_with(s, qa, qb, cfg).map_err(core)?;
+                    Ok(proof.render(s, qa, qb).trim_end().to_owned())
+                } else {
+                    let ua =
+                        expand_satisfiable_with(s, &normalize(qa, s).map_err(wf)?, cfg)
+                            .map_err(core)?;
+                    let ub =
+                        expand_satisfiable_with(s, &normalize(qb, s).map_err(wf)?, cfg)
+                            .map_err(core)?;
+                    let mut out = String::new();
+                    if ua.is_empty() {
+                        let _ = writeln!(
+                            out,
+                            "holds vacuously: every branch of {q1} is unsatisfiable"
+                        );
+                    }
+                    for sub in &ua {
+                        let mut covered = false;
+                        for p in &ub {
+                            if contains_terminal_with(s, sub, p, cfg).map_err(core)? {
+                                covered = true;
+                                break;
+                            }
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{} {}",
+                            if covered { "covered " } else { "UNCOVERED" },
+                            sub.display(s)
+                        );
+                    }
+                    Ok(out.trim_end().to_owned())
+                }
+            }
+            Request::Expand { query, .. } => {
+                let ses = session()?;
+                let s = ses.schema();
+                let q = ses.query(query)?;
+                let u = expand(s, &normalize(q, s).map_err(wf)?).map_err(core)?;
+                let mut out = format!("{} branches", u.len());
+                for sub in &u {
+                    let _ = write!(out, "\n  {}", sub.display(s));
+                }
+                Ok(out)
+            }
+            Request::Minimize { query, .. } => {
+                let ses = session()?;
+                let s = ses.schema();
+                let q = ses.query(query)?;
+                let m = minimize_positive_with(s, q, cfg).map_err(core)?;
+                if m.is_empty() {
+                    return Ok("(unsatisfiable: empty union)".to_owned());
+                }
+                let lines: Vec<String> =
+                    m.queries().iter().map(|sub| sub.display(s).to_string()).collect();
+                Ok(lines.join("\n"))
+            }
+            Request::Run { text } => {
+                let program = parse_program(text).map_err(|e| format!("parse error at {e}"))?;
+                run_program_with(&program, cfg).map_err(core)
+            }
+            other => Err(format!("internal: `{other:?}` is not a decision request")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    fn engine() -> ServiceEngine {
+        ServiceEngine::with_cache(
+            EngineConfig::serial(),
+            Some(Arc::new(CanonicalDecisionCache::new(256))),
+        )
+    }
+
+    fn decide(e: &ServiceEngine, line: &str) -> Result<String, String> {
+        let req = parse_request(line).unwrap();
+        let snap = e.snapshot_for(&req)?;
+        e.execute(&req, snap.as_ref()).0
+    }
+
+    #[test]
+    fn schema_query_contains_round_trip() {
+        let e = engine();
+        e.define_schema("s", "class C {}").unwrap();
+        e.define_query("s", "Q", "{ x | x in C }").unwrap();
+        assert_eq!(decide(&e, "contains s Q Q"), Ok("holds".to_owned()));
+        assert_eq!(decide(&e, "equiv s Q Q"), Ok("holds".to_owned()));
+        assert_eq!(decide(&e, "satisfiable s Q"), Ok("SAT   { x | x in C }".to_owned()));
+        assert_eq!(
+            decide(&e, "minimize s Q"),
+            Ok("{ x | x in C }".to_owned())
+        );
+        assert!(decide(&e, "expand s Q").unwrap().starts_with("1 branches"));
+    }
+
+    #[test]
+    fn unknown_sessions_and_queries_are_reported() {
+        let e = engine();
+        assert!(decide(&e, "contains nope A B").unwrap_err().contains("unknown session"));
+        e.define_schema("s", "class C {}").unwrap();
+        assert!(decide(&e, "contains s A B").unwrap_err().contains("unknown query `A`"));
+        assert!(e
+            .define_query("s", "Q", "{ x | x in Missing }")
+            .unwrap_err()
+            .contains("parse error"));
+        assert!(e.define_schema("t", "class {").is_err());
+    }
+
+    #[test]
+    fn redefining_a_schema_drops_stale_query_bindings() {
+        let e = engine();
+        e.define_schema("s", "class C {}").unwrap();
+        e.define_query("s", "Q", "{ x | x in C }").unwrap();
+        // Old snapshots stay usable by in-flight requests.
+        let old = e.session("s").unwrap();
+        e.define_schema("s", "class D {}").unwrap();
+        assert!(old.query("Q").is_ok());
+        assert!(e.session("s").unwrap().query("Q").is_err());
+    }
+
+    #[test]
+    fn run_requests_need_no_session() {
+        let e = engine();
+        let out = decide(
+            &e,
+            "run schema { class C {} } query Q = { x | x in C } check Q <= Q",
+        )
+        .unwrap();
+        assert!(out.contains("check Q <= Q: holds"));
+    }
+
+    #[test]
+    fn stats_count_cache_hits_and_decisions() {
+        let e = engine();
+        e.define_schema("s", "class C {}").unwrap();
+        e.define_query("s", "Q", "{ x | exists y: x in C & y in C & x != y }")
+            .unwrap();
+        let req = parse_request("contains s Q Q").unwrap();
+        let snap = e.snapshot_for(&req).unwrap();
+        let (r1, st1) = e.execute(&req, snap.as_ref());
+        assert_eq!(r1, Ok("holds".to_owned()));
+        assert!(st1.decided >= 1, "cold run must compute: {st1:?}");
+        assert_eq!(st1.cached, 0);
+        let (r2, st2) = e.execute(&req, snap.as_ref());
+        assert_eq!(r2, r1);
+        assert!(st2.cached >= 1, "warm run must hit: {st2:?}");
+        assert_eq!(st2.decided, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # oocq-service
+//!
+//! A concurrent containment/minimization service over the `oocq` engine:
+//! the `oocq-serve` daemon, its line-delimited protocol, named schema
+//! sessions, a worker pool that reuses the branch engine, and a shared
+//! canonical-form decision cache ([`CanonicalDecisionCache`]) that
+//! memoizes containment verdicts up to query isomorphism (Theorem 4.5
+//! makes isomorphism the right equivalence to key on).
+//!
+//! Layering: this crate sits above `oocq-core` (which exposes the
+//! [`oocq_core::DecisionCache`] hook the cache plugs into) and below the
+//! root `oocq` crate (whose workbench delegates to [`run_program_with`]).
+//!
+//! Determinism contract: for a fixed request stream, the response stream
+//! is byte-identical across worker-pool sizes and cache states (stats
+//! suffixes excluded — they carry wall times). The corpus replay tests in
+//! `tests/` pin this.
+
+#![forbid(unsafe_code)]
+
+mod cache;
+mod engine;
+mod protocol;
+mod runner;
+mod server;
+
+pub use cache::{CacheStats, CanonicalDecisionCache, DEFAULT_CAPACITY, SHARD_COUNT};
+pub use engine::{ServiceEngine, Session};
+pub use protocol::{escape, parse_request, render_response, unescape, Request, RequestStats};
+pub use runner::{run_program_with, run_workbench_with, RunError};
+pub use server::{daemon_main, serve};

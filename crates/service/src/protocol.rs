@@ -1,0 +1,383 @@
+//! The line-delimited request/response protocol of `oocq-serve`.
+//!
+//! Every request is one line; every response is one line. Multi-line
+//! payloads (schema text, programs, transcripts) travel escaped: literal
+//! newline ↔ `\n`, literal backslash ↔ `\\`.
+//!
+//! ```text
+//! request  := ping | stats (on|off) | quit
+//!           | schema <session> <escaped-schema-text>
+//!           | query <session> <name> <escaped-query-text>
+//!           | satisfiable <session> <query>
+//!           | contains <session> <q1> <q2>
+//!           | equiv <session> <q1> <q2>
+//!           | explain <session> <q1> <q2>
+//!           | expand <session> <query>
+//!           | minimize <session> <query>
+//!           | run <escaped-program-text>
+//! response := [<seq>] ok <escaped-payload>[ # <stats>]
+//!           | [<seq>] err <escaped-message>[ # <stats>]
+//! ```
+//!
+//! `<seq>` is the 0-based position of the request in the input stream;
+//! responses are emitted in request order regardless of which worker
+//! finished first. The optional ` # ` suffix (toggled with `stats on|off`,
+//! default on) reports `cached=<hits> decided=<engine decisions>
+//! wall_us=<microseconds> threads=<pool size>` for decision commands.
+
+/// Escape a payload onto one line: `\` → `\\`, newline → `\n`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]. Unknown escapes keep the escaped character; a
+/// trailing lone backslash is kept literally.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `ping` — liveness check, answers `ok pong`.
+    Ping,
+    /// `stats on|off` — toggle the ` # …` stats suffix for this connection.
+    Stats(bool),
+    /// `quit` — drain in-flight work, then close the connection.
+    Quit,
+    /// `schema <session> <text>` — create/replace a named session.
+    DefineSchema { session: String, text: String },
+    /// `query <session> <name> <text>` — bind a named query in a session.
+    DefineQuery {
+        session: String,
+        name: String,
+        text: String,
+    },
+    /// `satisfiable <session> <query>` — Proposition 2.1 branch report.
+    Satisfiable { session: String, query: String },
+    /// `contains <session> <q1> <q2>` — containment verdict.
+    Contains {
+        session: String,
+        q1: String,
+        q2: String,
+    },
+    /// `equiv <session> <q1> <q2>` — mutual containment.
+    Equivalent {
+        session: String,
+        q1: String,
+        q2: String,
+    },
+    /// `explain <session> <q1> <q2>` — rendered containment certificate.
+    Explain {
+        session: String,
+        q1: String,
+        q2: String,
+    },
+    /// `expand <session> <query>` — §2 expansion branches.
+    Expand { session: String, query: String },
+    /// `minimize <session> <query>` — §4 minimization.
+    Minimize { session: String, query: String },
+    /// `run <program>` — a full self-contained workbench program.
+    Run { text: String },
+}
+
+impl Request {
+    /// Does this request run engine decisions (and so belong on the worker
+    /// pool), as opposed to mutating session state inline?
+    pub fn is_decision(&self) -> bool {
+        !matches!(
+            self,
+            Request::Ping
+                | Request::Stats(_)
+                | Request::Quit
+                | Request::DefineSchema { .. }
+                | Request::DefineQuery { .. }
+        )
+    }
+}
+
+fn two_words(rest: &str) -> Option<(&str, &str)> {
+    let rest = rest.trim();
+    let (a, b) = rest.split_once(char::is_whitespace)?;
+    Some((a, b.trim_start()))
+}
+
+/// Parse one request line. Returns a human-readable error for malformed
+/// input (the server reports it as an `err` response, it never kills the
+/// connection).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (cmd, rest) = line
+        .split_once(char::is_whitespace)
+        .map(|(c, r)| (c, r.trim_start()))
+        .unwrap_or((line, ""));
+    let need = |n: usize| -> Result<Vec<&str>, String> {
+        // First n-1 whitespace-separated words, then the remainder verbatim.
+        let mut parts = Vec::with_capacity(n);
+        let mut rest = rest;
+        for _ in 0..n.saturating_sub(1) {
+            let (word, tail) =
+                two_words(rest).ok_or_else(|| format!("`{cmd}` expects {n} arguments"))?;
+            parts.push(word);
+            rest = tail;
+        }
+        if rest.is_empty() {
+            return Err(format!("`{cmd}` expects {n} arguments"));
+        }
+        parts.push(rest);
+        Ok(parts)
+    };
+    match cmd {
+        "" => Err("empty request".to_owned()),
+        "ping" => Ok(Request::Ping),
+        "quit" => Ok(Request::Quit),
+        "stats" => match rest {
+            "on" => Ok(Request::Stats(true)),
+            "off" => Ok(Request::Stats(false)),
+            other => Err(format!("`stats` expects `on` or `off`, got `{other}`")),
+        },
+        "schema" => {
+            let p = need(2)?;
+            Ok(Request::DefineSchema {
+                session: p[0].to_owned(),
+                text: unescape(p[1]),
+            })
+        }
+        "query" => {
+            let p = need(3)?;
+            Ok(Request::DefineQuery {
+                session: p[0].to_owned(),
+                name: p[1].to_owned(),
+                text: unescape(p[2]),
+            })
+        }
+        "satisfiable" => {
+            let p = need(2)?;
+            Ok(Request::Satisfiable {
+                session: p[0].to_owned(),
+                query: p[1].to_owned(),
+            })
+        }
+        "contains" | "equiv" | "explain" => {
+            let p = need(3)?;
+            let (session, q1, q2) = (p[0].to_owned(), p[1].to_owned(), p[2].to_owned());
+            Ok(match cmd {
+                "contains" => Request::Contains { session, q1, q2 },
+                "equiv" => Request::Equivalent { session, q1, q2 },
+                _ => Request::Explain { session, q1, q2 },
+            })
+        }
+        "expand" => {
+            let p = need(2)?;
+            Ok(Request::Expand {
+                session: p[0].to_owned(),
+                query: p[1].to_owned(),
+            })
+        }
+        "minimize" => {
+            let p = need(2)?;
+            Ok(Request::Minimize {
+                session: p[0].to_owned(),
+                query: p[1].to_owned(),
+            })
+        }
+        "run" => Ok(Request::Run {
+            text: unescape(need(1)?[0]),
+        }),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Per-request execution statistics, rendered as the ` # …` suffix.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestStats {
+    /// Engine decisions answered from the decision cache.
+    pub cached: u64,
+    /// Engine decisions actually computed (branch-engine runs).
+    pub decided: u64,
+    /// Wall-clock time spent executing the request, in microseconds.
+    pub wall_us: u64,
+    /// Worker-pool size the request ran under.
+    pub threads: usize,
+}
+
+/// Render one response line (without the trailing newline).
+pub fn render_response(
+    seq: u64,
+    result: &Result<String, String>,
+    stats: Option<&RequestStats>,
+) -> String {
+    let mut line = match result {
+        Ok(payload) => format!("[{seq}] ok {}", escape(payload)),
+        Err(msg) => format!("[{seq}] err {}", escape(msg)),
+    };
+    if let Some(st) = stats {
+        let _ = std::fmt::Write::write_fmt(
+            &mut line,
+            format_args!(
+                " # cached={} decided={} wall_us={} threads={}",
+                st.cached, st.decided, st.wall_us, st.threads
+            ),
+        );
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips() {
+        for s in [
+            "",
+            "plain",
+            "two\nlines",
+            "back\\slash",
+            "mix \\n literal\nand\\\nescaped",
+            "trailing\n",
+        ] {
+            assert_eq!(unescape(&escape(s)), s, "round trip of {s:?}");
+        }
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(unescape("lone\\"), "lone\\");
+        assert_eq!(unescape("\\x"), "x");
+    }
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse_request(" ping "), Ok(Request::Ping));
+        assert_eq!(parse_request("quit"), Ok(Request::Quit));
+        assert_eq!(parse_request("stats on"), Ok(Request::Stats(true)));
+        assert_eq!(parse_request("stats off"), Ok(Request::Stats(false)));
+        assert_eq!(
+            parse_request("schema s class C {}\\nclass D : C {}"),
+            Ok(Request::DefineSchema {
+                session: "s".into(),
+                text: "class C {}\nclass D : C {}".into(),
+            })
+        );
+        assert_eq!(
+            parse_request("query s Q { x | x in C }"),
+            Ok(Request::DefineQuery {
+                session: "s".into(),
+                name: "Q".into(),
+                text: "{ x | x in C }".into(),
+            })
+        );
+        assert_eq!(
+            parse_request("satisfiable s Q"),
+            Ok(Request::Satisfiable {
+                session: "s".into(),
+                query: "Q".into(),
+            })
+        );
+        assert_eq!(
+            parse_request("contains s A B"),
+            Ok(Request::Contains {
+                session: "s".into(),
+                q1: "A".into(),
+                q2: "B".into(),
+            })
+        );
+        assert_eq!(
+            parse_request("equiv s A B"),
+            Ok(Request::Equivalent {
+                session: "s".into(),
+                q1: "A".into(),
+                q2: "B".into(),
+            })
+        );
+        assert_eq!(
+            parse_request("explain s A B"),
+            Ok(Request::Explain {
+                session: "s".into(),
+                q1: "A".into(),
+                q2: "B".into(),
+            })
+        );
+        assert_eq!(
+            parse_request("expand s Q"),
+            Ok(Request::Expand {
+                session: "s".into(),
+                query: "Q".into(),
+            })
+        );
+        assert_eq!(
+            parse_request("minimize s Q"),
+            Ok(Request::Minimize {
+                session: "s".into(),
+                query: "Q".into(),
+            })
+        );
+        assert_eq!(
+            parse_request("run schema { class C {} }"),
+            Ok(Request::Run {
+                text: "schema { class C {} }".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_reported_not_fatal() {
+        for bad in [
+            "",
+            "frobnicate",
+            "stats maybe",
+            "schema s",
+            "query s Q",
+            "contains s A",
+            "minimize s",
+            "run",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn decision_classification() {
+        assert!(!parse_request("ping").unwrap().is_decision());
+        assert!(!parse_request("schema s class C {}").unwrap().is_decision());
+        assert!(parse_request("contains s A B").unwrap().is_decision());
+        assert!(parse_request("run ping").unwrap().is_decision());
+    }
+
+    #[test]
+    fn responses_render_with_and_without_stats() {
+        assert_eq!(
+            render_response(3, &Ok("two\nlines".into()), None),
+            "[3] ok two\\nlines"
+        );
+        let st = RequestStats {
+            cached: 2,
+            decided: 5,
+            wall_us: 1234,
+            threads: 8,
+        };
+        assert_eq!(
+            render_response(0, &Err("boom".into()), Some(&st)),
+            "[0] err boom # cached=2 decided=5 wall_us=1234 threads=8"
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Execution of workbench programs under an explicit [`EngineConfig`].
+//!
+//! [`run_program_with`] renders byte-identical transcripts to the original
+//! serial workbench runner (the `tests/corpus` golden files are the
+//! contract), while routing every engine decision through the configured
+//! thread pool and decision cache. The root crate's
+//! `oocq::run_program` delegates here with
+//! [`EngineConfig::from_env`].
+
+use oocq_core::{
+    contains_terminal_with, decide_containment_with, expand, expand_satisfiable_with,
+    minimize_positive_with, satisfiability, CoreError, EngineConfig, Satisfiability,
+};
+use oocq_parser::{parse_program, Command, ParseError, Program};
+use oocq_query::{normalize, Query};
+use oocq_schema::Schema;
+use std::fmt::Write as _;
+
+/// Errors from running a workbench program.
+#[derive(Debug)]
+pub enum RunError {
+    /// The program text failed to parse.
+    Parse(ParseError),
+    /// A command failed (e.g. minimizing a non-positive query).
+    Core(CoreError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Parse(e) => write!(f, "parse error at {e}"),
+            RunError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ParseError> for RunError {
+    fn from(e: ParseError) -> Self {
+        RunError::Parse(e)
+    }
+}
+
+impl From<CoreError> for RunError {
+    fn from(e: CoreError) -> Self {
+        RunError::Core(e)
+    }
+}
+
+/// Containment dispatch across query shapes under a configuration: §3 for
+/// terminal pairs, §4 for positive pairs, left-expansion against a
+/// terminal right side.
+fn dispatch_with(
+    s: &Schema,
+    qa: &Query,
+    qb: &Query,
+    cfg: &EngineConfig,
+) -> Result<bool, CoreError> {
+    oocq_core::dispatch_containment_with(s, qa, qb, cfg)
+}
+
+/// Parse and run a program under a configuration, returning the rendered
+/// transcript.
+pub fn run_workbench_with(source: &str, cfg: &EngineConfig) -> Result<String, RunError> {
+    let program = parse_program(source)?;
+    run_program_with(&program, cfg).map_err(Into::into)
+}
+
+/// Run an already-parsed program under a configuration.
+///
+/// Output is independent of `cfg.threads` and of the cache state (the
+/// corpus replay tests in this crate assert both).
+pub fn run_program_with(program: &Program, cfg: &EngineConfig) -> Result<String, CoreError> {
+    let s = &program.schema;
+    let mut out = String::new();
+    for cmd in &program.commands {
+        match cmd {
+            Command::Satisfiable(name) => {
+                let q = program.query(name).expect("validated by the parser");
+                let _ = writeln!(out, "satisfiable {name}?");
+                let u = expand(s, &normalize(q, s)?)?;
+                for sub in &u {
+                    match satisfiability(s, sub)? {
+                        Satisfiability::Satisfiable => {
+                            let _ = writeln!(out, "  SAT   {}", sub.display(s));
+                        }
+                        Satisfiability::Unsatisfiable(reason) => {
+                            let _ = writeln!(out, "  UNSAT {} ({reason})", sub.display(s));
+                        }
+                    }
+                }
+            }
+            Command::CheckContains(a, b) => {
+                let (qa, qb) = (
+                    program.query(a).expect("validated"),
+                    program.query(b).expect("validated"),
+                );
+                let holds = dispatch_with(s, qa, qb, cfg)?;
+                let _ = writeln!(
+                    out,
+                    "check {a} <= {b}: {}",
+                    if holds { "holds" } else { "FAILS" }
+                );
+            }
+            Command::CheckEquivalent(a, b) => {
+                let (qa, qb) = (
+                    program.query(a).expect("validated"),
+                    program.query(b).expect("validated"),
+                );
+                let holds = dispatch_with(s, qa, qb, cfg)? && dispatch_with(s, qb, qa, cfg)?;
+                let _ = writeln!(
+                    out,
+                    "check {a} == {b}: {}",
+                    if holds { "holds" } else { "FAILS" }
+                );
+            }
+            Command::Explain(a, b) => {
+                let (qa, qb) = (
+                    program.query(a).expect("validated"),
+                    program.query(b).expect("validated"),
+                );
+                let _ = writeln!(out, "explain {a} <= {b}:");
+                if qa.is_terminal(s) && qb.is_terminal(s) {
+                    let proof = decide_containment_with(s, qa, qb, cfg)?;
+                    for line in proof.render(s, qa, qb).lines() {
+                        let _ = writeln!(out, "  {line}");
+                    }
+                } else {
+                    let ua = expand_satisfiable_with(s, &normalize(qa, s)?, cfg)?;
+                    let ub = expand_satisfiable_with(s, &normalize(qb, s)?, cfg)?;
+                    if ua.is_empty() {
+                        let _ = writeln!(
+                            out,
+                            "  holds vacuously: every branch of {a} is unsatisfiable"
+                        );
+                    }
+                    for sub in &ua {
+                        let mut covered = false;
+                        for p in &ub {
+                            if contains_terminal_with(s, sub, p, cfg)? {
+                                covered = true;
+                                break;
+                            }
+                        }
+                        let _ = writeln!(
+                            out,
+                            "  {} {}",
+                            if covered { "covered " } else { "UNCOVERED" },
+                            sub.display(s)
+                        );
+                    }
+                }
+            }
+            Command::Expand(name) => {
+                let q = program.query(name).expect("validated");
+                let u = expand(s, &normalize(q, s)?)?;
+                let _ = writeln!(out, "expand {name} ({} branches):", u.len());
+                for sub in &u {
+                    let _ = writeln!(out, "  {}", sub.display(s));
+                }
+            }
+            Command::Minimize(name) => {
+                let q = program.query(name).expect("validated");
+                match minimize_positive_with(s, q, cfg) {
+                    Ok(m) => {
+                        let _ = writeln!(out, "minimize {name}:");
+                        if m.is_empty() {
+                            let _ = writeln!(out, "  (unsatisfiable: empty union)");
+                        }
+                        for sub in &m {
+                            let _ = writeln!(out, "  {}", sub.display(s));
+                        }
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "minimize {name}: cannot minimize ({e})");
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcript_for_a_tiny_program() {
+        let text = "schema { class C {} } query Q = { x | x in C } \
+                    satisfiable Q check Q <= Q minimize Q";
+        let out = run_workbench_with(text, &EngineConfig::serial()).unwrap();
+        assert!(out.contains("SAT   { x | x in C }"));
+        assert!(out.contains("check Q <= Q: holds"));
+        assert!(out.contains("minimize Q:\n  { x | x in C }"));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(matches!(
+            run_workbench_with("query Q = { x | x in C }", &EngineConfig::serial()),
+            Err(RunError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,355 @@
+//! The concurrent request loop of `oocq-serve`.
+//!
+//! One dispatcher thread (the caller of [`serve`]) reads request lines,
+//! assigns each a sequence number in input order, executes definitional
+//! commands (`schema`, `query`, `stats`, `ping`, `quit`) inline, and hands
+//! decision requests — with the session snapshot they should see already
+//! captured — to a pool of `OOCQ_THREADS` workers. Workers push finished
+//! responses into a reorder buffer that writes them out strictly in
+//! sequence order, so the response stream is deterministic no matter how
+//! the pool interleaves.
+
+use crate::engine::{ServiceEngine, Session};
+use crate::protocol::{parse_request, render_response, Request, RequestStats};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+struct Job {
+    seq: u64,
+    req: Request,
+    snapshot: Option<Arc<Session>>,
+    stats_on: bool,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The dispatcher → worker job queue.
+struct Queue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+}
+
+impl Queue {
+    fn new() -> Queue {
+        Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.state.lock().unwrap().jobs.push_back(job);
+        self.cond.notify_one();
+    }
+
+    /// Close the queue; workers drain remaining jobs and exit.
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cond.notify_all();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.cond.wait(st).unwrap();
+        }
+    }
+}
+
+struct EmitState<W: Write> {
+    next: u64,
+    pending: HashMap<u64, String>,
+    out: W,
+    error: Option<std::io::Error>,
+}
+
+/// The reorder buffer: responses arrive in completion order, leave in
+/// sequence order.
+struct Emitter<W: Write> {
+    state: Mutex<EmitState<W>>,
+}
+
+impl<W: Write> Emitter<W> {
+    fn new(out: W) -> Emitter<W> {
+        Emitter {
+            state: Mutex::new(EmitState {
+                next: 0,
+                pending: HashMap::new(),
+                out,
+                error: None,
+            }),
+        }
+    }
+
+    fn emit(&self, seq: u64, line: String) {
+        let mut st = self.state.lock().unwrap();
+        if st.error.is_some() {
+            return;
+        }
+        st.pending.insert(seq, line);
+        let mut wrote = false;
+        loop {
+            let next = st.next;
+            let Some(line) = st.pending.remove(&next) else {
+                break;
+            };
+            if let Err(e) = writeln!(st.out, "{line}") {
+                st.error = Some(e);
+                return;
+            }
+            st.next += 1;
+            wrote = true;
+        }
+        if wrote {
+            if let Err(e) = st.out.flush() {
+                st.error = Some(e);
+            }
+        }
+    }
+
+    fn finish(self) -> std::io::Result<()> {
+        let mut st = self.state.into_inner().unwrap();
+        debug_assert!(st.pending.is_empty(), "responses left in reorder buffer");
+        match st.error.take() {
+            Some(e) => Err(e),
+            None => st.out.flush(),
+        }
+    }
+}
+
+/// Run the request loop over arbitrary streams until EOF or `quit`,
+/// blocking until every response has been written.
+pub fn serve<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    engine: &ServiceEngine,
+) -> std::io::Result<()> {
+    let workers = engine.pool_threads().max(1);
+    let queue = Queue::new();
+    let emitter = Emitter::new(output);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(job) = queue.pop() {
+                    let (result, stats) = engine.execute(&job.req, job.snapshot.as_ref());
+                    let st = if job.stats_on { Some(&stats) } else { None };
+                    emitter.emit(job.seq, render_response(job.seq, &result, st));
+                }
+            });
+        }
+
+        let mut seq = 0u64;
+        let mut stats_on = true;
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let start = Instant::now();
+            let parsed = parse_request(&line);
+            // Decision requests go to the pool; everything else — including
+            // parse errors — is answered inline so session state and the
+            // stats toggle stay in input order.
+            let inline: Result<String, String> = match &parsed {
+                Err(e) => Err(e.clone()),
+                Ok(req) if req.is_decision() => match engine.snapshot_for(req) {
+                    Ok(snapshot) => {
+                        queue.push(Job {
+                            seq,
+                            req: req.clone(),
+                            snapshot,
+                            stats_on,
+                        });
+                        seq += 1;
+                        continue;
+                    }
+                    Err(e) => Err(e),
+                },
+                Ok(Request::Ping) => Ok("pong".to_owned()),
+                Ok(Request::Stats(on)) => {
+                    stats_on = *on;
+                    Ok(format!("stats {}", if *on { "on" } else { "off" }))
+                }
+                Ok(Request::Quit) => Ok("bye".to_owned()),
+                Ok(Request::DefineSchema { session, text }) => {
+                    engine.define_schema(session, text)
+                }
+                Ok(Request::DefineQuery {
+                    session,
+                    name,
+                    text,
+                }) => engine.define_query(session, name, text),
+                Ok(other) => Err(format!("internal: unhandled request `{other:?}`")),
+            };
+            let stats = RequestStats {
+                cached: 0,
+                decided: 0,
+                wall_us: start.elapsed().as_micros() as u64,
+                threads: workers,
+            };
+            let st = if stats_on { Some(&stats) } else { None };
+            emitter.emit(seq, render_response(seq, &inline, st));
+            let quitting = matches!(parsed, Ok(Request::Quit));
+            seq += 1;
+            if quitting {
+                break;
+            }
+        }
+        queue.close();
+    });
+    emitter.finish()
+}
+
+/// Entry point of the `oocq-serve` binary: serve stdin/stdout, or — when
+/// `OOCQ_LISTEN=<addr:port>` is set — accept TCP connections, one request
+/// loop per connection over a shared engine (and shared cache).
+pub fn daemon_main() -> std::io::Result<()> {
+    let engine = Arc::new(ServiceEngine::from_env());
+    match std::env::var("OOCQ_LISTEN") {
+        Ok(addr) if !addr.trim().is_empty() => {
+            let listener = std::net::TcpListener::bind(addr.trim())?;
+            eprintln!(
+                "oocq-serve listening on {} ({} worker threads per connection)",
+                listener.local_addr()?,
+                engine.pool_threads().max(1)
+            );
+            loop {
+                let (stream, peer) = listener.accept()?;
+                let engine = engine.clone();
+                std::thread::spawn(move || {
+                    let reader = std::io::BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("oocq-serve: {peer}: {e}");
+                            return;
+                        }
+                    });
+                    if let Err(e) = serve(reader, stream, &engine) {
+                        eprintln!("oocq-serve: {peer}: {e}");
+                    }
+                });
+            }
+        }
+        _ => serve(std::io::stdin().lock(), std::io::stdout(), &engine),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CanonicalDecisionCache;
+    use oocq_core::EngineConfig;
+
+    fn run(engine: &ServiceEngine, input: &str) -> String {
+        let mut out = Vec::new();
+        serve(input.as_bytes(), &mut out, engine).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    fn engine(threads: usize) -> ServiceEngine {
+        ServiceEngine::with_cache(
+            EngineConfig::with_threads(threads),
+            Some(Arc::new(CanonicalDecisionCache::new(256))),
+        )
+    }
+
+    const SESSION: &str = "stats off\n\
+                           schema s class C {}\n\
+                           query s Q { x | x in C }\n\
+                           query s R { x | exists y: x in C & y in C & x != y }\n";
+
+    #[test]
+    fn responses_come_back_in_request_order() {
+        for threads in [1, 8] {
+            let e = engine(threads);
+            let mut input = SESSION.to_owned();
+            for _ in 0..12 {
+                input.push_str("contains s R Q\ncontains s Q R\nminimize s R\n");
+            }
+            input.push_str("quit\n");
+            let out = run(&e, &input);
+            let seqs: Vec<u64> = out
+                .lines()
+                .map(|l| {
+                    let end = l.find(']').unwrap();
+                    l[1..end].parse().unwrap()
+                })
+                .collect();
+            let expected: Vec<u64> = (0..seqs.len() as u64).collect();
+            assert_eq!(seqs, expected, "{threads} threads: out of order");
+            assert!(out.ends_with(&format!("[{}] ok bye\n", seqs.len() - 1)));
+        }
+    }
+
+    #[test]
+    fn output_is_identical_across_thread_counts_with_stats_off() {
+        let mut input = SESSION.to_owned();
+        input.push_str(
+            "contains s Q R\nequiv s Q Q\nsatisfiable s R\nexpand s R\nminimize s R\n\
+             explain s Q R\nquit\n",
+        );
+        let serial = run(&engine(1), &input);
+        let pooled = run(&engine(8), &input);
+        assert_eq!(serial, pooled);
+        assert!(serial.contains("ok holds"));
+    }
+
+    #[test]
+    fn parse_and_session_errors_are_responses_not_crashes() {
+        let e = engine(2);
+        let out = run(&e, "stats off\nfrobnicate\ncontains ghost A B\nping\n");
+        assert!(out.contains("[1] err unknown command `frobnicate`"));
+        assert!(out.contains("[2] err unknown session `ghost`"));
+        assert!(out.contains("[3] ok pong"));
+    }
+
+    #[test]
+    fn stats_suffix_present_by_default_and_toggleable() {
+        let e = engine(1);
+        let out = run(
+            &e,
+            "schema s class C {}\nquery s Q { x | x in C }\ncontains s Q Q\n\
+             stats off\ncontains s Q Q\nquit\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains(" # cached=0 decided=0"), "{:?}", lines[0]);
+        assert!(lines[2].contains("ok holds # cached="), "{:?}", lines[2]);
+        assert!(lines[2].contains("threads=1"));
+        assert!(!lines[4].contains('#'), "{:?}", lines[4]);
+        assert_eq!(lines[4], "[4] ok holds");
+    }
+
+    #[test]
+    fn definitions_apply_to_later_requests_even_with_a_busy_pool() {
+        let e = engine(8);
+        let out = run(
+            &e,
+            "stats off\nschema s class C {}\nquery s Q { x | x in C }\n\
+             contains s Q Q\nschema s class D {}\nquery s P { x | x in D }\n\
+             minimize s P\nquit\n",
+        );
+        assert!(out.contains("ok holds"));
+        assert!(out.contains("ok { x | x in D }"));
+    }
+
+    #[test]
+    fn eof_without_quit_drains_cleanly() {
+        let e = engine(4);
+        let out = run(&e, "stats off\nschema s class C {}\nquery s Q { x | x in C }\ncontains s Q Q\n");
+        assert!(out.ends_with("[3] ok holds\n"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Corpus replay through the daemon protocol, in-process.
+//!
+//! Every workbench program in the repo's `tests/corpus/` is sent through
+//! [`oocq_service::serve`] as a `run` request and the response payload is
+//! compared **byte-identically** against the committed `.expected`
+//! transcript — across worker-pool sizes (1 vs 8), cache states (cold vs
+//! warm vs disabled), and repeated replays on one engine. This pins the
+//! service's determinism contract: neither the thread pool nor the
+//! decision cache may change a single output byte.
+
+use oocq_core::EngineConfig;
+use oocq_service::{escape, unescape, CanonicalDecisionCache, ServiceEngine};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn corpus() -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    for name in ["inequalities", "n1_partition", "paths", "university", "vehicle_rental"] {
+        let dir = corpus_dir();
+        let program = std::fs::read_to_string(dir.join(format!("{name}.oocq")))
+            .unwrap_or_else(|e| panic!("missing corpus program {name}: {e}"));
+        let expected = std::fs::read_to_string(dir.join(format!("{name}.expected")))
+            .unwrap_or_else(|e| panic!("missing {name}.expected: {e}"));
+        out.push((name.to_owned(), program, expected));
+    }
+    out
+}
+
+/// Replay the whole corpus as one protocol conversation and return the
+/// unescaped transcript payload of each `run` response, in order.
+fn replay(engine: &ServiceEngine, programs: &[(String, String, String)]) -> Vec<String> {
+    let mut input = String::from("stats off\n");
+    for (_, program, _) in programs {
+        input.push_str("run ");
+        input.push_str(&escape(program));
+        input.push('\n');
+    }
+    input.push_str("quit\n");
+    let mut out = Vec::new();
+    oocq_service::serve(input.as_bytes(), &mut out, engine).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    let mut payloads = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let prefix = format!("[{i}] ");
+        assert!(line.starts_with(&prefix), "out-of-order response: {line}");
+        let body = &line[prefix.len()..];
+        if i == 0 || i == programs.len() + 1 {
+            continue; // `stats off` ack and `bye`
+        }
+        let payload = body
+            .strip_prefix("ok ")
+            .unwrap_or_else(|| panic!("run request failed: {body}"));
+        payloads.push(unescape(payload));
+    }
+    assert_eq!(payloads.len(), programs.len());
+    payloads
+}
+
+fn engine(threads: usize, cache: bool) -> ServiceEngine {
+    let cache = cache.then(|| Arc::new(CanonicalDecisionCache::new(4096)));
+    ServiceEngine::with_cache(EngineConfig::with_threads(threads), cache)
+}
+
+#[test]
+fn corpus_replay_matches_golden_transcripts() {
+    let programs = corpus();
+    let payloads = replay(&engine(1, true), &programs);
+    for ((name, _, expected), got) in programs.iter().zip(&payloads) {
+        assert_eq!(got, expected, "transcript drift for {name} through the daemon");
+    }
+}
+
+#[test]
+fn corpus_replay_is_identical_across_thread_counts() {
+    let programs = corpus();
+    let serial = replay(&engine(1, true), &programs);
+    let pooled = replay(&engine(8, true), &programs);
+    assert_eq!(serial, pooled, "OOCQ_THREADS must not change output bytes");
+}
+
+#[test]
+fn corpus_replay_is_identical_cold_and_warm() {
+    let programs = corpus();
+    let e = engine(4, true);
+    let cold = replay(&e, &programs);
+    let warm = replay(&e, &programs);
+    assert_eq!(cold, warm, "a warm cache must not change output bytes");
+    let stats = e.cache().unwrap().stats();
+    assert!(
+        stats.contains_hits + stats.minimize_hits > 0,
+        "the warm replay should actually hit the cache: {stats:?}"
+    );
+}
+
+#[test]
+fn corpus_replay_is_identical_with_cache_disabled() {
+    let programs = corpus();
+    let cached = replay(&engine(2, true), &programs);
+    let uncached = replay(&engine(2, false), &programs);
+    assert_eq!(cached, uncached, "the cache must be decision-invisible");
+}

@@ -1,0 +1,13 @@
+//! `oocq-serve` — the concurrent containment/minimization daemon.
+//!
+//! Speaks the line-delimited protocol of `oocq_service::serve` over
+//! stdin/stdout, or over TCP when `OOCQ_LISTEN=<addr:port>` is set.
+//! `OOCQ_THREADS` sizes the worker pool; `OOCQ_CACHE_CAPACITY` sizes the
+//! canonical decision cache (`0` disables it).
+
+fn main() {
+    if let Err(e) = oocq_service::daemon_main() {
+        eprintln!("oocq-serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -57,6 +57,7 @@
 //! | `oocq-core` | [`contains_terminal`], [`union_contains`], [`minimize_positive`], [`is_satisfiable`], [`expand`] |
 //! | `oocq-rel` | [`rel`]: the Chandra–Merlin relational baseline |
 //! | `oocq-gen` | [`gen`]: workload and random-instance generators |
+//! | `oocq-service` | [`ServiceEngine`], [`serve`], [`CanonicalDecisionCache`] — the `oocq-serve` daemon |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,14 +65,15 @@
 pub use oocq_core::{
     contains_positive, contains_positive_with, contains_terminal, contains_terminal_full,
     contains_terminal_full_with, contains_terminal_with, cost_leq, decide_containment,
-    decide_containment_with, equivalent_positive,
-    equivalent_terminal, expand, expand_satisfiable, expand_satisfiable_with, expansion_size,
-    is_minimal_terminal_positive,
+    decide_containment_with, dispatch_containment_with, equivalent_positive,
+    equivalent_terminal, equivalent_terminal_with, expand, expand_satisfiable,
+    expand_satisfiable_with, expansion_size, is_minimal_terminal_positive,
     is_satisfiable, minimize_general, minimize_positive, minimize_positive_report,
-    minimize_terminal_general, minimize_terminal_positive, nonredundant_union,
+    minimize_positive_report_with, minimize_positive_with, minimize_terminal_general,
+    minimize_terminal_positive, nonredundant_union, nonredundant_union_with,
     satisfiability, search_space_cost, strategy_for, strip_non_range, term_class, union_contains,
     union_contains_with, union_cost, union_equivalent, var_classes, Containment, CoreError,
-    EngineConfig, MappingWitness,
+    DecisionCache, EngineConfig, MappingWitness,
     MinimizationReport, Optimizer, OptimizerStats, Satisfiability, Strategy, UnsatReason,
     MAX_BRANCHES,
 };
@@ -81,13 +83,17 @@ pub use oocq_eval::{
 };
 pub use oocq_parser::{parse_program, parse_query, parse_schema, parse_union, Command, ParseError, Program};
 pub use oocq_query::{
-    check_well_formed, find_isomorphism, isomorphic, maximal_classes, normalize, Atom,
-    DisplayQuery, DisplayUnion, EqualityGraph, Query, QueryAnalysis, QueryBuilder, Term,
-    UnionQuery, VarId, WellFormedError,
+    canonical_form, check_well_formed, find_isomorphism, isomorphic, maximal_classes, normalize,
+    Atom, CanonicalQuery, DisplayQuery, DisplayUnion, EqualityGraph, Query, QueryAnalysis,
+    QueryBuilder, Term, UnionQuery, VarId, WellFormedError,
 };
 pub use oocq_schema::{
     samples, AttrId, AttrType, ClassId, Schema, SchemaBuilder, SchemaError, SchemaStats,
     TupleType,
+};
+pub use oocq_service::{
+    run_program_with, run_workbench_with, serve, CacheStats, CanonicalDecisionCache, Request,
+    RequestStats, ServiceEngine,
 };
 pub use oocq_state::{DisplayState, Object, Oid, State, StateBuilder, StateError, StateStats, Value};
 

@@ -1,13 +1,14 @@
 //! Execution of workbench programs (see [`parse_program`]): runs each
 //! command against the program's schema and renders the results as text.
 //! Shared by the `oocq_cli` example and the golden-file corpus tests.
+//!
+//! The actual runner lives in `oocq-service` ([`oocq_service::run_program_with`])
+//! so the `oocq-serve` daemon can execute `run` requests with an explicit
+//! [`EngineConfig`]; these wrappers preserve the original environment-driven
+//! API and its exact output bytes.
 
-use crate::{
-    contains_positive, contains_terminal, decide_containment, expand, expand_satisfiable,
-    minimize_positive, normalize, parse_program, satisfiability, Command, CoreError, ParseError,
-    Program, Query, Satisfiability, Schema,
-};
-use std::fmt::Write as _;
+use crate::{parse_program, CoreError, EngineConfig, ParseError, Program, Query, Schema};
+use oocq_service::RunError;
 
 /// Errors from running a workbench program.
 #[derive(Debug)]
@@ -41,26 +42,19 @@ impl From<CoreError> for WorkbenchError {
     }
 }
 
+impl From<RunError> for WorkbenchError {
+    fn from(e: RunError) -> Self {
+        match e {
+            RunError::Parse(e) => WorkbenchError::Parse(e),
+            RunError::Core(e) => WorkbenchError::Core(e),
+        }
+    }
+}
+
 /// Containment dispatch across query shapes: §3 for terminal pairs, §4 for
 /// positive pairs, left-expansion against a terminal right side.
 pub fn dispatch_containment(s: &Schema, qa: &Query, qb: &Query) -> Result<bool, CoreError> {
-    if qa.is_terminal(s) && qb.is_terminal(s) {
-        return contains_terminal(s, qa, qb);
-    }
-    if qa.is_positive() && qb.is_positive() {
-        return contains_positive(s, qa, qb);
-    }
-    if qb.is_terminal(s) {
-        let ua = expand_satisfiable(s, &normalize(qa, s)?)?;
-        for sub in &ua {
-            if !contains_terminal(s, sub, qb)? {
-                return Ok(false);
-            }
-        }
-        return Ok(true);
-    }
-    // Outside the decidable fragment the paper establishes.
-    Err(CoreError::NotPositive)
+    oocq_core::dispatch_containment(s, qa, qb)
 }
 
 /// Parse and run a program, returning the rendered transcript.
@@ -69,118 +63,10 @@ pub fn run_workbench(source: &str) -> Result<String, WorkbenchError> {
     run_program(&program).map_err(Into::into)
 }
 
-/// Run an already-parsed program.
+/// Run an already-parsed program under the environment configuration
+/// (`OOCQ_THREADS`).
 pub fn run_program(program: &Program) -> Result<String, CoreError> {
-    let s = &program.schema;
-    let mut out = String::new();
-    for cmd in &program.commands {
-        match cmd {
-            Command::Satisfiable(name) => {
-                let q = program.query(name).expect("validated by the parser");
-                let _ = writeln!(out, "satisfiable {name}?");
-                let u = expand(s, &normalize(q, s)?)?;
-                for sub in &u {
-                    match satisfiability(s, sub)? {
-                        Satisfiability::Satisfiable => {
-                            let _ = writeln!(out, "  SAT   {}", sub.display(s));
-                        }
-                        Satisfiability::Unsatisfiable(reason) => {
-                            let _ = writeln!(out, "  UNSAT {} ({reason})", sub.display(s));
-                        }
-                    }
-                }
-            }
-            Command::CheckContains(a, b) => {
-                let (qa, qb) = (
-                    program.query(a).expect("validated"),
-                    program.query(b).expect("validated"),
-                );
-                let holds = dispatch_containment(s, qa, qb)?;
-                let _ = writeln!(
-                    out,
-                    "check {a} <= {b}: {}",
-                    if holds { "holds" } else { "FAILS" }
-                );
-            }
-            Command::CheckEquivalent(a, b) => {
-                let (qa, qb) = (
-                    program.query(a).expect("validated"),
-                    program.query(b).expect("validated"),
-                );
-                let holds =
-                    dispatch_containment(s, qa, qb)? && dispatch_containment(s, qb, qa)?;
-                let _ = writeln!(
-                    out,
-                    "check {a} == {b}: {}",
-                    if holds { "holds" } else { "FAILS" }
-                );
-            }
-            Command::Explain(a, b) => {
-                let (qa, qb) = (
-                    program.query(a).expect("validated"),
-                    program.query(b).expect("validated"),
-                );
-                let _ = writeln!(out, "explain {a} <= {b}:");
-                if qa.is_terminal(s) && qb.is_terminal(s) {
-                    let proof = decide_containment(s, qa, qb)?;
-                    for line in proof.render(s, qa, qb).lines() {
-                        let _ = writeln!(out, "  {line}");
-                    }
-                } else {
-                    let ua = expand_satisfiable(s, &normalize(qa, s)?)?;
-                    let ub = expand_satisfiable(s, &normalize(qb, s)?)?;
-                    if ua.is_empty() {
-                        let _ = writeln!(
-                            out,
-                            "  holds vacuously: every branch of {a} is unsatisfiable"
-                        );
-                    }
-                    for sub in &ua {
-                        let mut covered = false;
-                        for p in &ub {
-                            if contains_terminal(s, sub, p)? {
-                                covered = true;
-                                break;
-                            }
-                        }
-                        let _ = writeln!(
-                            out,
-                            "  {} {}",
-                            if covered { "covered " } else { "UNCOVERED" },
-                            sub.display(s)
-                        );
-                    }
-                }
-            }
-            Command::Expand(name) => {
-                let q = program.query(name).expect("validated");
-                let u = expand(s, &normalize(q, s)?)?;
-                let _ = writeln!(out, "expand {name} ({} branches):", u.len());
-                for sub in &u {
-                    let _ = writeln!(out, "  {}", sub.display(s));
-                }
-            }
-            Command::Minimize(name) => {
-                let q = program.query(name).expect("validated");
-                match minimize_positive(s, q) {
-                    Ok(m) => {
-                        let _ = writeln!(out, "minimize {name}:");
-                        if m.is_empty() {
-                            let _ = writeln!(out, "  (unsatisfiable: empty union)");
-                        }
-                        for sub in &m {
-                            let _ = writeln!(out, "  {}", sub.display(s));
-                        }
-                    }
-                    Err(e) => {
-                        let _ = writeln!(out, "minimize {name}: cannot minimize ({e})");
-                    }
-                }
-            }
-        }
-        let _ = writeln!(out);
-    }
-    Ok(out)
+    oocq_service::run_program_with(program, &EngineConfig::from_env())
 }
 
 #[cfg(test)]

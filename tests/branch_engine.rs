@@ -66,6 +66,7 @@ fn forced_parallel(threads: usize) -> EngineConfig {
     EngineConfig {
         threads,
         min_parallel_branches: 1,
+        ..EngineConfig::serial()
     }
 }
 

@@ -68,6 +68,54 @@ fn state_statistics_and_dot_agree_on_edge_counts() {
 }
 
 #[test]
+fn oocq_serve_answers_a_containment_request() {
+    use std::io::Write as _;
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_oocq-serve"))
+        .env("OOCQ_THREADS", "2")
+        .env_remove("OOCQ_LISTEN")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn oocq-serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"stats off\n\
+              ping\n\
+              schema s class C {}\\nclass D : C {}\\nclass E : C {}\n\
+              query s Q { x | x in D }\n\
+              query s R { x | x in C }\n\
+              contains s Q R\n\
+              contains s R Q\n\
+              quit\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines,
+        [
+            "[0] ok stats off",
+            "[1] ok pong",
+            "[2] ok session s: 3 classes",
+            "[3] ok query Q defined in session s",
+            "[4] ok query R defined in session s",
+            "[5] ok holds",
+            "[6] ok FAILS",
+            "[7] ok bye",
+        ],
+        "unexpected daemon transcript:\n{text}"
+    );
+}
+
+#[test]
 fn optimizer_session_over_a_workload() {
     let s = parse_schema(
         "class Vehicle {} class Auto : Vehicle {} class Truck : Vehicle {}
