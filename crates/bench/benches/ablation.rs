@@ -20,7 +20,8 @@ fn multi_attr_schema(n: usize) -> Schema {
     let mut b = SchemaBuilder::new();
     let c = b.class("C").unwrap();
     for i in 0..n {
-        b.attribute(c, &format!("A{i}"), AttrType::Object(c)).unwrap();
+        b.attribute(c, &format!("A{i}"), AttrType::Object(c))
+            .unwrap();
     }
     b.finish().unwrap()
 }
@@ -54,9 +55,11 @@ fn main() {
     for n in [4usize, 8, 16, 32] {
         let s = multi_attr_schema(n);
         let cascade = cascade_query(&s, n);
-        h.run("a1_equality_graph", &format!("congruence_cascade/{n}"), || {
-            EqualityGraph::build(&cascade)
-        });
+        h.run(
+            "a1_equality_graph",
+            &format!("congruence_cascade/{n}"),
+            || EqualityGraph::build(&cascade),
+        );
         // Flat chain: same variable count, no congruence interaction.
         let cls = s.class_id("C").unwrap();
         let mut qb = QueryBuilder::new("x0");
@@ -85,11 +88,15 @@ fn main() {
     for n in [2usize, 4, 8] {
         let q1 = chain_query(&ws, n);
         let q2 = chain_query(&ws, n - 1);
-        h.run("a1_decision_procedure", &format!("cor34_mapping/{n}"), || {
-            oocq_core::contains_terminal(&ws, &q1, &q2).unwrap()
-        });
-        h.run("a1_decision_procedure", &format!("canonical_oracle/{n}"), || {
-            canonical_contains(&ws, &q1, &q2).unwrap()
-        });
+        h.run(
+            "a1_decision_procedure",
+            &format!("cor34_mapping/{n}"),
+            || oocq_core::contains_terminal(&ws, &q1, &q2).unwrap(),
+        );
+        h.run(
+            "a1_decision_procedure",
+            &format!("canonical_oracle/{n}"),
+            || canonical_contains(&ws, &q1, &q2).unwrap(),
+        );
     }
 }

@@ -26,11 +26,15 @@ fn main() {
         });
         let r1 = encode_positive(&schema, &q1);
         let r2 = encode_positive(&schema, &q2);
-        h.run("b1_chain_contains", &format!("rel_chandra_merlin/{n}"), || {
-            let r = oocq_rel::contains(&r1, &r2);
-            assert!(r);
-            r
-        });
+        h.run(
+            "b1_chain_contains",
+            &format!("rel_chandra_merlin/{n}"),
+            || {
+                let r = oocq_rel::contains(&r1, &r2);
+                assert!(r);
+                r
+            },
+        );
     }
 
     for n in [2usize, 4, 8, 12] {
@@ -41,8 +45,10 @@ fn main() {
         });
         let r1 = encode_positive(&schema, &q1);
         let r2 = encode_positive(&schema, &q2);
-        h.run("b1_star_contains", &format!("rel_chandra_merlin/{n}"), || {
-            oocq_rel::contains(&r1, &r2)
-        });
+        h.run(
+            "b1_star_contains",
+            &format!("rel_chandra_merlin/{n}"),
+            || oocq_rel::contains(&r1, &r2),
+        );
     }
 }

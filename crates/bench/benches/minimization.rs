@@ -25,11 +25,15 @@ fn main() {
             m
         });
         let rigid = rigid_star_query(&schema, n);
-        h.run("b4_star_minimize", &format!("oodb_already_minimal/{n}"), || {
-            let m = oocq_core::minimize_terminal_positive(&schema, &rigid).unwrap();
-            assert_eq!(m.var_count(), n + 1);
-            m
-        });
+        h.run(
+            "b4_star_minimize",
+            &format!("oodb_already_minimal/{n}"),
+            || {
+                let m = oocq_core::minimize_terminal_positive(&schema, &rigid).unwrap();
+                assert_eq!(m.var_count(), n + 1);
+                m
+            },
+        );
         let rel = encode_positive(&schema, &collapsible);
         h.run("b4_star_minimize", &format!("rel_core/{n}"), || {
             oocq_rel::minimize(&rel)

@@ -52,7 +52,8 @@ fn q1_text(members: usize, floaters: usize) -> String {
 
 /// The right query: membership + non-membership + inequality forces
 /// `Strategy::Full`.
-const Q2: &str = "{ x | exists y, u2: x in C & y in C & u2 in C & y in x.items & u2 not in x.items & y != u2 }";
+const Q2: &str =
+    "{ x | exists y, u2: x in C & y in C & u2 in C & y in x.items & u2 not in x.items & y != u2 }";
 
 /// A positive query over a 3-way partitioned hierarchy whose expansion has
 /// several branches, so cold minimization runs the pairwise §4 pipeline.
@@ -66,7 +67,8 @@ fn fresh_engine(cache: bool, members: usize, floaters: usize) -> ServiceEngine {
     let cache = cache.then(|| Arc::new(CanonicalDecisionCache::new(4096)));
     let e = ServiceEngine::with_cache(EngineConfig::serial(), cache);
     e.define_schema("s", SCHEMA).unwrap();
-    e.define_query("s", "P", &q1_text(members, floaters)).unwrap();
+    e.define_query("s", "P", &q1_text(members, floaters))
+        .unwrap();
     e.define_query("s", "Q", Q2).unwrap();
     e.define_schema("m", MIN_SCHEMA).unwrap();
     e.define_query("m", "M", MIN_QUERY).unwrap();

@@ -4,13 +4,13 @@
 //!
 //! Usage: `experiments [--e1 … --e8 --b3 --b5 --b6]` (no flag = run all).
 
+use gen::StdRng;
 use oocq_core as core;
 use oocq_eval as eval;
 use oocq_gen as gen;
 use oocq_parser::{parse_query, parse_schema};
 use oocq_query::{Query, UnionQuery};
 use oocq_schema::Schema;
-use gen::StdRng;
 use std::time::Instant;
 
 fn vehicle_schema() -> Schema {
@@ -209,7 +209,10 @@ fn e8() {
 
 fn b3() {
     section("B3: expansion size vs branching (vars=3, Example-4.1 pattern)");
-    println!("{:>10} {:>12} {:>16} {:>10}", "branching", "expanded", "satisfiable", "time");
+    println!(
+        "{:>10} {:>12} {:>16} {:>10}",
+        "branching", "expanded", "satisfiable", "time"
+    );
     for branching in [2usize, 4, 8, 16] {
         let schema = gen::partition_schema(branching, 2, 1);
         let q = parse_query(
@@ -249,9 +252,8 @@ fn b5() {
         let t0 = Instant::now();
         let m = core::minimize_positive(&schema, &q).unwrap();
         let dt = t0.elapsed();
-        let sum = |c: &std::collections::BTreeMap<oocq_schema::ClassId, usize>| {
-            c.values().sum::<usize>()
-        };
+        let sum =
+            |c: &std::collections::BTreeMap<oocq_schema::ClassId, usize>| c.values().sum::<usize>();
         println!(
             "{:>10} {:>24} {:>24} {:>9.1?}",
             terminals,

@@ -90,7 +90,10 @@ impl std::fmt::Debug for EngineConfig {
         f.debug_struct("EngineConfig")
             .field("threads", &self.threads)
             .field("min_parallel_branches", &self.min_parallel_branches)
-            .field("cache", &self.cache.as_ref().map(|_| "Some(<dyn DecisionCache>)"))
+            .field(
+                "cache",
+                &self.cache.as_ref().map(|_| "Some(<dyn DecisionCache>)"),
+            )
             .field("iso_fast_path", &self.iso_fast_path)
             .finish()
     }
@@ -176,6 +179,28 @@ impl Default for EngineConfig {
     }
 }
 
+/// The derived state of a stripped containment target `Q₁` that every
+/// Theorem 3.1 run over it shares: the base [`QueryAnalysis`] (each
+/// `S`-augmentation's analysis extends it incrementally) and the
+/// [`TargetIndexes`] of the unaugmented query (reused verbatim by the empty
+/// augmentation's branch block). A [`PreparedQuery`](crate::PreparedQuery)
+/// memoizes one of these so repeated decisions rebuild neither.
+pub(crate) struct BranchBase {
+    /// Analysis of the stripped `Q₁`.
+    pub(crate) analysis: QueryAnalysis,
+    /// Derivability indexes of the stripped, unaugmented `Q₁`.
+    pub(crate) indexes: TargetIndexes,
+}
+
+impl BranchBase {
+    /// Derive the shared base state for a stripped terminal `q1`.
+    pub(crate) fn build(q1: &Query, classes1: &[ClassId]) -> BranchBase {
+        let analysis = QueryAnalysis::of(q1);
+        let indexes = TargetIndexes::build(q1, classes1, &analysis);
+        BranchBase { analysis, indexes }
+    }
+}
+
 /// One consistent equality augmentation `S` with everything its `2^|T(S)|`
 /// membership-subset branches share.
 struct SBranch {
@@ -212,19 +237,20 @@ pub(crate) struct BranchPlan<'a> {
 
 impl<'a> BranchPlan<'a> {
     /// Enumerate the branch space for a satisfiable, non-range-stripped
-    /// terminal `q1`. `enum_s` / `enum_w` select which dimensions the chosen
-    /// strategy actually quantifies over (Corollaries 3.2–3.4 fix one or
-    /// both to the trivial choice).
+    /// terminal `q1` whose shared base state (`base`) the caller has already
+    /// derived — or memoized on a prepared query. `enum_s` / `enum_w` select
+    /// which dimensions the chosen strategy actually quantifies over
+    /// (Corollaries 3.2–3.4 fix one or both to the trivial choice).
     pub(crate) fn build(
         schema: &'a Schema,
         q1: &'a Query,
         classes1: &'a [ClassId],
+        base: &BranchBase,
         enum_s: bool,
         enum_w: bool,
     ) -> Result<BranchPlan<'a>, CoreError> {
-        let base = QueryAnalysis::of(q1);
         let s_choices = if enum_s {
-            equality_augmentations(q1, classes1, &base)?
+            equality_augmentations(q1, classes1, &base.analysis)?
         } else {
             vec![Vec::new()]
         };
@@ -233,7 +259,11 @@ impl<'a> BranchPlan<'a> {
         let mut total: u64 = 0;
         for s_atoms in s_choices {
             let q1s = q1.with_extra_atoms(s_atoms.clone());
-            let analysis = base.extended(&s_atoms);
+            let analysis = if s_atoms.is_empty() {
+                base.analysis.clone()
+            } else {
+                base.analysis.extended(&s_atoms)
+            };
             if !satisfiability::check(schema, &q1s, classes1, &analysis).is_satisfiable() {
                 continue; // inconsistent augmentation: vacuous branch block
             }
@@ -264,7 +294,11 @@ impl<'a> BranchPlan<'a> {
                     _ => unreachable!("membership candidates are Member atoms"),
                 })
                 .collect();
-            let indexes = TargetIndexes::build(&q1s, classes1, &analysis);
+            let indexes = if s_atoms.is_empty() {
+                base.indexes.clone()
+            } else {
+                TargetIndexes::build(&q1s, classes1, &analysis)
+            };
             sbranches.push(SBranch {
                 s_atoms,
                 q1s,
@@ -326,13 +360,8 @@ impl<'a> BranchPlan<'a> {
                     .map(|(_, a)| a.clone()),
             );
             debug_assert!(
-                satisfiability::check(
-                    self.schema,
-                    &q1sw,
-                    self.classes1,
-                    &QueryAnalysis::of(&q1sw)
-                )
-                .is_satisfiable(),
+                satisfiability::check(self.schema, &q1sw, self.classes1, &QueryAnalysis::of(&q1sw))
+                    .is_satisfiable(),
                 "candidate-filtered membership augmentation must stay satisfiable"
             );
         }
@@ -381,7 +410,9 @@ impl<'a> BranchPlan<'a> {
     }
 
     fn run_parallel(&self, q2: &Query, classes2: &[ClassId], threads: usize) -> Containment {
-        let workers = threads.min(self.total.min(usize::MAX as u64) as usize).max(1);
+        let workers = threads
+            .min(self.total.min(usize::MAX as u64) as usize)
+            .max(1);
         let next = AtomicU64::new(0);
         // Smallest refuted branch index seen so far; `u64::MAX` = none.
         // Invariant: it only ever holds refuted indexes, so every branch
@@ -697,7 +728,10 @@ mod tests {
     fn par_prefix_without_stop_covers_everything() {
         let got = par_prefix(37, 4, |i| i, |_| false);
         assert_eq!(got.len(), 37);
-        assert!(got.iter().enumerate().all(|(k, &(idx, v))| idx == k && v == k));
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(k, &(idx, v))| idx == k && v == k));
     }
 
     #[test]

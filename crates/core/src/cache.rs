@@ -25,6 +25,7 @@
 //! are never cached: their witness text mentions concrete variable names on
 //! both sides and is cheap to recompute relative to its size.
 
+use crate::engine::PreparedQuery;
 use oocq_query::{Query, UnionQuery};
 use oocq_schema::Schema;
 
@@ -46,4 +47,28 @@ pub trait DecisionCache: Send + Sync {
 
     /// Record the minimization of `q` under `schema`.
     fn put_minimized(&self, schema: &Schema, q: &Query, result: &UnionQuery);
+
+    /// [`get_contains`](Self::get_contains) over prepared operands. The
+    /// default delegates to the plain method; canonical-keying
+    /// implementations override it to read the memoized
+    /// [`canonical_form`](PreparedQuery::canonical_form) and schema
+    /// fingerprint instead of recomputing both per lookup.
+    fn get_contains_prepared(&self, p1: &PreparedQuery, p2: &PreparedQuery) -> Option<bool> {
+        self.get_contains(p1.schema().schema(), p1.query(), p2.query())
+    }
+
+    /// [`put_contains`](Self::put_contains) over prepared operands.
+    fn put_contains_prepared(&self, p1: &PreparedQuery, p2: &PreparedQuery, holds: bool) {
+        self.put_contains(p1.schema().schema(), p1.query(), p2.query(), holds);
+    }
+
+    /// [`get_minimized`](Self::get_minimized) over a prepared operand.
+    fn get_minimized_prepared(&self, p: &PreparedQuery) -> Option<UnionQuery> {
+        self.get_minimized(p.schema().schema(), p.query())
+    }
+
+    /// [`put_minimized`](Self::put_minimized) over a prepared operand.
+    fn put_minimized_prepared(&self, p: &PreparedQuery, result: &UnionQuery) {
+        self.put_minimized(p.schema().schema(), p.query(), result);
+    }
 }

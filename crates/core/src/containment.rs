@@ -20,7 +20,7 @@
 //! [`EngineConfig`] — either the caller's (the `*_with` variants) or the
 //! environment's ([`EngineConfig::from_env`], honouring `OOCQ_THREADS`).
 
-use crate::branch::{par_prefix, BranchPlan, EngineConfig};
+use crate::branch::{par_prefix, BranchBase, BranchPlan, EngineConfig};
 use crate::error::CoreError;
 use crate::explain::Containment;
 use crate::satisfiability::{self, strip_non_range, var_classes, Satisfiability};
@@ -172,8 +172,10 @@ pub fn equivalent_terminal_with(
     if cfg.iso_fast_path && oocq_query::isomorphic(q1, q2) {
         return Ok(true);
     }
-    Ok(contains_terminal_with(schema, q1, q2, cfg)?
-        && contains_terminal_with(schema, q2, q1, cfg)?)
+    Ok(
+        contains_terminal_with(schema, q1, q2, cfg)?
+            && contains_terminal_with(schema, q2, q1, cfg)?,
+    )
 }
 
 fn is_sat(schema: &Schema, q: &Query) -> Result<bool, CoreError> {
@@ -202,15 +204,37 @@ fn decide_with(
     let q2 = strip_non_range(q2);
     let classes1 = var_classes(schema, &q1)?;
     let classes2 = var_classes(schema, &q2)?;
+    let base1 = BranchBase::build(&q1, &classes1);
+    decide_sides(
+        schema, &q1, &classes1, &base1, &q2, &classes2, strategy, cfg,
+    )
+}
 
+/// Run the Theorem 3.1 branch enumeration over pre-derived sides: both
+/// queries stripped and known satisfiable, terminal classes resolved, and
+/// the left side's shared branch state ([`BranchBase`]) already built —
+/// either just above ([`decide_with`]) or memoized on a
+/// [`PreparedQuery`](crate::PreparedQuery). This is the single implementation
+/// both the free functions and the [`Engine`](crate::Engine) bottom out in.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decide_sides(
+    schema: &Schema,
+    q1: &Query,
+    classes1: &[oocq_schema::ClassId],
+    base1: &BranchBase,
+    q2: &Query,
+    classes2: &[oocq_schema::ClassId],
+    strategy: Strategy,
+    cfg: &EngineConfig,
+) -> Result<Containment, CoreError> {
     let enum_s = matches!(
         strategy,
         Strategy::Full | Strategy::PositiveWithInequalities
     );
     let enum_w = matches!(strategy, Strategy::Full | Strategy::InequalityFree);
 
-    let plan = BranchPlan::build(schema, &q1, &classes1, enum_s, enum_w)?;
-    Ok(plan.run(&q2, &classes2, cfg))
+    let plan = BranchPlan::build(schema, q1, classes1, base1, enum_s, enum_w)?;
+    Ok(plan.run(q2, classes2, cfg))
 }
 
 /// Theorem 4.1: containment of unions of terminal **positive** conjunctive
@@ -229,6 +253,20 @@ pub fn union_contains_with(
     m: &UnionQuery,
     n: &UnionQuery,
     cfg: &EngineConfig,
+) -> Result<bool, CoreError> {
+    union_contains_inner(schema, m, n, cfg, false)
+}
+
+/// [`union_contains_with`] with the per-subquery vacuity check optionally
+/// skipped: `presatisfied` asserts every subquery of `m` is already known
+/// satisfiable (true of satisfiability-filtered expansions), in which case
+/// the Theorem 4.1 sweep goes straight to the pairwise checks.
+pub(crate) fn union_contains_inner(
+    schema: &Schema,
+    m: &UnionQuery,
+    n: &UnionQuery,
+    cfg: &EngineConfig,
+    presatisfied: bool,
 ) -> Result<bool, CoreError> {
     for q in m {
         if !q.is_positive() {
@@ -250,7 +288,7 @@ pub fn union_contains_with(
     // Is Qᵢ covered — unsatisfiable, or contained in some Pⱼ?
     let covered = |i: usize| -> Result<bool, CoreError> {
         let q = queries[i];
-        if !is_sat(schema, q)? {
+        if !presatisfied && !is_sat(schema, q)? {
             return Ok(true); // unsatisfiable subquery contributes nothing
         }
         for p in n {
@@ -275,7 +313,11 @@ pub fn union_contains_with(
 }
 
 /// `M ≡ N` for unions of terminal positive conjunctive queries.
-pub fn union_equivalent(schema: &Schema, m: &UnionQuery, n: &UnionQuery) -> Result<bool, CoreError> {
+pub fn union_equivalent(
+    schema: &Schema,
+    m: &UnionQuery,
+    n: &UnionQuery,
+) -> Result<bool, CoreError> {
     Ok(union_contains(schema, m, n)? && union_contains(schema, n, m)?)
 }
 
@@ -340,7 +382,11 @@ pub fn dispatch_containment_with(
         return contains_positive_with(schema, qa, qb, cfg);
     }
     if qb.is_terminal(schema) {
-        let ua = crate::expand::expand_satisfiable_with(schema, &oocq_query::normalize(qa, schema)?, cfg)?;
+        let ua = crate::expand::expand_satisfiable_with(
+            schema,
+            &oocq_query::normalize(qa, schema)?,
+            cfg,
+        )?;
         for sub in &ua {
             if !contains_terminal_with(schema, sub, qb, cfg)? {
                 return Ok(false);
@@ -462,7 +508,10 @@ mod tests {
             let y = b.var("y");
             let sv = b.var("s");
             let tv = b.var("t");
-            b.range(x, [c]).range(y, [c]).range(sv, [t1]).range(tv, [t2]);
+            b.range(x, [c])
+                .range(y, [c])
+                .range(sv, [t1])
+                .range(tv, [t2]);
             b.eq_attr(sv, x, a);
             b.eq_attr(tv, y, a);
             if with_neq {
@@ -645,7 +694,13 @@ mod tests {
 
         let on = EngineConfig::serial();
         let off = EngineConfig::serial().without_iso_fast_path();
-        for (x, y) in [(&q1, &q1_renamed), (&q1, &q2), (&q2, &q1), (&q1, &q3), (&q3, &q1)] {
+        for (x, y) in [
+            (&q1, &q1_renamed),
+            (&q1, &q2),
+            (&q2, &q1),
+            (&q1, &q3),
+            (&q3, &q1),
+        ] {
             assert_eq!(
                 equivalent_terminal_with(&s, x, y, &on).unwrap(),
                 equivalent_terminal_with(&s, x, y, &off).unwrap(),
@@ -659,9 +714,7 @@ mod tests {
     /// A fake cache that counts traffic and remembers puts verbatim —
     /// enough to observe the entry points consulting and feeding it.
     struct CountingCache {
-        store: std::sync::Mutex<
-            std::collections::HashMap<(String, String), bool>,
-        >,
+        store: std::sync::Mutex<std::collections::HashMap<(String, String), bool>>,
         gets: std::sync::atomic::AtomicUsize,
         hits: std::sync::atomic::AtomicUsize,
         puts: std::sync::atomic::AtomicUsize,
@@ -706,20 +759,10 @@ mod tests {
                 .unwrap()
                 .insert(Self::key(schema, q1, q2), holds);
         }
-        fn get_minimized(
-            &self,
-            _schema: &Schema,
-            _q: &Query,
-        ) -> Option<oocq_query::UnionQuery> {
+        fn get_minimized(&self, _schema: &Schema, _q: &Query) -> Option<oocq_query::UnionQuery> {
             None
         }
-        fn put_minimized(
-            &self,
-            _schema: &Schema,
-            _q: &Query,
-            _result: &oocq_query::UnionQuery,
-        ) {
-        }
+        fn put_minimized(&self, _schema: &Schema, _q: &Query, _result: &oocq_query::UnionQuery) {}
     }
 
     #[test]

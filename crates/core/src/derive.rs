@@ -31,7 +31,10 @@ use std::collections::{HashMap, HashSet};
 /// Derivability indexes over a target query, computed once and shared by
 /// every [`TargetCtx`] built on the same (query, analysis) pair. The branch
 /// engine builds one of these per `S`-augmentation and reuses it across all
-/// `2^|W|` membership subsets of that augmentation.
+/// `2^|W|` membership subsets of that augmentation. `Clone` lets a prepared
+/// query hand its memoized base indexes to the empty-augmentation block
+/// without a rebuild.
+#[derive(Clone)]
 pub(crate) struct TargetIndexes {
     /// Derived membership instances `(root[s], root[t], A)` for each atom
     /// `s ∈ t.A`.
@@ -48,14 +51,13 @@ pub(crate) struct TargetIndexes {
 
 impl TargetIndexes {
     /// Build the indexes for `q` under the given analysis.
-    pub(crate) fn build(
-        q: &Query,
-        classes: &[ClassId],
-        analysis: &QueryAnalysis,
-    ) -> TargetIndexes {
+    pub(crate) fn build(q: &Query, classes: &[ClassId], analysis: &QueryAnalysis) -> TargetIndexes {
         let graph = analysis.graph();
-        let var_root =
-            |v: VarId| graph.class_id(Term::Var(v)).expect("variable is always a node");
+        let var_root = |v: VarId| {
+            graph
+                .class_id(Term::Var(v))
+                .expect("variable is always a node")
+        };
 
         let mut members = HashSet::new();
         for a in q.atoms() {
@@ -206,7 +208,11 @@ impl<'s> TargetCtx<'s> {
 
     /// Variables of the target in a given terminal class.
     pub(crate) fn vars_of_class(&self, c: ClassId) -> &[VarId] {
-        self.shared.by_class.get(&c).map(Vec::as_slice).unwrap_or(&[])
+        self.shared
+            .by_class
+            .get(&c)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Are two target variables in the same equivalence class of `E(Q)`?

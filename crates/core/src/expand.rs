@@ -7,6 +7,7 @@
 //! one terminal descendant of its range disjunction.
 
 use crate::branch::{par_prefix, EngineConfig};
+use crate::engine::PreparedSchema;
 use crate::error::CoreError;
 use crate::satisfiability::{self, Satisfiability};
 use oocq_query::{Atom, Query, QueryAnalysis, QueryBuilder, UnionQuery};
@@ -18,8 +19,14 @@ use oocq_schema::{ClassId, Schema};
 const MIN_PARALLEL_SUBQUERIES: usize = 32;
 
 /// The terminal choices for each variable: the deduplicated union of the
-/// terminal descendants of its range classes, in schema order.
-fn choices(schema: &Schema, q: &Query) -> Result<Vec<Vec<ClassId>>, CoreError> {
+/// terminal descendants of its range classes, in schema order. A prepared
+/// schema serves the per-class closures from its eager tables instead of
+/// re-sorting them per call; the lists are identical either way.
+fn choices(
+    schema: &Schema,
+    q: &Query,
+    prepared: Option<&PreparedSchema>,
+) -> Result<Vec<Vec<ClassId>>, CoreError> {
     q.vars()
         .map(|v| {
             let Some(cs) = q.range_of(v) else {
@@ -30,6 +37,9 @@ fn choices(schema: &Schema, q: &Query) -> Result<Vec<Vec<ClassId>>, CoreError> {
                     },
                 ));
             };
+            if let Some(ps) = prepared {
+                return Ok(ps.terminal_choices(cs));
+            }
             let mut out: Vec<ClassId> = cs
                 .iter()
                 .flat_map(|&c| schema.terminal_descendants(c))
@@ -42,10 +52,40 @@ fn choices(schema: &Schema, q: &Query) -> Result<Vec<Vec<ClassId>>, CoreError> {
         .collect()
 }
 
+/// Walk the choice odometer in lexicographic order, handing each complete
+/// per-variable choice vector to `f`. Assumes no choice list is empty.
+fn for_each_choice(choice_lists: &[Vec<ClassId>], mut f: impl FnMut(&[ClassId])) {
+    let n = choice_lists.len();
+    let mut cursor = vec![0usize; n];
+    let mut chosen: Vec<ClassId> = cursor
+        .iter()
+        .enumerate()
+        .map(|(v, &i)| choice_lists[v][i])
+        .collect();
+    loop {
+        f(&chosen);
+        // Odometer increment.
+        let mut k = n;
+        loop {
+            if k == 0 {
+                return;
+            }
+            k -= 1;
+            cursor[k] += 1;
+            if cursor[k] < choice_lists[k].len() {
+                chosen[k] = choice_lists[k][cursor[k]];
+                break;
+            }
+            cursor[k] = 0;
+            chosen[k] = choice_lists[k][0];
+        }
+    }
+}
+
 /// How many terminal subqueries [`expand`] will produce (the product of the
 /// per-variable choice counts). Saturates at `usize::MAX`.
 pub fn expansion_size(schema: &Schema, q: &Query) -> Result<usize, CoreError> {
-    Ok(choices(schema, q)?
+    Ok(choices(schema, q, None)?
         .iter()
         .fold(1usize, |acc, c| acc.saturating_mul(c.len())))
 }
@@ -88,37 +128,16 @@ fn instantiate(q: &Query, chosen: &[ClassId]) -> Query {
 /// terminal choices. No satisfiability filtering is applied — see
 /// [`expand_satisfiable`].
 pub fn expand(schema: &Schema, q: &Query) -> Result<UnionQuery, CoreError> {
-    let choice_lists = choices(schema, q)?;
+    let choice_lists = choices(schema, q, None)?;
     let mut out = UnionQuery::empty();
-    let n = q.var_count();
     if choice_lists.iter().any(Vec::is_empty) {
         // Some variable ranges over a class with no terminal descendant
         // (impossible in a consistent schema, but be defensive): the query
         // is unsatisfiable and expands to the empty union.
         return Ok(out);
     }
-    let mut cursor = vec![0usize; n];
-    loop {
-        let chosen: Vec<ClassId> = cursor
-            .iter()
-            .enumerate()
-            .map(|(v, &i)| choice_lists[v][i])
-            .collect();
-        out.push(instantiate(q, &chosen));
-        // Odometer increment.
-        let mut k = n;
-        loop {
-            if k == 0 {
-                return Ok(out);
-            }
-            k -= 1;
-            cursor[k] += 1;
-            if cursor[k] < choice_lists[k].len() {
-                break;
-            }
-            cursor[k] = 0;
-        }
-    }
+    for_each_choice(&choice_lists, |chosen| out.push(instantiate(q, chosen)));
+    Ok(out)
 }
 
 /// Expand and keep only the satisfiable subqueries, with their non-range
@@ -137,28 +156,62 @@ pub fn expand_satisfiable_with(
     q: &Query,
     cfg: &EngineConfig,
 ) -> Result<UnionQuery, CoreError> {
-    let expanded = expand(schema, q)?;
-    let subs: Vec<&Query> = expanded.iter().collect();
-    let keep = |i: usize| -> Result<Option<Query>, CoreError> {
-        let sub = subs[i];
-        let classes = satisfiability::var_classes(schema, sub)?;
-        let analysis = QueryAnalysis::of(sub);
-        Ok(
-            match satisfiability::check(schema, sub, &classes, &analysis) {
-                Satisfiability::Satisfiable => Some(satisfiability::strip_non_range(sub)),
-                Satisfiability::Unsatisfiable(_) => None,
-            },
-        )
+    let analysis = QueryAnalysis::of(q);
+    expand_satisfiable_inner(schema, q, cfg, None, &analysis)
+}
+
+/// The shared implementation behind [`expand_satisfiable_with`] and the
+/// prepared-query expansion memo.
+///
+/// Two per-subquery rebuilds of the naive pipeline are hoisted out:
+///
+/// * **Classes.** An instantiated subquery's range atoms are exactly the
+///   chosen terminal classes, so the odometer's choice vector *is*
+///   `var_classes(schema, sub)` — no re-resolution (a `debug_assert`
+///   rechecks this in test builds).
+/// * **Analysis.** Algorithm *EqualityGraph* classifies terms without ever
+///   consulting a range atom's class list — `x ∈ C` only marks `x` an
+///   object term, whatever `C` is — and instantiation changes nothing but
+///   those class lists. The parent query's analysis therefore applies to
+///   every subquery verbatim, and `parent_analysis` is computed once by the
+///   caller (or served from the prepared query's memo).
+pub(crate) fn expand_satisfiable_inner(
+    schema: &Schema,
+    q: &Query,
+    cfg: &EngineConfig,
+    prepared: Option<&PreparedSchema>,
+    parent_analysis: &QueryAnalysis,
+) -> Result<UnionQuery, CoreError> {
+    let choice_lists = choices(schema, q, prepared)?;
+    if choice_lists.iter().any(Vec::is_empty) {
+        return Ok(UnionQuery::empty());
+    }
+    let mut subs: Vec<(Vec<ClassId>, Query)> = Vec::new();
+    for_each_choice(&choice_lists, |chosen| {
+        subs.push((chosen.to_vec(), instantiate(q, chosen)));
+    });
+    let keep = |i: usize| -> Option<Query> {
+        let (chosen, sub) = &subs[i];
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            satisfiability::var_classes(schema, sub).ok().as_deref(),
+            Some(chosen.as_slice()),
+            "odometer choices must equal the subquery's resolved classes"
+        );
+        match satisfiability::check(schema, sub, chosen, parent_analysis) {
+            Satisfiability::Satisfiable => Some(satisfiability::strip_non_range(sub)),
+            Satisfiability::Unsatisfiable(_) => None,
+        }
     };
     let threads = if cfg.threads > 1 && subs.len() >= MIN_PARALLEL_SUBQUERIES {
         cfg.threads
     } else {
         1
     };
-    let results = par_prefix(subs.len(), threads, keep, |r| r.is_err());
+    let results = par_prefix(subs.len(), threads, keep, |_| false);
     let mut out = UnionQuery::empty();
     for (_, r) in results {
-        if let Some(survivor) = r? {
+        if let Some(survivor) = r {
             out.push(survivor);
         }
     }
@@ -205,10 +258,7 @@ mod tests {
         let s = samples::vehicle_rental();
         let u = expand_satisfiable(&s, &vehicle_query(&s)).unwrap();
         assert_eq!(u.len(), 1);
-        assert!(u.queries()[0]
-            .display(&s)
-            .to_string()
-            .contains("x in Auto"));
+        assert!(u.queries()[0].display(&s).to_string().contains("x in Auto"));
     }
 
     #[test]
@@ -257,7 +307,10 @@ mod tests {
         let mut b = QueryBuilder::new("x");
         let x = b.free();
         // Auto | Client: 1 + 2 terminal descendants.
-        b.range(x, [s.class_id("Auto").unwrap(), s.class_id("Client").unwrap()]);
+        b.range(
+            x,
+            [s.class_id("Auto").unwrap(), s.class_id("Client").unwrap()],
+        );
         let q = b.build();
         assert_eq!(expansion_size(&s, &q).unwrap(), 3);
     }

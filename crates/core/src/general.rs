@@ -18,7 +18,8 @@
 //! stays open — an unverified fold can be incorrect for general queries,
 //! and a correct one can be missed).
 
-use crate::containment::{contains_terminal, equivalent_terminal};
+use crate::branch::EngineConfig;
+use crate::containment::{contains_terminal_with, equivalent_terminal_with};
 use crate::derive::{find_mapping, MappingGoal, TargetData};
 use crate::error::CoreError;
 use crate::satisfiability::{is_satisfiable, strip_non_range, var_classes};
@@ -31,6 +32,16 @@ use oocq_schema::Schema;
 /// ways). Sound for any terminal conjunctive query; exact (per Cor. 4.4)
 /// when the query happens to be positive.
 pub fn minimize_terminal_general(schema: &Schema, q: &Query) -> Result<Query, CoreError> {
+    minimize_terminal_general_with(schema, q, &EngineConfig::from_env())
+}
+
+/// [`minimize_terminal_general`] under an explicit [`EngineConfig`]
+/// (governing the verification equivalence checks).
+pub fn minimize_terminal_general_with(
+    schema: &Schema,
+    q: &Query,
+    cfg: &EngineConfig,
+) -> Result<Query, CoreError> {
     let mut cur = strip_non_range(q);
     if !is_satisfiable(schema, &cur)? {
         return Ok(cur);
@@ -50,7 +61,7 @@ pub fn minimize_terminal_general(schema: &Schema, q: &Query) -> Result<Query, Co
             if let Some(map) = find_mapping(&ctx, &goal) {
                 let folded = cur.apply_mapping(&map);
                 // Theorem 4.3 covers only positive queries; verify the fold.
-                if cur.is_positive() || equivalent_terminal(schema, &cur, &folded)? {
+                if cur.is_positive() || equivalent_terminal_with(schema, &cur, &folded, cfg)? {
                     cur = folded;
                     continue 'outer;
                 }
@@ -69,6 +80,16 @@ pub fn minimize_terminal_general(schema: &Schema, q: &Query) -> Result<Query, Co
 /// Always equivalent to the input; optimality is **not** guaranteed for
 /// inputs with negative atoms (see the module docs).
 pub fn minimize_general(schema: &Schema, q: &Query) -> Result<UnionQuery, CoreError> {
+    minimize_general_with(schema, q, &EngineConfig::from_env())
+}
+
+/// [`minimize_general`] under an explicit [`EngineConfig`] (governing every
+/// containment and equivalence check in the pipeline).
+pub fn minimize_general_with(
+    schema: &Schema,
+    q: &Query,
+    cfg: &EngineConfig,
+) -> Result<UnionQuery, CoreError> {
     let normalized = normalize(q, schema)?;
     let expanded = crate::expand::expand(schema, &normalized)?;
     let mut survivors: Vec<Query> = Vec::new();
@@ -89,8 +110,8 @@ pub fn minimize_general(schema: &Schema, q: &Query) -> Result<UnionQuery, CoreEr
             if i == j || dropped[j] {
                 continue;
             }
-            if contains_terminal(schema, &survivors[i], &survivors[j])? {
-                if contains_terminal(schema, &survivors[j], &survivors[i])? {
+            if contains_terminal_with(schema, &survivors[i], &survivors[j], cfg)? {
+                if contains_terminal_with(schema, &survivors[j], &survivors[i], cfg)? {
                     if j < i {
                         dropped[i] = true;
                         break;
@@ -105,7 +126,7 @@ pub fn minimize_general(schema: &Schema, q: &Query) -> Result<UnionQuery, CoreEr
     let mut out = UnionQuery::empty();
     for (i, sub) in survivors.into_iter().enumerate() {
         if !dropped[i] {
-            out.push(minimize_terminal_general(schema, &sub)?);
+            out.push(minimize_terminal_general_with(schema, &sub, cfg)?);
         }
     }
     Ok(out)
@@ -114,6 +135,7 @@ pub fn minimize_general(schema: &Schema, q: &Query) -> Result<UnionQuery, CoreEr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::containment::equivalent_terminal;
     use oocq_query::QueryBuilder;
     use oocq_schema::samples;
 

@@ -13,6 +13,13 @@
 //!   queries (Theorem 4.1, [`union_contains`]);
 //! * exact, search-space-optimal minimization of positive conjunctive
 //!   queries (Theorems 4.2–4.5, [`minimize_positive`]).
+//!
+//! Repeated-decision workloads should go through the prepared layer —
+//! [`Engine`], [`PreparedSchema`], [`PreparedQuery`] — which derives each
+//! decision artifact (analysis, terminal classes, satisfiability, canonical
+//! form, branch indexes, expansion) at most once per query and shares it
+//! across every subsequent decision. The free functions remain as
+//! convenience wrappers that prepare internally per call.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,9 +28,10 @@ mod branch;
 mod cache;
 mod containment;
 mod derive;
+mod engine;
 mod error;
-mod explain;
 mod expand;
+mod explain;
 mod general;
 mod minimize;
 mod optimizer;
@@ -34,21 +42,25 @@ pub use cache::DecisionCache;
 pub use containment::{
     contains_positive, contains_positive_with, contains_terminal, contains_terminal_full,
     contains_terminal_full_with, contains_terminal_with, decide_containment,
-    decide_containment_with, dispatch_containment, dispatch_containment_with,
-    equivalent_positive, equivalent_terminal, equivalent_terminal_with, strategy_for,
-    union_contains, union_contains_with, union_equivalent, Strategy,
+    decide_containment_with, dispatch_containment, dispatch_containment_with, equivalent_positive,
+    equivalent_terminal, equivalent_terminal_with, strategy_for, union_contains,
+    union_contains_with, union_equivalent, Strategy,
 };
-pub use explain::{Containment, MappingWitness};
+pub use engine::{Engine, PreparedQuery, PreparedQueryStats, PreparedSchema};
 pub use error::CoreError;
 pub use expand::{expand, expand_satisfiable, expand_satisfiable_with, expansion_size};
-pub use general::{minimize_general, minimize_terminal_general};
-pub use optimizer::{Optimizer, OptimizerStats};
+pub use explain::{Containment, MappingWitness};
+pub use general::{
+    minimize_general, minimize_general_with, minimize_terminal_general,
+    minimize_terminal_general_with,
+};
 pub use minimize::{
     cost_leq, is_minimal_terminal_positive, minimize_positive, minimize_positive_report,
     minimize_positive_report_with, minimize_positive_with, minimize_terminal_positive,
     nonredundant_union, nonredundant_union_with, search_space_cost, term_class, union_cost,
     MinimizationReport,
 };
+pub use optimizer::{Optimizer, OptimizerStats};
 pub use satisfiability::{
     is_satisfiable, satisfiability, strip_non_range, var_classes, Satisfiability, UnsatReason,
 };

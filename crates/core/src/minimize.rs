@@ -423,16 +423,33 @@ pub fn minimize_positive_with(
     }
     let normalized = normalize(q, schema)?;
     let expanded = expand_satisfiable_with(schema, &normalized, cfg)?;
-    let nonred = nonredundant_union_with(schema, &expanded, cfg)?;
-    let minimized: Result<Vec<Query>, CoreError> = nonred
-        .iter()
-        .map(|sub| minimize_terminal_positive(schema, sub))
-        .collect();
-    let result = UnionQuery::new(minimized?);
+    let result = minimize_pipeline(schema, &expanded, cfg)?;
     if let Some(cache) = &cfg.cache {
         cache.put_minimized(schema, q, &result);
     }
     Ok(result)
+}
+
+/// The §4 pipeline downstream of expansion — redundancy elimination
+/// (Theorem 4.1 pairwise) then per-subquery variable folding (Theorem 4.3)
+/// — over a union whose subqueries are already satisfiability-filtered (the
+/// contract of [`expand_satisfiable_with`] output). Shared by
+/// [`minimize_positive_with`] and [`Engine::minimize`](crate::Engine), which
+/// differ only in where the expansion comes from.
+pub(crate) fn minimize_pipeline(
+    schema: &Schema,
+    expanded: &UnionQuery,
+    cfg: &EngineConfig,
+) -> Result<UnionQuery, CoreError> {
+    let sat: Vec<&Query> = expanded.iter().collect();
+    let dropped = redundancy_flags(schema, &sat, cfg)?;
+    let minimized: Result<Vec<Query>, CoreError> = sat
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !dropped[*i])
+        .map(|(_, sub)| minimize_terminal_positive(schema, sub))
+        .collect();
+    Ok(UnionQuery::new(minimized?))
 }
 
 #[cfg(test)]

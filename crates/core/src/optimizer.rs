@@ -5,10 +5,18 @@
 //! in the materialized view's query. [`Optimizer`] wraps one schema and
 //! memoizes minimization and containment decisions by query structure, so a
 //! workload of recurring queries pays each decision once.
+//!
+//! The session is a thin façade over [`Engine`]: every miss prepares the
+//! operand queries once (memoized per session) and decides through the
+//! engine, so the session-local memo sits in front of the engine's real
+//! [`DecisionCache`](crate::DecisionCache) — a decision made here populates
+//! the shared cache, and a decision another session already made is a cache
+//! hit here — and every decision honours the engine's thread configuration
+//! (`OOCQ_THREADS` by default).
 
-use crate::containment::{contains_positive, contains_terminal};
+use crate::branch::EngineConfig;
+use crate::engine::{Engine, PreparedQuery, PreparedSchema};
 use crate::error::CoreError;
-use crate::minimize::minimize_positive;
 use oocq_query::{Query, UnionQuery};
 use oocq_schema::Schema;
 use std::collections::HashMap;
@@ -29,16 +37,30 @@ pub struct OptimizerStats {
 /// A memoizing façade over the §3/§4 decision procedures for one schema.
 pub struct Optimizer<'s> {
     schema: &'s Schema,
+    engine: Engine,
+    prepared_schema: PreparedSchema,
+    prepared: HashMap<Query, PreparedQuery>,
     minimized: HashMap<Query, UnionQuery>,
     containment: HashMap<(Query, Query), bool>,
     stats: OptimizerStats,
 }
 
 impl<'s> Optimizer<'s> {
-    /// Start a session for a schema.
+    /// Start a session for a schema, configured from the environment
+    /// (`OOCQ_THREADS`, no shared cache).
     pub fn new(schema: &'s Schema) -> Optimizer<'s> {
+        Optimizer::with_engine(schema, Engine::from_env())
+    }
+
+    /// Start a session deciding through an explicit engine — the way to
+    /// hand a session a shared [`DecisionCache`](crate::DecisionCache) or a
+    /// fixed thread count.
+    pub fn with_engine(schema: &'s Schema, engine: Engine) -> Optimizer<'s> {
         Optimizer {
             schema,
+            prepared_schema: PreparedSchema::new(schema),
+            engine,
+            prepared: HashMap::new(),
             minimized: HashMap::new(),
             containment: HashMap::new(),
             stats: OptimizerStats::default(),
@@ -50,21 +72,44 @@ impl<'s> Optimizer<'s> {
         self.schema
     }
 
+    /// The engine this session decides through.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The engine configuration this session decides under.
+    pub fn config(&self) -> &EngineConfig {
+        self.engine.config()
+    }
+
+    /// The prepared handle for a query, derived once per session.
+    fn prepared(&mut self, q: &Query) -> PreparedQuery {
+        if let Some(p) = self.prepared.get(q) {
+            return p.clone();
+        }
+        let p = PreparedQuery::new(&self.prepared_schema, q.clone());
+        self.prepared.insert(q.clone(), p.clone());
+        p
+    }
+
     /// Search-space-optimal form of a positive conjunctive query
-    /// ([`minimize_positive`]), memoized by query structure.
+    /// ([`minimize_positive`](crate::minimize_positive)), memoized by query
+    /// structure.
     pub fn minimize(&mut self, q: &Query) -> Result<UnionQuery, CoreError> {
         if let Some(hit) = self.minimized.get(q) {
             self.stats.minimize_hits += 1;
             return Ok(hit.clone());
         }
         self.stats.minimize_misses += 1;
-        let m = minimize_positive(self.schema, q)?;
+        let p = self.prepared(q);
+        let m = self.engine.minimize(&p)?;
         self.minimized.insert(q.clone(), m.clone());
         Ok(m)
     }
 
     /// Containment of terminal conjunctive queries
-    /// ([`contains_terminal`]), memoized per ordered pair.
+    /// ([`contains_terminal`](crate::contains_terminal)), memoized per
+    /// ordered pair.
     pub fn contains(&mut self, q1: &Query, q2: &Query) -> Result<bool, CoreError> {
         let key = (q1.clone(), q2.clone());
         if let Some(&hit) = self.containment.get(&key) {
@@ -72,10 +117,12 @@ impl<'s> Optimizer<'s> {
             return Ok(hit);
         }
         self.stats.contains_misses += 1;
+        let p1 = self.prepared(q1);
+        let p2 = self.prepared(q2);
         let r = if q1.is_terminal(self.schema) && q2.is_terminal(self.schema) {
-            contains_terminal(self.schema, q1, q2)?
+            self.engine.contains(&p1, &p2)?
         } else {
-            contains_positive(self.schema, q1, q2)?
+            self.engine.contains_positive(&p1, &p2)?
         };
         self.containment.insert(key, r);
         Ok(r)
@@ -91,8 +138,11 @@ impl<'s> Optimizer<'s> {
         self.stats
     }
 
-    /// Drop all cached decisions (e.g. after swapping workloads).
+    /// Drop all cached decisions and prepared artifacts (e.g. after
+    /// swapping workloads). The engine's shared cache, if any, is not
+    /// touched — it belongs to every session wired to it.
     pub fn clear(&mut self) {
+        self.prepared.clear();
         self.minimized.clear();
         self.containment.clear();
         self.stats = OptimizerStats::default();
@@ -169,5 +219,137 @@ mod tests {
         assert_eq!(opt.stats(), OptimizerStats::default());
         opt.minimize(&q).unwrap();
         assert_eq!(opt.stats().minimize_misses, 1);
+    }
+
+    /// A decision cache that counts traffic: enough to observe an
+    /// `Optimizer` session feeding and hitting the shared cache.
+    struct SharedCache {
+        contains: std::sync::Mutex<HashMap<(String, String), bool>>,
+        minimized: std::sync::Mutex<HashMap<String, UnionQuery>>,
+        contains_puts: std::sync::atomic::AtomicUsize,
+        contains_hits: std::sync::atomic::AtomicUsize,
+        minimize_puts: std::sync::atomic::AtomicUsize,
+        minimize_hits: std::sync::atomic::AtomicUsize,
+    }
+
+    impl SharedCache {
+        fn new() -> Self {
+            SharedCache {
+                contains: std::sync::Mutex::new(HashMap::new()),
+                minimized: std::sync::Mutex::new(HashMap::new()),
+                contains_puts: 0.into(),
+                contains_hits: 0.into(),
+                minimize_puts: 0.into(),
+                minimize_hits: 0.into(),
+            }
+        }
+    }
+
+    impl crate::DecisionCache for SharedCache {
+        fn get_contains(&self, schema: &Schema, q1: &Query, q2: &Query) -> Option<bool> {
+            let key = (
+                q1.display(schema).to_string(),
+                q2.display(schema).to_string(),
+            );
+            let hit = self.contains.lock().unwrap().get(&key).copied();
+            if hit.is_some() {
+                self.contains_hits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            hit
+        }
+        fn put_contains(&self, schema: &Schema, q1: &Query, q2: &Query, holds: bool) {
+            self.contains_puts
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let key = (
+                q1.display(schema).to_string(),
+                q2.display(schema).to_string(),
+            );
+            self.contains.lock().unwrap().insert(key, holds);
+        }
+        fn get_minimized(&self, schema: &Schema, q: &Query) -> Option<UnionQuery> {
+            let hit = self
+                .minimized
+                .lock()
+                .unwrap()
+                .get(&q.display(schema).to_string())
+                .cloned();
+            if hit.is_some() {
+                self.minimize_hits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            hit
+        }
+        fn put_minimized(&self, schema: &Schema, q: &Query, result: &UnionQuery) {
+            self.minimize_puts
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.minimized
+                .lock()
+                .unwrap()
+                .insert(q.display(schema).to_string(), result.clone());
+        }
+    }
+
+    #[test]
+    fn sessions_share_the_engine_decision_cache() {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = samples::vehicle_rental();
+        let cache = std::sync::Arc::new(SharedCache::new());
+        let q = vehicle_query(&s);
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [s.class_id("Vehicle").unwrap()]);
+        let loose = b.build();
+
+        // Session 1 decides cold and populates the shared cache.
+        let engine1 = Engine::serial().with_cache(cache.clone());
+        let mut opt1 = Optimizer::with_engine(&s, engine1);
+        let held = opt1.contains(&q, &loose).unwrap();
+        let minimized = opt1.minimize(&q).unwrap();
+        assert_eq!(cache.contains_hits.load(Relaxed), 0);
+        assert!(cache.contains_puts.load(Relaxed) >= 1);
+        assert_eq!(cache.minimize_puts.load(Relaxed), 1);
+
+        // Session 2, same cache: its misses are answered by the cache, not
+        // recomputed — and the answers match session 1's.
+        let engine2 = Engine::serial().with_cache(cache.clone());
+        let mut opt2 = Optimizer::with_engine(&s, engine2);
+        assert_eq!(opt2.contains(&q, &loose).unwrap(), held);
+        assert_eq!(opt2.minimize(&q).unwrap(), minimized);
+        assert!(cache.contains_hits.load(Relaxed) >= 1);
+        assert_eq!(cache.minimize_hits.load(Relaxed), 1);
+        // Session 2's own memo recorded misses (the shared cache is below
+        // the session memo, not inside it).
+        assert_eq!(opt2.stats().contains_misses, 1);
+        assert_eq!(opt2.stats().minimize_misses, 1);
+    }
+
+    #[test]
+    fn sessions_honor_the_engine_thread_config() {
+        // A parallel engine decides identically to the serial reference.
+        let s = samples::vehicle_rental();
+        let q = vehicle_query(&s);
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [s.class_id("Vehicle").unwrap()]);
+        let loose = b.build();
+
+        let mut serial = Optimizer::with_engine(&s, Engine::serial());
+        let mut parallel = Optimizer::with_engine(
+            &s,
+            Engine::new(EngineConfig {
+                threads: 8,
+                min_parallel_branches: 1,
+                ..EngineConfig::serial()
+            }),
+        );
+        assert_eq!(parallel.config().threads, 8);
+        for (a, b) in [(&q, &loose), (&loose, &q), (&q, &q)] {
+            assert_eq!(
+                serial.contains(a, b).unwrap(),
+                parallel.contains(a, b).unwrap()
+            );
+        }
+        assert_eq!(serial.minimize(&q).unwrap(), parallel.minimize(&q).unwrap());
     }
 }

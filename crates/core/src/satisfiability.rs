@@ -97,13 +97,19 @@ impl std::fmt::Display for UnsatReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             UnsatReason::ClassConflict { a, b } => {
-                write!(f, "`{a}` and `{b}` are equated but range over distinct terminal classes")
+                write!(
+                    f,
+                    "`{a}` and `{b}` are equated but range over distinct terminal classes"
+                )
             }
             UnsatReason::MissingAttribute { var, attr } => {
                 write!(f, "`{var}`'s class has no attribute `{attr}`")
             }
             UnsatReason::KindConflict { var, attr } => {
-                write!(f, "`{var}.{attr}` is used with the wrong kind (object vs set)")
+                write!(
+                    f,
+                    "`{var}.{attr}` is used with the wrong kind (object vs set)"
+                )
             }
             UnsatReason::ObjectTypeConflict { var, term } => {
                 write!(f, "`{var}`'s class cannot be the value of `{term}`")
@@ -115,7 +121,10 @@ impl std::fmt::Display for UnsatReason {
                 write!(f, "inequality `{atom}` joins provably equal terms")
             }
             UnsatReason::NonMembershipConflict { atom } => {
-                write!(f, "non-membership `{atom}` contradicts a derived membership")
+                write!(
+                    f,
+                    "non-membership `{atom}` contradicts a derived membership"
+                )
             }
             UnsatReason::NonRangeConflict { var } => {
                 write!(f, "non-range atom excludes `{var}`'s own terminal class")
@@ -240,10 +249,7 @@ pub(crate) fn check(
                     // The class of the equated variables must be able to be
                     // the attribute's value.
                     if let Some(w) = first_var {
-                        if !schema
-                            .terminal_descendants(d)
-                            .contains(&classes[w.index()])
-                        {
+                        if !schema.terminal_descendants(d).contains(&classes[w.index()]) {
                             return U(UnsatReason::ObjectTypeConflict {
                                 var: q.var_name(w).to_owned(),
                                 term: render_attr_term(schema, q, v, a),
@@ -280,10 +286,7 @@ pub(crate) fn check(
                 // Set typing of y.A was handled above (it is a set term);
                 // here: member class compatibility.
                 if let Some(AttrType::SetOf(d)) = schema.attr_type(classes[y.index()], *a) {
-                    if !schema
-                        .terminal_descendants(d)
-                        .contains(&classes[x.index()])
-                    {
+                    if !schema.terminal_descendants(d).contains(&classes[x.index()]) {
                         return U(UnsatReason::MemberTypeConflict {
                             var: q.var_name(*x).to_owned(),
                             term: render_attr_term(schema, q, *y, *a),
@@ -457,10 +460,7 @@ mod tests {
         b.eq_attr(tv, y, a);
         let base = b.build();
         assert!(is_satisfiable(&s, &base).unwrap());
-        let merged = base.with_extra_atoms([Atom::Eq(
-            Term::Var(x),
-            Term::Var(y),
-        )]);
+        let merged = base.with_extra_atoms([Atom::Eq(Term::Var(x), Term::Var(y))]);
         assert!(!is_satisfiable(&s, &merged).unwrap());
     }
 
@@ -556,7 +556,10 @@ mod tests {
         let x2 = b.var("x2");
         let y = b.var("y");
         let y2 = b.var("y2");
-        b.range(x, [t1]).range(x2, [t1]).range(y, [t2]).range(y2, [t2]);
+        b.range(x, [t1])
+            .range(x2, [t1])
+            .range(y, [t2])
+            .range(y2, [t2]);
         b.eq_vars(x, x2).eq_vars(y, y2);
         b.member(x, y, a);
         b.non_member(x2, y2, a);

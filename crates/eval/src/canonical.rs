@@ -48,10 +48,7 @@ pub fn canonical_state(schema: &Schema, q: &Query) -> Option<(State, Oid)> {
         }
     }
     let obj = |t: Term, obj_of_root: &HashMap<usize, Oid>| -> Option<Oid> {
-        graph
-            .class_id(t)
-            .and_then(|r| obj_of_root.get(&r))
-            .copied()
+        graph.class_id(t).and_then(|r| obj_of_root.get(&r)).copied()
     };
 
     // Realize equalities involving attribute terms as object attribute

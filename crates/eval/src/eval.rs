@@ -37,13 +37,19 @@ pub fn eval_atom(schema: &Schema, state: &State, assignment: &[Oid], atom: &Atom
         Atom::Eq(a, b) => eq_truth(term_value(*a), term_value(*b)),
         Atom::Neq(a, b) => eq_truth(term_value(*a), term_value(*b)).not(),
         Atom::Member(x, y, attr) => {
-            match state.attr(assignment[y.index()], *attr).contains(assignment[x.index()]) {
+            match state
+                .attr(assignment[y.index()], *attr)
+                .contains(assignment[x.index()])
+            {
                 Some(b) => Truth::from_bool(b),
                 None => Truth::Unknown,
             }
         }
         Atom::NonMember(x, y, attr) => {
-            match state.attr(assignment[y.index()], *attr).contains(assignment[x.index()]) {
+            match state
+                .attr(assignment[y.index()], *attr)
+                .contains(assignment[x.index()])
+            {
                 Some(b) => Truth::from_bool(b).not(),
                 None => Truth::Unknown,
             }
@@ -64,9 +70,9 @@ fn eq_truth(a: Option<Value>, b: Option<Value>) -> Truth {
 
 /// Evaluate the whole matrix (conjunction) under a total assignment.
 pub fn eval_matrix(schema: &Schema, state: &State, assignment: &[Oid], q: &Query) -> Truth {
-    q.atoms()
-        .iter()
-        .fold(Truth::True, |acc, a| acc.and(eval_atom(schema, state, assignment, a)))
+    q.atoms().iter().fold(Truth::True, |acc, a| {
+        acc.and(eval_atom(schema, state, assignment, a))
+    })
 }
 
 /// The candidate domain for a variable: the union of the extents of its
@@ -85,12 +91,7 @@ fn domain(state: &State, q: &Query, v: VarId) -> Vec<Oid> {
 
 /// Is there an assignment extending `free ↦ candidate` that makes the matrix
 /// true?
-fn satisfying_assignment_exists(
-    schema: &Schema,
-    state: &State,
-    q: &Query,
-    candidate: Oid,
-) -> bool {
+fn satisfying_assignment_exists(schema: &Schema, state: &State, q: &Query, candidate: Oid) -> bool {
     let n = q.var_count();
     // Assignment order: free variable first, then bound variables.
     let mut order: Vec<VarId> = Vec::with_capacity(n);
@@ -103,7 +104,12 @@ fn satisfying_assignment_exists(
     // Atoms become checkable at the depth where their last variable binds.
     let mut ready: Vec<Vec<&Atom>> = vec![Vec::new(); n];
     for a in q.atoms() {
-        let depth = a.vars().iter().map(|v| position[v.index()]).max().unwrap_or(0);
+        let depth = a
+            .vars()
+            .iter()
+            .map(|v| position[v.index()])
+            .max()
+            .unwrap_or(0);
         ready[depth].push(a);
     }
     let domains: Vec<Vec<Oid>> = order
@@ -236,7 +242,10 @@ mod tests {
         let ans = answer(&s, &st, &q);
         // Only the auto rented by the discount client qualifies.
         assert_eq!(ans.len(), 1);
-        assert_eq!(st.class_of(*ans.iter().next().unwrap()), s.class_id("Auto").unwrap());
+        assert_eq!(
+            st.class_of(*ans.iter().next().unwrap()),
+            s.class_id("Auto").unwrap()
+        );
     }
 
     #[test]
@@ -345,7 +354,10 @@ mod tests {
         let st = b.finish(&s).unwrap();
         let mut qb = QueryBuilder::new("x");
         let x = qb.free();
-        qb.range(x, [s.class_id("Auto").unwrap(), s.class_id("Truck").unwrap()]);
+        qb.range(
+            x,
+            [s.class_id("Auto").unwrap(), s.class_id("Truck").unwrap()],
+        );
         assert_eq!(answer(&s, &st, &qb.build()), BTreeSet::from([auto, truck]));
     }
 

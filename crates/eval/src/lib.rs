@@ -15,6 +15,6 @@ mod planned;
 mod truth;
 
 pub use canonical::{canonical_contains, canonical_state};
-pub use planned::{answer_planned, answer_with_plan, Plan};
 pub use eval::{answer, answer_union, eval_atom, eval_matrix, refute_containment, CounterExample};
+pub use planned::{answer_planned, answer_with_plan, Plan};
 pub use truth::Truth;

@@ -146,12 +146,7 @@ pub fn answer_planned(schema: &Schema, state: &State, q: &Query) -> BTreeSet<Oid
 
 /// Evaluate `q` with an already compiled plan (amortizes compilation across
 /// states).
-pub fn answer_with_plan(
-    schema: &Schema,
-    state: &State,
-    q: &Query,
-    plan: &Plan,
-) -> BTreeSet<Oid> {
+pub fn answer_with_plan(schema: &Schema, state: &State, q: &Query, plan: &Plan) -> BTreeSet<Oid> {
     let free_candidates: Vec<Oid> = match q.range_of(q.free_var()) {
         Some(cs) => {
             let mut d: Vec<Oid> = cs.iter().flat_map(|&c| state.extent(c)).copied().collect();
@@ -260,8 +255,10 @@ mod tests {
         let s = oocq_schema::SchemaBuilder::new();
         let mut sb = s;
         let node = sb.class("Node").unwrap();
-        sb.attribute(node, "next", oocq_schema::AttrType::Object(node)).unwrap();
-        sb.attribute(node, "items", oocq_schema::AttrType::SetOf(node)).unwrap();
+        sb.attribute(node, "next", oocq_schema::AttrType::Object(node))
+            .unwrap();
+        sb.attribute(node, "items", oocq_schema::AttrType::SetOf(node))
+            .unwrap();
         let s = sb.finish().unwrap();
         let next = s.attr_id("next").unwrap();
         let items = s.attr_id("items").unwrap();

@@ -1,9 +1,9 @@
 //! Query workload generators: fixed shapes for benchmarks plus fully random
 //! terminal positive queries for property testing.
 
+use crate::rng::Rng;
 use oocq_query::{Query, QueryBuilder};
 use oocq_schema::{AttrType, ClassId, Schema};
-use crate::rng::Rng;
 
 /// A chain query over [`workload_schema`](crate::workload_schema):
 ///
@@ -215,10 +215,10 @@ pub fn random_positive(rng: &mut impl Rng, schema: &Schema, p: &QueryParams) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::StdRng;
     use crate::schema_gen::workload_schema;
     use oocq_query::check_well_formed;
     use oocq_schema::samples;
-    use crate::rng::StdRng;
 
     #[test]
     fn chain_query_shape() {

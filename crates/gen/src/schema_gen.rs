@@ -1,7 +1,7 @@
 //! Random and parameterized schema generators.
 
-use oocq_schema::{AttrType, ClassId, Schema, SchemaBuilder};
 use crate::rng::Rng;
+use oocq_schema::{AttrType, ClassId, Schema, SchemaBuilder};
 
 /// Parameters for [`random_schema`].
 #[derive(Clone, Copy, Debug)]
@@ -59,13 +59,15 @@ pub fn random_schema(rng: &mut impl Rng, p: &SchemaParams) -> Schema {
         for a in 0..p.object_attrs {
             let target = rng.gen_range(0..p.roots);
             let name = format!("O{r}_{a}");
-            b.attribute(root, &name, AttrType::Object(roots[target])).unwrap();
+            b.attribute(root, &name, AttrType::Object(roots[target]))
+                .unwrap();
             declared.push((name, target, false));
         }
         for a in 0..p.set_attrs {
             let target = rng.gen_range(0..p.roots);
             let name = format!("S{r}_{a}");
-            b.attribute(root, &name, AttrType::SetOf(roots[target])).unwrap();
+            b.attribute(root, &name, AttrType::SetOf(roots[target]))
+                .unwrap();
             declared.push((name, target, true));
         }
     }
@@ -81,8 +83,7 @@ pub fn random_schema(rng: &mut impl Rng, p: &SchemaParams) -> Schema {
                         .find(|(n, ..)| n == &name)
                         .map(|(_, ix, _)| *ix)
                         .unwrap();
-                    let narrowed =
-                        terminals[target_ix][rng.gen_range(0..p.branching)];
+                    let narrowed = terminals[target_ix][rng.gen_range(0..p.branching)];
                     b.attribute(t, &name, AttrType::Object(narrowed)).unwrap();
                 }
             }
@@ -94,14 +95,14 @@ pub fn random_schema(rng: &mut impl Rng, p: &SchemaParams) -> Schema {
                         .find(|(n, ..)| n == &name)
                         .map(|(_, ix, _)| *ix)
                         .unwrap();
-                    let narrowed =
-                        terminals[target_ix][rng.gen_range(0..p.branching)];
+                    let narrowed = terminals[target_ix][rng.gen_range(0..p.branching)];
                     b.attribute(t, &name, AttrType::SetOf(narrowed)).unwrap();
                 }
             }
         }
     }
-    b.finish().expect("generated schema is consistent by construction")
+    b.finish()
+        .expect("generated schema is consistent by construction")
 }
 
 /// The workload schema used by the benchmark suite: one root `Node` with a

@@ -1,8 +1,8 @@
 //! Random legal-state generators.
 
+use crate::rng::Rng;
 use oocq_schema::{AttrType, Schema};
 use oocq_state::{Oid, State, StateBuilder};
-use crate::rng::Rng;
 
 /// Parameters for [`random_state`].
 #[derive(Clone, Copy, Debug)]
@@ -79,7 +79,8 @@ pub fn random_state(rng: &mut impl Rng, schema: &Schema, p: &StateParams) -> Sta
             }
         }
     }
-    b.finish(schema).expect("generated state is legal by construction")
+    b.finish(schema)
+        .expect("generated state is legal by construction")
 }
 
 /// A family of random states (for brute-force containment refutation in
@@ -104,9 +105,9 @@ pub fn state_family(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::StdRng;
     use oocq_schema::samples;
     use oocq_state::Value;
-    use crate::rng::StdRng;
 
     #[test]
     fn random_states_are_legal_and_sized() {

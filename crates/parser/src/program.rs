@@ -117,7 +117,11 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
         }
     }
     if depth != 0 || close_ix == open_ix {
-        return Err(ParseError::new(kw.line, kw.col, "unterminated schema block"));
+        return Err(ParseError::new(
+            kw.line,
+            kw.col,
+            "unterminated schema block",
+        ));
     }
     // Recover the source slice between the braces by line/col arithmetic.
     let schema_src = slice_between(input, &toks[open_ix], &toks[close_ix]);
@@ -132,7 +136,10 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
             return Err(ParseError::new(
                 t.line,
                 t.col,
-                format!("expected a declaration or command, found {}", t.tok.describe()),
+                format!(
+                    "expected a declaration or command, found {}",
+                    t.tok.describe()
+                ),
             ));
         };
         pos += 1;
@@ -189,7 +196,9 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                 )?));
             }
             "expand" => {
-                commands.push(Command::Expand(expect_known_query(&toks, &mut pos, &queries)?));
+                commands.push(Command::Expand(expect_known_query(
+                    &toks, &mut pos, &queries,
+                )?));
             }
             "minimize" => {
                 commands.push(Command::Minimize(expect_known_query(
@@ -355,10 +364,9 @@ mod tests {
 
     #[test]
     fn unknown_query_in_command_is_an_error() {
-        let err = parse_program(
-            "schema { class C {} } query Q = { x | x in C } check Q <= Missing",
-        )
-        .unwrap_err();
+        let err =
+            parse_program("schema { class C {} } query Q = { x | x in C } check Q <= Missing")
+                .unwrap_err();
         assert!(err.message.contains("unknown query `Missing`"));
     }
 
@@ -385,9 +393,8 @@ mod tests {
 
     #[test]
     fn unknown_directive_is_an_error() {
-        let err =
-            parse_program("schema { class C {} } query Q = { x | x in C } frobnicate Q")
-                .unwrap_err();
+        let err = parse_program("schema { class C {} } query Q = { x | x in C } frobnicate Q")
+            .unwrap_err();
         assert!(err.message.contains("unknown directive"));
     }
 

@@ -93,9 +93,10 @@ struct QueryScope {
 
 impl QueryScope {
     fn var(&self, name: &str, line: usize, col: usize) -> Result<VarId, ParseError> {
-        self.vars.get(name).copied().ok_or_else(|| {
-            ParseError::new(line, col, format!("undeclared variable `{name}`"))
-        })
+        self.vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseError::new(line, col, format!("undeclared variable `{name}`")))
     }
 
     /// A fresh bound variable for path-expression desugaring (§2.2 remarks:
@@ -195,9 +196,10 @@ fn chain(cur: &mut Cursor<'_>, scope: &QueryScope) -> Result<Chain, ParseError> 
     let mut attrs = Vec::new();
     while cur.eat(&Tok::Dot) {
         let (attr, aline, acol) = cur.ident()?;
-        let a = cur.schema.attr_id(&attr).ok_or_else(|| {
-            ParseError::new(aline, acol, format!("unknown attribute `{attr}`"))
-        })?;
+        let a = cur
+            .schema
+            .attr_id(&attr)
+            .ok_or_else(|| ParseError::new(aline, acol, format!("unknown attribute `{attr}`")))?;
         attrs.push(a);
     }
     Ok(Chain { base, attrs })
@@ -349,8 +351,7 @@ mod tests {
     #[test]
     fn display_parse_round_trip() {
         let s = samples::n1_partition();
-        let text =
-            "{ x | exists y, s: x in N1 & y in G & s in H & y = x.B & y in x.A & s in x.A }";
+        let text = "{ x | exists y, s: x in N1 & y in G & s in H & y = x.B & y in x.A & s in x.A }";
         let q = parse_query(&s, text).unwrap();
         assert_eq!(q.display(&s).to_string(), text);
         let again = parse_query(&s, &q.display(&s).to_string()).unwrap();
@@ -367,8 +368,10 @@ mod tests {
         .unwrap();
         assert!(!q.is_positive());
         assert_eq!(q.atoms().len(), 4);
-        assert_eq!(q.display(&s).to_string(),
-            "{ x | exists y: x in Auto | Truck & y in Client & x not in y.VehRented & x != y }");
+        assert_eq!(
+            q.display(&s).to_string(),
+            "{ x | exists y: x in Auto | Truck & y in Client & x not in y.VehRented & x != y }"
+        );
     }
 
     #[test]
@@ -433,8 +436,10 @@ mod tests {
         // x.A.A = y over a self-referencing schema: two fresh variables.
         let mut sb = oocq_schema::SchemaBuilder::new();
         let c = sb.class("C").unwrap();
-        sb.attribute(c, "A", oocq_schema::AttrType::Object(c)).unwrap();
-        sb.attribute(c, "S", oocq_schema::AttrType::SetOf(c)).unwrap();
+        sb.attribute(c, "A", oocq_schema::AttrType::Object(c))
+            .unwrap();
+        sb.attribute(c, "S", oocq_schema::AttrType::SetOf(c))
+            .unwrap();
         let s = sb.finish().unwrap();
         let q = parse_query(&s, "{ x | exists y: x in C & y in C & x.A.A = y }").unwrap();
         assert_eq!(q.var_count(), 3); // x, y, _q0 (only one step desugars)
@@ -457,7 +462,8 @@ mod tests {
         let d = sb.class("D").unwrap();
         let d1 = sb.class("D1").unwrap();
         sb.subclass(d1, d).unwrap();
-        sb.attribute(c, "A", oocq_schema::AttrType::Object(d)).unwrap();
+        sb.attribute(c, "A", oocq_schema::AttrType::Object(d))
+            .unwrap();
         let s = sb.finish().unwrap();
         let q = parse_query(&s, "{ x | x in C & x.A in D1 }").unwrap();
         let text = q.display(&s).to_string();

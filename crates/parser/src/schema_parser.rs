@@ -147,9 +147,8 @@ pub fn parse_schema(input: &str) -> Result<Schema, ParseError> {
         }
         for (attr, ty, aline, acol) in &rc.attrs {
             let resolve = |n: &String| {
-                b.class_id(n).ok_or_else(|| {
-                    ParseError::new(*aline, *acol, format!("unknown class `{n}`"))
-                })
+                b.class_id(n)
+                    .ok_or_else(|| ParseError::new(*aline, *acol, format!("unknown class `{n}`")))
             };
             let at = match ty {
                 RawType::Object(n) => AttrType::Object(resolve(n)?),
@@ -221,10 +220,7 @@ mod tests {
         let err = parse_schema("class A {} class A {}").unwrap_err();
         assert!(err.message.contains("declared more than once"));
         // Invalid refinement.
-        let err = parse_schema(
-            "class P { F: P; } class R {} class Q : P { F: R; }",
-        )
-        .unwrap_err();
+        let err = parse_schema("class P { F: P; } class R {} class Q : P { F: R; }").unwrap_err();
         assert!(err.message.contains("not a subtype"));
     }
 

@@ -73,8 +73,11 @@ impl QueryAnalysis {
         // Roots computed on the base graph are node indices, which are stable
         // under extension; classes can only merge, so remapping through the
         // new canonical map preserves every classification.
-        let mut object_roots: HashSet<usize> =
-            self.object_roots.iter().map(|&r| graph.canonical(r)).collect();
+        let mut object_roots: HashSet<usize> = self
+            .object_roots
+            .iter()
+            .map(|&r| graph.canonical(r))
+            .collect();
         let mut set_roots: HashSet<usize> =
             self.set_roots.iter().map(|&r| graph.canonical(r)).collect();
         for atom in extra {
@@ -430,10 +433,7 @@ mod tests {
 
         // An equality plus a membership over a previously-absent attr term:
         // both the graph and the classification must match a fresh analysis.
-        let extra = vec![
-            Atom::Eq(Term::Var(y), Term::Var(z)),
-            Atom::Member(x, z, a),
-        ];
+        let extra = vec![Atom::Eq(Term::Var(y), Term::Var(z)), Atom::Member(x, z, a)];
         let ext = base.extended(&extra);
         let full = QueryAnalysis::of(&q.with_extra_atoms(extra));
         assert_eq!(ext.graph().terms(), full.graph().terms());

@@ -72,7 +72,11 @@ fn refine_round(q: &Query, color: &[usize]) -> Vec<usize> {
             Atom::Range(v, cs) => keys[v.index()].push(format!("r:{cs:?}")),
             Atom::NonRange(v, cs) => keys[v.index()].push(format!("nr:{cs:?}")),
             Atom::Eq(s, t) | Atom::Neq(s, t) => {
-                let kind = if matches!(a, Atom::Eq(..)) { "eq" } else { "ne" };
+                let kind = if matches!(a, Atom::Eq(..)) {
+                    "eq"
+                } else {
+                    "ne"
+                };
                 for (side, other) in [(s, t), (t, s)] {
                     keys[side.var().index()].push(format!(
                         "{kind}:{:?}/{:?}:{}",
@@ -332,9 +336,7 @@ mod tests {
         let t2 = s.class_id("T2").unwrap();
         let a = s.attr_id("A").unwrap();
         let mut family: Vec<crate::query::Query> = Vec::new();
-        for (member, extra_range) in
-            [(true, false), (true, true), (false, false), (false, true)]
-        {
+        for (member, extra_range) in [(true, false), (true, true), (false, false), (false, true)] {
             for name in ["x", "renamed"] {
                 let mut b = QueryBuilder::new(name);
                 let x = b.free();

@@ -103,7 +103,13 @@ impl fmt::Display for DisplayQuery<'_> {
                     write_term(f, q, s, *b)?;
                 }
                 Atom::Member(x, y, a) => {
-                    write!(f, "{} in {}.{}", q.var_name(*x), q.var_name(*y), s.attr_name(*a))?;
+                    write!(
+                        f,
+                        "{} in {}.{}",
+                        q.var_name(*x),
+                        q.var_name(*y),
+                        s.attr_name(*a)
+                    )?;
                 }
                 Atom::NonMember(x, y, a) => {
                     write!(

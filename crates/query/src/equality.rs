@@ -384,8 +384,10 @@ mod tests {
         // must also merge in a second congruence round.
         let mut sb = oocq_schema::SchemaBuilder::new();
         let c = sb.class("C").unwrap();
-        sb.attribute(c, "A", oocq_schema::AttrType::Object(c)).unwrap();
-        sb.attribute(c, "B", oocq_schema::AttrType::Object(c)).unwrap();
+        sb.attribute(c, "A", oocq_schema::AttrType::Object(c))
+            .unwrap();
+        sb.attribute(c, "B", oocq_schema::AttrType::Object(c))
+            .unwrap();
         let s = sb.finish().unwrap();
         let a = s.attr_id("A").unwrap();
         let bb = s.attr_id("B").unwrap();

@@ -38,7 +38,10 @@ impl fmt::Display for WellFormedError {
                 write!(f, "object term `{t}` is not equated to any variable")
             }
             WellFormedError::RangeCount { var, count } => {
-                write!(f, "variable `{var}` has {count} range atoms, expected exactly 1")
+                write!(
+                    f,
+                    "variable `{var}` has {count} range atoms, expected exactly 1"
+                )
             }
         }
     }

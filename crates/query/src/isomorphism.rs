@@ -26,10 +26,16 @@ pub(crate) fn signatures(q: &Query) -> Vec<BTreeMap<String, usize>> {
             Atom::Range(v, cs) => bump(*v, format!("range:{cs:?}")),
             Atom::NonRange(v, cs) => bump(*v, format!("nonrange:{cs:?}")),
             Atom::Eq(s, t) | Atom::Neq(s, t) => {
-                let kind = if matches!(a, Atom::Eq(..)) { "eq" } else { "neq" };
+                let kind = if matches!(a, Atom::Eq(..)) {
+                    "eq"
+                } else {
+                    "neq"
+                };
                 for (side, other) in [(s, t), (t, s)] {
                     let shape = match (side, other) {
-                        (crate::term::Term::Var(v), o) => (*v, format!("{kind}:var-vs-{:?}", o.attr())),
+                        (crate::term::Term::Var(v), o) => {
+                            (*v, format!("{kind}:var-vs-{:?}", o.attr()))
+                        }
                         (crate::term::Term::Attr(v, at), o) => {
                             (*v, format!("{kind}:attr{:?}-vs-{:?}", at, o.attr()))
                         }

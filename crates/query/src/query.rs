@@ -228,16 +228,13 @@ impl QueryBuilder {
 
     /// Add a range atom `v ∈ C₁ ∨ … ∨ Cₙ`.
     pub fn range(&mut self, v: VarId, classes: impl IntoIterator<Item = ClassId>) -> &mut Self {
-        self.atoms.push(Atom::Range(v, classes.into_iter().collect()));
+        self.atoms
+            .push(Atom::Range(v, classes.into_iter().collect()));
         self
     }
 
     /// Add a non-range atom `v ∉ C₁ ∨ … ∨ Cₙ`.
-    pub fn non_range(
-        &mut self,
-        v: VarId,
-        classes: impl IntoIterator<Item = ClassId>,
-    ) -> &mut Self {
+    pub fn non_range(&mut self, v: VarId, classes: impl IntoIterator<Item = ClassId>) -> &mut Self {
         self.atoms
             .push(Atom::NonRange(v, classes.into_iter().collect()));
         self
@@ -434,10 +431,7 @@ mod tests {
         b.range(x, [s.class_id("Auto").unwrap()]);
         let q2 = b.build();
         assert!(q2.is_terminal(&s));
-        assert_eq!(
-            q2.terminal_class_of(x),
-            Some(s.class_id("Auto").unwrap())
-        );
+        assert_eq!(q2.terminal_class_of(x), Some(s.class_id("Auto").unwrap()));
     }
 
     #[test]

@@ -218,7 +218,12 @@ pub fn answer(db: &RelDb, q: &RelQuery) -> HashSet<Vec<u32>> {
     ) {
         let Some(atom) = atoms.get(ix) else {
             if q.head().iter().all(|h| binding[h.index()].is_some()) {
-                out.insert(q.head().iter().map(|h| binding[h.index()].unwrap()).collect());
+                out.insert(
+                    q.head()
+                        .iter()
+                        .map(|h| binding[h.index()].unwrap())
+                        .collect(),
+                );
             }
             return;
         };

@@ -102,11 +102,12 @@ pub fn memberwise_unique_equivalent(m: &RelUnion, n: &RelUnion) -> bool {
     if m.len() != n.len() {
         return false;
     }
-    m.members.iter().all(|q| {
-        n.members.iter().filter(|p| equivalent(q, p)).count() == 1
-    }) && n.members.iter().all(|p| {
-        m.members.iter().filter(|q| equivalent(q, p)).count() == 1
-    })
+    m.members
+        .iter()
+        .all(|q| n.members.iter().filter(|p| equivalent(q, p)).count() == 1)
+        && n.members
+            .iter()
+            .all(|p| m.members.iter().filter(|q| equivalent(q, p)).count() == 1)
 }
 
 #[cfg(test)]

@@ -25,8 +25,8 @@
 mod dot;
 mod error;
 mod ids;
-mod schema;
 pub mod samples;
+mod schema;
 mod types;
 
 pub use error::SchemaError;

@@ -27,10 +27,13 @@ pub fn vehicle_rental() -> Schema {
     b.subclass(truck, vehicle).unwrap();
     b.subclass(discount, client).unwrap();
     b.subclass(regular, client).unwrap();
-    b.attribute(client, "VehRented", AttrType::SetOf(vehicle)).unwrap();
-    b.attribute(discount, "VehRented", AttrType::SetOf(auto)).unwrap();
+    b.attribute(client, "VehRented", AttrType::SetOf(vehicle))
+        .unwrap();
+    b.attribute(discount, "VehRented", AttrType::SetOf(auto))
+        .unwrap();
     // A little extra structure so evaluation workloads are not degenerate.
-    b.attribute(vehicle, "AssignedTo", AttrType::Object(client)).unwrap();
+    b.attribute(vehicle, "AssignedTo", AttrType::Object(client))
+        .unwrap();
     b.finish().unwrap()
 }
 

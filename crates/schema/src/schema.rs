@@ -412,10 +412,8 @@ impl Schema {
     /// Subtype relation on whole tuple types: `a ≤ b` iff `a` has every
     /// attribute of `b` at a subtype.
     pub fn tuple_subtype(&self, a: &TupleType, b: &TupleType) -> bool {
-        b.iter().all(|(attr, &tb)| {
-            a.get(attr)
-                .is_some_and(|&ta| self.attr_subtype(ta, tb))
-        })
+        b.iter()
+            .all(|(attr, &tb)| a.get(attr).is_some_and(|&ta| self.attr_subtype(ta, tb)))
     }
 
     /// Render an attribute type with class names.
@@ -430,7 +428,11 @@ impl fmt::Display for Schema {
         for c in self.classes() {
             write!(f, "class {}", self.class_name(c))?;
             if !self.parents(c).is_empty() {
-                let ps: Vec<&str> = self.parents(c).iter().map(|&p| self.class_name(p)).collect();
+                let ps: Vec<&str> = self
+                    .parents(c)
+                    .iter()
+                    .map(|&p| self.class_name(p))
+                    .collect();
                 write!(f, " : {}", ps.join(", "))?;
             }
             let decl = self.declared_type(c);
@@ -494,10 +496,7 @@ mod tests {
         let y = b.class("Y").unwrap();
         b.subclass(x, y).unwrap();
         b.subclass(y, x).unwrap();
-        assert!(matches!(
-            b.finish(),
-            Err(SchemaError::InheritanceCycle(_))
-        ));
+        assert!(matches!(b.finish(), Err(SchemaError::InheritanceCycle(_))));
     }
 
     #[test]
@@ -534,7 +533,8 @@ mod tests {
         let person = b.class("Person").unwrap();
         let student = b.class("Student").unwrap();
         b.subclass(student, person).unwrap();
-        b.attribute(person, "Friend", AttrType::Object(person)).unwrap();
+        b.attribute(person, "Friend", AttrType::Object(person))
+            .unwrap();
         let s = b.finish().unwrap();
         let friend = s.attr_id("Friend").unwrap();
         assert_eq!(
@@ -551,12 +551,17 @@ mod tests {
         let person = b.class("Person").unwrap();
         let student = b.class("Student").unwrap();
         b.subclass(student, person).unwrap();
-        b.attribute(person, "Friend", AttrType::Object(person)).unwrap();
-        b.attribute(student, "Friend", AttrType::Object(student)).unwrap();
+        b.attribute(person, "Friend", AttrType::Object(person))
+            .unwrap();
+        b.attribute(student, "Friend", AttrType::Object(student))
+            .unwrap();
         let s = b.finish().unwrap();
         let friend = s.attr_id("Friend").unwrap();
         let student = s.class_id("Student").unwrap();
-        assert_eq!(s.attr_type(student, friend), Some(AttrType::Object(student)));
+        assert_eq!(
+            s.attr_type(student, friend),
+            Some(AttrType::Object(student))
+        );
     }
 
     #[test]
@@ -566,8 +571,10 @@ mod tests {
         let student = b.class("Student").unwrap();
         let rock = b.class("Rock").unwrap();
         b.subclass(student, person).unwrap();
-        b.attribute(person, "Friend", AttrType::Object(person)).unwrap();
-        b.attribute(student, "Friend", AttrType::Object(rock)).unwrap();
+        b.attribute(person, "Friend", AttrType::Object(person))
+            .unwrap();
+        b.attribute(student, "Friend", AttrType::Object(rock))
+            .unwrap();
         assert!(matches!(
             b.finish(),
             Err(SchemaError::InvalidRefinement { .. })
@@ -724,7 +731,10 @@ impl Schema {
         SchemaStats {
             classes: self.class_count(),
             terminals: self.terminals().len(),
-            roots: self.classes().filter(|&c| self.parents(c).is_empty()).count(),
+            roots: self
+                .classes()
+                .filter(|&c| self.parents(c).is_empty())
+                .count(),
             depth,
             max_fanout: self
                 .classes()
@@ -751,8 +761,8 @@ mod stats_tests {
         assert_eq!(st.depth, 1);
         assert_eq!(st.max_fanout, 3);
         assert_eq!(st.declared_attrs, 3); // VehRented x2 + AssignedTo
-        // Effective: Vehicle(1)+Auto(1)+Trailer(1)+Truck(1)+Client(1)
-        // +Discount(1)+Regular(1) = 7.
+                                          // Effective: Vehicle(1)+Auto(1)+Trailer(1)+Truck(1)+Client(1)
+                                          // +Discount(1)+Regular(1) = 7.
         assert_eq!(st.effective_attrs, 7);
     }
 

@@ -27,7 +27,7 @@
 //! the least-recently-stamped entry once the shard exceeds its capacity
 //! share. A global relaxed counter supplies the stamps.
 
-use oocq_core::DecisionCache;
+use oocq_core::{DecisionCache, PreparedQuery};
 use oocq_query::{canonical_form, CanonicalQuery, Query, UnionQuery};
 use oocq_schema::Schema;
 use std::collections::hash_map::DefaultHasher;
@@ -74,7 +74,9 @@ struct Lru<K, V> {
 impl<K: Hash + Eq + Clone, V: Clone> Lru<K, V> {
     fn new(capacity: usize) -> Lru<K, V> {
         Lru {
-            shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             per_shard_cap: capacity.div_ceil(SHARD_COUNT).max(1),
         }
     }
@@ -258,6 +260,61 @@ impl DecisionCache for CanonicalDecisionCache {
             self.evictions.fetch_add(1, Relaxed);
         }
     }
+
+    // Prepared operands carry their keys pre-computed: the schema
+    // fingerprint is already rendered and interned on the PreparedSchema,
+    // and canonical forms are memoized on the query handles — so these
+    // overrides skip the per-lookup schema render and re-canonicalization
+    // the plain methods pay. `Arc<str>` hashes and compares by content, so
+    // entries written through either path hit through the other.
+
+    fn get_contains_prepared(&self, p1: &PreparedQuery, p2: &PreparedQuery) -> Option<bool> {
+        let key = ContainsKey {
+            schema: p1.schema().fingerprint().clone(),
+            q1: p1.canonical_form().clone(),
+            q2: p2.canonical_form().clone(),
+        };
+        let hit = self.contains.get(&key, &self.clock);
+        match hit {
+            Some(_) => self.contains_hits.fetch_add(1, Relaxed),
+            None => self.contains_misses.fetch_add(1, Relaxed),
+        };
+        hit
+    }
+
+    fn put_contains_prepared(&self, p1: &PreparedQuery, p2: &PreparedQuery, holds: bool) {
+        let key = ContainsKey {
+            schema: p1.schema().fingerprint().clone(),
+            q1: p1.canonical_form().clone(),
+            q2: p2.canonical_form().clone(),
+        };
+        if self.contains.put(key, holds, &self.clock) {
+            self.evictions.fetch_add(1, Relaxed);
+        }
+    }
+
+    fn get_minimized_prepared(&self, p: &PreparedQuery) -> Option<UnionQuery> {
+        let key = MinimizeKey {
+            schema: p.schema().fingerprint().clone(),
+            query: p.query().display(p.schema().schema()).to_string(),
+        };
+        let hit = self.minimized.get(&key, &self.clock);
+        match hit {
+            Some(_) => self.minimize_hits.fetch_add(1, Relaxed),
+            None => self.minimize_misses.fetch_add(1, Relaxed),
+        };
+        hit
+    }
+
+    fn put_minimized_prepared(&self, p: &PreparedQuery, result: &UnionQuery) {
+        let key = MinimizeKey {
+            schema: p.schema().fingerprint().clone(),
+            query: p.query().display(p.schema().schema()).to_string(),
+        };
+        if self.minimized.put(key, result.clone(), &self.clock) {
+            self.evictions.fetch_add(1, Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -322,9 +379,9 @@ mod tests {
         let s = samples::single_class();
         let c = s.class_id("C").unwrap();
         let cache = CanonicalDecisionCache::new(SHARD_COUNT); // 1 entry/shard
-        // Insert many structurally distinct keys: k-chains of inequalities
-        // anchored at the free variable (asymmetric, so canonicalization
-        // is cheap — unlike cliques, whose symmetry forces backtracking).
+                                                              // Insert many structurally distinct keys: k-chains of inequalities
+                                                              // anchored at the free variable (asymmetric, so canonicalization
+                                                              // is cheap — unlike cliques, whose symmetry forces backtracking).
         let chain = |k: usize| {
             let mut b = QueryBuilder::new("x0");
             let vars: Vec<_> = std::iter::once(b.free())

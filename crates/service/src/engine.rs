@@ -12,9 +12,8 @@ use crate::cache::CanonicalDecisionCache;
 use crate::protocol::{Request, RequestStats};
 use crate::runner::run_program_with;
 use oocq_core::{
-    contains_terminal_with, decide_containment_with, dispatch_containment_with, expand,
-    expand_satisfiable_with, minimize_positive_with, satisfiability, DecisionCache, EngineConfig,
-    Satisfiability,
+    contains_terminal_with, expand, expand_satisfiable_with, satisfiability, DecisionCache, Engine,
+    EngineConfig, PreparedQuery, PreparedSchema, Satisfiability,
 };
 use oocq_parser::{parse_program, parse_query, parse_schema};
 use oocq_query::{normalize, Query, UnionQuery};
@@ -25,21 +24,33 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
-/// An immutable snapshot of one named session: a schema plus the queries
-/// defined against it.
+/// An immutable snapshot of one named session: a prepared schema plus the
+/// prepared queries defined against it.
+///
+/// Holding [`PreparedSchema`]/[`PreparedQuery`] handles (rather than raw
+/// values) means a named query is analyzed at most once for as long as its
+/// binding lives: snapshots clone the handles (`Arc` pointer copies), so
+/// analysis, terminal classes, canonical form, and branch indexes built by
+/// one request are visible to every later request against any snapshot that
+/// still carries the binding.
 pub struct Session {
     name: String,
-    schema: Arc<Schema>,
-    queries: HashMap<String, Query>,
+    schema: PreparedSchema,
+    queries: HashMap<String, PreparedQuery>,
 }
 
 impl Session {
     /// The session's schema.
     pub fn schema(&self) -> &Schema {
+        self.schema.schema()
+    }
+
+    /// The session's prepared schema handle.
+    pub fn prepared_schema(&self) -> &PreparedSchema {
         &self.schema
     }
 
-    fn query(&self, q: &str) -> Result<&Query, String> {
+    fn query(&self, q: &str) -> Result<&PreparedQuery, String> {
         self.queries
             .get(q)
             .ok_or_else(|| format!("unknown query `{q}` in session `{}`", self.name))
@@ -86,6 +97,47 @@ impl DecisionCache for CountingView {
             c.put_minimized(s, q, result);
         }
     }
+
+    // Forward prepared lookups to the shared cache's prepared overrides so
+    // the memoized canonical forms and interned schema fingerprint are used
+    // for keying (the trait defaults would fall back to this view's plain
+    // methods and re-render both per lookup).
+
+    fn get_contains_prepared(&self, p1: &PreparedQuery, p2: &PreparedQuery) -> Option<bool> {
+        let r = self
+            .inner
+            .as_ref()
+            .and_then(|c| c.get_contains_prepared(p1, p2));
+        if r.is_some() {
+            self.hits.fetch_add(1, Relaxed);
+        }
+        r
+    }
+
+    fn put_contains_prepared(&self, p1: &PreparedQuery, p2: &PreparedQuery, holds: bool) {
+        self.decided.fetch_add(1, Relaxed);
+        if let Some(c) = &self.inner {
+            c.put_contains_prepared(p1, p2, holds);
+        }
+    }
+
+    fn get_minimized_prepared(&self, p: &PreparedQuery) -> Option<UnionQuery> {
+        let r = self
+            .inner
+            .as_ref()
+            .and_then(|c| c.get_minimized_prepared(p));
+        if r.is_some() {
+            self.hits.fetch_add(1, Relaxed);
+        }
+        r
+    }
+
+    fn put_minimized_prepared(&self, p: &PreparedQuery, result: &UnionQuery) {
+        self.decided.fetch_add(1, Relaxed);
+        if let Some(c) = &self.inner {
+            c.put_minimized_prepared(p, result);
+        }
+    }
 }
 
 /// The shared engine behind one `oocq-serve` process: the decision cache,
@@ -117,7 +169,11 @@ impl ServiceEngine {
     /// Configuration from the environment: `OOCQ_THREADS` for the pool
     /// size, `OOCQ_CACHE_CAPACITY` for the cache (`0` disables it).
     pub fn from_env() -> ServiceEngine {
-        let cache = match std::env::var("OOCQ_CACHE_CAPACITY").ok().as_deref().map(str::trim) {
+        let cache = match std::env::var("OOCQ_CACHE_CAPACITY")
+            .ok()
+            .as_deref()
+            .map(str::trim)
+        {
             Some("0") => None,
             _ => Some(Arc::new(CanonicalDecisionCache::from_env())),
         };
@@ -142,7 +198,7 @@ impl ServiceEngine {
         let classes = schema.class_count();
         let snapshot = Arc::new(Session {
             name: session.to_owned(),
-            schema: Arc::new(schema),
+            schema: PreparedSchema::from_arc(Arc::new(schema)),
             queries: HashMap::new(),
         });
         self.sessions
@@ -156,9 +212,10 @@ impl ServiceEngine {
     /// old snapshot stays valid for requests already dispatched against it.
     pub fn define_query(&self, session: &str, name: &str, text: &str) -> Result<String, String> {
         let old = self.session(session)?;
-        let q = parse_query(&old.schema, text).map_err(|e| format!("parse error at {e}"))?;
+        let q =
+            parse_query(old.schema.schema(), text).map_err(|e| format!("parse error at {e}"))?;
         let mut queries = old.queries.clone();
-        queries.insert(name.to_owned(), q);
+        queries.insert(name.to_owned(), PreparedQuery::new(&old.schema, q));
         let snapshot = Arc::new(Session {
             name: old.name.clone(),
             schema: old.schema.clone(),
@@ -173,9 +230,14 @@ impl ServiceEngine {
 
     /// The current snapshot of a session.
     pub fn session(&self, name: &str) -> Result<Arc<Session>, String> {
-        self.sessions.read().unwrap().get(name).cloned().ok_or_else(|| {
-            format!("unknown session `{name}` (define it with `schema {name} <text>`)")
-        })
+        self.sessions
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                format!("unknown session `{name}` (define it with `schema {name} <text>`)")
+            })
     }
 
     /// Capture the session snapshot a decision request should run against,
@@ -237,11 +299,12 @@ impl ServiceEngine {
         let core = |e: oocq_core::CoreError| e.to_string();
         let wf = |e: oocq_query::WellFormedError| e.to_string();
         let session = || snapshot.ok_or_else(|| "internal: missing session snapshot".to_owned());
+        let eng = Engine::new(cfg.clone());
         match req {
             Request::Satisfiable { query, .. } => {
                 let ses = session()?;
                 let s = ses.schema();
-                let q = ses.query(query)?;
+                let q = ses.query(query)?.query();
                 let n = normalize(q, s).map_err(wf)?;
                 let u = expand(s, &n).map_err(core)?;
                 let mut out = String::new();
@@ -259,31 +322,28 @@ impl ServiceEngine {
             }
             Request::Contains { q1, q2, .. } => {
                 let ses = session()?;
-                let holds =
-                    dispatch_containment_with(ses.schema(), ses.query(q1)?, ses.query(q2)?, cfg)
-                        .map_err(core)?;
+                let holds = eng.dispatch(ses.query(q1)?, ses.query(q2)?).map_err(core)?;
                 Ok(if holds { "holds" } else { "FAILS" }.to_owned())
             }
             Request::Equivalent { q1, q2, .. } => {
                 let ses = session()?;
-                let (s, qa, qb) = (ses.schema(), ses.query(q1)?, ses.query(q2)?);
-                let holds = dispatch_containment_with(s, qa, qb, cfg).map_err(core)?
-                    && dispatch_containment_with(s, qb, qa, cfg).map_err(core)?;
+                let (pa, pb) = (ses.query(q1)?, ses.query(q2)?);
+                let holds =
+                    eng.dispatch(pa, pb).map_err(core)? && eng.dispatch(pb, pa).map_err(core)?;
                 Ok(if holds { "holds" } else { "FAILS" }.to_owned())
             }
             Request::Explain { q1, q2, .. } => {
                 let ses = session()?;
-                let (s, qa, qb) = (ses.schema(), ses.query(q1)?, ses.query(q2)?);
+                let (pa, pb) = (ses.query(q1)?, ses.query(q2)?);
+                let (s, qa, qb) = (ses.schema(), pa.query(), pb.query());
                 if qa.is_terminal(s) && qb.is_terminal(s) {
-                    let proof = decide_containment_with(s, qa, qb, cfg).map_err(core)?;
+                    let proof = eng.decide(pa, pb).map_err(core)?;
                     Ok(proof.render(s, qa, qb).trim_end().to_owned())
                 } else {
-                    let ua =
-                        expand_satisfiable_with(s, &normalize(qa, s).map_err(wf)?, cfg)
-                            .map_err(core)?;
-                    let ub =
-                        expand_satisfiable_with(s, &normalize(qb, s).map_err(wf)?, cfg)
-                            .map_err(core)?;
+                    let ua = expand_satisfiable_with(s, &normalize(qa, s).map_err(wf)?, cfg)
+                        .map_err(core)?;
+                    let ub = expand_satisfiable_with(s, &normalize(qb, s).map_err(wf)?, cfg)
+                        .map_err(core)?;
                     let mut out = String::new();
                     if ua.is_empty() {
                         let _ = writeln!(
@@ -312,7 +372,7 @@ impl ServiceEngine {
             Request::Expand { query, .. } => {
                 let ses = session()?;
                 let s = ses.schema();
-                let q = ses.query(query)?;
+                let q = ses.query(query)?.query();
                 let u = expand(s, &normalize(q, s).map_err(wf)?).map_err(core)?;
                 let mut out = format!("{} branches", u.len());
                 for sub in &u {
@@ -323,13 +383,15 @@ impl ServiceEngine {
             Request::Minimize { query, .. } => {
                 let ses = session()?;
                 let s = ses.schema();
-                let q = ses.query(query)?;
-                let m = minimize_positive_with(s, q, cfg).map_err(core)?;
+                let m = eng.minimize(ses.query(query)?).map_err(core)?;
                 if m.is_empty() {
                     return Ok("(unsatisfiable: empty union)".to_owned());
                 }
-                let lines: Vec<String> =
-                    m.queries().iter().map(|sub| sub.display(s).to_string()).collect();
+                let lines: Vec<String> = m
+                    .queries()
+                    .iter()
+                    .map(|sub| sub.display(s).to_string())
+                    .collect();
                 Ok(lines.join("\n"))
             }
             Request::Run { text } => {
@@ -366,20 +428,24 @@ mod tests {
         e.define_query("s", "Q", "{ x | x in C }").unwrap();
         assert_eq!(decide(&e, "contains s Q Q"), Ok("holds".to_owned()));
         assert_eq!(decide(&e, "equiv s Q Q"), Ok("holds".to_owned()));
-        assert_eq!(decide(&e, "satisfiable s Q"), Ok("SAT   { x | x in C }".to_owned()));
         assert_eq!(
-            decide(&e, "minimize s Q"),
-            Ok("{ x | x in C }".to_owned())
+            decide(&e, "satisfiable s Q"),
+            Ok("SAT   { x | x in C }".to_owned())
         );
+        assert_eq!(decide(&e, "minimize s Q"), Ok("{ x | x in C }".to_owned()));
         assert!(decide(&e, "expand s Q").unwrap().starts_with("1 branches"));
     }
 
     #[test]
     fn unknown_sessions_and_queries_are_reported() {
         let e = engine();
-        assert!(decide(&e, "contains nope A B").unwrap_err().contains("unknown session"));
+        assert!(decide(&e, "contains nope A B")
+            .unwrap_err()
+            .contains("unknown session"));
         e.define_schema("s", "class C {}").unwrap();
-        assert!(decide(&e, "contains s A B").unwrap_err().contains("unknown query `A`"));
+        assert!(decide(&e, "contains s A B")
+            .unwrap_err()
+            .contains("unknown query `A`"));
         assert!(e
             .define_query("s", "Q", "{ x | x in Missing }")
             .unwrap_err()

@@ -8,12 +8,12 @@
 //! [`EngineConfig::from_env`].
 
 use oocq_core::{
-    contains_terminal_with, decide_containment_with, expand, expand_satisfiable_with,
-    minimize_positive_with, satisfiability, CoreError, EngineConfig, Satisfiability,
+    contains_terminal_with, expand, expand_satisfiable_with, satisfiability, CoreError, Engine,
+    EngineConfig, PreparedQuery, PreparedSchema, Satisfiability,
 };
 use oocq_parser::{parse_program, Command, ParseError, Program};
-use oocq_query::{normalize, Query};
-use oocq_schema::Schema;
+use oocq_query::normalize;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Errors from running a workbench program.
@@ -48,18 +48,6 @@ impl From<CoreError> for RunError {
     }
 }
 
-/// Containment dispatch across query shapes under a configuration: §3 for
-/// terminal pairs, §4 for positive pairs, left-expansion against a
-/// terminal right side.
-fn dispatch_with(
-    s: &Schema,
-    qa: &Query,
-    qb: &Query,
-    cfg: &EngineConfig,
-) -> Result<bool, CoreError> {
-    oocq_core::dispatch_containment_with(s, qa, qb, cfg)
-}
-
 /// Parse and run a program under a configuration, returning the rendered
 /// transcript.
 pub fn run_workbench_with(source: &str, cfg: &EngineConfig) -> Result<String, RunError> {
@@ -73,11 +61,22 @@ pub fn run_workbench_with(source: &str, cfg: &EngineConfig) -> Result<String, Ru
 /// corpus replay tests in this crate assert both).
 pub fn run_program_with(program: &Program, cfg: &EngineConfig) -> Result<String, CoreError> {
     let s = &program.schema;
+    let eng = Engine::new(cfg.clone());
+    // Prepare the schema and every named query once; all commands over a
+    // name then share its memoized analysis, classes, canonical form, and
+    // branch indexes.
+    let ps = PreparedSchema::new(s);
+    let prepared: HashMap<&str, PreparedQuery> = program
+        .queries
+        .iter()
+        .map(|(n, q)| (n.as_str(), PreparedQuery::new(&ps, q.clone())))
+        .collect();
+    let prep = |name: &str| prepared.get(name).expect("validated by the parser");
     let mut out = String::new();
     for cmd in &program.commands {
         match cmd {
             Command::Satisfiable(name) => {
-                let q = program.query(name).expect("validated by the parser");
+                let q = prep(name).query();
                 let _ = writeln!(out, "satisfiable {name}?");
                 let u = expand(s, &normalize(q, s)?)?;
                 for sub in &u {
@@ -92,11 +91,7 @@ pub fn run_program_with(program: &Program, cfg: &EngineConfig) -> Result<String,
                 }
             }
             Command::CheckContains(a, b) => {
-                let (qa, qb) = (
-                    program.query(a).expect("validated"),
-                    program.query(b).expect("validated"),
-                );
-                let holds = dispatch_with(s, qa, qb, cfg)?;
+                let holds = eng.dispatch(prep(a), prep(b))?;
                 let _ = writeln!(
                     out,
                     "check {a} <= {b}: {}",
@@ -104,11 +99,8 @@ pub fn run_program_with(program: &Program, cfg: &EngineConfig) -> Result<String,
                 );
             }
             Command::CheckEquivalent(a, b) => {
-                let (qa, qb) = (
-                    program.query(a).expect("validated"),
-                    program.query(b).expect("validated"),
-                );
-                let holds = dispatch_with(s, qa, qb, cfg)? && dispatch_with(s, qb, qa, cfg)?;
+                let (pa, pb) = (prep(a), prep(b));
+                let holds = eng.dispatch(pa, pb)? && eng.dispatch(pb, pa)?;
                 let _ = writeln!(
                     out,
                     "check {a} == {b}: {}",
@@ -116,13 +108,11 @@ pub fn run_program_with(program: &Program, cfg: &EngineConfig) -> Result<String,
                 );
             }
             Command::Explain(a, b) => {
-                let (qa, qb) = (
-                    program.query(a).expect("validated"),
-                    program.query(b).expect("validated"),
-                );
+                let (pa, pb) = (prep(a), prep(b));
+                let (qa, qb) = (pa.query(), pb.query());
                 let _ = writeln!(out, "explain {a} <= {b}:");
                 if qa.is_terminal(s) && qb.is_terminal(s) {
-                    let proof = decide_containment_with(s, qa, qb, cfg)?;
+                    let proof = eng.decide(pa, pb)?;
                     for line in proof.render(s, qa, qb).lines() {
                         let _ = writeln!(out, "  {line}");
                     }
@@ -153,30 +143,27 @@ pub fn run_program_with(program: &Program, cfg: &EngineConfig) -> Result<String,
                 }
             }
             Command::Expand(name) => {
-                let q = program.query(name).expect("validated");
+                let q = prep(name).query();
                 let u = expand(s, &normalize(q, s)?)?;
                 let _ = writeln!(out, "expand {name} ({} branches):", u.len());
                 for sub in &u {
                     let _ = writeln!(out, "  {}", sub.display(s));
                 }
             }
-            Command::Minimize(name) => {
-                let q = program.query(name).expect("validated");
-                match minimize_positive_with(s, q, cfg) {
-                    Ok(m) => {
-                        let _ = writeln!(out, "minimize {name}:");
-                        if m.is_empty() {
-                            let _ = writeln!(out, "  (unsatisfiable: empty union)");
-                        }
-                        for sub in &m {
-                            let _ = writeln!(out, "  {}", sub.display(s));
-                        }
+            Command::Minimize(name) => match eng.minimize(prep(name)) {
+                Ok(m) => {
+                    let _ = writeln!(out, "minimize {name}:");
+                    if m.is_empty() {
+                        let _ = writeln!(out, "  (unsatisfiable: empty union)");
                     }
-                    Err(e) => {
-                        let _ = writeln!(out, "minimize {name}: cannot minimize ({e})");
+                    for sub in &m {
+                        let _ = writeln!(out, "  {}", sub.display(s));
                     }
                 }
-            }
+                Err(e) => {
+                    let _ = writeln!(out, "minimize {name}: cannot minimize ({e})");
+                }
+            },
         }
         let _ = writeln!(out);
     }

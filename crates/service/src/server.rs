@@ -185,9 +185,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
                     Ok(format!("stats {}", if *on { "on" } else { "off" }))
                 }
                 Ok(Request::Quit) => Ok("bye".to_owned()),
-                Ok(Request::DefineSchema { session, text }) => {
-                    engine.define_schema(session, text)
-                }
+                Ok(Request::DefineSchema { session, text }) => engine.define_schema(session, text),
                 Ok(Request::DefineQuery {
                     session,
                     name,
@@ -349,7 +347,10 @@ mod tests {
     #[test]
     fn eof_without_quit_drains_cleanly() {
         let e = engine(4);
-        let out = run(&e, "stats off\nschema s class C {}\nquery s Q { x | x in C }\ncontains s Q Q\n");
+        let out = run(
+            &e,
+            "stats off\nschema s class C {}\nquery s Q { x | x in C }\ncontains s Q Q\n",
+        );
         assert!(out.ends_with("[3] ok holds\n"));
     }
 }

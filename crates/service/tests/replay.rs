@@ -19,7 +19,13 @@ fn corpus_dir() -> PathBuf {
 
 fn corpus() -> Vec<(String, String, String)> {
     let mut out = Vec::new();
-    for name in ["inequalities", "n1_partition", "paths", "university", "vehicle_rental"] {
+    for name in [
+        "inequalities",
+        "n1_partition",
+        "paths",
+        "university",
+        "vehicle_rental",
+    ] {
         let dir = corpus_dir();
         let program = std::fs::read_to_string(dir.join(format!("{name}.oocq")))
             .unwrap_or_else(|e| panic!("missing corpus program {name}: {e}"));
@@ -70,7 +76,10 @@ fn corpus_replay_matches_golden_transcripts() {
     let programs = corpus();
     let payloads = replay(&engine(1, true), &programs);
     for ((name, _, expected), got) in programs.iter().zip(&payloads) {
-        assert_eq!(got, expected, "transcript drift for {name} through the daemon");
+        assert_eq!(
+            got, expected,
+            "transcript drift for {name} through the daemon"
+        );
     }
 }
 

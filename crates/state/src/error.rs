@@ -61,7 +61,10 @@ impl fmt::Display for StateError {
                 write!(f, "object {oid} instantiates non-terminal class `{class}`")
             }
             StateError::UnknownAttribute { oid, class, attr } => {
-                write!(f, "object {oid} of class `{class}` has no attribute `{attr}`")
+                write!(
+                    f,
+                    "object {oid} of class `{class}` has no attribute `{attr}`"
+                )
             }
             StateError::KindMismatch {
                 oid,

@@ -7,14 +7,16 @@
 //!
 //! Run with `cargo run --example containment_lab`.
 
-use oocq::{
-    contains_terminal, decide_containment, parse_query, parse_schema, strategy_for, Query, Schema,
-    Strategy,
-};
+use oocq::{parse_query, parse_schema, strategy_for, Engine, Query, Schema, Strategy};
 
 fn check(schema: &Schema, label: &str, q1: &Query, q2: &Query) {
-    let fwd = contains_terminal(schema, q1, q2).unwrap();
-    let bwd = contains_terminal(schema, q2, q1).unwrap();
+    // Prepare both sides once; the forward check, backward check, and
+    // certificate below all reuse the same memoized artifacts.
+    let engine = Engine::from_env();
+    let ps = engine.prepare_schema(schema);
+    let (p1, p2) = (engine.prepare(&ps, q1), engine.prepare(&ps, q2));
+    let fwd = engine.contains(&p1, &p2).unwrap();
+    let bwd = engine.contains(&p2, &p1).unwrap();
     let rel = match (fwd, bwd) {
         (true, true) => "Q1 == Q2 (equivalent)",
         (true, false) => "Q1 < Q2 (strictly contained)",
@@ -36,7 +38,7 @@ fn check(schema: &Schema, label: &str, q1: &Query, q2: &Query) {
         strat(q1)
     );
     // Print the certificate for the forward direction.
-    let proof = decide_containment(schema, q1, q2).unwrap();
+    let proof = engine.decide(&p1, &p2).unwrap();
     for line in proof.render(schema, q1, q2).lines() {
         println!("  Q1 ⊆ Q2 {line}");
     }
@@ -45,10 +47,7 @@ fn check(schema: &Schema, label: &str, q1: &Query, q2: &Query) {
 
 fn main() {
     // ---- Example 1.3: inequalities implied by positive conditions. ----
-    let s = parse_schema(
-        "class C { A: V; } class V {} class T1 : V {} class T2 : V {}",
-    )
-    .unwrap();
+    let s = parse_schema("class C { A: V; } class V {} class T1 : V {} class T2 : V {}").unwrap();
     let q1 = parse_query(
         &s,
         "{ x | exists y, s, t: x in C & y in C & s in T1 & t in T2 & s = x.A & t = y.A & x != y }",

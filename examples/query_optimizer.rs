@@ -41,7 +41,10 @@ fn main() {
 
     // Stage 1 — Proposition 2.1: expand into terminal subqueries.
     let expanded = expand(&schema, &q).expect("well-formed");
-    println!("stage 1 — terminal expansion ({} subqueries):", expanded.len());
+    println!(
+        "stage 1 — terminal expansion ({} subqueries):",
+        expanded.len()
+    );
     let mut survivors: Vec<_> = Vec::new();
     for (i, sub) in expanded.iter().enumerate() {
         let verdict = satisfiability(&schema, sub).expect("terminal");
@@ -59,7 +62,10 @@ fn main() {
 
     // Stage 2 — Theorem 4.2: remove redundant subqueries.
     let nonred = nonredundant_union(&schema, &UnionQuery::new(survivors)).unwrap();
-    println!("\nstage 2 — nonredundant union ({} subqueries):", nonred.len());
+    println!(
+        "\nstage 2 — nonredundant union ({} subqueries):",
+        nonred.len()
+    );
     for sub in &nonred {
         println!("  {}", sub.display(&schema));
     }

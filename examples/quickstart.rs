@@ -8,8 +8,8 @@
 //! Run with `cargo run --example quickstart`.
 
 use oocq::{
-    answer, answer_union, contains_positive, minimize_positive, parse_query, parse_schema,
-    search_space_cost, union_cost, StateBuilder,
+    answer, answer_union, parse_query, parse_schema, search_space_cost, union_cost, Engine,
+    StateBuilder,
 };
 
 fn main() {
@@ -34,15 +34,21 @@ fn main() {
 
     println!("original : {}", query.display(&schema));
 
+    // Prepare once, decide many times: the Engine memoizes every derived
+    // artifact (analysis, terminal classes, expansion) on the handles.
+    let engine = Engine::from_env();
+    let prepared_schema = engine.prepare_schema(&schema);
+    let prepared = engine.prepare(&prepared_schema, &query);
+
     // Exact minimization (§4 of the paper): the typing constraint
     // Discount.VehRented : {Auto} narrows x from Vehicle to Auto.
-    let optimal = minimize_positive(&schema, &query).expect("query is positive");
+    let optimal = engine.minimize(&prepared).expect("query is positive");
     println!("minimized: {}", optimal.display(&schema));
 
     // The rewrite is an equivalence, certified by the containment algorithm.
-    let back = &optimal.queries()[0];
-    assert!(contains_positive(&schema, &query, back).unwrap());
-    assert!(contains_positive(&schema, back, &query).unwrap());
+    let back = engine.prepare(&prepared_schema, &optimal.queries()[0]);
+    assert!(engine.contains_positive(&prepared, &back).unwrap());
+    assert!(engine.contains_positive(&back, &prepared).unwrap());
     println!("equivalence: certified in both directions");
 
     // ... and observable on a concrete database state.
@@ -74,6 +80,12 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" ")
     };
-    println!("search space before: {}", show(&search_space_cost(&schema, &query)));
-    println!("search space after : {}", show(&union_cost(&schema, &optimal)));
+    println!(
+        "search space before: {}",
+        show(&search_space_cost(&schema, &query))
+    );
+    println!(
+        "search space after : {}",
+        show(&union_cost(&schema, &optimal))
+    );
 }

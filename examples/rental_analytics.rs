@@ -7,9 +7,9 @@
 //!
 //! Run with `cargo run --release --example rental_analytics`.
 
-use oocq::gen::{random_state, StateParams};
-use oocq::{answer, answer_union, minimize_positive, parse_query, samples};
 use oocq::gen::StdRng;
+use oocq::gen::{random_state, StateParams};
+use oocq::{answer, answer_union, parse_query, samples, Engine};
 use std::time::Instant;
 
 fn main() {
@@ -19,7 +19,11 @@ fn main() {
         "{ x | exists y: x in Vehicle & y in Discount & x in y.VehRented }",
     )
     .unwrap();
-    let optimal = minimize_positive(&schema, &query).unwrap();
+    let engine = Engine::from_env();
+    let prepared_schema = engine.prepare_schema(&schema);
+    let optimal = engine
+        .minimize(&engine.prepare(&prepared_schema, &query))
+        .unwrap();
 
     println!("query    : {}", query.display(&schema));
     println!("minimized: {}\n", optimal.display(&schema));

@@ -6,12 +6,12 @@
 //!
 //! Run with `cargo run --example university`.
 
+use oocq::gen::StdRng;
 use oocq::gen::{random_state, StateParams};
 use oocq::{
-    answer, answer_union, decide_containment, minimize_positive_report, parse_query,
-    parse_schema, Optimizer,
+    answer, answer_union, decide_containment, minimize_positive_report, parse_query, parse_schema,
+    Optimizer,
 };
-use oocq::gen::StdRng;
 
 fn main() {
     // People split into staff and students; students into undergrads and

@@ -18,10 +18,12 @@
 //! ## Quickstart
 //!
 //! Example 1.1 of the paper: discount customers may rent automobiles only,
-//! so a query ranging over `Vehicle` can be narrowed to `Auto`:
+//! so a query ranging over `Vehicle` can be narrowed to `Auto`. Decisions
+//! go through an [`Engine`]: preparing the schema and query once lets every
+//! later decision on the same handles reuse the memoized analysis.
 //!
 //! ```
-//! use oocq::{minimize_positive, parse_query, parse_schema};
+//! use oocq::{Engine, parse_query, parse_schema};
 //!
 //! let schema = parse_schema(r#"
 //!     class Vehicle {}
@@ -38,11 +40,17 @@
 //!     "{ x | exists y: x in Vehicle & y in Discount & x in y.VehRented }",
 //! ).unwrap();
 //!
-//! let optimal = minimize_positive(&schema, &query).unwrap();
+//! let engine = Engine::from_env();
+//! let prepared_schema = engine.prepare_schema(&schema);
+//! let prepared = engine.prepare(&prepared_schema, &query);
+//!
+//! let optimal = engine.minimize(&prepared).unwrap();
 //! assert_eq!(
 //!     optimal.display(&schema).to_string(),
 //!     "{ x | exists y: x in Auto & y in Discount & x in y.VehRented }",
 //! );
+//! // The one-shot free functions remain as convenience wrappers:
+//! assert_eq!(oocq::minimize_positive(&schema, &query).unwrap(), optimal);
 //! ```
 //!
 //! ## Crate map
@@ -54,7 +62,7 @@
 //! | `oocq-state` | [`State`], [`StateBuilder`], [`Value`], legal-state validation |
 //! | `oocq-eval` | [`answer`], [`answer_union`], 3-valued [`Truth`] |
 //! | `oocq-parser` | [`parse_schema`], [`parse_query`], [`parse_union`] |
-//! | `oocq-core` | [`contains_terminal`], [`union_contains`], [`minimize_positive`], [`is_satisfiable`], [`expand`] |
+//! | `oocq-core` | [`Engine`], [`PreparedQuery`], [`contains_terminal`], [`union_contains`], [`minimize_positive`], [`is_satisfiable`], [`expand`] |
 //! | `oocq-rel` | [`rel`]: the Chandra–Merlin relational baseline |
 //! | `oocq-gen` | [`gen`]: workload and random-instance generators |
 //! | `oocq-service` | [`ServiceEngine`], [`serve`], [`CanonicalDecisionCache`] — the `oocq-serve` daemon |
@@ -65,37 +73,40 @@
 pub use oocq_core::{
     contains_positive, contains_positive_with, contains_terminal, contains_terminal_full,
     contains_terminal_full_with, contains_terminal_with, cost_leq, decide_containment,
-    decide_containment_with, dispatch_containment_with, equivalent_positive,
-    equivalent_terminal, equivalent_terminal_with, expand, expand_satisfiable,
-    expand_satisfiable_with, expansion_size, is_minimal_terminal_positive,
-    is_satisfiable, minimize_general, minimize_positive, minimize_positive_report,
-    minimize_positive_report_with, minimize_positive_with, minimize_terminal_general,
-    minimize_terminal_positive, nonredundant_union, nonredundant_union_with,
-    satisfiability, search_space_cost, strategy_for, strip_non_range, term_class, union_contains,
+    decide_containment_with, dispatch_containment_with, equivalent_positive, equivalent_terminal,
+    equivalent_terminal_with, expand, expand_satisfiable, expand_satisfiable_with, expansion_size,
+    is_minimal_terminal_positive, is_satisfiable, minimize_general, minimize_general_with,
+    minimize_positive, minimize_positive_report, minimize_positive_report_with,
+    minimize_positive_with, minimize_terminal_general, minimize_terminal_general_with,
+    minimize_terminal_positive, nonredundant_union, nonredundant_union_with, satisfiability,
+    search_space_cost, strategy_for, strip_non_range, term_class, union_contains,
     union_contains_with, union_cost, union_equivalent, var_classes, Containment, CoreError,
-    DecisionCache, EngineConfig, MappingWitness,
-    MinimizationReport, Optimizer, OptimizerStats, Satisfiability, Strategy, UnsatReason,
-    MAX_BRANCHES,
+    DecisionCache, Engine, EngineConfig, MappingWitness, MinimizationReport, Optimizer,
+    OptimizerStats, PreparedQuery, PreparedQueryStats, PreparedSchema, Satisfiability, Strategy,
+    UnsatReason, MAX_BRANCHES,
 };
 pub use oocq_eval::{
     answer, answer_planned, answer_union, answer_with_plan, canonical_contains, canonical_state,
     eval_atom, eval_matrix, refute_containment, CounterExample, Plan, Truth,
 };
-pub use oocq_parser::{parse_program, parse_query, parse_schema, parse_union, Command, ParseError, Program};
+pub use oocq_parser::{
+    parse_program, parse_query, parse_schema, parse_union, Command, ParseError, Program,
+};
 pub use oocq_query::{
     canonical_form, check_well_formed, find_isomorphism, isomorphic, maximal_classes, normalize,
     Atom, CanonicalQuery, DisplayQuery, DisplayUnion, EqualityGraph, Query, QueryAnalysis,
     QueryBuilder, Term, UnionQuery, VarId, WellFormedError,
 };
 pub use oocq_schema::{
-    samples, AttrId, AttrType, ClassId, Schema, SchemaBuilder, SchemaError, SchemaStats,
-    TupleType,
+    samples, AttrId, AttrType, ClassId, Schema, SchemaBuilder, SchemaError, SchemaStats, TupleType,
 };
 pub use oocq_service::{
     run_program_with, run_workbench_with, serve, CacheStats, CanonicalDecisionCache, Request,
     RequestStats, ServiceEngine,
 };
-pub use oocq_state::{DisplayState, Object, Oid, State, StateBuilder, StateError, StateStats, Value};
+pub use oocq_state::{
+    DisplayState, Object, Oid, State, StateBuilder, StateError, StateStats, Value,
+};
 
 pub mod tutorial;
 pub mod workbench;

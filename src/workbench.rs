@@ -96,11 +96,7 @@ mod tests {
         // Non-positive AND non-terminal on the right: outside the fragment.
         let s = crate::parse_schema("class C {} class D : C {}").unwrap();
         let qa = crate::parse_query(&s, "{ x | x in C }").unwrap();
-        let qb = crate::parse_query(
-            &s,
-            "{ x | exists y: x in C & y in C & x != y }",
-        )
-        .unwrap();
+        let qb = crate::parse_query(&s, "{ x | exists y: x in C & y in C & x != y }").unwrap();
         assert!(dispatch_containment(&s, &qa, &qb).is_err());
     }
 }

@@ -4,9 +4,7 @@
 //! engine's, and the full Theorem 3.1 enumeration must agree with the
 //! corollary fast paths wherever both apply.
 
-use oocq::gen::{
-    random_schema, random_terminal_positive, QueryParams, Rng, SchemaParams, StdRng,
-};
+use oocq::gen::{random_schema, random_terminal_positive, QueryParams, Rng, SchemaParams, StdRng};
 use oocq::{
     contains_terminal_full_with, contains_terminal_with, decide_containment_with,
     expand_satisfiable_with, normalize, union_contains_with, Atom, EngineConfig, Query, Schema,
@@ -117,8 +115,7 @@ fn full_enumeration_agrees_with_fast_paths() {
         let fast = contains_terminal_with(&schema, &q1, &q2, &EngineConfig::serial()).unwrap();
         let full_serial =
             contains_terminal_full_with(&schema, &q1, &q2, &EngineConfig::serial()).unwrap();
-        let full_par =
-            contains_terminal_full_with(&schema, &q1, &q2, &forced_parallel(4)).unwrap();
+        let full_par = contains_terminal_full_with(&schema, &q1, &q2, &forced_parallel(4)).unwrap();
         assert_eq!(
             fast,
             full_serial,
@@ -126,7 +123,10 @@ fn full_enumeration_agrees_with_fast_paths() {
             q1.display(&schema),
             q2.display(&schema)
         );
-        assert_eq!(full_serial, full_par, "seed {seed}: full enumeration not deterministic");
+        assert_eq!(
+            full_serial, full_par,
+            "seed {seed}: full enumeration not deterministic"
+        );
     }
 }
 

@@ -88,10 +88,10 @@ fn minimization_scales_over_deep_trees() {
     assert!(oocq::union_equivalent(
         &s,
         &m,
-        &oocq::expand_satisfiable(&s, &parse_query(
+        &oocq::expand_satisfiable(
             &s,
-            "{ x | exists y: x in C & y in C & y in x.items }"
-        ).unwrap())
+            &parse_query(&s, "{ x | exists y: x in C & y in C & y in x.items }").unwrap()
+        )
         .unwrap()
     )
     .unwrap());

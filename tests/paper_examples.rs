@@ -80,8 +80,11 @@ fn e2_example_12_41_full_pipeline() {
     .unwrap();
     let m = minimize_positive(&s, &q).unwrap();
     assert_eq!(m.len(), 2);
-    let q2_prime = parse_query(&s, "{ x | exists y: x in T2 & y in H & y = x.B & y in x.A }")
-        .unwrap();
+    let q2_prime = parse_query(
+        &s,
+        "{ x | exists y: x in T2 & y in H & y = x.B & y in x.A }",
+    )
+    .unwrap();
     let q5 = parse_query(
         &s,
         "{ x | exists y, s: x in T2 & y in I & s in H & y = x.B & y in x.A & s in x.A }",

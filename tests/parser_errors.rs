@@ -62,18 +62,14 @@ fn union_error_positions() {
 #[test]
 fn program_error_positions() {
     // Commands referencing queries defined later are still unknown at use.
-    let err = parse_program(
-        "schema { class C {} }\ncheck Q <= Q\nquery Q = { x | x in C }",
-    )
-    .unwrap_err();
+    let err =
+        parse_program("schema { class C {} }\ncheck Q <= Q\nquery Q = { x | x in C }").unwrap_err();
     assert_eq!(err.line, 2);
     assert!(err.message.contains("unknown query `Q`"));
 
     // Wrong operator in a check.
-    let err = parse_program(
-        "schema { class C {} } query Q = { x | x in C } check Q != Q",
-    )
-    .unwrap_err();
+    let err =
+        parse_program("schema { class C {} } query Q = { x | x in C } check Q != Q").unwrap_err();
     assert!(err.message.contains("expected `<=`"));
 }
 

@@ -138,8 +138,7 @@ fn minimization_preserves_semantics() {
         // variables only removes occurrences). Note the cost CAN be
         // incomparable with the unexpanded original — Example 4.1's result
         // mentions T2 twice while the original mentions it once.
-        let expanded =
-            oocq::expand_satisfiable(&schema, &normalize(&q, &schema).unwrap()).unwrap();
+        let expanded = oocq::expand_satisfiable(&schema, &normalize(&q, &schema).unwrap()).unwrap();
         assert!(
             cost_leq(&union_cost(&schema, &m), &union_cost(&schema, &expanded)),
             "seed {seed}"
@@ -435,6 +434,112 @@ fn normalization_preserves_semantics() {
                 "seed {seed}"
             );
         }
+    }
+}
+
+/// The prepared [`oocq::Engine`] path returns verdicts identical to the
+/// free-function path across the generator workloads: terminal and general
+/// containment, equivalence, dispatch (including a non-terminal left side
+/// against a terminal right), positive containment, minimization, and
+/// satisfiable expansion.
+#[test]
+fn engine_path_matches_free_functions() {
+    let engine = oocq::Engine::serial();
+    for seed in 0..48u64 {
+        let schema = test_schema(seed);
+        let ps = engine.prepare_schema(&schema);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe9e9);
+        let p = QueryParams { vars: 3, atoms: 4 };
+        let t1 = random_terminal_positive(&mut rng, &schema, &p);
+        let t2 = random_terminal_positive(&mut rng, &schema, &p);
+        let g1 = add_negative_atoms(&mut rng, &schema, &t1, 2);
+        let g2 = add_negative_atoms(&mut rng, &schema, &t2, 2);
+        let pos = random_positive(&mut rng, &schema, &QueryParams { vars: 3, atoms: 3 });
+
+        let (pt1, pt2) = (engine.prepare(&ps, &t1), engine.prepare(&ps, &t2));
+        let (pg1, pg2) = (engine.prepare(&ps, &g1), engine.prepare(&ps, &g2));
+        let ppos = engine.prepare(&ps, &pos);
+
+        assert_eq!(
+            engine.contains(&pt1, &pt2).unwrap(),
+            contains_terminal(&schema, &t1, &t2).unwrap(),
+            "seed {seed}: terminal containment"
+        );
+        assert_eq!(
+            engine.contains(&pg1, &pg2).unwrap(),
+            contains_terminal(&schema, &g1, &g2).unwrap(),
+            "seed {seed}: general containment"
+        );
+        assert_eq!(
+            engine.equivalent(&pg1, &pg2).unwrap(),
+            oocq::equivalent_terminal(&schema, &g1, &g2).unwrap(),
+            "seed {seed}: equivalence"
+        );
+        assert_eq!(
+            engine.contains_positive(&ppos, &pt2).unwrap(),
+            oocq::contains_positive(&schema, &pos, &t2).unwrap(),
+            "seed {seed}: positive containment"
+        );
+        assert_eq!(
+            engine.dispatch(&ppos, &pt1).unwrap(),
+            oocq::dispatch_containment(&schema, &pos, &t1).unwrap(),
+            "seed {seed}: dispatch"
+        );
+        assert_eq!(
+            engine.minimize(&ppos),
+            minimize_positive(&schema, &pos),
+            "seed {seed}: minimization"
+        );
+        assert_eq!(
+            engine.expand_satisfiable(&ppos),
+            oocq::expand_satisfiable(&schema, &pos),
+            "seed {seed}: expansion"
+        );
+        assert_eq!(
+            engine.satisfiability(&pt1),
+            oocq::satisfiability(&schema, &t1),
+            "seed {seed}: satisfiability"
+        );
+    }
+}
+
+/// Reusing one [`oocq::PreparedQuery`] across 100 repeated decisions is
+/// observable: the shared decision cache answers every warm lookup, and the
+/// handle's build counters show each artifact was derived at most once.
+#[test]
+fn prepared_reuse_is_observable_in_counters() {
+    let schema = oocq::samples::vehicle_rental();
+    let cache = std::sync::Arc::new(oocq::CanonicalDecisionCache::new(256));
+    let engine = oocq::Engine::serial().with_cache(cache.clone());
+    let ps = engine.prepare_schema(&schema);
+    let q1 = parse_query(
+        &schema,
+        "{ x | exists y: x in Vehicle & y in Discount & x in y.VehRented }",
+    )
+    .unwrap();
+    let q2 = parse_query(&schema, "{ x | x in Vehicle }").unwrap();
+    let (p1, p2) = (engine.prepare(&ps, &q1), engine.prepare(&ps, &q2));
+    let first = engine.dispatch(&p1, &p2).unwrap();
+    let min_first = engine.minimize(&p1).unwrap();
+    for _ in 0..99 {
+        assert_eq!(engine.dispatch(&p1, &p2).unwrap(), first);
+        assert_eq!(engine.minimize(&p1).unwrap(), min_first);
+    }
+    let st = cache.stats();
+    assert!(st.contains_hits >= 99, "warm containment must hit: {st:?}");
+    assert!(st.minimize_hits >= 99, "warm minimization must hit: {st:?}");
+    for p in [&p1, &p2] {
+        let s = p.stats();
+        assert!(
+            s.analysis_builds <= 1
+                && s.classes_builds <= 1
+                && s.satisfiability_builds <= 1
+                && s.canonical_builds <= 1
+                && s.branch_builds <= 1,
+            "artifacts rebuilt across repeated decisions: {s:?}"
+        );
+        // Raw and normalized expansions are distinct memos.
+        assert!(s.expansion_builds <= 2, "{s:?}");
     }
 }
 

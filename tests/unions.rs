@@ -73,7 +73,12 @@ fn theorem_42_nonredundant_forms_are_memberwise_equivalent() {
             .iter()
             .filter(|p| oocq::equivalent_terminal(&s, q, p).unwrap())
             .count();
-        assert_eq!(partners, 1, "member {} lacks a unique partner", q.display(&s));
+        assert_eq!(
+            partners,
+            1,
+            "member {} lacks a unique partner",
+            q.display(&s)
+        );
     }
 }
 
