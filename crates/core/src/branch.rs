@@ -37,6 +37,7 @@
 //! branch counts fall back to it automatically since spawning threads for a
 //! handful of mapping searches costs more than it saves.
 
+use crate::budget::Budget;
 use crate::cache::DecisionCache;
 use crate::derive::{find_mapping, MappingGoal, TargetCtx, TargetIndexes};
 use crate::error::CoreError;
@@ -83,6 +84,12 @@ pub struct EngineConfig {
     /// queries are equivalent). On by default; exists as a switch so tests
     /// can show the fast path changes nothing.
     pub iso_fast_path: bool,
+    /// The cooperative request budget the hot loops charge. The default
+    /// ([`Budget::unlimited`]) never trips and costs nothing; a tripped
+    /// budget surfaces as the recoverable [`CoreError::Timeout`]. A budget
+    /// that never trips changes no decision value, so the observational-
+    /// identity guarantee above extends to generous budgets too.
+    pub budget: Budget,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -95,6 +102,7 @@ impl std::fmt::Debug for EngineConfig {
                 &self.cache.as_ref().map(|_| "Some(<dyn DecisionCache>)"),
             )
             .field("iso_fast_path", &self.iso_fast_path)
+            .field("budget", &self.budget)
             .finish()
     }
 }
@@ -145,6 +153,7 @@ impl EngineConfig {
             min_parallel_branches,
             cache: None,
             iso_fast_path: true,
+            budget: Budget::unlimited(),
         }
     }
 
@@ -169,6 +178,14 @@ impl EngineConfig {
     /// regression tests to show the fast path is invisible).
     pub fn without_iso_fast_path(mut self) -> EngineConfig {
         self.iso_fast_path = false;
+        self
+    }
+
+    /// This configuration with a request budget installed. Clones of the
+    /// configuration (including [`EngineConfig::serial_inner`]) share the
+    /// budget's counter, so one request's nested checks draw on one pool.
+    pub fn with_budget(mut self, budget: Budget) -> EngineConfig {
+        self.budget = budget;
         self
     }
 }
@@ -240,7 +257,9 @@ impl<'a> BranchPlan<'a> {
     /// terminal `q1` whose shared base state (`base`) the caller has already
     /// derived — or memoized on a prepared query. `enum_s` / `enum_w` select
     /// which dimensions the chosen strategy actually quantifies over
-    /// (Corollaries 3.2–3.4 fix one or both to the trivial choice).
+    /// (Corollaries 3.2–3.4 fix one or both to the trivial choice). Charges
+    /// `budget` one unit per candidate `S` block, so partition-count
+    /// blowups trip the budget during planning rather than after it.
     pub(crate) fn build(
         schema: &'a Schema,
         q1: &'a Query,
@@ -248,6 +267,7 @@ impl<'a> BranchPlan<'a> {
         base: &BranchBase,
         enum_s: bool,
         enum_w: bool,
+        budget: &Budget,
     ) -> Result<BranchPlan<'a>, CoreError> {
         let s_choices = if enum_s {
             equality_augmentations(q1, classes1, &base.analysis)?
@@ -258,6 +278,7 @@ impl<'a> BranchPlan<'a> {
         let mut sbranches: Vec<SBranch> = Vec::new();
         let mut total: u64 = 0;
         for s_atoms in s_choices {
+            budget.charge(1)?;
             let q1s = q1.with_extra_atoms(s_atoms.clone());
             let analysis = if s_atoms.is_empty() {
                 base.analysis.clone()
@@ -382,34 +403,54 @@ impl<'a> BranchPlan<'a> {
 
     /// Decide containment over the whole branch space. Serial and parallel
     /// modes return identical values, including witness order and the
-    /// identity of the failing branch.
-    pub(crate) fn run(&self, q2: &Query, classes2: &[ClassId], cfg: &EngineConfig) -> Containment {
+    /// identity of the failing branch. Charges `cfg.budget` one unit per
+    /// branch evaluated; a tripped budget surfaces as
+    /// [`CoreError::Timeout`] — unless a refuted branch was already found,
+    /// which is conclusive no matter how much of the space went unexplored.
+    pub(crate) fn run(
+        &self,
+        q2: &Query,
+        classes2: &[ClassId],
+        cfg: &EngineConfig,
+    ) -> Result<Containment, CoreError> {
         if cfg.threads <= 1 || self.total < cfg.min_parallel_branches {
-            self.run_serial(q2, classes2)
+            self.run_serial(q2, classes2, &cfg.budget)
         } else {
-            self.run_parallel(q2, classes2, cfg.threads)
+            self.run_parallel(q2, classes2, cfg.threads, &cfg.budget)
         }
     }
 
-    fn run_serial(&self, q2: &Query, classes2: &[ClassId]) -> Containment {
+    fn run_serial(
+        &self,
+        q2: &Query,
+        classes2: &[ClassId],
+        budget: &Budget,
+    ) -> Result<Containment, CoreError> {
         let mut witnesses: Vec<MappingWitness> = Vec::new();
         for idx in 0..self.total {
+            budget.charge(1)?;
             match self.eval(q2, classes2, idx) {
                 Some(assignment) => witnesses.push(MappingWitness {
                     augmentation: self.augmentation_of(idx),
                     assignment,
                 }),
                 None => {
-                    return Containment::Fails {
+                    return Ok(Containment::Fails {
                         augmentation: self.augmentation_of(idx),
-                    }
+                    })
                 }
             }
         }
-        Containment::Holds(witnesses)
+        Ok(Containment::Holds(witnesses))
     }
 
-    fn run_parallel(&self, q2: &Query, classes2: &[ClassId], threads: usize) -> Containment {
+    fn run_parallel(
+        &self,
+        q2: &Query,
+        classes2: &[ClassId],
+        threads: usize,
+        budget: &Budget,
+    ) -> Result<Containment, CoreError> {
         let workers = threads
             .min(self.total.min(usize::MAX as u64) as usize)
             .max(1);
@@ -420,6 +461,7 @@ impl<'a> BranchPlan<'a> {
         // and the final minimum equals the serial scan's first failure.
         let min_fail = AtomicU64::new(u64::MAX);
         let collected: Mutex<Vec<(u64, Vec<VarId>)>> = Mutex::new(Vec::new());
+        let budget_err: Mutex<Option<CoreError>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -427,6 +469,13 @@ impl<'a> BranchPlan<'a> {
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= self.total || idx >= min_fail.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // The budget trip is sticky, so once one worker
+                        // records the error here every other worker's next
+                        // charge fails too and the pool winds down.
+                        if let Err(e) = budget.charge(1) {
+                            *budget_err.lock().unwrap() = Some(e);
                             break;
                         }
                         match self.eval(q2, classes2, idx) {
@@ -442,15 +491,22 @@ impl<'a> BranchPlan<'a> {
                 });
             }
         });
+        // Precedence: a refutation found anywhere is a conclusive `Fails`
+        // (Theorem 3.1 needs every branch only for `Holds`), so it outranks
+        // budget exhaustion; a `Holds` claim, by contrast, is only valid if
+        // no branch was skipped, so the budget error must win over it.
         let first_fail = min_fail.into_inner();
         if first_fail != u64::MAX {
-            return Containment::Fails {
+            return Ok(Containment::Fails {
                 augmentation: self.augmentation_of(first_fail),
-            };
+            });
+        }
+        if let Some(e) = budget_err.into_inner().unwrap() {
+            return Err(e);
         }
         let mut found = collected.into_inner().unwrap();
         found.sort_unstable_by_key(|&(idx, _)| idx);
-        Containment::Holds(
+        Ok(Containment::Holds(
             found
                 .into_iter()
                 .map(|(idx, assignment)| MappingWitness {
@@ -458,7 +514,7 @@ impl<'a> BranchPlan<'a> {
                     assignment,
                 })
                 .collect(),
-        )
+        ))
     }
 }
 
@@ -681,6 +737,7 @@ mod tests {
         assert!(cfg.min_parallel_branches >= 1);
         assert!(cfg.cache.is_none());
         assert!(cfg.iso_fast_path);
+        assert!(cfg.budget.is_unlimited());
         assert_eq!(EngineConfig::serial().threads, 1);
         assert_eq!(EngineConfig::with_threads(0).threads, 1);
         assert_eq!(EngineConfig::with_threads(4).threads, 4);
@@ -703,12 +760,17 @@ mod tests {
 
     #[test]
     fn serial_inner_keeps_collaborators() {
-        let cfg = EngineConfig::with_threads(4).without_iso_fast_path();
+        let cfg = EngineConfig::with_threads(4)
+            .without_iso_fast_path()
+            .with_budget(Budget::with_limit(7));
         let inner = cfg.serial_inner();
         assert_eq!(inner.threads, 1);
         assert_eq!(inner.min_parallel_branches, u64::MAX);
         assert!(!inner.iso_fast_path);
         assert!(inner.cache.is_none());
+        // The inner config shares the *same* budget counter, not a copy.
+        inner.budget.charge(7).unwrap();
+        assert!(cfg.budget.charge(1).is_err());
     }
 
     #[test]

@@ -233,8 +233,8 @@ pub(crate) fn decide_sides(
     );
     let enum_w = matches!(strategy, Strategy::Full | Strategy::InequalityFree);
 
-    let plan = BranchPlan::build(schema, q1, classes1, base1, enum_s, enum_w)?;
-    Ok(plan.run(q2, classes2, cfg))
+    let plan = BranchPlan::build(schema, q1, classes1, base1, enum_s, enum_w, &cfg.budget)?;
+    plan.run(q2, classes2, cfg)
 }
 
 /// Theorem 4.1: containment of unions of terminal **positive** conjunctive
@@ -287,6 +287,7 @@ pub(crate) fn union_contains_inner(
     };
     // Is Qᵢ covered — unsatisfiable, or contained in some Pⱼ?
     let covered = |i: usize| -> Result<bool, CoreError> {
+        cfg.budget.charge(1)?;
         let q = queries[i];
         if !presatisfied && !is_sat(schema, q)? {
             return Ok(true); // unsatisfiable subquery contributes nothing
@@ -403,6 +404,7 @@ mod tests {
     use super::*;
     use oocq_query::QueryBuilder;
     use oocq_schema::samples;
+    use std::time::Duration;
 
     #[test]
     fn example_31_containment_both_directions() {
@@ -638,6 +640,98 @@ mod tests {
             contains_terminal(&s, &q1, &q2),
             Err(CoreError::BranchLimit { branches, limit })
                 if branches > limit && limit == crate::MAX_BRANCHES
+        ));
+    }
+
+    /// A 2^n membership-subset space that Theorem 3.1 must walk to the end:
+    /// `Q₁ ⊆ Q₂` *holds*, so no early refutation cuts the scan short, and
+    /// with `candidates` below 22 the size guard never fires either — only a
+    /// budget can stop it. `Q₂`'s non-membership `u ∉ y.A` maps to `Q₁`'s
+    /// `z ∉ y.A` in every branch (`z`'s membership is excluded, so it is
+    /// never a candidate), while `x1..xn` give `W` its 2^n subsets.
+    fn explosion_pair(s: &Schema, candidates: usize) -> (Query, Query) {
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x0");
+        let x0 = b.free();
+        b.range(x0, [t1]);
+        for i in 1..=candidates {
+            let xi = b.var(&format!("x{i}"));
+            b.range(xi, [t1]);
+        }
+        let z = b.var("z");
+        let y = b.var("y");
+        b.range(z, [t1]).range(y, [t2]);
+        b.member(x0, y, a);
+        b.non_member(z, y, a);
+        let q1 = b.build();
+
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let u = b.var("u");
+        let y2 = b.var("y");
+        b.range(x, [t1]).range(u, [t1]).range(y2, [t2]);
+        b.non_member(u, y2, a);
+        (q1, b.build())
+    }
+
+    #[test]
+    fn work_limit_times_out_serial_runs_and_is_recoverable() {
+        let s = samples::example_33();
+        let (q1, q2) = explosion_pair(&s, 12); // 2^12 branches
+        assert_eq!(strategy_for(&q2), Strategy::InequalityFree);
+        let tiny = EngineConfig::serial().with_budget(crate::Budget::with_limit(100));
+        assert!(matches!(
+            contains_terminal_with(&s, &q1, &q2, &tiny),
+            Err(CoreError::Timeout {
+                deadline: false,
+                ..
+            })
+        ));
+        // The trip is scoped to that budget: a fresh config decides fine —
+        // and the containment genuinely holds, so the full 2^12 walk was
+        // the only way there.
+        assert!(contains_terminal_with(&s, &q1, &q2, &EngineConfig::serial()).unwrap());
+    }
+
+    #[test]
+    fn work_limit_times_out_parallel_runs_unless_a_refutation_concludes() {
+        let s = samples::example_33();
+        let (q1, q2) = explosion_pair(&s, 12);
+        let par = |budget| EngineConfig {
+            threads: 4,
+            min_parallel_branches: 1,
+            ..EngineConfig::serial().with_budget(budget)
+        };
+        assert!(matches!(
+            contains_terminal_with(&s, &q1, &q2, &par(crate::Budget::with_limit(100))),
+            Err(CoreError::Timeout {
+                deadline: false,
+                ..
+            })
+        ));
+        // A generous budget changes nothing about the decision.
+        assert!(
+            contains_terminal_with(&s, &q1, &q2, &par(crate::Budget::with_limit(1 << 20))).unwrap()
+        );
+        // Reversed, containment fails at an early branch: the refutation is
+        // conclusive, so even a tight budget may return it — and whichever
+        // of `Fails`/`Timeout` wins the race, it must never claim `Holds`.
+        match contains_terminal_with(&s, &q2, &q1, &par(crate::Budget::with_limit(100))) {
+            Ok(holds) => assert!(!holds),
+            Err(e) => assert!(matches!(e, CoreError::Timeout { .. }), "{e:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_times_out_before_any_real_work() {
+        let s = samples::example_33();
+        let (q1, q2) = explosion_pair(&s, 12);
+        let cfg = EngineConfig::serial().with_budget(crate::Budget::with_deadline(Duration::ZERO));
+        assert!(matches!(
+            contains_terminal_with(&s, &q1, &q2, &cfg),
+            Err(CoreError::Timeout { deadline: true, .. })
         ));
     }
 

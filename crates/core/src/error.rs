@@ -28,6 +28,17 @@ pub enum CoreError {
         /// The engine's guard ([`crate::MAX_BRANCHES`]).
         limit: u64,
     },
+    /// The cooperative request budget ([`crate::Budget`]) ran out before the
+    /// decision completed. Recoverable: the engine stops between whole work
+    /// items, no shared state is left partial, and the same inputs can be
+    /// retried under a larger budget.
+    Timeout {
+        /// Work units charged when the budget tripped.
+        work: u64,
+        /// `true` when the wall-clock deadline expired, `false` when the
+        /// work limit was exhausted.
+        deadline: bool,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +56,17 @@ impl fmt::Display for CoreError {
                 f,
                 "containment check needs {branches} augmentation branches, \
                  over the limit of {limit}"
+            ),
+            // The text must start with "timeout" — the service renders
+            // errors verbatim and clients match on the `err timeout` prefix.
+            CoreError::Timeout { work, deadline } => write!(
+                f,
+                "timeout: {} after {work} work units",
+                if *deadline {
+                    "request deadline expired"
+                } else {
+                    "request work limit exhausted"
+                }
             ),
         }
     }
@@ -80,5 +102,15 @@ mod tests {
     fn not_terminal_names_variable() {
         let e = CoreError::NotTerminal { var: "x".into() };
         assert!(e.to_string().contains("`x`"));
+    }
+
+    #[test]
+    fn timeout_display_starts_with_the_protocol_keyword() {
+        for deadline in [false, true] {
+            let e = CoreError::Timeout { work: 42, deadline };
+            let text = e.to_string();
+            assert!(text.starts_with("timeout"), "{text}");
+            assert!(text.contains("42"), "{text}");
+        }
     }
 }

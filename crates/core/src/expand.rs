@@ -53,8 +53,10 @@ fn choices(
 }
 
 /// Walk the choice odometer in lexicographic order, handing each complete
-/// per-variable choice vector to `f`. Assumes no choice list is empty.
-fn for_each_choice(choice_lists: &[Vec<ClassId>], mut f: impl FnMut(&[ClassId])) {
+/// per-variable choice vector to `f` until `f` returns `false` (the walk is
+/// worst-case exponential, so budgeted callers need a way out). Assumes no
+/// choice list is empty.
+fn for_each_choice(choice_lists: &[Vec<ClassId>], mut f: impl FnMut(&[ClassId]) -> bool) {
     let n = choice_lists.len();
     let mut cursor = vec![0usize; n];
     let mut chosen: Vec<ClassId> = cursor
@@ -63,7 +65,9 @@ fn for_each_choice(choice_lists: &[Vec<ClassId>], mut f: impl FnMut(&[ClassId]))
         .map(|(v, &i)| choice_lists[v][i])
         .collect();
     loop {
-        f(&chosen);
+        if !f(&chosen) {
+            return;
+        }
         // Odometer increment.
         let mut k = n;
         loop {
@@ -136,7 +140,10 @@ pub fn expand(schema: &Schema, q: &Query) -> Result<UnionQuery, CoreError> {
         // is unsatisfiable and expands to the empty union.
         return Ok(out);
     }
-    for_each_choice(&choice_lists, |chosen| out.push(instantiate(q, chosen)));
+    for_each_choice(&choice_lists, |chosen| {
+        out.push(instantiate(q, chosen));
+        true
+    });
     Ok(out)
 }
 
@@ -187,10 +194,22 @@ pub(crate) fn expand_satisfiable_inner(
         return Ok(UnionQuery::empty());
     }
     let mut subs: Vec<(Vec<ClassId>, Query)> = Vec::new();
+    let mut charge_err: Option<CoreError> = None;
     for_each_choice(&choice_lists, |chosen| {
+        // Charge before materializing: the odometer is the exponential part
+        // of Proposition 2.1, so the budget must be able to stop it here.
+        if let Err(e) = cfg.budget.charge(1) {
+            charge_err = Some(e);
+            return false;
+        }
         subs.push((chosen.to_vec(), instantiate(q, chosen)));
+        true
     });
-    let keep = |i: usize| -> Option<Query> {
+    if let Some(e) = charge_err {
+        return Err(e);
+    }
+    let keep = |i: usize| -> Result<Option<Query>, CoreError> {
+        cfg.budget.charge(1)?;
         let (chosen, sub) = &subs[i];
         #[cfg(debug_assertions)]
         debug_assert_eq!(
@@ -198,20 +217,22 @@ pub(crate) fn expand_satisfiable_inner(
             Some(chosen.as_slice()),
             "odometer choices must equal the subquery's resolved classes"
         );
-        match satisfiability::check(schema, sub, chosen, parent_analysis) {
-            Satisfiability::Satisfiable => Some(satisfiability::strip_non_range(sub)),
-            Satisfiability::Unsatisfiable(_) => None,
-        }
+        Ok(
+            match satisfiability::check(schema, sub, chosen, parent_analysis) {
+                Satisfiability::Satisfiable => Some(satisfiability::strip_non_range(sub)),
+                Satisfiability::Unsatisfiable(_) => None,
+            },
+        )
     };
     let threads = if cfg.threads > 1 && subs.len() >= MIN_PARALLEL_SUBQUERIES {
         cfg.threads
     } else {
         1
     };
-    let results = par_prefix(subs.len(), threads, keep, |_| false);
+    let results = par_prefix(subs.len(), threads, keep, |r| r.is_err());
     let mut out = UnionQuery::empty();
     for (_, r) in results {
-        if let Some(survivor) = r {
+        if let Some(survivor) = r? {
             out.push(survivor);
         }
     }

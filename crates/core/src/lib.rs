@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod branch;
+mod budget;
 mod cache;
 mod containment;
 mod derive;
@@ -38,6 +39,7 @@ mod optimizer;
 mod satisfiability;
 
 pub use branch::{EngineConfig, MAX_BRANCHES};
+pub use budget::Budget;
 pub use cache::DecisionCache;
 pub use containment::{
     contains_positive, contains_positive_with, contains_terminal, contains_terminal_full,

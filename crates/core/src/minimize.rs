@@ -119,6 +119,10 @@ fn redundancy_flags(
     let mut cont = vec![vec![false; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
+            // One unit per pair: the O(n²) sweep is the §4 pipeline's own
+            // contribution to the blowup, over and above the per-pair
+            // Theorem 3.1 work (which charges the same budget internally).
+            cfg.budget.charge(1)?;
             // Expansion branches of one query are frequently renamed copies
             // of each other; isomorphic queries are equivalent, so both
             // directions hold without running Theorem 3.1.
@@ -447,7 +451,10 @@ pub(crate) fn minimize_pipeline(
         .iter()
         .enumerate()
         .filter(|(i, _)| !dropped[*i])
-        .map(|(_, sub)| minimize_terminal_positive(schema, sub))
+        .map(|(_, sub)| {
+            cfg.budget.charge(1)?;
+            minimize_terminal_positive(schema, sub)
+        })
         .collect();
     Ok(UnionQuery::new(minimized?))
 }

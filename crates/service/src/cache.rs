@@ -142,6 +142,9 @@ pub struct CanonicalDecisionCache {
     minimized: Lru<MinimizeKey, UnionQuery>,
     /// Interned schema fingerprints, keyed by the rendered description.
     schema_keys: RwLock<HashMap<String, Arc<str>>>,
+    /// Bound on the interner, so a long-lived daemon seeing an unbounded
+    /// stream of distinct schemas cannot leak memory through it.
+    intern_cap: usize,
     clock: AtomicU64,
     contains_hits: AtomicU64,
     contains_misses: AtomicU64,
@@ -157,6 +160,7 @@ impl CanonicalDecisionCache {
             contains: Lru::new(capacity),
             minimized: Lru::new(capacity),
             schema_keys: RwLock::new(HashMap::new()),
+            intern_cap: capacity.max(1),
             clock: AtomicU64::new(0),
             contains_hits: AtomicU64::new(0),
             contains_misses: AtomicU64::new(0),
@@ -184,9 +188,23 @@ impl CanonicalDecisionCache {
             return k.clone();
         }
         let mut keys = self.schema_keys.write().unwrap();
+        // Interning only deduplicates allocations — `Arc<str>` hashes and
+        // compares by content, so cache entries keyed through an evicted
+        // fingerprint keep hitting. Dropping the whole table on overflow is
+        // therefore sound, and far simpler than per-entry LRU for a map
+        // that stays tiny in every workload except a schema flood.
+        if keys.len() >= self.intern_cap && !keys.contains_key(&text) {
+            keys.clear();
+        }
         keys.entry(text.clone())
             .or_insert_with(|| Arc::from(text.as_str()))
             .clone()
+    }
+
+    /// How many distinct schema fingerprints are currently interned
+    /// (bounded by the cache capacity; test/diagnostic aid).
+    pub fn interned_schemas(&self) -> usize {
+        self.schema_keys.read().unwrap().len()
     }
 
     /// Traffic counters since construction.
@@ -413,5 +431,34 @@ mod tests {
         let k2 = cache.schema_key(&s.clone());
         assert!(Arc::ptr_eq(&k1, &k2));
         assert!(k1.contains("class Vehicle"));
+    }
+
+    #[test]
+    fn schema_interner_is_bounded_and_entries_survive_its_flush() {
+        let cap = 4;
+        let cache = CanonicalDecisionCache::new(cap);
+        let q = simple(&samples::single_class(), "x", "y");
+        // A flood of distinct schemas (one class, varying name) must not
+        // grow the interner past the cache capacity.
+        for i in 0..(cap * 5) {
+            let s = oocq_parser::parse_schema(&format!("class C{i} {{}}")).unwrap();
+            cache.put_contains(&s, &q, &q, true);
+            assert!(
+                cache.interned_schemas() <= cap,
+                "interner grew to {} > {cap}",
+                cache.interned_schemas()
+            );
+        }
+        // Content equality keys the tables, so an entry written before the
+        // interner flushed still hits afterwards (as long as its LRU shard
+        // kept it).
+        let s0 = oocq_parser::parse_schema("class C0 {}").unwrap();
+        cache.put_contains(&s0, &q, &q, true);
+        for j in 0..cap {
+            let s = oocq_parser::parse_schema(&format!("class Other{j} {{}}")).unwrap();
+            let _ = cache.schema_key(&s);
+        }
+        assert!(cache.interned_schemas() <= cap);
+        assert_eq!(cache.get_contains(&s0, &q, &q), Some(true));
     }
 }

@@ -12,8 +12,8 @@ use crate::cache::CanonicalDecisionCache;
 use crate::protocol::{Request, RequestStats};
 use crate::runner::run_program_with;
 use oocq_core::{
-    contains_terminal_with, expand, expand_satisfiable_with, satisfiability, DecisionCache, Engine,
-    EngineConfig, PreparedQuery, PreparedSchema, Satisfiability,
+    contains_terminal_with, expand, expand_satisfiable_with, satisfiability, Budget, DecisionCache,
+    Engine, EngineConfig, PreparedQuery, PreparedSchema, Satisfiability,
 };
 use oocq_parser::{parse_program, parse_query, parse_schema};
 use oocq_query::{normalize, Query, UnionQuery};
@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// An immutable snapshot of one named session: a prepared schema plus the
 /// prepared queries defined against it.
@@ -146,6 +146,12 @@ pub struct ServiceEngine {
     cache: Option<Arc<CanonicalDecisionCache>>,
     base: EngineConfig,
     sessions: RwLock<HashMap<String, Arc<Session>>>,
+    /// Per-request wall-clock deadline (`OOCQ_DEADLINE_MS`); the budget's
+    /// clock starts when the request begins executing, not at config time.
+    deadline: Option<Duration>,
+    /// Explicit job-queue bound (`OOCQ_QUEUE_BOUND`); `None` derives one
+    /// from the pool size.
+    queue_bound: Option<usize>,
 }
 
 impl ServiceEngine {
@@ -163,11 +169,16 @@ impl ServiceEngine {
             cache,
             base,
             sessions: RwLock::new(HashMap::new()),
+            deadline: None,
+            queue_bound: None,
         }
     }
 
     /// Configuration from the environment: `OOCQ_THREADS` for the pool
-    /// size, `OOCQ_CACHE_CAPACITY` for the cache (`0` disables it).
+    /// size, `OOCQ_CACHE_CAPACITY` for the cache (`0` disables it),
+    /// `OOCQ_DEADLINE_MS` for the per-request wall-clock deadline (unset or
+    /// `0` means none), and `OOCQ_QUEUE_BOUND` for the dispatcher queue
+    /// bound (unset or `0` derives one from the pool size).
     pub fn from_env() -> ServiceEngine {
         let cache = match std::env::var("OOCQ_CACHE_CAPACITY")
             .ok()
@@ -177,12 +188,41 @@ impl ServiceEngine {
             Some("0") => None,
             _ => Some(Arc::new(CanonicalDecisionCache::from_env())),
         };
+        let positive = |var: &str| {
+            std::env::var(var)
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .filter(|&n| n > 0)
+        };
         ServiceEngine::with_cache(EngineConfig::from_env(), cache)
+            .with_deadline(positive("OOCQ_DEADLINE_MS").map(Duration::from_millis))
+            .with_queue_bound(positive("OOCQ_QUEUE_BOUND").map(|n| n as usize))
+    }
+
+    /// This engine with a per-request wall-clock deadline (`None` = none).
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> ServiceEngine {
+        self.deadline = deadline;
+        self
+    }
+
+    /// This engine with an explicit dispatcher queue bound (`None` derives
+    /// one from the pool size).
+    pub fn with_queue_bound(mut self, bound: Option<usize>) -> ServiceEngine {
+        self.queue_bound = bound;
+        self
     }
 
     /// The worker-pool size this engine wants (`base.threads`).
     pub fn pool_threads(&self) -> usize {
         self.base.threads
+    }
+
+    /// How many decision jobs the dispatcher may queue ahead of the workers
+    /// before it stops reading input (backpressure). Never zero.
+    pub fn queue_bound(&self) -> usize {
+        self.queue_bound
+            .unwrap_or_else(|| self.pool_threads().max(1) * 16)
+            .max(1)
     }
 
     /// The shared decision cache, if enabled.
@@ -250,6 +290,7 @@ impl ServiceEngine {
             | Request::Explain { session, .. }
             | Request::Expand { session, .. }
             | Request::Minimize { session, .. } => self.session(session).map(Some),
+            Request::Limited { inner, .. } => self.snapshot_for(inner),
             _ => Ok(None),
         }
     }
@@ -268,18 +309,30 @@ impl ServiceEngine {
 
     /// Execute one decision request against a pre-captured snapshot.
     /// Returns the response payload (or error message) plus stats.
+    ///
+    /// Each execution gets a fresh [`Budget`] combining the engine-wide
+    /// deadline (clock starting now) with the request's own `limit=` option,
+    /// so one timed-out request never poisons the next.
     pub fn execute(
         &self,
         req: &Request,
         snapshot: Option<&Arc<Session>>,
     ) -> (Result<String, String>, RequestStats) {
         let start = Instant::now();
+        let (req, limit) = match req {
+            Request::Limited { limit, inner } => (inner.as_ref(), Some(*limit)),
+            other => (other, None),
+        };
+        #[cfg(test)]
+        panic_injection(req);
         let view = Arc::new(CountingView {
             inner: self.cache.clone(),
             hits: AtomicU64::new(0),
             decided: AtomicU64::new(0),
         });
-        let cfg = self.decision_config(view.clone());
+        let cfg = self
+            .decision_config(view.clone())
+            .with_budget(Budget::new(self.deadline, limit));
         let result = self.execute_inner(req, snapshot, &cfg);
         let stats = RequestStats {
             cached: view.hits.load(Relaxed),
@@ -403,6 +456,16 @@ impl ServiceEngine {
     }
 }
 
+/// Test-only failure injection: a `contains` whose left query name is
+/// `__panic__` panics inside `execute`, letting the server tests exercise
+/// worker panic isolation without a release-build backdoor.
+#[cfg(test)]
+fn panic_injection(req: &Request) {
+    if let Request::Contains { q1, .. } = req {
+        assert!(q1 != "__panic__", "injected worker panic");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,6 +537,63 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("check Q <= Q: holds"));
+    }
+
+    /// A session whose `Big ⊆ R` check holds only after walking 2^12
+    /// membership-subset branches (see the core `explosion_pair` tests):
+    /// no early refutation, no size-guard trip — only a budget stops it.
+    /// The inequality chain keeps the candidates asymmetric so the cache's
+    /// canonical labeling stays cheap (an all-symmetric class would send
+    /// `canonical_form` into its factorial worst case before any budget
+    /// charge — that residual exposure is documented in DESIGN.md §8).
+    fn explosion_session(e: &ServiceEngine) {
+        e.define_schema("s", "class T1 {}\nclass T2 { A: {T1}; }")
+            .unwrap();
+        let vars: Vec<String> = (1..=12).map(|i| format!("x{i}")).collect();
+        let chain: String = vars
+            .windows(2)
+            .map(|w| format!(" & {} != {}", w[0], w[1]))
+            .collect();
+        let big = format!(
+            "{{ x0 | exists {}, z, y: x0 in T1{}{chain} & z in T1 & y in T2 & x0 in y.A & z not in y.A }}",
+            vars.join(", "),
+            vars.iter()
+                .map(|v| format!(" & {v} in T1"))
+                .collect::<String>()
+        );
+        e.define_query("s", "Big", &big).unwrap();
+        e.define_query(
+            "s",
+            "R",
+            "{ x | exists u, y: x in T1 & u in T1 & y in T2 & u not in y.A }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn limit_option_times_out_one_request_without_poisoning_the_next() {
+        let e = engine();
+        explosion_session(&e);
+        let err = decide(&e, "limit=50 contains s Big R").unwrap_err();
+        assert!(err.starts_with("timeout"), "{err}");
+        // The budget was scoped to that request; the same engine still
+        // decides, and an unlimited run of the same check completes.
+        assert_eq!(decide(&e, "contains s R R"), Ok("holds".to_owned()));
+    }
+
+    #[test]
+    fn engine_deadline_applies_to_every_decision_request() {
+        let e = engine().with_deadline(Some(Duration::from_millis(40)));
+        explosion_session(&e);
+        let start = Instant::now();
+        let err = decide(&e, "contains s Big R").unwrap_err();
+        assert!(err.starts_with("timeout"), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "deadline must bound wall time"
+        );
+        // Cheap requests still fit inside the deadline.
+        assert_eq!(decide(&e, "contains s R R"), Ok("holds".to_owned()));
     }
 
     #[test]

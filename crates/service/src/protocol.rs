@@ -15,9 +15,16 @@
 //!           | expand <session> <query>
 //!           | minimize <session> <query>
 //!           | run <escaped-program-text>
+//!           | limit=<n> <decision-request>
 //! response := [<seq>] ok <escaped-payload>[ # <stats>]
 //!           | [<seq>] err <escaped-message>[ # <stats>]
 //! ```
+//!
+//! A decision request may carry a leading `limit=<n>` option: the engine
+//! charges one work unit per Theorem 3.1 branch (and per §4 subquery/pair)
+//! and answers `err timeout …` once `n` units are spent, leaving the
+//! session, cache, and connection fully usable. The same mechanism backs
+//! the connection-wide `OOCQ_DEADLINE_MS` wall-clock deadline.
 //!
 //! `<seq>` is the 0-based position of the request in the input stream;
 //! responses are emitted in request order regardless of which worker
@@ -100,20 +107,29 @@ pub enum Request {
     Minimize { session: String, query: String },
     /// `run <program>` — a full self-contained workbench program.
     Run { text: String },
+    /// `limit=<n> <decision-request>` — the wrapped decision request under a
+    /// work budget of `n` units; exhaustion answers `err timeout …`.
+    Limited {
+        /// Work-unit budget for this one request (positive).
+        limit: u64,
+        /// The wrapped decision request.
+        inner: Box<Request>,
+    },
 }
 
 impl Request {
     /// Does this request run engine decisions (and so belong on the worker
     /// pool), as opposed to mutating session state inline?
     pub fn is_decision(&self) -> bool {
-        !matches!(
-            self,
+        match self {
             Request::Ping
-                | Request::Stats(_)
-                | Request::Quit
-                | Request::DefineSchema { .. }
-                | Request::DefineQuery { .. }
-        )
+            | Request::Stats(_)
+            | Request::Quit
+            | Request::DefineSchema { .. }
+            | Request::DefineQuery { .. } => false,
+            Request::Limited { inner, .. } => inner.is_decision(),
+            _ => true,
+        }
     }
 }
 
@@ -128,6 +144,25 @@ fn two_words(rest: &str) -> Option<(&str, &str)> {
 /// connection).
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let line = line.trim();
+    if let Some(rest) = line.strip_prefix("limit=") {
+        let (value, tail) = two_words(rest).ok_or("`limit=<n>` expects a request after it")?;
+        let limit = value
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("`limit=` expects a positive integer, got `{value}`"))?;
+        let inner = parse_request(tail)?;
+        if matches!(inner, Request::Limited { .. }) {
+            return Err("`limit=` cannot be nested".to_owned());
+        }
+        if !inner.is_decision() {
+            return Err("`limit=` applies only to decision requests".to_owned());
+        }
+        return Ok(Request::Limited {
+            limit,
+            inner: Box::new(inner),
+        });
+    }
     let (cmd, rest) = line
         .split_once(char::is_whitespace)
         .map(|(c, r)| (c, r.trim_start()))
@@ -337,6 +372,53 @@ mod tests {
                 text: "schema { class C {} }".into(),
             })
         );
+    }
+
+    #[test]
+    fn limit_option_wraps_decision_requests() {
+        assert_eq!(
+            parse_request("limit=100 contains s A B"),
+            Ok(Request::Limited {
+                limit: 100,
+                inner: Box::new(Request::Contains {
+                    session: "s".into(),
+                    q1: "A".into(),
+                    q2: "B".into(),
+                }),
+            })
+        );
+        assert_eq!(
+            parse_request("limit=1 run ping"),
+            Ok(Request::Limited {
+                limit: 1,
+                inner: Box::new(Request::Run {
+                    text: "ping".into()
+                }),
+            })
+        );
+        assert!(parse_request("limit=100 contains s A B")
+            .unwrap()
+            .is_decision());
+    }
+
+    #[test]
+    fn limit_option_rejects_bad_values_and_targets() {
+        for bad in [
+            "limit=",
+            "limit=100",
+            "limit=0 contains s A B",
+            "limit=-1 contains s A B",
+            "limit=abc contains s A B",
+            "limit=9999999999999999999999 contains s A B",
+            "limit=10 ping",
+            "limit=10 quit",
+            "limit=10 stats off",
+            "limit=10 schema s class C {}",
+            "limit=10 query s Q { x | x in C }",
+            "limit=10 limit=10 contains s A B",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 
     #[test]

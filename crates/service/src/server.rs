@@ -8,6 +8,17 @@
 //! responses into a reorder buffer that writes them out strictly in
 //! sequence order, so the response stream is deterministic no matter how
 //! the pool interleaves.
+//!
+//! Fault isolation (see DESIGN.md §8):
+//!
+//! * the job queue is **bounded** ([`ServiceEngine::queue_bound`]): the
+//!   dispatcher blocks instead of buffering an unbounded backlog, which
+//!   propagates backpressure to the client through the unread input stream;
+//! * each job runs under **`catch_unwind`**: a panicking request becomes
+//!   its own `err internal …` response, so its sequence number is always
+//!   emitted and the reorder buffer never stalls;
+//! * a **mid-stream read error** is answered with a final `err` line before
+//!   the connection closes, instead of a silent teardown.
 
 use crate::engine::{ServiceEngine, Session};
 use crate::protocol::{parse_request, render_response, Request, RequestStats};
@@ -28,25 +39,39 @@ struct QueueState {
     closed: bool,
 }
 
-/// The dispatcher → worker job queue.
+/// The dispatcher → worker job queue, bounded so a slow pool pushes back on
+/// the dispatcher (and through it, on the client's unread input) instead of
+/// buffering an unbounded backlog.
 struct Queue {
     state: Mutex<QueueState>,
+    bound: usize,
+    /// Signals waiting workers that a job arrived (or the queue closed).
     cond: Condvar,
+    /// Signals the blocked dispatcher that a slot freed up.
+    room: Condvar,
 }
 
 impl Queue {
-    fn new() -> Queue {
+    fn new(bound: usize) -> Queue {
         Queue {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
             }),
+            bound: bound.max(1),
             cond: Condvar::new(),
+            room: Condvar::new(),
         }
     }
 
+    /// Blocks while the queue is full (workers always drain it, so this
+    /// cannot deadlock; `close` also wakes any blocked pusher).
     fn push(&self, job: Job) {
-        self.state.lock().unwrap().jobs.push_back(job);
+        let mut st = self.state.lock().unwrap();
+        while st.jobs.len() >= self.bound && !st.closed {
+            st = self.room.wait(st).unwrap();
+        }
+        st.jobs.push_back(job);
         self.cond.notify_one();
     }
 
@@ -54,12 +79,14 @@ impl Queue {
     fn close(&self) {
         self.state.lock().unwrap().closed = true;
         self.cond.notify_all();
+        self.room.notify_all();
     }
 
     fn pop(&self) -> Option<Job> {
         let mut st = self.state.lock().unwrap();
         loop {
             if let Some(job) = st.jobs.pop_front() {
+                self.room.notify_one();
                 return Some(job);
             }
             if st.closed {
@@ -121,13 +148,28 @@ impl<W: Write> Emitter<W> {
         }
     }
 
+    /// Flush the buffer at end of connection. Every seq is emitted even
+    /// when a job fails (see the `catch_unwind` in [`serve`]), so `pending`
+    /// is normally empty here — but if a future regression strands
+    /// responses behind a gap, write them out in sequence order rather
+    /// than silently dropping them.
     fn finish(self) -> std::io::Result<()> {
         let mut st = self.state.into_inner().unwrap();
-        debug_assert!(st.pending.is_empty(), "responses left in reorder buffer");
-        match st.error.take() {
-            Some(e) => Err(e),
-            None => st.out.flush(),
+        if let Some(e) = st.error.take() {
+            return Err(e);
         }
+        if !st.pending.is_empty() {
+            eprintln!(
+                "oocq-serve: {} response(s) stranded in reorder buffer",
+                st.pending.len()
+            );
+            let mut stranded: Vec<(u64, String)> = st.pending.drain().collect();
+            stranded.sort_unstable_by_key(|&(seq, _)| seq);
+            for (_, line) in stranded {
+                writeln!(st.out, "{line}")?;
+            }
+        }
+        st.out.flush()
     }
 }
 
@@ -139,15 +181,38 @@ pub fn serve<R: BufRead, W: Write + Send>(
     engine: &ServiceEngine,
 ) -> std::io::Result<()> {
     let workers = engine.pool_threads().max(1);
-    let queue = Queue::new();
+    let queue = Queue::new(engine.queue_bound());
     let emitter = Emitter::new(output);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 while let Some(job) = queue.pop() {
-                    let (result, stats) = engine.execute(&job.req, job.snapshot.as_ref());
-                    let st = if job.stats_on { Some(&stats) } else { None };
-                    emitter.emit(job.seq, render_response(job.seq, &result, st));
+                    // A panic inside one request must not take the worker
+                    // (and with it, every queued seq) down: turn it into
+                    // this request's own error response. The engine holds
+                    // no locks across `execute`, so unwind safety here is
+                    // only about the panic payload, which we discard.
+                    let Job {
+                        seq,
+                        req,
+                        snapshot,
+                        stats_on,
+                    } = job;
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        engine.execute(&req, snapshot.as_ref())
+                    }));
+                    let line = match outcome {
+                        Ok((result, stats)) => {
+                            let st = if stats_on { Some(&stats) } else { None };
+                            render_response(seq, &result, st)
+                        }
+                        Err(_) => render_response(
+                            seq,
+                            &Err("internal: worker panicked executing this request".to_owned()),
+                            None,
+                        ),
+                    };
+                    emitter.emit(seq, line);
                 }
             });
         }
@@ -155,7 +220,17 @@ pub fn serve<R: BufRead, W: Write + Send>(
         let mut seq = 0u64;
         let mut stats_on = true;
         for line in input.lines() {
-            let Ok(line) = line else { break };
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    // Tell the client why the stream ends instead of
+                    // closing silently mid-session.
+                    let resp: Result<String, String> =
+                        Err(format!("read error: {e}; closing connection"));
+                    emitter.emit(seq, render_response(seq, &resp, None));
+                    break;
+                }
+            };
             if line.trim().is_empty() {
                 continue;
             }
@@ -225,8 +300,22 @@ pub fn daemon_main() -> std::io::Result<()> {
                 listener.local_addr()?,
                 engine.pool_threads().max(1)
             );
+            // Transient accept failures (EMFILE, ECONNABORTED, …) must not
+            // kill the daemon: log, back off exponentially up to 1s, retry.
+            let mut backoff = std::time::Duration::from_millis(10);
             loop {
-                let (stream, peer) = listener.accept()?;
+                let (stream, peer) = match listener.accept() {
+                    Ok(conn) => {
+                        backoff = std::time::Duration::from_millis(10);
+                        conn
+                    }
+                    Err(e) => {
+                        eprintln!("oocq-serve: accept failed: {e}; retrying in {backoff:?}");
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(std::time::Duration::from_secs(1));
+                        continue;
+                    }
+                };
                 let engine = engine.clone();
                 std::thread::spawn(move || {
                     let reader = std::io::BufReader::new(match stream.try_clone() {
@@ -352,5 +441,132 @@ mod tests {
             "stats off\nschema s class C {}\nquery s Q { x | x in C }\ncontains s Q Q\n",
         );
         assert!(out.ends_with("[3] ok holds\n"));
+    }
+
+    /// A session whose `contains s Big R` walks 2^12 membership branches
+    /// before concluding — enough work for a small deadline or `limit=` to
+    /// trip mid-run (see the matching construction in engine.rs tests; the
+    /// inequality chain keeps the cache's canonical labeling cheap).
+    fn explosion_program(tail: &str) -> String {
+        let vars: Vec<String> = (1..=12).map(|i| format!("x{i}")).collect();
+        let chain: String = vars
+            .windows(2)
+            .map(|w| format!(" & {} != {}", w[0], w[1]))
+            .collect();
+        let big = format!(
+            "{{ x0 | exists {}, z, y: x0 in T1{}{chain} & z in T1 & y in T2 & x0 in y.A & z not in y.A }}",
+            vars.join(", "),
+            vars.iter()
+                .map(|v| format!(" & {v} in T1"))
+                .collect::<String>(),
+        );
+        format!(
+            "stats off\n\
+             schema s class T1 {{}} class T2 {{ A: {{T1}}; }}\n\
+             query s Big {big}\n\
+             query s R {{ x | exists u, y: x in T1 & u in T1 & y in T2 & u not in y.A }}\n\
+             {tail}"
+        )
+    }
+
+    #[test]
+    fn a_panicking_request_is_isolated_to_its_own_response() {
+        let e = engine(2);
+        let out = run(
+            &e,
+            "stats off\nschema s class C {}\nquery s Q { x | x in C }\n\
+             contains s __panic__ Q\ncontains s Q Q\nping\nquit\n",
+        );
+        assert!(
+            out.contains("[3] err internal: worker panicked executing this request"),
+            "{out}"
+        );
+        assert!(out.contains("[4] ok holds"), "{out}");
+        assert!(out.contains("[5] ok pong"), "{out}");
+        assert!(out.ends_with("[6] ok bye\n"), "{out}");
+    }
+
+    #[test]
+    fn a_deadline_timeout_leaves_the_connection_usable() {
+        let e = engine(2).with_deadline(Some(std::time::Duration::from_millis(40)));
+        let out = run(
+            &e,
+            &explosion_program("contains s Big R\nping\ncontains s R R\nquit\n"),
+        );
+        assert!(out.contains("[4] err timeout"), "{out}");
+        assert!(out.contains("[5] ok pong"), "{out}");
+        assert!(out.contains("[6] ok holds"), "{out}");
+        assert!(out.ends_with("[7] ok bye\n"), "{out}");
+    }
+
+    #[test]
+    fn a_limit_option_timeout_leaves_the_connection_usable() {
+        let e = engine(2);
+        let out = run(
+            &e,
+            &explosion_program("limit=50 contains s Big R\ncontains s R R\nquit\n"),
+        );
+        assert!(out.contains("[4] err timeout"), "{out}");
+        assert!(out.contains("[5] ok holds"), "{out}");
+        assert!(out.ends_with("[6] ok bye\n"), "{out}");
+    }
+
+    #[test]
+    fn a_tiny_queue_bound_still_answers_a_large_piped_program_in_order() {
+        let e = engine(2).with_queue_bound(Some(2));
+        let mut input = SESSION.to_owned();
+        for _ in 0..50 {
+            input.push_str("contains s Q R\ncontains s R Q\n");
+        }
+        input.push_str("quit\n");
+        let out = run(&e, &input);
+        let seqs: Vec<u64> = out
+            .lines()
+            .map(|l| l[1..l.find(']').unwrap()].parse().unwrap())
+            .collect();
+        let expected: Vec<u64> = (0..seqs.len() as u64).collect();
+        assert_eq!(seqs, expected);
+        assert!(
+            out.ends_with(&format!("[{}] ok bye\n", seqs.len() - 1)),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn a_mid_stream_read_error_gets_a_final_err_response() {
+        /// Yields its buffered bytes, then fails instead of reporting EOF.
+        struct FailingReader(std::io::Cursor<Vec<u8>>);
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.read(buf)? {
+                    0 => Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionReset,
+                        "peer vanished",
+                    )),
+                    n => Ok(n),
+                }
+            }
+        }
+        let reader = std::io::BufReader::new(FailingReader(std::io::Cursor::new(
+            b"stats off\nping\n".to_vec(),
+        )));
+        let mut out = Vec::new();
+        serve(reader, &mut out, &engine(1)).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("[1] ok pong"), "{out}");
+        assert!(
+            out.ends_with("[2] err read error: peer vanished; closing connection\n"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn finish_flushes_stranded_responses_instead_of_dropping_them() {
+        let mut out = Vec::new();
+        let emitter = Emitter::new(&mut out);
+        // Seq 0 never arrives, so seq 1 is stuck in the reorder buffer.
+        emitter.emit(1, "[1] ok late".to_owned());
+        emitter.finish().unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "[1] ok late\n");
     }
 }

@@ -18,6 +18,14 @@ if [ "${OOCQ_CI_SKIP_HEAVY:-0}" != "1" ]; then
     cargo build --release
     echo "ci: cargo test -q"
     cargo test -q
+    # Failure-path gate: budgets, panic isolation, backpressure, and the
+    # end-to-end deadline walkthrough must stay green by name, so a rename
+    # or filter change can't silently drop them from the suite.
+    echo "ci: failure-path suite"
+    cargo test -q -p oocq-core -- budget times_out timeout
+    cargo test -q -p oocq-service -- timeout times_out panicking queue_bound \
+        read_error stranded interner
+    cargo test -q --test tooling -- oocq_serve_honors_a_request_deadline
 else
     echo "ci: OOCQ_CI_SKIP_HEAVY=1, skipping build and test"
 fi

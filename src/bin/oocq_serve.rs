@@ -3,7 +3,11 @@
 //! Speaks the line-delimited protocol of `oocq_service::serve` over
 //! stdin/stdout, or over TCP when `OOCQ_LISTEN=<addr:port>` is set.
 //! `OOCQ_THREADS` sizes the worker pool; `OOCQ_CACHE_CAPACITY` sizes the
-//! canonical decision cache (`0` disables it).
+//! canonical decision cache (`0` disables it); `OOCQ_DEADLINE_MS` gives
+//! every decision request a wall-clock deadline (`err timeout` on trip,
+//! connection and cache stay usable); `OOCQ_QUEUE_BOUND` caps the
+//! dispatcher→worker queue (default `16 × threads`), so a slow pool
+//! pushes back on the client instead of buffering an unbounded backlog.
 
 fn main() {
     if let Err(e) = oocq_service::daemon_main() {

@@ -115,6 +115,66 @@ fn oocq_serve_answers_a_containment_request() {
     );
 }
 
+/// `OOCQ_DEADLINE_MS` bounds a branch-explosion `contains` in wall time
+/// (the check walks 2^19 membership branches unless the deadline trips),
+/// and the same connection keeps answering afterwards. The inequality
+/// chain keeps the candidates asymmetric so the decision cache's
+/// canonical labeling stays cheap (see DESIGN.md §8).
+#[test]
+fn oocq_serve_honors_a_request_deadline_and_recovers() {
+    use std::io::Write as _;
+    use std::process::{Command, Stdio};
+
+    let vars: Vec<String> = (1..=19).map(|i| format!("x{i}")).collect();
+    let chain: String = vars
+        .windows(2)
+        .map(|w| format!(" & {} != {}", w[0], w[1]))
+        .collect();
+    let ranges: String = vars.iter().map(|v| format!(" & {v} in T1")).collect();
+    let big = format!(
+        "{{ x0 | exists {}, z, y: x0 in T1{ranges}{chain} & z in T1 & y in T2 & x0 in y.A & z not in y.A }}",
+        vars.join(", "),
+    );
+    let input = format!(
+        "stats off\n\
+         schema s class T1 {{}} class T2 {{ A: {{T1}}; }}\n\
+         query s Big {big}\n\
+         query s R {{ x | exists u, y: x in T1 & u in T1 & y in T2 & u not in y.A }}\n\
+         contains s Big R\n\
+         ping\n\
+         contains s R R\n\
+         quit\n"
+    );
+    let start = std::time::Instant::now();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_oocq-serve"))
+        .env("OOCQ_THREADS", "2")
+        .env("OOCQ_DEADLINE_MS", "50")
+        .env_remove("OOCQ_LISTEN")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn oocq-serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(60),
+        "deadline must bound wall time"
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[4].starts_with("[4] err timeout"), "{text}");
+    assert_eq!(lines[5], "[5] ok pong", "{text}");
+    assert_eq!(lines[6], "[6] ok holds", "{text}");
+    assert_eq!(lines[7], "[7] ok bye", "{text}");
+}
+
 #[test]
 fn optimizer_session_over_a_workload() {
     let s = parse_schema(
