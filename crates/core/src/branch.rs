@@ -21,14 +21,31 @@
 //!   cloned hash set ([`TargetCtx::add_member_key`]) — no query rebuild, no
 //!   re-analysis, no per-branch satisfiability pass (a `debug_assert`
 //!   rechecks that claim in test builds).
-//! * **Worker pool with deterministic early exit.** In parallel mode,
-//!   workers claim branch indexes from an atomic counter and publish
-//!   refutations into an atomic minimum. Claims are handed out in order and
-//!   a worker only stops claiming once its claimed index reaches a *known*
-//!   refuted index, so every branch below the true first refutation is
-//!   evaluated; the final minimum is therefore exactly the branch the serial
-//!   scan would have reported, and on success the witnesses — sorted by
-//!   branch index — are exactly the serial witness list. Parallel and serial
+//! * **Monotone sub-lattice pruning.** Within a block, the only atoms of
+//!   `Q₂` a `W` extension can invalidate are non-memberships: `W` atoms
+//!   merge no equivalence classes, and membership derivability only grows.
+//!   Every evaluated witness therefore carries a *danger set* — the
+//!   candidate bits whose membership key coincides with one of the
+//!   witness's non-membership images. A witness whose danger bits all lie
+//!   inside its own mask is valid at **every** superset mask, so the walk
+//!   records it as *stable* and decides the whole superset sub-lattice
+//!   without another search; a stable empty subset decides its entire
+//!   block. The same danger bits give an O(1) warm-start test: the
+//!   previous branch's witness is reused whenever its mask is a subset of
+//!   the current one and no added bit is dangerous. Pruned branches are
+//!   *decided*, not skipped — certificates still carry one witness per
+//!   branch — so verdicts, witness order, and replay transcripts are
+//!   identical with pruning on or off ([`EngineConfig::without_pruning`]
+//!   exists so tests and benchmarks can prove that).
+//! * **Block-granular worker pool with deterministic early exit.** In
+//!   parallel mode, workers claim whole `S`-blocks from an atomic counter
+//!   and walk each block with the *same* deterministic procedure as the
+//!   serial engine, publishing refuted blocks into an atomic minimum. A
+//!   worker only stops claiming once its claim reaches a known refuted
+//!   block, so every block below the true first refutation is fully
+//!   walked; the reported failure is therefore exactly the serial scan's,
+//!   and on success the per-block witness lists — concatenated in block
+//!   order — are exactly the serial witness list. Parallel and serial
 //!   modes are observationally identical, which `tests/branch_engine.rs`
 //!   checks by differential testing.
 //!
@@ -39,13 +56,15 @@
 
 use crate::budget::Budget;
 use crate::cache::DecisionCache;
-use crate::derive::{find_mapping, MappingGoal, TargetCtx, TargetIndexes};
+use crate::derive::{
+    find_mapping_with, MappingCounters, MappingGoal, SearchOrder, TargetCtx, TargetIndexes,
+};
 use crate::error::CoreError;
 use crate::explain::{Containment, MappingWitness};
 use crate::satisfiability;
 use oocq_query::{Atom, Query, QueryAnalysis, Term, VarId};
 use oocq_schema::{AttrId, AttrType, ClassId, Schema};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -90,6 +109,17 @@ pub struct EngineConfig {
     /// that never trips changes no decision value, so the observational-
     /// identity guarantee above extends to generous budgets too.
     pub budget: Budget,
+    /// Monotone sub-lattice pruning plus warm-start witness reuse across
+    /// the `W` subsets of a block (see the module docs). Pruned branches
+    /// are decided, not skipped, so this changes no decision value and no
+    /// certificate shape. On by default; `OOCQ_PRUNE=0` or
+    /// [`EngineConfig::without_pruning`] selects the exhaustive reference
+    /// walk (differential tests, pruning benchmarks).
+    pub prune: bool,
+    /// Variable order for the homomorphism search. The default
+    /// ([`SearchOrder::MostConstrained`]) is the production order; the
+    /// others are differential references.
+    pub search_order: SearchOrder,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -103,6 +133,8 @@ impl std::fmt::Debug for EngineConfig {
             )
             .field("iso_fast_path", &self.iso_fast_path)
             .field("budget", &self.budget)
+            .field("prune", &self.prune)
+            .field("search_order", &self.search_order)
             .finish()
     }
 }
@@ -128,8 +160,14 @@ impl EngineConfig {
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
+        // `OOCQ_PRUNE=0` drops to the exhaustive reference walk; anything
+        // else (including unset) keeps pruning on.
+        let prune = std::env::var("OOCQ_PRUNE")
+            .map(|v| v.trim() != "0")
+            .unwrap_or(true);
         EngineConfig {
             threads,
+            prune,
             ..EngineConfig::serial_defaults(8)
         }
     }
@@ -154,6 +192,8 @@ impl EngineConfig {
             cache: None,
             iso_fast_path: true,
             budget: Budget::unlimited(),
+            prune: true,
+            search_order: SearchOrder::MostConstrained,
         }
     }
 
@@ -188,6 +228,20 @@ impl EngineConfig {
         self.budget = budget;
         self
     }
+
+    /// This configuration with sub-lattice pruning and warm starts disabled
+    /// — the exhaustive walk that evaluates every branch. Used by
+    /// differential tests and by `bench_prune` as the baseline.
+    pub fn without_pruning(mut self) -> EngineConfig {
+        self.prune = false;
+        self
+    }
+
+    /// This configuration with an explicit homomorphism [`SearchOrder`].
+    pub fn with_search_order(mut self, order: SearchOrder) -> EngineConfig {
+        self.search_order = order;
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -196,17 +250,67 @@ impl Default for EngineConfig {
     }
 }
 
+/// Cumulative branch-engine instrumentation for one containment target,
+/// surfaced through [`PreparedQueryStats`](crate::PreparedQueryStats).
+/// Counters accumulate across every run sharing the target's
+/// [`BranchBase`], in the same spirit as the artifact build counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Branches in every plan built over the target: Σ `2^|T(S)|` over the
+    /// consistent equality augmentations.
+    pub branches_planned: u64,
+    /// Branches settled by a warm-start check or a homomorphism search.
+    pub branches_evaluated: u64,
+    /// Branches decided by the monotone sub-lattice argument, with no
+    /// per-branch evaluation at all.
+    pub branches_skipped: u64,
+    /// Evaluated branches settled by reusing the previous branch's witness
+    /// (an O(1) danger-bit check instead of a search).
+    pub warm_start_hits: u64,
+    /// Homomorphism searches run.
+    pub mapping_searches: u64,
+    /// Candidate assignments retracted across those searches.
+    pub mapping_backtracks: u64,
+}
+
+/// The atomic collector behind [`BranchStats`], shared by the serial walk
+/// and every parallel worker.
+#[derive(Debug, Default)]
+pub(crate) struct BranchCounters {
+    planned: AtomicU64,
+    evaluated: AtomicU64,
+    skipped: AtomicU64,
+    warm_hits: AtomicU64,
+    pub(crate) mapping: MappingCounters,
+}
+
+impl BranchCounters {
+    pub(crate) fn snapshot(&self) -> BranchStats {
+        BranchStats {
+            branches_planned: self.planned.load(Ordering::Relaxed),
+            branches_evaluated: self.evaluated.load(Ordering::Relaxed),
+            branches_skipped: self.skipped.load(Ordering::Relaxed),
+            warm_start_hits: self.warm_hits.load(Ordering::Relaxed),
+            mapping_searches: self.mapping.searches.load(Ordering::Relaxed),
+            mapping_backtracks: self.mapping.backtracks.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The derived state of a stripped containment target `Q₁` that every
 /// Theorem 3.1 run over it shares: the base [`QueryAnalysis`] (each
-/// `S`-augmentation's analysis extends it incrementally) and the
+/// `S`-augmentation's analysis extends it incrementally), the
 /// [`TargetIndexes`] of the unaugmented query (reused verbatim by the empty
-/// augmentation's branch block). A [`PreparedQuery`](crate::PreparedQuery)
-/// memoizes one of these so repeated decisions rebuild neither.
+/// augmentation's branch block), and the instrumentation counters. A
+/// [`PreparedQuery`](crate::PreparedQuery) memoizes one of these so repeated
+/// decisions rebuild neither.
 pub(crate) struct BranchBase {
     /// Analysis of the stripped `Q₁`.
     pub(crate) analysis: QueryAnalysis,
     /// Derivability indexes of the stripped, unaugmented `Q₁`.
     pub(crate) indexes: TargetIndexes,
+    /// Shared instrumentation, accumulated by every plan over this target.
+    pub(crate) counters: Arc<BranchCounters>,
 }
 
 impl BranchBase {
@@ -214,7 +318,11 @@ impl BranchBase {
     pub(crate) fn build(q1: &Query, classes1: &[ClassId]) -> BranchBase {
         let analysis = QueryAnalysis::of(q1);
         let indexes = TargetIndexes::build(q1, classes1, &analysis);
-        BranchBase { analysis, indexes }
+        BranchBase {
+            analysis,
+            indexes,
+            counters: Arc::new(BranchCounters::default()),
+        }
     }
 }
 
@@ -236,8 +344,6 @@ struct SBranch {
     /// The membership key of each candidate under `analysis`, precomputed so
     /// a branch context is ready after `|W|` hash-set inserts.
     w_keys: Vec<(usize, usize, AttrId)>,
-    /// First global branch index of this block.
-    offset: u64,
 }
 
 /// The explicit branch space of one Theorem 3.1 containment check
@@ -250,6 +356,9 @@ pub(crate) struct BranchPlan<'a> {
     classes1: &'a [ClassId],
     sbranches: Vec<SBranch>,
     total: u64,
+    /// Instrumentation shared with the [`BranchBase`] the plan was built
+    /// from.
+    counters: Arc<BranchCounters>,
 }
 
 impl<'a> BranchPlan<'a> {
@@ -293,9 +402,16 @@ impl<'a> BranchPlan<'a> {
             } else {
                 Vec::new()
             };
-            let subsets = 1u64
-                .checked_shl(w_candidates.len() as u32)
-                .unwrap_or(u64::MAX);
+            // A branch mask is a u64, so 64 or more candidates cannot even
+            // be indexed — report the real candidate count instead of the
+            // saturated subset count a checked shift would produce.
+            if w_candidates.len() > 63 {
+                return Err(CoreError::BranchSpaceOverflow {
+                    candidates: w_candidates.len(),
+                    limit: MAX_BRANCHES,
+                });
+            }
+            let subsets = 1u64 << w_candidates.len();
             let new_total = total.saturating_add(subsets);
             if new_total > MAX_BRANCHES {
                 return Err(CoreError::BranchLimit {
@@ -327,8 +443,8 @@ impl<'a> BranchPlan<'a> {
                 indexes,
                 w_candidates,
                 w_keys,
-                offset: total,
             });
+            base.counters.planned.fetch_add(subsets, Ordering::Relaxed);
             total = new_total;
         }
         Ok(BranchPlan {
@@ -336,22 +452,13 @@ impl<'a> BranchPlan<'a> {
             classes1,
             sbranches,
             total,
+            counters: base.counters.clone(),
         })
     }
 
-    /// The `S`-block containing a global branch index, and the membership
-    /// bitmask within it.
-    fn locate(&self, idx: u64) -> (&SBranch, u64) {
-        debug_assert!(idx < self.total);
-        let i = self.sbranches.partition_point(|sb| sb.offset <= idx) - 1;
-        let sb = &self.sbranches[i];
-        (sb, idx - sb.offset)
-    }
-
-    /// The augmentation atoms `S ∪ W` of a branch, in the order the witness
-    /// certificates report them.
-    fn augmentation_of(&self, idx: u64) -> Vec<Atom> {
-        let (sb, mask) = self.locate(idx);
+    /// The augmentation atoms `S ∪ W` of one branch of a block, in the
+    /// order the witness certificates report them.
+    fn augmentation_in(sb: &SBranch, mask: u64) -> Vec<Atom> {
         let mut atoms = sb.s_atoms.clone();
         atoms.extend(
             sb.w_candidates
@@ -363,10 +470,16 @@ impl<'a> BranchPlan<'a> {
         atoms
     }
 
-    /// Evaluate one branch: does a non-contradictory mapping
+    /// Evaluate one branch of a block: does a non-contradictory mapping
     /// `μ : q2 → Q₁&S&W` exist?
-    fn eval(&self, q2: &Query, classes2: &[ClassId], idx: u64) -> Option<Vec<VarId>> {
-        let (sb, mask) = self.locate(idx);
+    fn eval_mask(
+        &self,
+        sb: &SBranch,
+        mask: u64,
+        q2: &Query,
+        classes2: &[ClassId],
+        cfg: &EngineConfig,
+    ) -> Option<Vec<VarId>> {
         // Membership atoms merge no classes and add no typing obligations
         // beyond what the candidate filter already checked, so Q₁&S&W shares
         // Q₁&S's analysis and satisfiability. Recheck that from scratch in
@@ -398,91 +511,233 @@ impl<'a> BranchPlan<'a> {
             free_anchor: sb.q1s.free_var(),
             avoid_in_image: None,
         };
-        find_mapping(&ctx, &goal)
+        find_mapping_with(&ctx, &goal, cfg.search_order, Some(&self.counters.mapping))
+    }
+
+    /// The candidate bits of the block whose membership key coincides with
+    /// a non-membership image of the witness — the only bits whose addition
+    /// can invalidate it. Every other atom check is monotone in `W`:
+    /// equalities, ranges, and inequalities never consult the membership
+    /// set, and derivable memberships only grow along supersets.
+    fn danger_bits(sb: &SBranch, q2: &Query, assignment: &[VarId]) -> u64 {
+        let graph = sb.analysis.graph();
+        let root = |v: VarId| graph.class_id(Term::Var(v)).expect("var node");
+        let mut bits = 0u64;
+        for atom in q2.atoms() {
+            if let Atom::NonMember(x, y, a) = atom {
+                let key = (root(assignment[x.index()]), root(assignment[y.index()]), *a);
+                for (i, &k) in sb.w_keys.iter().enumerate() {
+                    if k == key {
+                        bits |= 1 << i;
+                    }
+                }
+            }
+        }
+        bits
+    }
+
+    /// Walk one `S`-block in mask order. This is the single deterministic
+    /// procedure both runners use, so parallel certificates are serial
+    /// certificates by construction.
+    ///
+    /// With pruning on, a witness whose danger bits all lie inside its own
+    /// mask is *stable*: it stays valid at every superset mask (see
+    /// [`Self::danger_bits`]), so those branches are decided by an O(1)
+    /// subset test against the stable list — which is automatically an
+    /// antichain in walk order, since any superset of an earlier stable
+    /// mask would itself have been skipped. The witness reported for a
+    /// skipped branch is the first stable witness covering it, making the
+    /// choice deterministic. Budget: one unit per evaluated branch always;
+    /// in certificate mode skipped branches also charge one unit each
+    /// (their witness is still materialized), while in verdict mode they
+    /// charge one unit per [`SKIP_CHARGE_STRIDE`] so pruned-away work costs
+    /// what it saves.
+    fn walk_block(
+        &self,
+        sb: &SBranch,
+        q2: &Query,
+        classes2: &[ClassId],
+        cfg: &EngineConfig,
+        collect: bool,
+    ) -> Result<BlockResult, CoreError> {
+        let t = sb.w_candidates.len();
+        let nmasks = 1u64 << t; // t <= 63, enforced at plan build
+        let universe = nmasks - 1;
+        let counters = &*self.counters;
+        let mut witnesses: Vec<MappingWitness> = Vec::new();
+        // Evaluated witnesses with their danger bits.
+        let mut bank: Vec<(Vec<VarId>, u64)> = Vec::new();
+        // Stable `(mask, bank index)` entries, in walk order.
+        let mut stable: Vec<(u64, usize)> = Vec::new();
+        // The last evaluated branch, for the warm-start check.
+        let mut prev: Option<(u64, usize)> = None;
+        let mut unpaid_skips = 0u64;
+
+        let mut mask = 0u64;
+        while mask < nmasks {
+            if cfg.prune {
+                if let Some(&(smask, widx)) = stable.iter().find(|&&(s, _)| mask & s == s) {
+                    if !collect {
+                        if smask == 0 {
+                            // A stable empty subset covers every mask: the
+                            // rest of the block is decided wholesale.
+                            counters.skipped.fetch_add(nmasks - mask, Ordering::Relaxed);
+                            cfg.budget.charge(1)?;
+                            return Ok(BlockResult::Holds(witnesses));
+                        }
+                        counters.skipped.fetch_add(1, Ordering::Relaxed);
+                        unpaid_skips += 1;
+                        if unpaid_skips >= SKIP_CHARGE_STRIDE {
+                            cfg.budget.charge(1)?;
+                            unpaid_skips = 0;
+                        }
+                    } else {
+                        counters.skipped.fetch_add(1, Ordering::Relaxed);
+                        cfg.budget.charge(1)?;
+                        witnesses.push(MappingWitness {
+                            augmentation: Self::augmentation_in(sb, mask),
+                            assignment: bank[widx].0.clone(),
+                        });
+                    }
+                    mask += 1;
+                    continue;
+                }
+            }
+            cfg.budget.charge(1)?;
+            counters.evaluated.fetch_add(1, Ordering::Relaxed);
+            // Warm start: the previous witness transfers whenever its mask
+            // is a subset of this one and no added bit is dangerous.
+            let mut reused = None;
+            if cfg.prune {
+                if let Some((pmask, pidx)) = prev {
+                    if pmask & !mask == 0 && bank[pidx].1 & (mask & !pmask) == 0 {
+                        counters.warm_hits.fetch_add(1, Ordering::Relaxed);
+                        reused = Some(pidx);
+                    }
+                }
+            }
+            let widx = match reused {
+                Some(i) => i,
+                None => match self.eval_mask(sb, mask, q2, classes2, cfg) {
+                    Some(assignment) => {
+                        let danger = Self::danger_bits(sb, q2, &assignment);
+                        bank.push((assignment, danger));
+                        bank.len() - 1
+                    }
+                    None => return Ok(BlockResult::Fails { mask }),
+                },
+            };
+            if cfg.prune && bank[widx].1 & !mask & universe == 0 {
+                stable.push((mask, widx));
+            }
+            prev = Some((mask, widx));
+            if collect {
+                witnesses.push(MappingWitness {
+                    augmentation: Self::augmentation_in(sb, mask),
+                    assignment: bank[widx].0.clone(),
+                });
+            }
+            mask += 1;
+        }
+        Ok(BlockResult::Holds(witnesses))
     }
 
     /// Decide containment over the whole branch space. Serial and parallel
     /// modes return identical values, including witness order and the
-    /// identity of the failing branch. Charges `cfg.budget` one unit per
-    /// branch evaluated; a tripped budget surfaces as
-    /// [`CoreError::Timeout`] — unless a refuted branch was already found,
-    /// which is conclusive no matter how much of the space went unexplored.
+    /// identity of the failing branch. `collect` selects certificate mode
+    /// (one witness per branch, as `decide`/`explain` report) over verdict
+    /// mode (no witness materialization — the boolean entry points drop
+    /// them anyway, and wholesale block skips then cost O(1)).
+    ///
+    /// A tripped budget surfaces as [`CoreError::Timeout`] — unless a
+    /// refuted branch was already found, which is conclusive no matter how
+    /// much of the space went unexplored.
     pub(crate) fn run(
         &self,
         q2: &Query,
         classes2: &[ClassId],
         cfg: &EngineConfig,
+        collect: bool,
     ) -> Result<Containment, CoreError> {
-        if cfg.threads <= 1 || self.total < cfg.min_parallel_branches {
-            self.run_serial(q2, classes2, &cfg.budget)
+        if cfg.threads <= 1 || self.total < cfg.min_parallel_branches || self.sbranches.len() < 2 {
+            self.run_serial(q2, classes2, cfg, collect)
         } else {
-            self.run_parallel(q2, classes2, cfg.threads, &cfg.budget)
+            self.run_parallel(q2, classes2, cfg, collect)
         }
     }
 
+    /// Block-by-block serial walk. Iterating the blocks directly (instead
+    /// of binary-searching the block for every global index) makes the
+    /// per-branch scheduling cost O(1).
     fn run_serial(
         &self,
         q2: &Query,
         classes2: &[ClassId],
-        budget: &Budget,
+        cfg: &EngineConfig,
+        collect: bool,
     ) -> Result<Containment, CoreError> {
         let mut witnesses: Vec<MappingWitness> = Vec::new();
-        for idx in 0..self.total {
-            budget.charge(1)?;
-            match self.eval(q2, classes2, idx) {
-                Some(assignment) => witnesses.push(MappingWitness {
-                    augmentation: self.augmentation_of(idx),
-                    assignment,
-                }),
-                None => {
+        for sb in &self.sbranches {
+            match self.walk_block(sb, q2, classes2, cfg, collect)? {
+                BlockResult::Fails { mask } => {
                     return Ok(Containment::Fails {
-                        augmentation: self.augmentation_of(idx),
+                        augmentation: Self::augmentation_in(sb, mask),
                     })
                 }
+                BlockResult::Holds(ws) => witnesses.extend(ws),
             }
         }
         Ok(Containment::Holds(witnesses))
     }
 
+    /// Block-granular worker pool: workers claim whole `S`-blocks and walk
+    /// each with the same deterministic procedure as the serial engine.
+    /// Claims are handed out in block order and a worker only stops
+    /// claiming once its claim reaches a *known* refuted block, so every
+    /// block below the true first refutation is fully walked — the final
+    /// minimum is the block the serial scan fails in, and the failing mask
+    /// within it is deterministic because the block walk is.
     fn run_parallel(
         &self,
         q2: &Query,
         classes2: &[ClassId],
-        threads: usize,
-        budget: &Budget,
+        cfg: &EngineConfig,
+        collect: bool,
     ) -> Result<Containment, CoreError> {
-        let workers = threads
-            .min(self.total.min(usize::MAX as u64) as usize)
-            .max(1);
+        let blocks = self.sbranches.len();
+        let workers = cfg.threads.min(blocks).max(1);
         let next = AtomicU64::new(0);
-        // Smallest refuted branch index seen so far; `u64::MAX` = none.
-        // Invariant: it only ever holds refuted indexes, so every branch
-        // below the *first* refutation keeps getting claimed and evaluated,
-        // and the final minimum equals the serial scan's first failure.
+        // Smallest block index with a refuted branch; `u64::MAX` = none.
         let min_fail = AtomicU64::new(u64::MAX);
-        let collected: Mutex<Vec<(u64, Vec<VarId>)>> = Mutex::new(Vec::new());
+        let fails: Mutex<Option<(usize, u64)>> = Mutex::new(None);
+        let collected: Mutex<Vec<(usize, Vec<MappingWitness>)>> = Mutex::new(Vec::new());
         let budget_err: Mutex<Option<CoreError>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let mut local: Vec<(u64, Vec<VarId>)> = Vec::new();
+                    let mut local: Vec<(usize, Vec<MappingWitness>)> = Vec::new();
                     loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= self.total || idx >= min_fail.load(Ordering::Acquire) {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= blocks as u64 || b >= min_fail.load(Ordering::Acquire) {
                             break;
                         }
+                        let b = b as usize;
                         // The budget trip is sticky, so once one worker
                         // records the error here every other worker's next
                         // charge fails too and the pool winds down.
-                        if let Err(e) = budget.charge(1) {
-                            *budget_err.lock().unwrap() = Some(e);
-                            break;
-                        }
-                        match self.eval(q2, classes2, idx) {
-                            Some(assignment) => local.push((idx, assignment)),
-                            None => {
-                                min_fail.fetch_min(idx, Ordering::AcqRel);
+                        match self.walk_block(&self.sbranches[b], q2, classes2, cfg, collect) {
+                            Err(e) => {
+                                *budget_err.lock().unwrap() = Some(e);
+                                break;
                             }
+                            Ok(BlockResult::Fails { mask }) => {
+                                min_fail.fetch_min(b as u64, Ordering::AcqRel);
+                                let mut f = fails.lock().unwrap();
+                                if f.map_or(true, |(fb, _)| b < fb) {
+                                    *f = Some((b, mask));
+                                }
+                            }
+                            Ok(BlockResult::Holds(ws)) => local.push((b, ws)),
                         }
                     }
                     if !local.is_empty() {
@@ -495,27 +750,36 @@ impl<'a> BranchPlan<'a> {
         // (Theorem 3.1 needs every branch only for `Holds`), so it outranks
         // budget exhaustion; a `Holds` claim, by contrast, is only valid if
         // no branch was skipped, so the budget error must win over it.
-        let first_fail = min_fail.into_inner();
-        if first_fail != u64::MAX {
+        if let Some((b, mask)) = fails.into_inner().unwrap() {
             return Ok(Containment::Fails {
-                augmentation: self.augmentation_of(first_fail),
+                augmentation: Self::augmentation_in(&self.sbranches[b], mask),
             });
         }
         if let Some(e) = budget_err.into_inner().unwrap() {
             return Err(e);
         }
         let mut found = collected.into_inner().unwrap();
-        found.sort_unstable_by_key(|&(idx, _)| idx);
+        found.sort_unstable_by_key(|&(b, _)| b);
         Ok(Containment::Holds(
-            found
-                .into_iter()
-                .map(|(idx, assignment)| MappingWitness {
-                    augmentation: self.augmentation_of(idx),
-                    assignment,
-                })
-                .collect(),
+            found.into_iter().flat_map(|(_, ws)| ws).collect(),
         ))
     }
+}
+
+/// In verdict mode, one budget unit buys this many sub-lattice skips: the
+/// per-skip cost is a bitwise subset test, so charging skips like
+/// evaluations would make budgets trip on exactly the work pruning
+/// eliminated — while charging nothing would let a huge pruned walk ignore
+/// its deadline entirely.
+const SKIP_CHARGE_STRIDE: u64 = 1024;
+
+/// Outcome of walking one `S`-block.
+enum BlockResult {
+    /// Every branch of the block has a witness (listed only in certificate
+    /// mode).
+    Holds(Vec<MappingWitness>),
+    /// The first refuted mask within the block.
+    Fails { mask: u64 },
 }
 
 /// Enumerate the equality-augmentation candidates `S` of Theorem 3.1: one
@@ -666,6 +930,64 @@ fn membership_candidates(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Cost-based dispatch: exact structural facts about the branch space,
+// computable from the prepared analysis before any block is materialized.
+// `decide_sides` uses them to downgrade a strategy's enumeration dimensions
+// when they are provably trivial, and to reject provably-over-limit spaces
+// before planning starts.
+
+/// Does the target have any set term? Without one, `T(S)` is empty for
+/// every `S`, so quantifying over `W` subsets enumerates exactly one empty
+/// subset per block — the `W` dimension is trivial.
+pub(crate) fn has_set_terms(analysis: &QueryAnalysis) -> bool {
+    analysis
+        .graph()
+        .terms()
+        .iter()
+        .any(|&t| analysis.is_set_term(t))
+}
+
+/// Can any equality augmentation merge anything? Only if some terminal
+/// class holds at least two distinct variable equivalence blocks; otherwise
+/// the identity partition is the single consistent `S` and the dimension is
+/// trivial.
+pub(crate) fn has_mergeable_blocks(
+    q1: &Query,
+    classes: &[ClassId],
+    analysis: &QueryAnalysis,
+) -> bool {
+    let graph = analysis.graph();
+    let mut first_root: HashMap<ClassId, usize> = HashMap::new();
+    for v in q1.vars() {
+        let r = graph.class_id(Term::Var(v)).expect("var node");
+        match first_root.entry(classes[v.index()]) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(r);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != r {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The membership-candidate count of the *unaugmented* target. The empty
+/// partition is always a consistent `S` (the target is satisfiable — the
+/// caller checked), so `2^floor` is an exact lower bound on the full branch
+/// total and the caller can reject over-limit spaces before planning.
+pub(crate) fn w_candidate_floor(
+    schema: &Schema,
+    q1: &Query,
+    classes1: &[ClassId],
+    base: &BranchBase,
+) -> usize {
+    membership_candidates(schema, q1, classes1, &base.analysis).len()
+}
+
 /// Evaluate `items[0..n]` in index order, stopping at the first result
 /// `is_stop` accepts, and return the evaluated prefix as `(index, result)`
 /// pairs sorted by index — the stop item included, later items dropped.
@@ -738,7 +1060,16 @@ mod tests {
         assert!(cfg.cache.is_none());
         assert!(cfg.iso_fast_path);
         assert!(cfg.budget.is_unlimited());
+        assert!(cfg.prune, "pruning must be on unless OOCQ_PRUNE=0");
+        assert_eq!(cfg.search_order, SearchOrder::MostConstrained);
         assert_eq!(EngineConfig::serial().threads, 1);
+        assert!(!EngineConfig::serial().without_pruning().prune);
+        assert_eq!(
+            EngineConfig::serial()
+                .with_search_order(SearchOrder::Static)
+                .search_order,
+            SearchOrder::Static
+        );
         assert_eq!(EngineConfig::with_threads(0).threads, 1);
         assert_eq!(EngineConfig::with_threads(4).threads, 4);
     }

@@ -105,7 +105,7 @@ pub fn contains_terminal_with(
             return Ok(hit);
         }
     }
-    let holds = decide_with(schema, q1, q2, strategy_for(q2), cfg)?.holds();
+    let holds = decide_with(schema, q1, q2, strategy_for(q2), cfg, false)?.holds();
     if let Some(cache) = &cfg.cache {
         cache.put_contains(schema, q1, q2, holds);
     }
@@ -133,7 +133,7 @@ pub fn decide_containment_with(
     q2: &Query,
     cfg: &EngineConfig,
 ) -> Result<Containment, CoreError> {
-    decide_with(schema, q1, q2, strategy_for(q2), cfg)
+    decide_with(schema, q1, q2, strategy_for(q2), cfg, true)
 }
 
 /// Decide `q1 ⊆ q2` using the full Theorem 3.1 enumeration regardless of
@@ -150,7 +150,7 @@ pub fn contains_terminal_full_with(
     q2: &Query,
     cfg: &EngineConfig,
 ) -> Result<bool, CoreError> {
-    Ok(decide_with(schema, q1, q2, Strategy::Full, cfg)?.holds())
+    Ok(decide_with(schema, q1, q2, Strategy::Full, cfg, false)?.holds())
 }
 
 /// `q1 ≡ q2` for terminal conjunctive queries.
@@ -193,6 +193,7 @@ fn decide_with(
     q2: &Query,
     strategy: Strategy,
     cfg: &EngineConfig,
+    collect: bool,
 ) -> Result<Containment, CoreError> {
     if let Satisfiability::Unsatisfiable(reason) = satisfiability::satisfiability(schema, q1)? {
         return Ok(Containment::HoldsVacuously(reason));
@@ -206,7 +207,7 @@ fn decide_with(
     let classes2 = var_classes(schema, &q2)?;
     let base1 = BranchBase::build(&q1, &classes1);
     decide_sides(
-        schema, &q1, &classes1, &base1, &q2, &classes2, strategy, cfg,
+        schema, &q1, &classes1, &base1, &q2, &classes2, strategy, cfg, collect,
     )
 }
 
@@ -226,15 +227,47 @@ pub(crate) fn decide_sides(
     classes2: &[oocq_schema::ClassId],
     strategy: Strategy,
     cfg: &EngineConfig,
+    collect: bool,
 ) -> Result<Containment, CoreError> {
-    let enum_s = matches!(
+    let mut enum_s = matches!(
         strategy,
         Strategy::Full | Strategy::PositiveWithInequalities
     );
-    let enum_w = matches!(strategy, Strategy::Full | Strategy::InequalityFree);
+    let mut enum_w = matches!(strategy, Strategy::Full | Strategy::InequalityFree);
+
+    // Cost-based dispatch: before any block is materialized, downgrade an
+    // enumeration dimension the prepared analysis proves trivial. These are
+    // exact structural facts about `Q₁`, not heuristics — without a set
+    // term every `T(S)` is empty, and without two mergeable equivalence
+    // blocks the identity partition is the only consistent `S` — so the
+    // downgraded plan enumerates the very same branches.
+    if enum_w && !crate::branch::has_set_terms(&base1.analysis) {
+        enum_w = false;
+    }
+    if enum_s && !crate::branch::has_mergeable_blocks(q1, classes1, &base1.analysis) {
+        enum_s = false;
+    }
+    // The empty partition is always a consistent `S`, so its candidate
+    // count bounds the branch space from below: provably-over-limit spaces
+    // are rejected here, before planning charges the budget for partitions.
+    if enum_w {
+        let floor = crate::branch::w_candidate_floor(schema, q1, classes1, base1);
+        if floor > 63 {
+            return Err(CoreError::BranchSpaceOverflow {
+                candidates: floor,
+                limit: crate::MAX_BRANCHES,
+            });
+        }
+        if 1u64 << floor > crate::MAX_BRANCHES {
+            return Err(CoreError::BranchLimit {
+                branches: 1u64 << floor,
+                limit: crate::MAX_BRANCHES,
+            });
+        }
+    }
 
     let plan = BranchPlan::build(schema, q1, classes1, base1, enum_s, enum_w, &cfg.budget)?;
-    plan.run(q2, classes2, cfg)
+    plan.run(q2, classes2, cfg, collect)
 }
 
 /// Theorem 4.1: containment of unions of terminal **positive** conjunctive
@@ -643,12 +676,52 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn branch_space_overflow_is_reported_not_saturated() {
+        // 65 candidate memberships push 2^|T(S)| past what a 64-bit subset
+        // mask can even represent. The old code saturated `1 << 65` silently;
+        // now the engine reports the real candidate count up front.
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x0");
+        let x0 = b.free();
+        b.range(x0, [t1]);
+        for i in 1..=65 {
+            let xi = b.var(&format!("x{i}"));
+            b.range(xi, [t1]);
+        }
+        let y = b.var("y");
+        b.range(y, [t2]);
+        b.member(x0, y, a);
+        let q1 = b.build();
+
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y2 = b.var("y");
+        b.range(x, [t1]).range(y2, [t2]);
+        b.non_member(x, y2, a);
+        let q2 = b.build();
+
+        assert!(matches!(
+            contains_terminal(&s, &q1, &q2),
+            Err(CoreError::BranchSpaceOverflow { candidates: 65, limit })
+                if limit == crate::MAX_BRANCHES
+        ));
+    }
+
     /// A 2^n membership-subset space that Theorem 3.1 must walk to the end:
     /// `Q₁ ⊆ Q₂` *holds*, so no early refutation cuts the scan short, and
     /// with `candidates` below 22 the size guard never fires either — only a
-    /// budget can stop it. `Q₂`'s non-membership `u ∉ y.A` maps to `Q₁`'s
-    /// `z ∉ y.A` in every branch (`z`'s membership is excluded, so it is
-    /// never a candidate), while `x1..xn` give `W` its 2^n subsets.
+    /// budget can stop it. The pair is also *prune-resistant*: `Q₂`'s
+    /// non-membership `u ∉ y.A` maps to the first `xi` whose membership the
+    /// current `W` excludes (the `xi` precede `z` in pool order), so every
+    /// witness carries a live danger bit and breaks as soon as that `xi`
+    /// joins `W`; only at the full subset does `u` fall through to `z`.
+    /// The monotone pruner therefore never collapses the block, and the
+    /// engine really walks all 2^n masks, which is what the budget tests
+    /// here rely on.
     fn explosion_pair(s: &Schema, candidates: usize) -> (Query, Query) {
         let t1 = s.class_id("T1").unwrap();
         let t2 = s.class_id("T2").unwrap();

@@ -27,6 +27,7 @@ use crate::satisfiability::var_classes;
 use oocq_query::{Atom, Query, QueryAnalysis, Term, VarId};
 use oocq_schema::{AttrId, ClassId, Schema};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Derivability indexes over a target query, computed once and shared by
 /// every [`TargetCtx`] built on the same (query, analysis) pair. The branch
@@ -271,24 +272,135 @@ pub(crate) struct MappingGoal<'a> {
     pub(crate) avoid_in_image: Option<VarId>,
 }
 
+/// Candidate-selection strategy for [`find_mapping_with`].
+///
+/// `MostConstrained` is the production order. `Static` is the historical
+/// free-variable-first declaration-order search and `Scrambled` a
+/// deterministically permuted variant of it; both are kept as differential
+/// references — whether a non-contradictory mapping *exists* for a branch is
+/// independent of the order the search tries variables in, so every order
+/// must reach the same verdict on every branch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SearchOrder {
+    /// Dynamic most-constrained-first selection with forward checking:
+    /// always extend the variable with the smallest live candidate pool,
+    /// and filter pools through every atom that has exactly one unmapped
+    /// variable left.
+    #[default]
+    MostConstrained,
+    /// The free variable first, then declaration order; no propagation.
+    Static,
+    /// Declaration order deterministically permuted by the seed; no
+    /// propagation. Differential-test reference only.
+    Scrambled(u64),
+}
+
+/// Shared homomorphism-search counters, aggregated into
+/// [`crate::branch::BranchStats`]. Atomic so the parallel branch runner's
+/// workers can share one instance.
+#[derive(Debug, Default)]
+pub(crate) struct MappingCounters {
+    /// Completed `find_mapping` searches.
+    pub(crate) searches: AtomicU64,
+    /// Candidate assignments retracted across those searches.
+    pub(crate) backtracks: AtomicU64,
+}
+
+impl MappingCounters {
+    fn record(&self, backtracks: u64) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        self.backtracks.fetch_add(backtracks, Ordering::Relaxed);
+    }
+}
+
 /// Find a non-contradictory variable mapping `μ : source → target`
 /// satisfying conditions (i) and (ii) of Theorem 3.1 (and optionally
 /// avoiding a target variable in its image). Returns the mapping as a
 /// vector indexed by source variable.
 pub(crate) fn find_mapping(ctx: &TargetCtx<'_>, goal: &MappingGoal<'_>) -> Option<Vec<VarId>> {
+    find_mapping_with(ctx, goal, SearchOrder::MostConstrained, None)
+}
+
+/// [`find_mapping`] under an explicit [`SearchOrder`], with optional search
+/// counters.
+pub(crate) fn find_mapping_with(
+    ctx: &TargetCtx<'_>,
+    goal: &MappingGoal<'_>,
+    order: SearchOrder,
+    counters: Option<&MappingCounters>,
+) -> Option<Vec<VarId>> {
+    match order {
+        SearchOrder::MostConstrained => search_most_constrained(ctx, goal, counters),
+        SearchOrder::Static => {
+            let q2 = goal.source;
+            let mut vars: Vec<VarId> = Vec::with_capacity(q2.var_count());
+            vars.push(q2.free_var());
+            vars.extend(q2.vars().filter(|&v| v != q2.free_var()));
+            search_in_order(ctx, goal, vars, counters)
+        }
+        SearchOrder::Scrambled(seed) => {
+            let q2 = goal.source;
+            let mut vars: Vec<VarId> = q2.vars().collect();
+            // Fisher–Yates with an inline xorshift so the permutation is a
+            // pure function of the seed.
+            let mut state = seed | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for i in (1..vars.len()).rev() {
+                vars.swap(i, (next() % (i as u64 + 1)) as usize);
+            }
+            search_in_order(ctx, goal, vars, counters)
+        }
+    }
+}
+
+/// The initial candidate pool for one source variable: the target variables
+/// of its terminal class, minus `avoid_in_image`, with the free variable
+/// further anchored to `[free_anchor]` (condition (i)).
+fn initial_pool(ctx: &TargetCtx<'_>, goal: &MappingGoal<'_>, v: VarId) -> Vec<VarId> {
+    ctx.vars_of_class(goal.source_classes[v.index()])
+        .iter()
+        .copied()
+        .filter(|&w| {
+            if Some(w) == goal.avoid_in_image {
+                return false;
+            }
+            if v == goal.source.free_var() {
+                ctx.same_var_class(w, goal.free_anchor)
+            } else {
+                true
+            }
+        })
+        .collect()
+}
+
+/// Reference search: try variables in the fixed order given, checking each
+/// atom as soon as its last variable is mapped. No propagation.
+fn search_in_order(
+    ctx: &TargetCtx<'_>,
+    goal: &MappingGoal<'_>,
+    order: Vec<VarId>,
+    counters: Option<&MappingCounters>,
+) -> Option<Vec<VarId>> {
     let q2 = goal.source;
     let n = q2.var_count();
-
-    // Variable order: free variable first (most constrained), then the rest.
-    let mut order: Vec<VarId> = Vec::with_capacity(n);
-    order.push(q2.free_var());
-    order.extend(q2.vars().filter(|&v| v != q2.free_var()));
+    let mut map = vec![VarId::from_index(0); n];
+    if n == 0 {
+        if let Some(c) = counters {
+            c.record(0);
+        }
+        return Some(map);
+    }
     let mut position = vec![0usize; n];
     for (i, &v) in order.iter().enumerate() {
         position[v.index()] = i;
     }
     // Atoms become checkable once their last variable is mapped.
-    let mut ready: Vec<Vec<&Atom>> = vec![Vec::new(); n.max(1)];
+    let mut ready: Vec<Vec<&Atom>> = vec![Vec::new(); n];
     for a in q2.atoms() {
         let depth = a
             .vars()
@@ -298,28 +410,8 @@ pub(crate) fn find_mapping(ctx: &TargetCtx<'_>, goal: &MappingGoal<'_>) -> Optio
             .unwrap_or(0);
         ready[depth].push(a);
     }
-    // Candidate pools per source variable.
-    let candidates: Vec<Vec<VarId>> = order
-        .iter()
-        .map(|&v| {
-            let pool = ctx.vars_of_class(goal.source_classes[v.index()]);
-            pool.iter()
-                .copied()
-                .filter(|&w| {
-                    if Some(w) == goal.avoid_in_image {
-                        return false;
-                    }
-                    if v == q2.free_var() {
-                        ctx.same_var_class(w, goal.free_anchor)
-                    } else {
-                        true
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    let candidates: Vec<Vec<VarId>> = order.iter().map(|&v| initial_pool(ctx, goal, v)).collect();
 
-    let mut map = vec![VarId::from_index(0); n];
     fn recurse(
         ctx: &TargetCtx<'_>,
         order: &[VarId],
@@ -327,6 +419,7 @@ pub(crate) fn find_mapping(ctx: &TargetCtx<'_>, goal: &MappingGoal<'_>) -> Optio
         ready: &[Vec<&Atom>],
         map: &mut [VarId],
         depth: usize,
+        backtracks: &mut u64,
     ) -> bool {
         if depth == order.len() {
             return true;
@@ -335,17 +428,238 @@ pub(crate) fn find_mapping(ctx: &TargetCtx<'_>, goal: &MappingGoal<'_>) -> Optio
         for &w in &candidates[depth] {
             map[v.index()] = w;
             if ready[depth].iter().all(|a| ctx.atom_holds(a, map))
-                && recurse(ctx, order, candidates, ready, map, depth + 1)
+                && recurse(ctx, order, candidates, ready, map, depth + 1, backtracks)
             {
                 return true;
             }
+            *backtracks += 1;
         }
         false
     }
+    let mut backtracks = 0u64;
+    let found = recurse(
+        ctx,
+        &order,
+        &candidates,
+        &ready,
+        &mut map,
+        0,
+        &mut backtracks,
+    );
+    if let Some(c) = counters {
+        c.record(backtracks);
+    }
+    found.then_some(map)
+}
+
+/// A candidate still in its pool (pools mark removals with the depth they
+/// were filtered at, so backtracking restores them in O(1) per entry).
+const LIVE: u32 = u32::MAX;
+
+/// Most-constrained-first search state. Pools keep their deterministic
+/// construction order throughout — forward filtering only *marks* entries
+/// removed — so candidate iteration order (and hence the witness found) is
+/// a pure function of the goal, never of the filtering history.
+struct Mcf<'a, 's> {
+    ctx: &'a TargetCtx<'s>,
+    atoms: Vec<&'a Atom>,
+    /// Distinct variables of each atom.
+    atom_vars: Vec<Vec<VarId>>,
+    /// Atom indices touching each source variable.
+    atoms_of: Vec<Vec<usize>>,
+    /// Distinct not-yet-assigned variables per atom.
+    unassigned_in: Vec<usize>,
+    assigned: Vec<bool>,
+    map: Vec<VarId>,
+    pool: Vec<Vec<VarId>>,
+    /// `LIVE`, or the depth at which forward filtering removed the entry.
+    removed: Vec<Vec<u32>>,
+    live: Vec<usize>,
+    /// Per-depth `(var, pool position)` removals, for undo.
+    trail: Vec<Vec<(u32, u32)>>,
+    backtracks: u64,
+}
+
+impl Mcf<'_, '_> {
+    /// The unassigned variable with the smallest live pool; ties broken by
+    /// connectivity to already-assigned variables, then variable index —
+    /// all deterministic.
+    fn pick(&self) -> usize {
+        let mut best = (usize::MAX, usize::MAX, usize::MAX);
+        for v in 0..self.map.len() {
+            if self.assigned[v] {
+                continue;
+            }
+            let connected = self.atoms_of[v]
+                .iter()
+                .filter(|&&ai| self.unassigned_in[ai] < self.atom_vars[ai].len())
+                .count();
+            let key = (self.live[v], usize::MAX - connected, v);
+            if key < best {
+                best = key;
+            }
+        }
+        best.2
+    }
+
+    /// Map `v ↦ w`: check every atom this completes, and forward-filter the
+    /// pool of the single remaining variable of every atom this brings to
+    /// one unassigned variable. Returns `false` on a contradiction or an
+    /// emptied pool; effects stay recorded either way and are reverted by
+    /// `undo`.
+    fn assign(&mut self, v: usize, w: VarId, depth: usize) -> bool {
+        self.map[v] = w;
+        self.assigned[v] = true;
+        for &ai in &self.atoms_of[v] {
+            self.unassigned_in[ai] -= 1;
+        }
+        for i in 0..self.atoms_of[v].len() {
+            let ai = self.atoms_of[v][i];
+            match self.unassigned_in[ai] {
+                0 => {
+                    if !self.ctx.atom_holds(self.atoms[ai], &self.map) {
+                        return false;
+                    }
+                }
+                1 => {
+                    let u = self.atom_vars[ai]
+                        .iter()
+                        .find(|&&u| !self.assigned[u.index()])
+                        .expect("an unassigned variable remains")
+                        .index();
+                    let saved = self.map[u];
+                    for pos in 0..self.pool[u].len() {
+                        if self.removed[u][pos] != LIVE {
+                            continue;
+                        }
+                        self.map[u] = self.pool[u][pos];
+                        if !self.ctx.atom_holds(self.atoms[ai], &self.map) {
+                            self.removed[u][pos] = depth as u32;
+                            self.trail[depth].push((u as u32, pos as u32));
+                            self.live[u] -= 1;
+                        }
+                    }
+                    self.map[u] = saved;
+                    if self.live[u] == 0 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Revert one `assign` at the given depth.
+    fn undo(&mut self, v: usize, depth: usize) {
+        while let Some((u, pos)) = self.trail[depth].pop() {
+            self.removed[u as usize][pos as usize] = LIVE;
+            self.live[u as usize] += 1;
+        }
+        for &ai in &self.atoms_of[v] {
+            self.unassigned_in[ai] += 1;
+        }
+        self.assigned[v] = false;
+    }
+
+    fn solve(&mut self, depth: usize) -> bool {
+        if depth == self.map.len() {
+            return true;
+        }
+        let v = self.pick();
+        for pos in 0..self.pool[v].len() {
+            if self.removed[v][pos] != LIVE {
+                continue;
+            }
+            let w = self.pool[v][pos];
+            if self.assign(v, w, depth) && self.solve(depth + 1) {
+                return true;
+            }
+            self.undo(v, depth);
+            self.backtracks += 1;
+        }
+        false
+    }
+}
+
+/// Most-constrained-first search with forward checking. Finds a mapping iff
+/// the reference searches do (the candidate space and the constraints are
+/// identical; only the exploration order differs), but fails inconsistent
+/// subtrees as soon as any pool empties instead of at the first atom check
+/// that happens to observe the conflict.
+fn search_most_constrained(
+    ctx: &TargetCtx<'_>,
+    goal: &MappingGoal<'_>,
+    counters: Option<&MappingCounters>,
+) -> Option<Vec<VarId>> {
+    let q2 = goal.source;
+    let n = q2.var_count();
+    let mut map = vec![VarId::from_index(0); n];
     if n == 0 {
+        if let Some(c) = counters {
+            c.record(0);
+        }
         return Some(map);
     }
-    recurse(ctx, &order, &candidates, &ready, &mut map, 0).then_some(map)
+    let atoms: Vec<&Atom> = q2.atoms().iter().collect();
+    let atom_vars: Vec<Vec<VarId>> = atoms
+        .iter()
+        .map(|a| {
+            let mut vs: Vec<VarId> = Vec::new();
+            for v in a.vars() {
+                if !vs.contains(&v) {
+                    vs.push(v);
+                }
+            }
+            vs
+        })
+        .collect();
+    let mut atoms_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ai, vs) in atom_vars.iter().enumerate() {
+        for v in vs {
+            atoms_of[v.index()].push(ai);
+        }
+    }
+    let unassigned_in: Vec<usize> = atom_vars.iter().map(Vec::len).collect();
+    let mut pool: Vec<Vec<VarId>> = q2.vars().map(|v| initial_pool(ctx, goal, v)).collect();
+    // Single-variable atoms constrain their pool up front (a unary filter
+    // subsumes checking the atom at assignment time, but the later check is
+    // kept for uniformity — it always passes).
+    for (ai, a) in atoms.iter().enumerate() {
+        if let [v] = atom_vars[ai][..] {
+            pool[v.index()].retain(|&w| {
+                map[v.index()] = w;
+                ctx.atom_holds(a, &map)
+            });
+        }
+    }
+    let live: Vec<usize> = pool.iter().map(Vec::len).collect();
+    if live.iter().any(|&l| l == 0) {
+        if let Some(c) = counters {
+            c.record(0);
+        }
+        return None;
+    }
+    let removed: Vec<Vec<u32>> = pool.iter().map(|p| vec![LIVE; p.len()]).collect();
+    let mut s = Mcf {
+        ctx,
+        atoms,
+        atom_vars,
+        atoms_of,
+        unassigned_in,
+        assigned: vec![false; n],
+        map,
+        pool,
+        removed,
+        live,
+        trail: vec![Vec::new(); n],
+        backtracks: 0,
+    };
+    let found = s.solve(0);
+    if let Some(c) = counters {
+        c.record(s.backtracks);
+    }
+    found.then_some(s.map)
 }
 
 #[cfg(test)]

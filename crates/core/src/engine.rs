@@ -37,7 +37,7 @@
 //! enforces it structurally, and [`PreparedQuery::stats`] exposes build
 //! counters so tests can assert it observationally.
 
-use crate::branch::{BranchBase, EngineConfig};
+use crate::branch::{BranchBase, BranchStats, EngineConfig};
 use crate::containment::{decide_sides, strategy_for, union_contains_inner, Strategy};
 use crate::error::CoreError;
 use crate::explain::Containment;
@@ -163,6 +163,11 @@ pub struct PreparedQueryStats {
     pub branch_builds: usize,
     /// Satisfiable terminal expansions (Proposition 2.1 pipelines).
     pub expansion_builds: usize,
+    /// Cumulative branch-engine instrumentation for every decision that
+    /// used this query as the containment *target* (left side): branches
+    /// planned / evaluated / pruned, warm-start hits, homomorphism search
+    /// effort. All zero until the branch side is first built.
+    pub branch_stats: BranchStats,
 }
 
 impl PreparedQueryStats {
@@ -307,7 +312,9 @@ impl PreparedQuery {
         })
     }
 
-    /// Build counters for the memoized artifacts (each `0` or `1`).
+    /// Build counters for the memoized artifacts (each `0` or `1`), plus
+    /// the cumulative [`BranchStats`] of every run that used this query as
+    /// its containment target.
     pub fn stats(&self) -> PreparedQueryStats {
         let b = &self.inner.builds;
         PreparedQueryStats {
@@ -317,6 +324,13 @@ impl PreparedQuery {
             canonical_builds: b.canonical.load(Ordering::Relaxed),
             branch_builds: b.branch.load(Ordering::Relaxed),
             expansion_builds: b.expansion.load(Ordering::Relaxed),
+            branch_stats: self
+                .inner
+                .branch
+                .get()
+                .and_then(|r| r.as_ref().ok())
+                .map(|side| side.base.counters.snapshot())
+                .unwrap_or_default(),
         }
     }
 
@@ -466,7 +480,7 @@ impl Engine {
     /// certificate (never cached — witness text is cheap to recompute
     /// relative to its size).
     pub fn decide(&self, p1: &PreparedQuery, p2: &PreparedQuery) -> Result<Containment, CoreError> {
-        self.decide_strategy(p1, p2, strategy_for(p2.query()))
+        self.decide_strategy(p1, p2, strategy_for(p2.query()), true)
     }
 
     fn decide_strategy(
@@ -474,6 +488,7 @@ impl Engine {
         p1: &PreparedQuery,
         p2: &PreparedQuery,
         strategy: Strategy,
+        collect: bool,
     ) -> Result<Containment, CoreError> {
         if let Satisfiability::Unsatisfiable(reason) = p1.satisfiability()? {
             return Ok(Containment::HoldsVacuously(reason));
@@ -492,6 +507,7 @@ impl Engine {
             &right.classes,
             strategy,
             &self.cfg,
+            collect,
         )
     }
 
@@ -504,7 +520,9 @@ impl Engine {
                 return Ok(hit);
             }
         }
-        let holds = self.decide(p1, p2)?.holds();
+        let holds = self
+            .decide_strategy(p1, p2, strategy_for(p2.query()), false)?
+            .holds();
         if let Some(cache) = &self.cfg.cache {
             cache.put_contains_prepared(p1, p2, holds);
         }
@@ -514,7 +532,7 @@ impl Engine {
     /// `p1 ⊆ p2` using the full Theorem 3.1 enumeration regardless of
     /// `p2`'s shape.
     pub fn contains_full(&self, p1: &PreparedQuery, p2: &PreparedQuery) -> Result<bool, CoreError> {
-        Ok(self.decide_strategy(p1, p2, Strategy::Full)?.holds())
+        Ok(self.decide_strategy(p1, p2, Strategy::Full, false)?.holds())
     }
 
     /// `p1 ≡ p2` for terminal conjunctive queries. With the isomorphism
@@ -619,6 +637,7 @@ impl Engine {
                 &right.classes,
                 strategy_for(p2.query()),
                 &self.cfg,
+                false,
             )?
             .holds()
         };

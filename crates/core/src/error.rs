@@ -28,6 +28,17 @@ pub enum CoreError {
         /// The engine's guard ([`crate::MAX_BRANCHES`]).
         limit: u64,
     },
+    /// One equality augmentation has so many membership candidates that its
+    /// subset count does not even fit the engine's 64-bit branch masks —
+    /// `2^candidates` cannot be reported as a meaningful branch count, so
+    /// the candidate count itself is.
+    BranchSpaceOverflow {
+        /// Membership candidates `|T(S)|` of the offending augmentation.
+        candidates: usize,
+        /// The engine's branch guard ([`crate::MAX_BRANCHES`]), which
+        /// `2^candidates` exceeds astronomically.
+        limit: u64,
+    },
     /// The cooperative request budget ([`crate::Budget`]) ran out before the
     /// decision completed. Recoverable: the engine stops between whole work
     /// items, no shared state is left partial, and the same inputs can be
@@ -56,6 +67,11 @@ impl fmt::Display for CoreError {
                 f,
                 "containment check needs {branches} augmentation branches, \
                  over the limit of {limit}"
+            ),
+            CoreError::BranchSpaceOverflow { candidates, limit } => write!(
+                f,
+                "containment check needs 2^{candidates} membership-subset \
+                 branches in one augmentation, over the limit of {limit}"
             ),
             // The text must start with "timeout" — the service renders
             // errors verbatim and clients match on the `err timeout` prefix.
@@ -102,6 +118,16 @@ mod tests {
     fn not_terminal_names_variable() {
         let e = CoreError::NotTerminal { var: "x".into() };
         assert!(e.to_string().contains("`x`"));
+    }
+
+    #[test]
+    fn branch_space_overflow_reports_the_candidate_count() {
+        let e = CoreError::BranchSpaceOverflow {
+            candidates: 65,
+            limit: 1 << 22,
+        };
+        let text = e.to_string();
+        assert!(text.contains("2^65"), "{text}");
     }
 
     #[test]

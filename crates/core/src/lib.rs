@@ -38,7 +38,7 @@ mod minimize;
 mod optimizer;
 mod satisfiability;
 
-pub use branch::{EngineConfig, MAX_BRANCHES};
+pub use branch::{BranchStats, EngineConfig, MAX_BRANCHES};
 pub use budget::Budget;
 pub use cache::DecisionCache;
 pub use containment::{
@@ -48,6 +48,7 @@ pub use containment::{
     equivalent_terminal, equivalent_terminal_with, strategy_for, union_contains,
     union_contains_with, union_equivalent, Strategy,
 };
+pub use derive::SearchOrder;
 pub use engine::{Engine, PreparedQuery, PreparedQueryStats, PreparedSchema};
 pub use error::CoreError;
 pub use expand::{expand, expand_satisfiable, expand_satisfiable_with, expansion_size};

@@ -26,6 +26,12 @@ if [ "${OOCQ_CI_SKIP_HEAVY:-0}" != "1" ]; then
     cargo test -q -p oocq-service -- timeout times_out panicking queue_bound \
         read_error stranded interner
     cargo test -q --test tooling -- oocq_serve_honors_a_request_deadline
+    # Pruning gate: bench_prune carries in-binary >=10x branch-reduction
+    # floors; a quick run keeps the sub-lattice pruner and the
+    # most-constrained-first search honest without re-measuring medians.
+    echo "ci: bench_prune smoke (quick mode)"
+    OOCQ_BENCH_QUICK=1 cargo run --release -q -p oocq-bench --bin bench_prune \
+        -- target/BENCH_prune_smoke.json
 else
     echo "ci: OOCQ_CI_SKIP_HEAVY=1, skipping build and test"
 fi

@@ -80,10 +80,10 @@ pub use oocq_core::{
     minimize_positive_with, minimize_terminal_general, minimize_terminal_general_with,
     minimize_terminal_positive, nonredundant_union, nonredundant_union_with, satisfiability,
     search_space_cost, strategy_for, strip_non_range, term_class, union_contains,
-    union_contains_with, union_cost, union_equivalent, var_classes, Containment, CoreError,
-    DecisionCache, Engine, EngineConfig, MappingWitness, MinimizationReport, Optimizer,
-    OptimizerStats, PreparedQuery, PreparedQueryStats, PreparedSchema, Satisfiability, Strategy,
-    UnsatReason, MAX_BRANCHES,
+    union_contains_with, union_cost, union_equivalent, var_classes, BranchStats, Containment,
+    CoreError, DecisionCache, Engine, EngineConfig, MappingWitness, MinimizationReport, Optimizer,
+    OptimizerStats, PreparedQuery, PreparedQueryStats, PreparedSchema, Satisfiability, SearchOrder,
+    Strategy, UnsatReason, MAX_BRANCHES,
 };
 pub use oocq_eval::{
     answer, answer_planned, answer_union, answer_with_plan, canonical_contains, canonical_state,

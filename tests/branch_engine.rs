@@ -7,8 +7,8 @@
 use oocq::gen::{random_schema, random_terminal_positive, QueryParams, Rng, SchemaParams, StdRng};
 use oocq::{
     contains_terminal_full_with, contains_terminal_with, decide_containment_with,
-    expand_satisfiable_with, normalize, union_contains_with, Atom, EngineConfig, Query, Schema,
-    Term, UnionQuery,
+    expand_satisfiable_with, normalize, union_contains_with, Atom, Containment, Engine,
+    EngineConfig, Query, QueryBuilder, Schema, SearchOrder, Term, UnionQuery,
 };
 
 fn test_schema(seed: u64) -> Schema {
@@ -167,6 +167,134 @@ fn satisfiable_expansion_matches_serial() {
         let par = expand_satisfiable_with(&schema, &n, &forced_parallel(4)).unwrap();
         assert_eq!(serial, par, "seed {seed}");
     }
+}
+
+/// The decision-relevant part of a certificate: the verdict plus the
+/// sequence of augmentations it speaks about. Witness *assignments* may
+/// legitimately differ between homomorphism search orders (any
+/// non-contradictory mapping certifies a branch), but the verdict, the
+/// branch walk, and on failure the first refuting augmentation are fixed
+/// by Theorem 3.1 alone.
+fn certificate_shape(c: &Containment) -> (bool, Vec<Vec<Atom>>) {
+    match c {
+        Containment::HoldsVacuously(_) => (true, Vec::new()),
+        Containment::Holds(ws) => (true, ws.iter().map(|w| w.augmentation.clone()).collect()),
+        Containment::FailsRightUnsatisfiable(_) => (false, Vec::new()),
+        Containment::Fails { augmentation } => (false, vec![augmentation.clone()]),
+    }
+}
+
+/// Homomorphism search order and sub-lattice pruning are decision-neutral:
+/// across a seed sweep hitting all four strategies, every variant config —
+/// static order, scrambled order, pruning off, and both at once — reaches
+/// the same verdict over the same augmentation sequence as the default
+/// most-constrained-first pruned engine.
+#[test]
+fn search_order_and_pruning_preserve_certificate_shapes() {
+    for seed in 0..96u64 {
+        let schema = test_schema(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb57a);
+        let p = QueryParams { vars: 3, atoms: 4 };
+        let base1 = random_terminal_positive(&mut rng, &schema, &p);
+        let base2 = random_terminal_positive(&mut rng, &schema, &p);
+        let q1 = add_negative_atoms(&mut rng, &schema, &base1, (seed % 3) as usize);
+        let q2 = add_negative_atoms(&mut rng, &schema, &base2, (seed % 4) as usize);
+        let reference =
+            decide_containment_with(&schema, &q1, &q2, &EngineConfig::serial()).unwrap();
+        let want = certificate_shape(&reference);
+        let variants = [
+            EngineConfig::serial().with_search_order(SearchOrder::Static),
+            EngineConfig::serial().with_search_order(SearchOrder::Scrambled(
+                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            )),
+            EngineConfig::serial().without_pruning(),
+            EngineConfig::serial()
+                .without_pruning()
+                .with_search_order(SearchOrder::Static),
+        ];
+        for (k, cfg) in variants.iter().enumerate() {
+            let got = decide_containment_with(&schema, &q1, &q2, cfg).unwrap();
+            assert_eq!(
+                want,
+                certificate_shape(&got),
+                "seed {seed}, variant {k}: decision drifts for\n  q1 = {}\n  q2 = {}",
+                q1.display(&schema),
+                q2.display(&schema)
+            );
+        }
+    }
+}
+
+/// A block the pruner collapses wholesale: `Q₁` pins `u ∉ y.A`, so `Q₂`'s
+/// non-membership maps to `u` with no danger bits and the empty-`W` witness
+/// certifies every one of the 2^10 membership subsets. The verdict and the
+/// full certificate must match the unpruned engine while the stats show the
+/// walk never happened.
+#[test]
+fn pruning_collapses_dominated_subsets_without_changing_the_certificate() {
+    let schema = oocq::samples::example_33();
+    let t1 = schema.class_id("T1").unwrap();
+    let t2 = schema.class_id("T2").unwrap();
+    let a = schema.attr_id("A").unwrap();
+    const FLOATERS: usize = 10;
+
+    let mut b = QueryBuilder::new("x0");
+    let x0 = b.free();
+    b.range(x0, [t1]);
+    let u = b.var("u");
+    let y = b.var("y");
+    b.range(u, [t1]).range(y, [t2]);
+    b.member(x0, y, a);
+    b.non_member(u, y, a);
+    for i in 1..=FLOATERS {
+        let zi = b.var(&format!("z{i}"));
+        b.range(zi, [t1]);
+    }
+    let q1 = b.build();
+
+    let mut b = QueryBuilder::new("x");
+    let x = b.free();
+    let u2 = b.var("u");
+    let y2 = b.var("y");
+    b.range(x, [t1]).range(u2, [t1]).range(y2, [t2]);
+    b.non_member(u2, y2, a);
+    let q2 = b.build();
+
+    let run = |cfg: EngineConfig| {
+        let engine = Engine::new(cfg);
+        let ps = engine.prepare_schema(&schema);
+        let p1 = engine.prepare(&ps, &q1);
+        let p2 = engine.prepare(&ps, &q2);
+        let proof = engine.decide(&p1, &p2).unwrap();
+        (proof, p1.stats().branch_stats)
+    };
+
+    let (pruned, pstats) = run(EngineConfig::serial());
+    let (unpruned, ustats) = run(EngineConfig::serial().without_pruning());
+    assert!(pruned.holds());
+    assert_eq!(pruned, unpruned, "pruning altered the certificate");
+
+    let total = 1u64 << FLOATERS;
+    assert_eq!(pstats.branches_planned, total);
+    assert_eq!(ustats.branches_planned, total);
+    assert_eq!(
+        ustats.branches_evaluated, total,
+        "baseline walks everything"
+    );
+    assert_eq!(ustats.branches_skipped, 0);
+    assert_eq!(
+        pstats.branches_evaluated, 1,
+        "one evaluation should certify the whole block: {pstats:?}"
+    );
+    assert_eq!(pstats.branches_skipped, total - 1);
+    assert!(pstats.mapping_searches >= 1);
+    assert!(
+        pstats.mapping_searches < ustats.mapping_searches,
+        "pruned engine should run far fewer homomorphism searches \
+         ({} vs {})",
+        pstats.mapping_searches,
+        ustats.mapping_searches
+    );
 }
 
 /// `OOCQ_THREADS`-style configs with absurd thread counts still terminate
