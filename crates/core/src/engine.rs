@@ -38,12 +38,13 @@
 //! counters so tests can assert it observationally.
 
 use crate::branch::{BranchBase, BranchStats, EngineConfig};
+use crate::budget::Budget;
 use crate::containment::{decide_sides, strategy_for, union_contains_inner, Strategy};
 use crate::error::CoreError;
 use crate::explain::Containment;
 use crate::minimize::minimize_pipeline;
 use crate::satisfiability::{self, strip_non_range, var_classes, Satisfiability};
-use oocq_query::{canonical_form, CanonicalQuery, Query, QueryAnalysis, UnionQuery};
+use oocq_query::{canonical_form_budgeted, CanonicalQuery, Query, QueryAnalysis, UnionQuery};
 use oocq_schema::{ClassId, Schema};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -306,10 +307,28 @@ impl PreparedQuery {
     /// The isomorphism-invariant canonical form (cache key), computed on
     /// first use.
     pub fn canonical_form(&self) -> &CanonicalQuery {
-        self.inner.canonical.get_or_init(|| {
+        match self.try_canonical_form(&Budget::unlimited()) {
+            Ok(c) => c,
+            Err(_) => unreachable!("unlimited budget never trips"),
+        }
+    }
+
+    /// [`canonical_form`](Self::canonical_form) under a request budget: the
+    /// labeling's in-class backtracking charges one unit per search node, so
+    /// a highly automorphic query — whose canonical search is the product of
+    /// the factorials of its color-class sizes — trips the recoverable
+    /// [`CoreError::Timeout`] instead of hanging the worker. A failed
+    /// attempt memoizes nothing; a later call under a larger budget retries
+    /// from scratch.
+    pub fn try_canonical_form(&self, budget: &Budget) -> Result<&CanonicalQuery, CoreError> {
+        if let Some(c) = self.inner.canonical.get() {
+            return Ok(c);
+        }
+        let computed = canonical_form_budgeted(&self.inner.query, &mut |u| budget.charge(u))?;
+        Ok(self.inner.canonical.get_or_init(|| {
             self.inner.builds.canonical.fetch_add(1, Ordering::Relaxed);
-            canonical_form(&self.inner.query)
-        })
+            computed
+        }))
     }
 
     /// Build counters for the memoized artifacts (each `0` or `1`), plus
@@ -516,6 +535,11 @@ impl Engine {
     /// cache through the prepared canonical forms.
     pub fn contains(&self, p1: &PreparedQuery, p2: &PreparedQuery) -> Result<bool, CoreError> {
         if let Some(cache) = &self.cfg.cache {
+            // Canonical cache keys are derived here, under the request
+            // budget, so a factorial-regime labeling times out recoverably
+            // instead of hanging inside the cache lookup.
+            p1.try_canonical_form(&self.cfg.budget)?;
+            p2.try_canonical_form(&self.cfg.budget)?;
             if let Some(hit) = cache.get_contains_prepared(p1, p2) {
                 return Ok(hit);
             }
@@ -540,7 +564,10 @@ impl Engine {
     /// forms short-circuits the check — canonical forms are equal exactly
     /// for isomorphic queries, and isomorphic queries are equivalent.
     pub fn equivalent(&self, p1: &PreparedQuery, p2: &PreparedQuery) -> Result<bool, CoreError> {
-        if self.cfg.iso_fast_path && p1.canonical_form() == p2.canonical_form() {
+        if self.cfg.iso_fast_path
+            && p1.try_canonical_form(&self.cfg.budget)?
+                == p2.try_canonical_form(&self.cfg.budget)?
+        {
             return Ok(true);
         }
         Ok(self.contains(p1, p2)? && self.contains(p2, p1)?)
@@ -558,6 +585,8 @@ impl Engine {
             return Err(CoreError::NotPositive);
         }
         if let Some(cache) = &self.cfg.cache {
+            p1.try_canonical_form(&self.cfg.budget)?;
+            p2.try_canonical_form(&self.cfg.budget)?;
             if let Some(hit) = cache.get_contains_prepared(p1, p2) {
                 return Ok(hit);
             }

@@ -49,6 +49,26 @@ impl Containment {
         matches!(self, Containment::HoldsVacuously(_) | Containment::Holds(_))
     }
 
+    /// The augmentation atoms of the refuting branch, if the verdict is
+    /// [`Containment::Fails`]. This is the certificate the soundness oracle
+    /// steers state synthesis with: freezing `Q₁` plus these atoms yields a
+    /// canonical state on which `Q₁` answers and `Q₂` must not.
+    pub fn failing_augmentation(&self) -> Option<&[Atom]> {
+        match self {
+            Containment::Fails { augmentation } => Some(augmentation),
+            _ => None,
+        }
+    }
+
+    /// The per-branch mapping witnesses, if the verdict is
+    /// [`Containment::Holds`].
+    pub fn witnesses(&self) -> Option<&[MappingWitness]> {
+        match self {
+            Containment::Holds(ws) => Some(ws),
+            _ => None,
+        }
+    }
+
     /// Render the certificate using the queries' variable names and the
     /// schema's class/attribute names.
     pub fn render(&self, schema: &Schema, q1: &Query, q2: &Query) -> String {

@@ -90,8 +90,15 @@ fn domain(state: &State, q: &Query, v: VarId) -> Vec<Oid> {
 }
 
 /// Is there an assignment extending `free ↦ candidate` that makes the matrix
-/// true?
-fn satisfying_assignment_exists(schema: &Schema, state: &State, q: &Query, candidate: Oid) -> bool {
+/// true? Charges one unit of work per backtracking node tried, so a
+/// caller-supplied budget bounds the worst-case `objects^vars` join.
+fn satisfying_assignment_exists<E>(
+    schema: &Schema,
+    state: &State,
+    q: &Query,
+    candidate: Oid,
+    charge: &mut impl FnMut(u64) -> Result<(), E>,
+) -> Result<bool, E> {
     let n = q.var_count();
     // Assignment order: free variable first, then bound variables.
     let mut order: Vec<VarId> = Vec::with_capacity(n);
@@ -124,7 +131,7 @@ fn satisfying_assignment_exists(schema: &Schema, state: &State, q: &Query, candi
         .collect();
 
     let mut assignment = vec![Oid::from_index(0); n];
-    fn recurse(
+    fn recurse<E>(
         schema: &Schema,
         state: &State,
         order: &[VarId],
@@ -132,42 +139,100 @@ fn satisfying_assignment_exists(schema: &Schema, state: &State, q: &Query, candi
         ready: &[Vec<&Atom>],
         assignment: &mut [Oid],
         depth: usize,
-    ) -> bool {
+        charge: &mut impl FnMut(u64) -> Result<(), E>,
+    ) -> Result<bool, E> {
         if depth == order.len() {
-            return true;
+            return Ok(true);
         }
         let v = order[depth];
         for &o in &domains[depth] {
+            charge(1)?;
             assignment[v.index()] = o;
             if ready[depth]
                 .iter()
                 .all(|a| eval_atom(schema, state, assignment, a).is_true())
-                && recurse(schema, state, order, domains, ready, assignment, depth + 1)
+                && recurse(
+                    schema,
+                    state,
+                    order,
+                    domains,
+                    ready,
+                    assignment,
+                    depth + 1,
+                    charge,
+                )?
             {
-                return true;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
-    recurse(schema, state, &order, &domains, &ready, &mut assignment, 0)
+    recurse(
+        schema,
+        state,
+        &order,
+        &domains,
+        &ready,
+        &mut assignment,
+        0,
+        charge,
+    )
 }
 
 /// The answer `Q(s)` of a conjunctive query w.r.t. a state.
 pub fn answer(schema: &Schema, state: &State, q: &Query) -> BTreeSet<Oid> {
+    match answer_budgeted(schema, state, q, &mut infallible) {
+        Ok(ans) => ans,
+        Err(e) => match e {},
+    }
+}
+
+/// The never-failing charge hook behind the unbudgeted wrappers.
+fn infallible(_: u64) -> Result<(), std::convert::Infallible> {
+    Ok(())
+}
+
+/// [`answer`] with a cooperative work charge: one unit per backtracking
+/// node of the join, so callers with a latency target (the soundness
+/// oracle's counterexample search, batch sweeps) can bound the worst-case
+/// `objects^vars` evaluation and recover with an error instead of hanging.
+pub fn answer_budgeted<E>(
+    schema: &Schema,
+    state: &State,
+    q: &Query,
+    charge: &mut impl FnMut(u64) -> Result<(), E>,
+) -> Result<BTreeSet<Oid>, E> {
     let candidates = domain(state, q, q.free_var());
-    candidates
-        .into_iter()
-        .filter(|&o| satisfying_assignment_exists(schema, state, q, o))
-        .collect()
+    let mut out = BTreeSet::new();
+    for o in candidates {
+        if satisfying_assignment_exists(schema, state, q, o, charge)? {
+            out.insert(o);
+        }
+    }
+    Ok(out)
 }
 
 /// The answer of a union of conjunctive queries (the union of the answers).
 pub fn answer_union(schema: &Schema, state: &State, u: &UnionQuery) -> BTreeSet<Oid> {
+    match answer_union_budgeted(schema, state, u, &mut infallible) {
+        Ok(ans) => ans,
+        Err(e) => match e {},
+    }
+}
+
+/// [`answer_union`] under a cooperative work charge (see
+/// [`answer_budgeted`]).
+pub fn answer_union_budgeted<E>(
+    schema: &Schema,
+    state: &State,
+    u: &UnionQuery,
+    charge: &mut impl FnMut(u64) -> Result<(), E>,
+) -> Result<BTreeSet<Oid>, E> {
     let mut out = BTreeSet::new();
     for q in u {
-        out.extend(answer(schema, state, q));
+        out.extend(answer_budgeted(schema, state, q, charge)?);
     }
-    out
+    Ok(out)
 }
 
 /// An object answered by the left query but not the right, on some state —
@@ -191,20 +256,37 @@ pub fn refute_containment(
     left: &UnionQuery,
     right: &UnionQuery,
 ) -> Option<CounterExample> {
+    match refute_containment_budgeted(schema, states, left, right, &mut infallible) {
+        Ok(ce) => ce,
+        Err(e) => match e {},
+    }
+}
+
+/// [`refute_containment`] under a cooperative work charge: the whole batch
+/// of evaluations shares one charge hook, so a sweep over many states stays
+/// inside a single caller-side budget instead of multiplying a per-state
+/// limit by the family size.
+pub fn refute_containment_budgeted<E>(
+    schema: &Schema,
+    states: &[State],
+    left: &UnionQuery,
+    right: &UnionQuery,
+    charge: &mut impl FnMut(u64) -> Result<(), E>,
+) -> Result<Option<CounterExample>, E> {
     for (ix, s) in states.iter().enumerate() {
-        let la = answer_union(schema, s, left);
+        let la = answer_union_budgeted(schema, s, left, charge)?;
         if la.is_empty() {
             continue;
         }
-        let ra = answer_union(schema, s, right);
+        let ra = answer_union_budgeted(schema, s, right, charge)?;
         if let Some(&oid) = la.difference(&ra).next() {
-            return Some(CounterExample {
+            return Ok(Some(CounterExample {
                 state_index: ix,
                 oid,
-            });
+            }));
         }
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]

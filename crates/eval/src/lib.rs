@@ -15,6 +15,9 @@ mod planned;
 mod truth;
 
 pub use canonical::{canonical_contains, canonical_state};
-pub use eval::{answer, answer_union, eval_atom, eval_matrix, refute_containment, CounterExample};
+pub use eval::{
+    answer, answer_budgeted, answer_union, answer_union_budgeted, eval_atom, eval_matrix,
+    refute_containment, refute_containment_budgeted, CounterExample,
+};
 pub use planned::{answer_planned, answer_with_plan, Plan};
 pub use truth::Truth;

@@ -20,4 +20,4 @@ pub use query_gen::{
 };
 pub use rng::{Rng, StdRng};
 pub use schema_gen::{deep_schema, partition_schema, random_schema, workload_schema, SchemaParams};
-pub use state_gen::{random_state, state_family, StateParams};
+pub use state_gen::{random_state, state_family, steered_state, StateParams, SteerParams};

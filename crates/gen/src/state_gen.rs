@@ -2,7 +2,7 @@
 
 use crate::rng::Rng;
 use oocq_schema::{AttrType, Schema};
-use oocq_state::{Oid, State, StateBuilder};
+use oocq_state::{Oid, State, StateBuilder, Value};
 
 /// Parameters for [`random_state`].
 #[derive(Clone, Copy, Debug)]
@@ -83,6 +83,132 @@ pub fn random_state(rng: &mut impl Rng, schema: &Schema, p: &StateParams) -> Sta
         .expect("generated state is legal by construction")
 }
 
+/// Parameters for [`steered_state`].
+#[derive(Clone, Copy, Debug)]
+pub struct SteerParams {
+    /// Number of noise objects appended after the skeleton.
+    pub pad_objects: usize,
+    /// Probability that a noise object's attribute is non-null.
+    pub fill_prob: f64,
+    /// Maximum cardinality of a noise object's set-valued attribute.
+    pub max_set: usize,
+    /// Freeze the skeleton's null set-valued attributes to the empty set,
+    /// turning 3-valued *unknown* non-memberships into definite truths.
+    /// This helps a query being steered *toward* (its `∉` atoms become
+    /// true) and equally helps one being steered *away from* — so callers
+    /// searching for a separating state typically try both settings.
+    pub definitize: bool,
+}
+
+impl Default for SteerParams {
+    fn default() -> SteerParams {
+        SteerParams {
+            pad_objects: 6,
+            fill_prob: 0.8,
+            max_set: 3,
+            definitize: true,
+        }
+    }
+}
+
+/// Grow a certificate-steered state around a skeleton (typically the frozen
+/// canonical state of a refutation branch).
+///
+/// The skeleton's objects are copied first, in oid order, so skeleton oids
+/// are stable in the result. Two deliberate asymmetries keep the steering
+/// sound:
+///
+/// - with [`SteerParams::definitize`], every *null set-valued* attribute of
+///   a skeleton object becomes the empty set, turning non-membership facts
+///   from unknown into definitely true without adding any positive fact;
+/// - the appended noise objects reference only each other, never the
+///   skeleton, so no new fact about a skeleton object can be introduced.
+pub fn steered_state(
+    rng: &mut impl Rng,
+    schema: &Schema,
+    skeleton: &State,
+    p: &SteerParams,
+) -> State {
+    let mut b = StateBuilder::new();
+    let skeleton_count = skeleton.object_count();
+    let mut skeleton_classes = Vec::with_capacity(skeleton_count);
+    for o in skeleton.oids() {
+        skeleton_classes.push(skeleton.class_of(o));
+        b.object(skeleton.class_of(o));
+    }
+    for (ix, &c) in skeleton_classes.iter().enumerate() {
+        let oid = Oid::from_index(ix);
+        let attrs: Vec<_> = schema
+            .effective_type(c)
+            .iter()
+            .map(|(&a, &t)| (a, t))
+            .collect();
+        for (a, t) in attrs {
+            match (skeleton.attr(oid, a), t) {
+                (Value::Obj(o), _) => {
+                    b.set_obj(oid, a, *o);
+                }
+                (Value::Set(ms), _) => {
+                    b.set_members(oid, a, ms.iter().copied());
+                }
+                // Definitize: Λ on a set attribute becomes the empty set.
+                (Value::Null, AttrType::SetOf(_)) if p.definitize => {
+                    b.set_members(oid, a, []);
+                }
+                (Value::Null, _) => {}
+            }
+        }
+    }
+    // Noise: pad objects drawn over the terminals, referencing pad only.
+    let terminals = schema.terminals();
+    let mut pad_classes = Vec::with_capacity(p.pad_objects);
+    for _ in 0..p.pad_objects {
+        let c = terminals[rng.gen_range(0..terminals.len())];
+        pad_classes.push(c);
+        b.object(c);
+    }
+    let pad_pool = |target: oocq_schema::ClassId| -> Vec<Oid> {
+        pad_classes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| schema.is_subclass(c, target))
+            .map(|(i, _)| Oid::from_index(skeleton_count + i))
+            .collect()
+    };
+    for (i, &c) in pad_classes.iter().enumerate() {
+        let oid = Oid::from_index(skeleton_count + i);
+        let attrs: Vec<_> = schema
+            .effective_type(c)
+            .iter()
+            .map(|(&a, &t)| (a, t))
+            .collect();
+        for (a, t) in attrs {
+            if !rng.gen_bool(p.fill_prob) {
+                continue;
+            }
+            match t {
+                AttrType::Object(target) => {
+                    let cands = pad_pool(target);
+                    if !cands.is_empty() {
+                        b.set_obj(oid, a, cands[rng.gen_range(0..cands.len())]);
+                    }
+                }
+                AttrType::SetOf(target) => {
+                    let cands = pad_pool(target);
+                    let k = rng.gen_range(0..=p.max_set.min(cands.len()));
+                    let mut members = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        members.push(cands[rng.gen_range(0..cands.len())]);
+                    }
+                    b.set_members(oid, a, members);
+                }
+            }
+        }
+    }
+    b.finish(schema)
+        .expect("steered state is legal: skeleton was legal and pads are type-correct")
+}
+
 /// A family of random states (for brute-force containment refutation in
 /// property tests): `count` states of growing size.
 pub fn state_family(
@@ -158,6 +284,79 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn steered_state_preserves_the_skeleton_and_definitizes_null_sets() {
+        let s = samples::vehicle_rental();
+        // Skeleton: one Discount object with every attribute left Λ.
+        let mut sb = oocq_state::StateBuilder::new();
+        let d = sb.object(s.class_id("Discount").unwrap());
+        let skeleton = sb.finish(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let st = steered_state(
+            &mut rng,
+            &s,
+            &skeleton,
+            &SteerParams {
+                pad_objects: 8,
+                fill_prob: 1.0,
+                max_set: 4,
+                definitize: true,
+            },
+        );
+        assert_eq!(st.object_count(), 1 + 8);
+        assert_eq!(st.class_of(d), s.class_id("Discount").unwrap());
+        // The null set attribute was definitized to the empty set...
+        let veh = s.attr_id("VehRented").unwrap();
+        assert_eq!(st.attr(d, veh), &Value::Set(Vec::new()));
+        // ...and no pad object leaked a reference to/from the skeleton: the
+        // skeleton object still has no set members anywhere.
+        for o in st.oids().skip(1) {
+            for (&a, _) in s.effective_type(st.class_of(o)) {
+                match st.attr(o, a) {
+                    Value::Obj(t) => assert_ne!(*t, d),
+                    Value::Set(ms) => assert!(!ms.contains(&d)),
+                    Value::Null => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steered_state_without_definitize_keeps_nulls() {
+        let s = samples::vehicle_rental();
+        let mut sb = oocq_state::StateBuilder::new();
+        let d = sb.object(s.class_id("Discount").unwrap());
+        let skeleton = sb.finish(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let st = steered_state(
+            &mut rng,
+            &s,
+            &skeleton,
+            &SteerParams {
+                pad_objects: 0,
+                fill_prob: 0.0,
+                max_set: 0,
+                definitize: false,
+            },
+        );
+        let veh = s.attr_id("VehRented").unwrap();
+        assert_eq!(st.attr(d, veh), &Value::Null);
+    }
+
+    #[test]
+    fn steered_state_copies_skeleton_facts_verbatim() {
+        let s = samples::vehicle_rental();
+        let mut sb = oocq_state::StateBuilder::new();
+        let d = sb.object(s.class_id("Discount").unwrap());
+        let a1 = sb.object(s.class_id("Auto").unwrap());
+        let veh = s.attr_id("VehRented").unwrap();
+        sb.set_members(d, veh, [a1]);
+        let skeleton = sb.finish(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let st = steered_state(&mut rng, &s, &skeleton, &SteerParams::default());
+        assert_eq!(st.attr(d, veh), &Value::Set(vec![a1]));
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! Counterexample shrinking: reduce a violating `(schema, Q₁, Q₂, state)`
+//! to a locally minimal one while the engine/evaluation disagreement
+//! persists, then render it as a replayable workbench program.
+//!
+//! The reducers are the classic trio, applied to a fixpoint in order of
+//! expected payoff: drop a query atom, merge two query variables, delete a
+//! state object (nulling dangling references). A candidate is accepted only
+//! if the *re-derived* predicate still fails the same way — the witness
+//! object is recomputed after every step, so reductions are free to
+//! invalidate the old one.
+
+use oocq_core::{Budget, Containment, Engine};
+use oocq_eval::answer_budgeted;
+use oocq_query::{Atom, Query, QueryBuilder, VarId};
+use oocq_schema::{AttrType, Schema};
+use oocq_state::{Oid, State, StateBuilder, Value};
+use std::fmt;
+
+/// Which engine claim the evaluation evidence contradicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Engine claimed `Q₁ ⊆ Q₂`; the state answers `Q₁` with an object
+    /// `Q₂` misses.
+    Containment,
+    /// Engine claimed `Q₁` unsatisfiable; the state answers it anyway.
+    Vacuity,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Containment => write!(f, "containment"),
+            ViolationKind::Vacuity => write!(f, "vacuity"),
+        }
+    }
+}
+
+/// A confirmed soundness violation: the engine's verdict contradicts
+/// evaluation on a concrete legal state, shrunk (if enabled) to a locally
+/// minimal triple.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What kind of claim was contradicted.
+    pub kind: ViolationKind,
+    /// The schema of the failing triple.
+    pub schema: Schema,
+    /// The (possibly shrunk) left query.
+    pub q1: Query,
+    /// The (possibly shrunk) right query.
+    pub q2: Query,
+    /// The (possibly shrunk) witness state.
+    pub state: State,
+    /// An object in `Q₁(state)` that `Q₂(state)` misses (for
+    /// [`ViolationKind::Vacuity`]: any object answering the "unsatisfiable"
+    /// `Q₁`).
+    pub witness: Oid,
+    /// Accepted shrink steps that produced this triple.
+    pub shrink_steps: usize,
+    /// A replayable workbench program whose `check Q1 <= Q2` reproduces
+    /// the engine verdict under dispute.
+    pub program: String,
+}
+
+impl Violation {
+    pub(crate) fn new(
+        kind: ViolationKind,
+        schema: &Schema,
+        q1: Query,
+        q2: Query,
+        state: State,
+        witness: Oid,
+        shrink_steps: usize,
+    ) -> Violation {
+        let program = render_program(schema, &q1, &q2);
+        Violation {
+            kind,
+            schema: schema.clone(),
+            q1,
+            q2,
+            state,
+            witness,
+            shrink_steps,
+            program,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "soundness violation ({}) — witness {} after {} shrink step(s)",
+            self.kind, self.witness, self.shrink_steps
+        )?;
+        writeln!(f, "{}", self.program)?;
+        write!(f, "on state:\n{}", self.state.display(&self.schema))
+    }
+}
+
+/// Render a `(schema, Q₁, Q₂)` triple as a workbench program that replays
+/// the disputed decision.
+pub(crate) fn render_program(schema: &Schema, q1: &Query, q2: &Query) -> String {
+    format!(
+        "schema {{\n{}}}\nquery Q1 = {}\nquery Q2 = {}\ncheck Q1 <= Q2",
+        schema,
+        q1.display(schema),
+        q2.display(schema),
+    )
+}
+
+/// Does the disagreement persist on this candidate triple? Returns the
+/// re-derived witness if so.
+fn violates(
+    engine: &Engine,
+    kind: ViolationKind,
+    schema: &Schema,
+    q1: &Query,
+    q2: &Query,
+    state: &State,
+    eval_budget: u64,
+) -> Option<Oid> {
+    let ps = engine.prepare_schema(schema);
+    let p1 = engine.prepare(&ps, q1);
+    let p2 = engine.prepare(&ps, q2);
+    let verdict = engine.decide(&p1, &p2).ok()?;
+    let budget = if eval_budget == 0 {
+        Budget::unlimited()
+    } else {
+        Budget::with_limit(eval_budget)
+    };
+    let mut charge = |u| budget.charge(u);
+    match kind {
+        ViolationKind::Containment => {
+            if !verdict.holds() {
+                return None;
+            }
+            let a1 = answer_budgeted(schema, state, q1, &mut charge).ok()?;
+            let a2 = answer_budgeted(schema, state, q2, &mut charge).ok()?;
+            a1.difference(&a2).next().copied()
+        }
+        ViolationKind::Vacuity => {
+            if !matches!(verdict, Containment::HoldsVacuously(_)) {
+                return None;
+            }
+            let a1 = answer_budgeted(schema, state, q1, &mut charge).ok()?;
+            a1.iter().next().copied()
+        }
+    }
+}
+
+/// Rebuild a query with the same variables but a different atom list.
+fn rebuild(q: &Query, atoms: impl IntoIterator<Item = Atom>) -> Query {
+    let mut b = QueryBuilder::new(q.var_name(q.free_var()));
+    let mut ids = Vec::with_capacity(q.var_count());
+    for v in q.vars() {
+        if v == q.free_var() {
+            ids.push(b.free());
+        } else {
+            ids.push(b.var(q.var_name(v)));
+        }
+    }
+    for a in atoms {
+        b.atom(a.map_vars(|v| ids[v.index()]));
+    }
+    b.build()
+}
+
+/// Every query obtained by dropping exactly one atom.
+fn drop_one_atom(q: &Query) -> Vec<Query> {
+    (0..q.atoms().len())
+        .map(|skip| {
+            rebuild(
+                q,
+                q.atoms()
+                    .iter()
+                    .enumerate()
+                    .filter(|(ix, _)| *ix != skip)
+                    .map(|(_, a)| a.clone()),
+            )
+        })
+        .collect()
+}
+
+/// Every query obtained by merging one variable into another.
+fn merge_one_pair(q: &Query) -> Vec<Query> {
+    let vars: Vec<VarId> = q.vars().collect();
+    let mut out = Vec::new();
+    for &keep in &vars {
+        for &gone in &vars {
+            if keep == gone {
+                continue;
+            }
+            let map: Vec<VarId> = q.vars().map(|v| if v == gone { keep } else { v }).collect();
+            out.push(q.apply_mapping(&map));
+        }
+    }
+    out
+}
+
+/// Every state obtained by deleting one object (references to it are
+/// nulled for object attributes and removed from set attributes).
+fn drop_one_object(schema: &Schema, state: &State) -> Vec<State> {
+    state
+        .oids()
+        .map(|gone| {
+            let mut b = StateBuilder::new();
+            let survivors: Vec<Oid> = state.oids().filter(|&o| o != gone).collect();
+            let remap = |o: Oid| -> Option<Oid> {
+                survivors.iter().position(|&s| s == o).map(Oid::from_index)
+            };
+            for &o in &survivors {
+                b.object(state.class_of(o));
+            }
+            for &o in &survivors {
+                let new_o = remap(o).expect("survivor remaps");
+                let attrs: Vec<_> = schema
+                    .effective_type(state.class_of(o))
+                    .iter()
+                    .map(|(&a, &t)| (a, t))
+                    .collect();
+                for (a, t) in attrs {
+                    match (state.attr(o, a), t) {
+                        (Value::Obj(tgt), _) => {
+                            if let Some(nt) = remap(*tgt) {
+                                b.set_obj(new_o, a, nt);
+                            }
+                        }
+                        (Value::Set(ms), _) => {
+                            b.set_members(new_o, a, ms.iter().filter_map(|&m| remap(m)));
+                        }
+                        (Value::Null, AttrType::Object(_) | AttrType::SetOf(_)) => {}
+                    }
+                }
+            }
+            b.finish(schema)
+                .expect("deleting an object preserves legality")
+        })
+        .collect()
+}
+
+/// Shrink a violation to a local minimum: repeatedly apply the first
+/// accepted reduction (atom drop, variable merge, object delete) until no
+/// reducer applies or `max_steps` reductions were accepted.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn shrink_violation(
+    engine: &Engine,
+    kind: ViolationKind,
+    schema: &Schema,
+    mut q1: Query,
+    mut q2: Query,
+    mut state: State,
+    mut witness: Oid,
+    eval_budget: u64,
+    max_steps: usize,
+) -> Violation {
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        // 1. Drop an atom from either query.
+        for (left, cands) in [(true, drop_one_atom(&q1)), (false, drop_one_atom(&q2))] {
+            for cand in cands {
+                let (c1, c2) = if left { (&cand, &q2) } else { (&q1, &cand) };
+                if let Some(w) = violates(engine, kind, schema, c1, c2, &state, eval_budget) {
+                    if left {
+                        q1 = cand;
+                    } else {
+                        q2 = cand;
+                    }
+                    witness = w;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+        }
+        // 2. Merge a variable pair in either query.
+        for (left, cands) in [(true, merge_one_pair(&q1)), (false, merge_one_pair(&q2))] {
+            for cand in cands {
+                let (c1, c2) = if left { (&cand, &q2) } else { (&q1, &cand) };
+                if let Some(w) = violates(engine, kind, schema, c1, c2, &state, eval_budget) {
+                    if left {
+                        q1 = cand;
+                    } else {
+                        q2 = cand;
+                    }
+                    witness = w;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+        }
+        // 3. Delete a state object.
+        for cand in drop_one_object(schema, &state) {
+            if let Some(w) = violates(engine, kind, schema, &q1, &q2, &cand, eval_budget) {
+                state = cand;
+                witness = w;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Violation::new(kind, schema, q1, q2, state, witness, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocq_schema::samples;
+
+    fn rental_query(schema: &Schema) -> Query {
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        b.range(x, [schema.class_id("Auto").unwrap()]);
+        b.range(y, [schema.class_id("Discount").unwrap()]);
+        b.member(x, y, schema.attr_id("VehRented").unwrap());
+        b.build()
+    }
+
+    #[test]
+    fn drop_one_atom_yields_one_candidate_per_atom() {
+        let s = samples::vehicle_rental();
+        let q = rental_query(&s);
+        let cands = drop_one_atom(&q);
+        assert_eq!(cands.len(), q.atoms().len());
+        for c in &cands {
+            assert_eq!(c.atoms().len(), q.atoms().len() - 1);
+            assert_eq!(c.var_count(), q.var_count(), "variables must survive");
+        }
+    }
+
+    #[test]
+    fn merge_one_pair_reduces_the_variable_count() {
+        let s = samples::vehicle_rental();
+        let q = rental_query(&s);
+        let cands = merge_one_pair(&q);
+        assert_eq!(cands.len(), 2); // (x<-y) and (y<-x)
+        for c in &cands {
+            assert!(c.var_count() < q.var_count(), "merge must drop a variable");
+        }
+    }
+
+    #[test]
+    fn drop_one_object_nulls_dangling_references() {
+        let s = samples::vehicle_rental();
+        let mut b = StateBuilder::new();
+        let d = b.object(s.class_id("Discount").unwrap());
+        let a1 = b.object(s.class_id("Auto").unwrap());
+        let a2 = b.object(s.class_id("Auto").unwrap());
+        let veh = s.attr_id("VehRented").unwrap();
+        b.set_members(d, veh, [a1, a2]);
+        let st = b.finish(&s).unwrap();
+
+        let cands = drop_one_object(&s, &st);
+        assert_eq!(cands.len(), 3);
+        for c in &cands {
+            assert_eq!(c.object_count(), 2);
+        }
+        // Dropping the first Auto (oid index 1) keeps the Discount's set
+        // with only the surviving member (renumbered).
+        let without_a1 = &cands[1];
+        let remaining: Vec<Oid> = match without_a1.attr(Oid::from_index(0), veh) {
+            Value::Set(ms) => ms.clone(),
+            v => panic!("expected a set, got {v:?}"),
+        };
+        assert_eq!(remaining, vec![Oid::from_index(1)]);
+    }
+
+    #[test]
+    fn render_program_replays_through_the_parser() {
+        let s = samples::vehicle_rental();
+        let q = rental_query(&s);
+        let program = render_program(&s, &q, &q);
+        assert!(program.contains("check Q1 <= Q2"));
+        assert!(program.starts_with("schema {"));
+    }
+}

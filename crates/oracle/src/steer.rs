@@ -1,0 +1,89 @@
+//! Certificate-steered witness synthesis.
+//!
+//! The completeness direction of Theorem 3.1 is constructive: if some
+//! consistent augmentation branch `Q₁ & S & W` admits no non-contradictory
+//! mapping from `Q₂`, then the *frozen* (canonical) state of that branch —
+//! one object per equivalence class of variables, memberships exactly as
+//! written — answers `Q₁` at its frozen free object while `Q₂` misses it.
+//! So the engine's refutation certificate is not just evidence, it is a
+//! recipe: freeze the branch, definitize the leftover nulls, and evaluate.
+//!
+//! Null handling is the delicate part. Under the 3-valued semantics a null
+//! set-valued attribute makes `x ∉ y.A` *unknown*, which prunes the
+//! assignment — for `Q₁` and `Q₂` alike. Freezing such nulls to the empty
+//! set ("definitizing") makes those non-memberships definitely true, which
+//! `Q₁` may need to answer at all, but which can equally hand `Q₂` the
+//! atoms it was missing and destroy the separation. Neither choice
+//! dominates, so [`steer_witness`] tries the portfolio: the raw frozen
+//! skeleton first (nulls intact — `Q₂`'s `∉` atoms stay unknown), then the
+//! definitized one (for a `Q₁` whose own `∉` atoms need the empty sets).
+//! Inequalities need no help either way — distinct equivalence classes
+//! freeze to distinct oids, and branch consistency guarantees the
+//! augmentation never merges variables a `≠` atom separates.
+
+use oocq_eval::{answer_budgeted, canonical_state};
+use oocq_gen::{steered_state, Rng, SteerParams};
+use oocq_query::{Atom, Query, QueryBuilder};
+use oocq_schema::Schema;
+use oocq_state::{Oid, State};
+
+/// The positive part of a query: range, equality, and membership atoms
+/// only, with every variable (and its name) preserved.
+pub fn positive_part(q: &Query) -> Query {
+    let mut b = QueryBuilder::new(q.var_name(q.free_var()));
+    let mut ids = Vec::with_capacity(q.var_count());
+    for v in q.vars() {
+        if v == q.free_var() {
+            ids.push(b.free());
+        } else {
+            ids.push(b.var(q.var_name(v)));
+        }
+    }
+    for a in q.atoms() {
+        if a.is_positive() {
+            b.atom(a.clone().map_vars(|v| ids[v.index()]));
+        }
+    }
+    b.build()
+}
+
+/// Synthesize and verify a witness state for a claimed refutation of
+/// `q1 ⊆ q2`, steered by the failing branch's augmentation atoms (in
+/// `q1`'s variable ids; empty for the branch that is `Q₁` itself).
+///
+/// Returns `Ok(Some((state, oid)))` iff the steered state *actually*
+/// witnesses `oid ∈ q1(state) \ q2(state)` under evaluation — the caller
+/// never needs to trust this module, only `oocq-eval`. `Ok(None)` means
+/// steering was inapplicable (no canonical state for the branch's positive
+/// part) or the synthesized state failed to confirm.
+pub fn steer_witness<E>(
+    schema: &Schema,
+    q1: &Query,
+    q2: &Query,
+    augmentation: &[Atom],
+    steer: &SteerParams,
+    rng: &mut impl Rng,
+    charge: &mut impl FnMut(u64) -> Result<(), E>,
+) -> Result<Option<(State, Oid)>, E> {
+    let branch = q1.with_extra_atoms(augmentation.iter().cloned());
+    let Some((skeleton, witness)) = canonical_state(schema, &positive_part(&branch)) else {
+        return Ok(None);
+    };
+    for definitize in [false, true] {
+        let p = SteerParams {
+            definitize,
+            ..*steer
+        };
+        let state = steered_state(rng, schema, &skeleton, &p);
+        let a1 = answer_budgeted(schema, &state, q1, charge)?;
+        if !a1.contains(&witness) {
+            continue;
+        }
+        let a2 = answer_budgeted(schema, &state, q2, charge)?;
+        if a2.contains(&witness) {
+            continue;
+        }
+        return Ok(Some((state, witness)));
+    }
+    Ok(None)
+}

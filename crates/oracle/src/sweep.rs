@@ -1,0 +1,73 @@
+//! Seeded pair generation for oracle sweeps.
+//!
+//! Mirrors the property-test workload (`tests/properties.rs`): rotate
+//! through the paper's sample schemas plus a random one, generate terminal
+//! positive query cores, and append random negative atoms (inequalities
+//! and non-memberships) so every strategy tier of the engine is exercised.
+//! Everything is a pure function of the seed, so a reported seed replays
+//! without a shrinker dependency.
+
+use oocq_gen::{random_schema, random_terminal_positive, QueryParams, Rng, SchemaParams, StdRng};
+use oocq_query::{Atom, Query, Term};
+use oocq_schema::{samples, Schema};
+
+/// The schema for a sweep seed: the three paper samples in rotation, plus
+/// a seeded random schema every fourth seed.
+pub fn sweep_schema(seed: u64) -> Schema {
+    match seed % 4 {
+        0 => samples::vehicle_rental(),
+        1 => samples::n1_partition(),
+        2 => samples::example_31(),
+        _ => random_schema(
+            &mut StdRng::seed_from_u64(seed),
+            &SchemaParams {
+                roots: 2,
+                branching: 2,
+                object_attrs: 2,
+                set_attrs: 1,
+                refine_prob: 0.4,
+            },
+        ),
+    }
+}
+
+/// Append `count` random negative atoms (inequalities / non-memberships)
+/// to a terminal positive query, producing a general terminal query. Only
+/// set-typed attributes appear on the right of `∉`, keeping the query
+/// well-formed.
+pub fn add_negative_atoms(rng: &mut impl Rng, schema: &Schema, q: &Query, count: usize) -> Query {
+    let mut extra = Vec::new();
+    let vars: Vec<_> = q.vars().collect();
+    for _ in 0..count {
+        let i = vars[rng.gen_range(0..vars.len())];
+        let j = vars[rng.gen_range(0..vars.len())];
+        if rng.gen_bool(0.6) {
+            if i != j {
+                extra.push(Atom::Neq(Term::Var(i), Term::Var(j)));
+            }
+        } else if let Some([cls]) = q.range_of(j) {
+            let set_attrs: Vec<_> = schema
+                .effective_type(*cls)
+                .iter()
+                .filter(|(_, t)| t.is_set())
+                .map(|(&a, _)| a)
+                .collect();
+            if !set_attrs.is_empty() {
+                let a = set_attrs[rng.gen_range(0..set_attrs.len())];
+                extra.push(Atom::NonMember(i, j, a));
+            }
+        }
+    }
+    q.with_extra_atoms(extra)
+}
+
+/// The `(schema, Q₁, Q₂)` pair for a sweep seed.
+pub fn sweep_pair(seed: u64, query: &QueryParams, negative_atoms: usize) -> (Schema, Query, Query) {
+    let schema = sweep_schema(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x07ac1e);
+    let base1 = random_terminal_positive(&mut rng, &schema, query);
+    let base2 = random_terminal_positive(&mut rng, &schema, query);
+    let q1 = add_negative_atoms(&mut rng, &schema, &base1, negative_atoms);
+    let q2 = add_negative_atoms(&mut rng, &schema, &base2, negative_atoms);
+    (schema, q1, q2)
+}

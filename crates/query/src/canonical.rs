@@ -152,8 +152,10 @@ fn stable_coloring(q: &Query) -> Vec<usize> {
 /// Search all orderings within color classes for the lexicographically
 /// least normalized atom vector. `order[pos]` = old variable at canonical
 /// position `pos`; classes are visited in color order, so position blocks
-/// are fixed and only intra-class orderings branch.
-fn search(
+/// are fixed and only intra-class orderings branch. One unit of work is
+/// charged per search node, so a caller-supplied budget bounds the
+/// factorial regime.
+fn search<E>(
     q: &Query,
     classes: &[Vec<VarId>],
     class_ix: usize,
@@ -161,7 +163,9 @@ fn search(
     order: &mut Vec<VarId>,
     used: &mut Vec<bool>,
     best: &mut Option<Vec<Atom>>,
-) {
+    charge: &mut impl FnMut(u64) -> Result<(), E>,
+) -> Result<(), E> {
+    charge(1)?;
     if class_ix == classes.len() {
         // order is complete: build old→new map and the candidate vector.
         let mut map = vec![VarId::from_index(0); q.var_count()];
@@ -172,12 +176,11 @@ fn search(
         if best.as_ref().map_or(true, |b| cand < *b) {
             *best = Some(cand);
         }
-        return;
+        return Ok(());
     }
     let class = &classes[class_ix];
     if picked_in_class == class.len() {
-        search(q, classes, class_ix + 1, 0, order, used, best);
-        return;
+        return search(q, classes, class_ix + 1, 0, order, used, best, charge);
     }
     for &v in class {
         if used[v.index()] {
@@ -185,15 +188,44 @@ fn search(
         }
         used[v.index()] = true;
         order.push(v);
-        search(q, classes, class_ix, picked_in_class + 1, order, used, best);
+        let r = search(
+            q,
+            classes,
+            class_ix,
+            picked_in_class + 1,
+            order,
+            used,
+            best,
+            charge,
+        );
         order.pop();
         used[v.index()] = false;
+        r?;
     }
+    Ok(())
 }
 
 /// The canonical form of a query. See the module docs for the guarantee:
 /// `canonical_form(a) == canonical_form(b)` iff `isomorphic(a, b)`.
 pub fn canonical_form(q: &Query) -> CanonicalQuery {
+    match canonical_form_budgeted(q, &mut |_| Ok::<(), std::convert::Infallible>(())) {
+        Ok(c) => c,
+        Err(e) => match e {},
+    }
+}
+
+/// [`canonical_form`] with a cooperative work charge: the in-class
+/// backtracking calls `charge(1)` once per search node, and the first error
+/// aborts the labeling. The worst case is the product of the factorials of
+/// the color-class sizes (highly automorphic queries), so callers with a
+/// latency target — decision caches keying by canonical form, prepared
+/// engines — should route through this entry and map their budget's
+/// timeout error into `E`. A charge that never fails makes this identical
+/// to [`canonical_form`].
+pub fn canonical_form_budgeted<E>(
+    q: &Query,
+    charge: &mut impl FnMut(u64) -> Result<(), E>,
+) -> Result<CanonicalQuery, E> {
     let mut q = q.clone();
     q.dedup_atoms();
     let color = stable_coloring(&q);
@@ -211,11 +243,11 @@ pub fn canonical_form(q: &Query) -> CanonicalQuery {
     let mut best: Option<Vec<Atom>> = None;
     let mut order: Vec<VarId> = Vec::with_capacity(q.var_count());
     let mut used = vec![false; q.var_count()];
-    search(&q, &classes, 0, 0, &mut order, &mut used, &mut best);
-    CanonicalQuery {
+    search(&q, &classes, 0, 0, &mut order, &mut used, &mut best, charge)?;
+    Ok(CanonicalQuery {
         var_count: q.var_count(),
         atoms: best.expect("canonical search visits at least one labeling"),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -363,6 +395,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn budgeted_search_stops_in_the_factorial_regime() {
+        // 9 interchangeable spokes stay one color class after refinement:
+        // the search space is 9! ≈ 3.6e5 labelings. A small work limit must
+        // abort long before that, and a generous one must agree with the
+        // unbudgeted form.
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("o");
+        let o = b.free();
+        b.range(o, [t2]);
+        for i in 0..9 {
+            let m = b.var(&format!("m{i}"));
+            b.range(m, [t1]);
+            b.member(m, o, a);
+        }
+        let q = b.build();
+
+        let mut spent = 0u64;
+        let err = canonical_form_budgeted(&q, &mut |u| {
+            spent += u;
+            if spent > 1000 {
+                Err("out of budget")
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "out of budget");
+
+        let full = canonical_form_budgeted(&q, &mut |_| Ok::<(), ()>(())).unwrap();
+        assert_eq!(full, canonical_form(&q));
     }
 
     #[test]

@@ -543,9 +543,9 @@ mod tests {
     /// membership-subset branches (see the core `explosion_pair` tests):
     /// no early refutation, no size-guard trip — only a budget stops it.
     /// The inequality chain keeps the candidates asymmetric so the cache's
-    /// canonical labeling stays cheap (an all-symmetric class would send
-    /// `canonical_form` into its factorial worst case before any budget
-    /// charge — that residual exposure is documented in DESIGN.md §8).
+    /// canonical labeling stays cheap and this fixture measures the branch
+    /// walk alone (the labeling's own factorial regime is budgeted too —
+    /// see `limit_option_bounds_the_canonical_labeling_backtracking`).
     fn explosion_session(e: &ServiceEngine) {
         e.define_schema("s", "class T1 {}\nclass T2 { A: {T1}; }")
             .unwrap();
@@ -579,6 +579,30 @@ mod tests {
         // The budget was scoped to that request; the same engine still
         // decides, and an unlimited run of the same check completes.
         assert_eq!(decide(&e, "contains s R R"), Ok("holds".to_owned()));
+    }
+
+    /// The DESIGN.md §8 residual risk, now closed: an all-symmetric query
+    /// sends the cache's canonical labeling into its factorial regime
+    /// (10 interchangeable spokes = 10! orderings), and the labeling runs
+    /// *before* the branch walk — so it must charge the same request budget
+    /// and trip `err timeout` instead of hanging the worker.
+    #[test]
+    fn limit_option_bounds_the_canonical_labeling_backtracking() {
+        let e = engine();
+        e.define_schema("s", "class T1 {}\nclass T2 { A: {T1}; }")
+            .unwrap();
+        let vars: Vec<String> = (1..=10).map(|i| format!("m{i}")).collect();
+        let body: String = vars
+            .iter()
+            .map(|v| format!(" & {v} in T1 & {v} in o.A"))
+            .collect();
+        let star = format!("{{ o | exists {}: o in T2{body} }}", vars.join(", "));
+        e.define_query("s", "Star", &star).unwrap();
+        e.define_query("s", "Small", "{ x | x in T1 }").unwrap();
+        let err = decide(&e, "limit=1000 contains s Star Star").unwrap_err();
+        assert!(err.starts_with("timeout"), "{err}");
+        // The budget was scoped to that request; the worker still serves.
+        assert_eq!(decide(&e, "contains s Small Small"), Ok("holds".to_owned()));
     }
 
     #[test]

@@ -32,6 +32,11 @@ if [ "${OOCQ_CI_SKIP_HEAVY:-0}" != "1" ]; then
     echo "ci: bench_prune smoke (quick mode)"
     OOCQ_BENCH_QUICK=1 cargo run --release -q -p oocq-bench --bin bench_prune \
         -- target/BENCH_prune_smoke.json
+    # Soundness gate: the differential oracle sweeps >=500 seeded pairs,
+    # cross-checking every engine verdict against brute-force evaluation
+    # and demanding a constructive witness for >=95% of refutations.
+    echo "ci: oracle_fuzz sweep (ci mode)"
+    cargo run --release -q --bin oracle_fuzz -- --iterations ci
 else
     echo "ci: OOCQ_CI_SKIP_HEAVY=1, skipping build and test"
 fi

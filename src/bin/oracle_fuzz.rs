@@ -1,0 +1,167 @@
+//! `oracle_fuzz` — drive the differential soundness oracle over a seeded
+//! sweep of `(schema, Q₁, Q₂)` pairs and fail loudly on any disagreement
+//! between the containment engine and brute-force evaluation.
+//!
+//! ```text
+//! oracle_fuzz [--seed N] [--iterations N|small|ci] [--duration SECS]
+//!             [--states N] [--budget WORK] [--eval-budget WORK]
+//!             [--min-confirm RATE] [--no-shrink] [--verbose]
+//! ```
+//!
+//! Exit status: `0` when the sweep saw no soundness violation **and** the
+//! steered confirmation rate met `--min-confirm` (default 0.95); `1`
+//! otherwise; `2` on usage errors. The gate is two-sided on purpose — a
+//! verdict flipped from *fails* to *holds* surfaces as a violation, while
+//! one flipped from *holds* to *fails* surfaces as a collapsed
+//! confirmation rate.
+
+use oocq::oracle::{Oracle, OracleConfig, Outcome};
+use oocq::EngineConfig;
+use std::time::{Duration, Instant};
+
+struct Args {
+    seed: u64,
+    iterations: u64,
+    duration: Option<Duration>,
+    states: Option<usize>,
+    budget: Option<u64>,
+    eval_budget: Option<u64>,
+    min_confirm: f64,
+    shrink: bool,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oracle_fuzz [--seed N] [--iterations N|small|ci] [--duration SECS]\n\
+         \x20                  [--states N] [--budget WORK] [--eval-budget WORK]\n\
+         \x20                  [--min-confirm RATE] [--no-shrink] [--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 0,
+        iterations: 200,
+        duration: None,
+        states: None,
+        budget: None,
+        eval_budget: None,
+        min_confirm: 0.95,
+        shrink: true,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("oracle_fuzz: {name} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--iterations" => {
+                let v = value("--iterations");
+                args.iterations = match v.as_str() {
+                    "small" => 32,
+                    "ci" => 500,
+                    n => n.parse().unwrap_or_else(|_| usage()),
+                };
+            }
+            "--duration" => {
+                let secs: u64 = value("--duration").parse().unwrap_or_else(|_| usage());
+                args.duration = Some(Duration::from_secs(secs));
+            }
+            "--states" => args.states = Some(value("--states").parse().unwrap_or_else(|_| usage())),
+            "--budget" => args.budget = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
+            "--eval-budget" => {
+                args.eval_budget = Some(value("--eval-budget").parse().unwrap_or_else(|_| usage()))
+            }
+            "--min-confirm" => {
+                args.min_confirm = value("--min-confirm").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-shrink" => args.shrink = false,
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("oracle_fuzz: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = OracleConfig {
+        shrink: args.shrink,
+        ..OracleConfig::default()
+    };
+    if let Some(n) = args.states {
+        cfg.states_per_pair = n;
+    }
+    if let Some(w) = args.budget {
+        cfg.engine = EngineConfig::serial().with_budget(oocq::Budget::with_limit(w));
+    }
+    if let Some(w) = args.eval_budget {
+        cfg.eval_budget = w;
+    }
+    let mut oracle = Oracle::new(cfg);
+
+    let start = Instant::now();
+    let mut violations = Vec::new();
+    let mut ran = 0u64;
+    for seed in args.seed..args.seed + args.iterations {
+        if let Some(d) = args.duration {
+            if start.elapsed() >= d {
+                break;
+            }
+        }
+        let (schema, q1, q2) =
+            oocq::oracle::sweep_pair(seed, &oracle.config().query, oracle.config().negative_atoms);
+        let mut rng = oocq::gen::StdRng::seed_from_u64(seed ^ 0x0bbed_feed);
+        let outcome = oracle.check_pair(&schema, &q1, &q2, &mut rng);
+        ran += 1;
+        match outcome {
+            Outcome::Violation(v) => {
+                eprintln!("seed {seed}: {v}");
+                violations.push((seed, v));
+            }
+            Outcome::RefutedUnconfirmed if args.verbose => {
+                eprintln!("seed {seed}: refutation not confirmed");
+            }
+            _ => {}
+        }
+    }
+
+    let stats = oracle.stats();
+    let elapsed = start.elapsed();
+    println!("oracle_fuzz: {stats}");
+    println!(
+        "oracle_fuzz: {ran} pair(s) in {:.2}s, steered confirmation rate {:.3} \
+         (overall {:.3})",
+        elapsed.as_secs_f64(),
+        stats.steered_confirmation_rate(),
+        stats.confirmation_rate(),
+    );
+
+    if !violations.is_empty() {
+        eprintln!(
+            "oracle_fuzz: FAIL — {} soundness violation(s)",
+            violations.len()
+        );
+        std::process::exit(1);
+    }
+    if stats.steered_confirmation_rate() < args.min_confirm {
+        eprintln!(
+            "oracle_fuzz: FAIL — steered confirmation rate {:.3} below threshold {:.3}",
+            stats.steered_confirmation_rate(),
+            args.min_confirm
+        );
+        std::process::exit(1);
+    }
+    println!("oracle_fuzz: ok");
+}

@@ -66,6 +66,7 @@
 //! | `oocq-rel` | [`rel`]: the Chandra–Merlin relational baseline |
 //! | `oocq-gen` | [`gen`]: workload and random-instance generators |
 //! | `oocq-service` | [`ServiceEngine`], [`serve`], [`CanonicalDecisionCache`] — the `oocq-serve` daemon |
+//! | `oocq-oracle` | [`oracle`]: the differential soundness oracle and the `oracle_fuzz` fuzzer |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,10 +81,10 @@ pub use oocq_core::{
     minimize_positive_with, minimize_terminal_general, minimize_terminal_general_with,
     minimize_terminal_positive, nonredundant_union, nonredundant_union_with, satisfiability,
     search_space_cost, strategy_for, strip_non_range, term_class, union_contains,
-    union_contains_with, union_cost, union_equivalent, var_classes, BranchStats, Containment,
-    CoreError, DecisionCache, Engine, EngineConfig, MappingWitness, MinimizationReport, Optimizer,
-    OptimizerStats, PreparedQuery, PreparedQueryStats, PreparedSchema, Satisfiability, SearchOrder,
-    Strategy, UnsatReason, MAX_BRANCHES,
+    union_contains_with, union_cost, union_equivalent, var_classes, BranchStats, Budget,
+    Containment, CoreError, DecisionCache, Engine, EngineConfig, MappingWitness,
+    MinimizationReport, Optimizer, OptimizerStats, PreparedQuery, PreparedQueryStats,
+    PreparedSchema, Satisfiability, SearchOrder, Strategy, UnsatReason, MAX_BRANCHES,
 };
 pub use oocq_eval::{
     answer, answer_planned, answer_union, answer_with_plan, canonical_contains, canonical_state,
@@ -121,4 +122,10 @@ pub mod rel {
 /// Workload and random-instance generators.
 pub mod gen {
     pub use oocq_gen::*;
+}
+
+/// The differential soundness oracle: cross-checks containment verdicts
+/// against brute-force evaluation, steered by refutation certificates.
+pub mod oracle {
+    pub use oocq_oracle::*;
 }

@@ -310,3 +310,122 @@ fn oversubscribed_thread_count_is_safe() {
     let par = decide_containment_with(&schema, &q1, &q2, &forced_parallel(64)).unwrap();
     assert_eq!(serial, par);
 }
+
+/// The `OOCQ_PRUNE=0` exhaustive walk honors work budgets and deadlines
+/// through exactly the same mechanism as the pruned walk — a recoverable
+/// `timeout` error, never a hang — with the same precedence pinned on both
+/// paths: a refutation found before exhaustion is conclusive (`Fails`
+/// outranks the tripped budget), while a `Holds` claim is only valid for a
+/// complete walk, so there the budget error wins.
+#[test]
+fn budgets_and_deadlines_bind_pruned_and_exhaustive_walks_identically() {
+    use oocq::Budget;
+    use std::time::Duration;
+
+    let schema = oocq::samples::example_33();
+    let t1 = schema.class_id("T1").unwrap();
+    let t2 = schema.class_id("T2").unwrap();
+    let a = schema.attr_id("A").unwrap();
+    const FLOATERS: usize = 10;
+
+    // Q1: the 2^10-branch floater workload of the pruning test.
+    let mut b = QueryBuilder::new("x0");
+    let x0 = b.free();
+    b.range(x0, [t1]);
+    let u = b.var("u");
+    let y = b.var("y");
+    b.range(u, [t1]).range(y, [t2]);
+    b.member(x0, y, a);
+    b.non_member(u, y, a);
+    for i in 1..=FLOATERS {
+        let zi = b.var(&format!("z{i}"));
+        b.range(zi, [t1]);
+    }
+    let q1 = b.build();
+
+    // Q2 (holds): certified on every branch, so the verdict needs the whole
+    // walk — the workload a budget must be able to interrupt.
+    let mut b = QueryBuilder::new("x");
+    let x = b.free();
+    let u2 = b.var("u");
+    let y2 = b.var("y");
+    b.range(x, [t1]).range(u2, [t1]).range(y2, [t2]);
+    b.non_member(u2, y2, a);
+    let q2_holds = b.build();
+
+    // Q2 (fails): same strategy tier as the holds workload (positive with a
+    // non-membership, so the identical 2^10 W-space is planned), but its
+    // free variable ranges over T2 while Q1's ranges over T1 — no branch
+    // admits a mapping, so the very first one refutes and the rest of the
+    // space is moot.
+    let mut b = QueryBuilder::new("x");
+    let x = b.free();
+    let u3 = b.var("u");
+    let y3 = b.var("y");
+    b.range(x, [t2]).range(u3, [t1]).range(y3, [t2]);
+    b.non_member(u3, y3, a);
+    let q2_fails = b.build();
+
+    let pruned = |budget: Budget| EngineConfig::serial().with_budget(budget);
+    let exhaustive = |budget: Budget| EngineConfig::serial().without_pruning().with_budget(budget);
+
+    // Unlimited: identical certificates on both workloads (baseline).
+    for q2 in [&q2_holds, &q2_fails] {
+        let p = decide_containment_with(&schema, &q1, q2, &pruned(Budget::unlimited())).unwrap();
+        let e =
+            decide_containment_with(&schema, &q1, q2, &exhaustive(Budget::unlimited())).unwrap();
+        assert_eq!(p, e, "certificates drift without budgets");
+    }
+    let reference =
+        decide_containment_with(&schema, &q1, &q2_fails, &pruned(Budget::unlimited())).unwrap();
+    assert!(!reference.holds());
+
+    // A one-unit work limit: both walks trip the identical recoverable
+    // timeout on the holds workload.
+    for cfg in [
+        pruned(Budget::with_limit(1)),
+        exhaustive(Budget::with_limit(1)),
+    ] {
+        let err = decide_containment_with(&schema, &q1, &q2_holds, &cfg).unwrap_err();
+        assert!(
+            err.to_string().starts_with("timeout"),
+            "expected a recoverable timeout, got: {err}"
+        );
+    }
+
+    // A mid-size limit, far below the exhaustive holds-walk (which charges
+    // at least one unit per 2^10 branches) but enough to reach the first
+    // branch's refutation: the exhaustive walk still trips on the holds
+    // workload at this limit...
+    const MID: u64 = 512;
+    let err = decide_containment_with(
+        &schema,
+        &q1,
+        &q2_holds,
+        &exhaustive(Budget::with_limit(MID)),
+    )
+    .unwrap_err();
+    assert!(err.to_string().starts_with("timeout"), "got: {err}");
+    // ...while on the refuted workload BOTH walks return the conclusive
+    // `Fails` certificate under the very same limit: refutation outranks
+    // budget exhaustion on the pruned and exhaustive paths alike.
+    for cfg in [
+        pruned(Budget::with_limit(MID)),
+        exhaustive(Budget::with_limit(MID)),
+    ] {
+        let got = decide_containment_with(&schema, &q1, &q2_fails, &cfg).unwrap();
+        assert_eq!(got, reference, "refutation must outrank the budget trip");
+    }
+
+    // An already-expired deadline: every combination trips the same
+    // recoverable timeout before concluding anything.
+    for q2 in [&q2_holds, &q2_fails] {
+        for cfg in [
+            pruned(Budget::with_deadline(Duration::ZERO)),
+            exhaustive(Budget::with_deadline(Duration::ZERO)),
+        ] {
+            let err = decide_containment_with(&schema, &q1, q2, &cfg).unwrap_err();
+            assert!(err.to_string().starts_with("timeout"), "got: {err}");
+        }
+    }
+}

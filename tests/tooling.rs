@@ -208,6 +208,27 @@ fn optimizer_session_over_a_workload() {
     assert_eq!(stats.minimize_hits, 12);
 }
 
+/// `oracle_fuzz` runs end to end in its small preset: the sweep completes
+/// with no soundness violations, the confirmation gate passes, and the
+/// stats report reaches stdout.
+#[test]
+fn oracle_fuzz_small_preset_passes() {
+    use std::process::Command;
+    let out = Command::new(env!("CARGO_BIN_EXE_oracle_fuzz"))
+        .args(["--iterations", "small", "--seed", "7"])
+        .output()
+        .expect("oracle_fuzz must be spawnable");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "oracle_fuzz failed:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("pairs=32"), "{stdout}");
+    assert!(stdout.contains("violations=0"), "{stdout}");
+    assert!(stdout.trim_end().ends_with("oracle_fuzz: ok"), "{stdout}");
+}
+
 /// `scripts/ci.sh` is runnable and wires the right gates. The heavy stages
 /// (build + test) are skipped via `OOCQ_CI_SKIP_HEAVY=1` — this test
 /// already runs under `cargo test` and must not recurse into it — so the
