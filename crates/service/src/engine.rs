@@ -9,6 +9,7 @@
 //! commands ran sequentially.
 
 use crate::cache::CanonicalDecisionCache;
+use crate::flight::{FlightKey, FlightStats};
 use crate::protocol::{Request, RequestStats};
 use crate::runner::run_program_with;
 use oocq_core::{
@@ -50,7 +51,7 @@ impl Session {
         &self.schema
     }
 
-    fn query(&self, q: &str) -> Result<&PreparedQuery, String> {
+    pub(crate) fn query(&self, q: &str) -> Result<&PreparedQuery, String> {
         self.queries
             .get(q)
             .ok_or_else(|| format!("unknown query `{q}` in session `{}`", self.name))
@@ -152,7 +153,15 @@ pub struct ServiceEngine {
     /// Explicit job-queue bound (`OOCQ_QUEUE_BOUND`); `None` derives one
     /// from the pool size.
     queue_bound: Option<usize>,
+    /// Concurrent-connection cap for the TCP paths (`OOCQ_MAX_CONNS`).
+    max_conns: usize,
+    /// Singleflight coalescing of identical in-flight decisions in the
+    /// reactor (`OOCQ_COALESCE`, on by default).
+    coalesce: bool,
 }
+
+/// Default [`ServiceEngine::max_conns`] when `OOCQ_MAX_CONNS` is unset.
+pub const DEFAULT_MAX_CONNS: usize = 4096;
 
 impl ServiceEngine {
     /// An engine with the default-capacity canonical cache.
@@ -171,14 +180,19 @@ impl ServiceEngine {
             sessions: RwLock::new(HashMap::new()),
             deadline: None,
             queue_bound: None,
+            max_conns: DEFAULT_MAX_CONNS,
+            coalesce: true,
         }
     }
 
     /// Configuration from the environment: `OOCQ_THREADS` for the pool
     /// size, `OOCQ_CACHE_CAPACITY` for the cache (`0` disables it),
     /// `OOCQ_DEADLINE_MS` for the per-request wall-clock deadline (unset or
-    /// `0` means none), and `OOCQ_QUEUE_BOUND` for the dispatcher queue
-    /// bound (unset or `0` derives one from the pool size).
+    /// `0` means none), `OOCQ_QUEUE_BOUND` for the dispatcher queue
+    /// bound (unset or `0` derives one from the pool size),
+    /// `OOCQ_MAX_CONNS` for the TCP connection cap (unset or `0` keeps the
+    /// default), and `OOCQ_COALESCE` (`0` disables singleflight
+    /// coalescing in the reactor).
     pub fn from_env() -> ServiceEngine {
         let cache = match std::env::var("OOCQ_CACHE_CAPACITY")
             .ok()
@@ -194,9 +208,18 @@ impl ServiceEngine {
                 .and_then(|s| s.trim().parse::<u64>().ok())
                 .filter(|&n| n > 0)
         };
+        let coalesce = std::env::var("OOCQ_COALESCE")
+            .map(|v| v.trim() != "0")
+            .unwrap_or(true);
         ServiceEngine::with_cache(EngineConfig::from_env(), cache)
             .with_deadline(positive("OOCQ_DEADLINE_MS").map(Duration::from_millis))
             .with_queue_bound(positive("OOCQ_QUEUE_BOUND").map(|n| n as usize))
+            .with_max_conns(
+                positive("OOCQ_MAX_CONNS")
+                    .map(|n| n as usize)
+                    .unwrap_or(DEFAULT_MAX_CONNS),
+            )
+            .with_coalescing(coalesce)
     }
 
     /// This engine with a per-request wall-clock deadline (`None` = none).
@@ -210,6 +233,34 @@ impl ServiceEngine {
     pub fn with_queue_bound(mut self, bound: Option<usize>) -> ServiceEngine {
         self.queue_bound = bound;
         self
+    }
+
+    /// This engine with an explicit concurrent-connection cap.
+    pub fn with_max_conns(mut self, max: usize) -> ServiceEngine {
+        self.max_conns = max.max(1);
+        self
+    }
+
+    /// This engine with singleflight coalescing enabled or disabled.
+    pub fn with_coalescing(mut self, on: bool) -> ServiceEngine {
+        self.coalesce = on;
+        self
+    }
+
+    /// How many concurrent TCP connections the serving paths accept before
+    /// answering `err busy` and closing.
+    pub fn max_conns(&self) -> usize {
+        self.max_conns
+    }
+
+    /// Is singleflight coalescing enabled for the reactor?
+    pub fn coalescing(&self) -> bool {
+        self.coalesce
+    }
+
+    /// The per-request wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// The worker-pool size this engine wants (`base.threads`).
@@ -318,11 +369,28 @@ impl ServiceEngine {
         req: &Request,
         snapshot: Option<&Arc<Session>>,
     ) -> (Result<String, String>, RequestStats) {
+        let (req, limit) = split_limit(req);
+        self.execute_budgeted(req, snapshot, self.request_budget(limit))
+    }
+
+    /// The [`Budget`] one request runs under: the engine-wide deadline
+    /// (clock starting now) combined with the request's `limit=` option.
+    pub(crate) fn request_budget(&self, limit: Option<u64>) -> Budget {
+        Budget::new(self.deadline, limit)
+    }
+
+    /// [`ServiceEngine::execute`] with the `limit=` wrapper already
+    /// stripped and the budget supplied by the caller — the reactor builds
+    /// the budget before deciding whether to coalesce, then runs the leader
+    /// under the same (shared-counter) budget so canonicalization work done
+    /// for the flight key is charged exactly once.
+    pub(crate) fn execute_budgeted(
+        &self,
+        req: &Request,
+        snapshot: Option<&Arc<Session>>,
+        budget: Budget,
+    ) -> (Result<String, String>, RequestStats) {
         let start = Instant::now();
-        let (req, limit) = match req {
-            Request::Limited { limit, inner } => (inner.as_ref(), Some(*limit)),
-            other => (other, None),
-        };
         #[cfg(test)]
         panic_injection(req);
         let view = Arc::new(CountingView {
@@ -330,9 +398,7 @@ impl ServiceEngine {
             hits: AtomicU64::new(0),
             decided: AtomicU64::new(0),
         });
-        let cfg = self
-            .decision_config(view.clone())
-            .with_budget(Budget::new(self.deadline, limit));
+        let cfg = self.decision_config(view.clone()).with_budget(budget);
         let result = self.execute_inner(req, snapshot, &cfg);
         let stats = RequestStats {
             cached: view.hits.load(Relaxed),
@@ -341,6 +407,94 @@ impl ServiceEngine {
             threads: self.base.threads,
         };
         (result, stats)
+    }
+
+    /// The singleflight identity of a (already `limit=`-stripped) request,
+    /// or `None` when it is not coalescable: only `contains`/`equiv`/
+    /// `minimize` are — the other decision verbs render schema-dependent
+    /// reports too cheap to be worth a table entry — and name-lookup
+    /// failures return `None` so [`ServiceEngine::execute`] surfaces the
+    /// real error message. `Err` carries a budget trip during
+    /// canonicalization (the canonical labeling has a factorial worst case
+    /// and must honor the request budget even on this pre-pass).
+    pub(crate) fn flight_key(
+        &self,
+        req: &Request,
+        snapshot: Option<&Arc<Session>>,
+        budget: &Budget,
+    ) -> Result<Option<FlightKey>, String> {
+        let Some(ses) = snapshot else {
+            return Ok(None);
+        };
+        let schema = ses.prepared_schema().fingerprint().clone();
+        match req {
+            Request::Contains { q1, q2, .. } | Request::Equivalent { q1, q2, .. } => {
+                let (Ok(p1), Ok(p2)) = (ses.query(q1), ses.query(q2)) else {
+                    return Ok(None);
+                };
+                let c1 = p1
+                    .try_canonical_form(budget)
+                    .map_err(|e| e.to_string())?
+                    .clone();
+                let c2 = p2
+                    .try_canonical_form(budget)
+                    .map_err(|e| e.to_string())?
+                    .clone();
+                Ok(Some(if matches!(req, Request::Contains { .. }) {
+                    FlightKey::Contains {
+                        schema,
+                        q1: c1,
+                        q2: c2,
+                    }
+                } else {
+                    FlightKey::Equivalent {
+                        schema,
+                        q1: c1,
+                        q2: c2,
+                    }
+                }))
+            }
+            Request::Minimize { query, .. } => {
+                let Ok(p) = ses.query(query) else {
+                    return Ok(None);
+                };
+                // Exact rendered text, like the cache's minimize key: the
+                // output carries the user's variable names.
+                let query = p.query().display(ses.schema()).to_string();
+                Ok(Some(FlightKey::Minimize { schema, query }))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// The `stats show` report: cache traffic, coalescing traffic, and the
+    /// asking connection's decision backlog.
+    pub(crate) fn stats_report(&self, flight: &FlightStats, backlog: usize) -> String {
+        let mut out = String::new();
+        match &self.cache {
+            Some(c) => {
+                let s = c.stats();
+                let _ = write!(
+                    out,
+                    "cache: contains_hits={} contains_misses={} minimize_hits={} \
+                     minimize_misses={} evictions={} entries={}",
+                    s.contains_hits,
+                    s.contains_misses,
+                    s.minimize_hits,
+                    s.minimize_misses,
+                    s.evictions,
+                    c.len()
+                );
+            }
+            None => out.push_str("cache: disabled"),
+        }
+        let _ = write!(
+            out,
+            " | coalesce: leaders={} waiters={} fanouts={} expired={} inflight={} \
+             | conn: backlog={backlog}",
+            flight.leaders, flight.waiters_joined, flight.fanouts, flight.expired, flight.inflight
+        );
+        out
     }
 
     fn execute_inner(
@@ -453,6 +607,14 @@ impl ServiceEngine {
             }
             other => Err(format!("internal: `{other:?}` is not a decision request")),
         }
+    }
+}
+
+/// Strip a `limit=` wrapper, returning the inner request and the limit.
+pub(crate) fn split_limit(req: &Request) -> (&Request, Option<u64>) {
+    match req {
+        Request::Limited { limit, inner } => (inner.as_ref(), Some(*limit)),
+        other => (other, None),
     }
 }
 

@@ -5,7 +5,7 @@
 //! newline ↔ `\n`, literal backslash ↔ `\\`.
 //!
 //! ```text
-//! request  := ping | stats (on|off) | quit
+//! request  := ping | stats (on|off|show) | quit
 //!           | schema <session> <escaped-schema-text>
 //!           | query <session> <name> <escaped-query-text>
 //!           | satisfiable <session> <query>
@@ -71,6 +71,11 @@ pub enum Request {
     Ping,
     /// `stats on|off` — toggle the ` # …` stats suffix for this connection.
     Stats(bool),
+    /// `stats show` — one-line report of cache traffic, coalescing
+    /// counters, and this connection's decision backlog. Answered inline
+    /// (the counters are live; the response is *not* part of the
+    /// deterministic-transcript contract).
+    StatsShow,
     /// `quit` — drain in-flight work, then close the connection.
     Quit,
     /// `schema <session> <text>` — create/replace a named session.
@@ -124,6 +129,7 @@ impl Request {
         match self {
             Request::Ping
             | Request::Stats(_)
+            | Request::StatsShow
             | Request::Quit
             | Request::DefineSchema { .. }
             | Request::DefineQuery { .. } => false,
@@ -190,7 +196,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => match rest {
             "on" => Ok(Request::Stats(true)),
             "off" => Ok(Request::Stats(false)),
-            other => Err(format!("`stats` expects `on` or `off`, got `{other}`")),
+            "show" => Ok(Request::StatsShow),
+            other => Err(format!(
+                "`stats` expects `on`, `off`, or `show`, got `{other}`"
+            )),
         },
         "schema" => {
             let p = need(2)?;
@@ -306,6 +315,9 @@ mod tests {
         assert_eq!(parse_request("quit"), Ok(Request::Quit));
         assert_eq!(parse_request("stats on"), Ok(Request::Stats(true)));
         assert_eq!(parse_request("stats off"), Ok(Request::Stats(false)));
+        assert_eq!(parse_request("stats show"), Ok(Request::StatsShow));
+        assert!(!Request::StatsShow.is_decision());
+        assert!(parse_request("limit=10 stats show").is_err());
         assert_eq!(
             parse_request("schema s class C {}\\nclass D : C {}"),
             Ok(Request::DefineSchema {

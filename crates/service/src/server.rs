@@ -21,9 +21,11 @@
 //!   the connection closes, instead of a silent teardown.
 
 use crate::engine::{ServiceEngine, Session};
+use crate::flight::FlightStats;
 use crate::protocol::{parse_request, render_response, Request, RequestStats};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -34,16 +36,17 @@ struct Job {
     stats_on: bool,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
+struct QueueState<T> {
+    jobs: VecDeque<T>,
     closed: bool,
 }
 
 /// The dispatcher → worker job queue, bounded so a slow pool pushes back on
 /// the dispatcher (and through it, on the client's unread input) instead of
-/// buffering an unbounded backlog.
-struct Queue {
-    state: Mutex<QueueState>,
+/// buffering an unbounded backlog. Generic over the job type: [`serve`]
+/// queues per-connection jobs, the reactor queues cross-connection ones.
+pub(crate) struct Queue<T> {
+    state: Mutex<QueueState<T>>,
     bound: usize,
     /// Signals waiting workers that a job arrived (or the queue closed).
     cond: Condvar,
@@ -51,8 +54,8 @@ struct Queue {
     room: Condvar,
 }
 
-impl Queue {
-    fn new(bound: usize) -> Queue {
+impl<T> Queue<T> {
+    pub(crate) fn new(bound: usize) -> Queue<T> {
         Queue {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -66,7 +69,7 @@ impl Queue {
 
     /// Blocks while the queue is full (workers always drain it, so this
     /// cannot deadlock; `close` also wakes any blocked pusher).
-    fn push(&self, job: Job) {
+    pub(crate) fn push(&self, job: T) {
         let mut st = self.state.lock().unwrap();
         while st.jobs.len() >= self.bound && !st.closed {
             st = self.room.wait(st).unwrap();
@@ -75,14 +78,26 @@ impl Queue {
         self.cond.notify_one();
     }
 
+    /// Nonblocking push for the reactor (which must never sleep on a lock):
+    /// a full queue hands the job back so the caller can park it.
+    pub(crate) fn try_push(&self, job: T) -> Result<(), T> {
+        let mut st = self.state.lock().unwrap();
+        if st.jobs.len() >= self.bound && !st.closed {
+            return Err(job);
+        }
+        st.jobs.push_back(job);
+        self.cond.notify_one();
+        Ok(())
+    }
+
     /// Close the queue; workers drain remaining jobs and exit.
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         self.state.lock().unwrap().closed = true;
         self.cond.notify_all();
         self.room.notify_all();
     }
 
-    fn pop(&self) -> Option<Job> {
+    pub(crate) fn pop(&self) -> Option<T> {
         let mut st = self.state.lock().unwrap();
         loop {
             if let Some(job) = st.jobs.pop_front() {
@@ -266,6 +281,9 @@ pub fn serve<R: BufRead, W: Write + Send>(
                     name,
                     text,
                 }) => engine.define_query(session, name, text),
+                // Single-session mode has no reactor, hence no coalescing
+                // traffic and no cross-connection backlog to report.
+                Ok(Request::StatsShow) => Ok(engine.stats_report(&FlightStats::default(), 0)),
                 Ok(other) => Err(format!("internal: unhandled request `{other:?}`")),
             };
             let stats = RequestStats {
@@ -287,48 +305,149 @@ pub fn serve<R: BufRead, W: Write + Send>(
     emitter.finish()
 }
 
-/// Entry point of the `oocq-serve` binary: serve stdin/stdout, or — when
-/// `OOCQ_LISTEN=<addr:port>` is set — accept TCP connections, one request
-/// loop per connection over a shared engine (and shared cache).
-pub fn daemon_main() -> std::io::Result<()> {
-    let engine = Arc::new(ServiceEngine::from_env());
-    match std::env::var("OOCQ_LISTEN") {
-        Ok(addr) if !addr.trim().is_empty() => {
-            let listener = std::net::TcpListener::bind(addr.trim())?;
-            eprintln!(
-                "oocq-serve listening on {} ({} worker threads per connection)",
-                listener.local_addr()?,
-                engine.pool_threads().max(1)
-            );
-            // Transient accept failures (EMFILE, ECONNABORTED, …) must not
-            // kill the daemon: log, back off exponentially up to 1s, retry.
-            let mut backoff = std::time::Duration::from_millis(10);
-            loop {
-                let (stream, peer) = match listener.accept() {
-                    Ok(conn) => {
-                        backoff = std::time::Duration::from_millis(10);
-                        conn
-                    }
-                    Err(e) => {
+/// How an `accept` failure should be handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AcceptClass {
+    /// Resource pressure or a peer that vanished mid-handshake: log, back
+    /// off, keep serving the connections we already have.
+    Transient,
+    /// The listener itself is broken (bad fd, unsupported operation):
+    /// retrying can never succeed, so the accept loop must stop.
+    Fatal,
+}
+
+/// Classify an `accept` error. Transient kinds are resource exhaustion
+/// (`EMFILE`/`ENFILE`/`ENOMEM`/`ENOBUFS`), interruption, and peers that
+/// reset or aborted during the handshake (`ECONNABORTED`/`ECONNRESET`);
+/// everything else — notably `EBADF`/`EINVAL`/`ENOTSOCK` — means the
+/// listening socket itself is gone and the loop should surface the error.
+pub(crate) fn classify_accept_error(e: &std::io::Error) -> AcceptClass {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::Interrupted
+        | ErrorKind::WouldBlock
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::ConnectionReset
+        | ErrorKind::OutOfMemory => AcceptClass::Transient,
+        _ => match e.raw_os_error() {
+            // ENOMEM, ENFILE, EMFILE, ENOBUFS: the fd/memory pressure
+            // cases ErrorKind does not (or did not historically) map.
+            Some(12 | 23 | 24 | 105) => AcceptClass::Transient,
+            _ => AcceptClass::Fatal,
+        },
+    }
+}
+
+/// The response line sent (best-effort) to a connection rejected by the
+/// `OOCQ_MAX_CONNS` cap before it is closed.
+pub(crate) fn busy_line(max_conns: usize) -> String {
+    render_response(
+        0,
+        &Err(format!(
+            "busy: connection limit ({max_conns}) reached; try again later"
+        )),
+        None,
+    )
+}
+
+/// The thread-per-connection TCP accept loop (`OOCQ_REACTOR=0`), kept as a
+/// differential reference for the reactor: one [`serve`] loop (and so one
+/// worker pool) per connection, a concurrent-connection cap answered with
+/// `err busy`, and accept-error classification with exponential backoff
+/// that resets after a successful accept. Returns when `stop` is set (and
+/// every connection thread has finished) or on a fatal accept error.
+pub fn accept_loop(
+    listener: &std::net::TcpListener,
+    engine: &ServiceEngine,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let live = AtomicUsize::new(0);
+    let max_conns = engine.max_conns();
+    let base_backoff = std::time::Duration::from_millis(10);
+    let mut backoff = base_backoff;
+    let mut result = Ok(());
+    std::thread::scope(|scope| {
+        while !stop.load(SeqCst) {
+            let (stream, peer) = match listener.accept() {
+                Ok(conn) => {
+                    backoff = base_backoff;
+                    conn
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    continue;
+                }
+                Err(e) => match classify_accept_error(&e) {
+                    AcceptClass::Transient => {
                         eprintln!("oocq-serve: accept failed: {e}; retrying in {backoff:?}");
                         std::thread::sleep(backoff);
                         backoff = (backoff * 2).min(std::time::Duration::from_secs(1));
                         continue;
                     }
-                };
-                let engine = engine.clone();
-                std::thread::spawn(move || {
-                    let reader = std::io::BufReader::new(match stream.try_clone() {
-                        Ok(s) => s,
-                        Err(e) => {
-                            eprintln!("oocq-serve: {peer}: {e}");
-                            return;
-                        }
-                    });
-                    if let Err(e) = serve(reader, stream, &engine) {
+                    AcceptClass::Fatal => {
+                        eprintln!("oocq-serve: accept failed fatally: {e}");
+                        result = Err(e);
+                        break;
+                    }
+                },
+            };
+            if live.load(SeqCst) >= max_conns {
+                let mut stream = stream;
+                let _ = stream.write_all(busy_line(max_conns).as_bytes());
+                let _ = stream.write_all(b"\n");
+                continue;
+            }
+            live.fetch_add(1, SeqCst);
+            let live = &live;
+            scope.spawn(move || {
+                let reader = std::io::BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(e) => {
                         eprintln!("oocq-serve: {peer}: {e}");
+                        live.fetch_sub(1, SeqCst);
+                        return;
                     }
                 });
+                if let Err(e) = serve(reader, stream, engine) {
+                    eprintln!("oocq-serve: {peer}: {e}");
+                }
+                live.fetch_sub(1, SeqCst);
+            });
+        }
+    });
+    result
+}
+
+/// Entry point of the `oocq-serve` binary: serve stdin/stdout, or — when
+/// `OOCQ_LISTEN=<addr:port>` is set — accept TCP connections over a shared
+/// engine (and shared cache). TCP connections are multiplexed by the
+/// event-driven reactor by default; `OOCQ_REACTOR=0` selects the legacy
+/// thread-per-connection loop instead.
+pub fn daemon_main() -> std::io::Result<()> {
+    let engine = Arc::new(ServiceEngine::from_env());
+    match std::env::var("OOCQ_LISTEN") {
+        Ok(addr) if !addr.trim().is_empty() => {
+            let listener = std::net::TcpListener::bind(addr.trim())?;
+            let reactor = std::env::var("OOCQ_REACTOR")
+                .map(|v| v.trim() != "0")
+                .unwrap_or(true);
+            eprintln!(
+                "oocq-serve listening on {} ({}, {} worker threads, max {} connections)",
+                listener.local_addr()?,
+                if reactor {
+                    "reactor"
+                } else {
+                    "thread-per-connection"
+                },
+                engine.pool_threads().max(1),
+                engine.max_conns(),
+            );
+            let stop = AtomicBool::new(false);
+            if reactor {
+                crate::reactor::run(&listener, &engine, &stop)
+            } else {
+                accept_loop(&listener, &engine, &stop)
             }
         }
         _ => serve(std::io::stdin().lock(), std::io::stdout(), &engine),

@@ -37,6 +37,13 @@ if [ "${OOCQ_CI_SKIP_HEAVY:-0}" != "1" ]; then
     # and demanding a constructive witness for >=95% of refutations.
     echo "ci: oracle_fuzz sweep (ci mode)"
     cargo run --release -q --bin oracle_fuzz -- --iterations ci
+    # Serving gate: bench_load carries in-binary floors for singleflight
+    # coalescing (>=5x the uncoalesced hot-key throughput); the quick
+    # preset exercises the reactor, the legacy accept loop, and the
+    # coalescing path end to end over real sockets.
+    echo "ci: bench_load smoke (quick mode)"
+    OOCQ_BENCH_QUICK=1 cargo run --release -q --bin bench_load \
+        -- target/BENCH_load_smoke.json
 else
     echo "ci: OOCQ_CI_SKIP_HEAVY=1, skipping build and test"
 fi

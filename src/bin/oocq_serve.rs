@@ -8,6 +8,13 @@
 //! connection and cache stay usable); `OOCQ_QUEUE_BOUND` caps the
 //! dispatcher→worker queue (default `16 × threads`), so a slow pool
 //! pushes back on the client instead of buffering an unbounded backlog.
+//!
+//! TCP connections are served by an event-driven reactor multiplexing
+//! every session over that one worker pool, with singleflight coalescing
+//! of concurrent identical decisions (DESIGN.md §11). `OOCQ_REACTOR=0`
+//! restores the thread-per-connection loop (byte-identical transcripts);
+//! `OOCQ_MAX_CONNS` caps concurrent connections (default 4096, `err
+//! busy` past the cap); `OOCQ_COALESCE=0` disables coalescing.
 
 fn main() {
     if let Err(e) = oocq_service::daemon_main() {

@@ -229,6 +229,36 @@ fn oracle_fuzz_small_preset_passes() {
     assert!(stdout.trim_end().ends_with("oracle_fuzz: ok"), "{stdout}");
 }
 
+/// `bench_load` runs end to end in its quick preset: the reactor, the
+/// legacy thread-per-connection loop, and the coalesced/uncoalesced
+/// hot-key phases all complete over real sockets, the singleflight floor
+/// holds, and the JSON report lands where asked.
+#[test]
+fn bench_load_quick_preset_passes() {
+    use std::process::Command;
+    let out_path =
+        std::env::temp_dir().join(format!("bench_load_smoke_{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_load"))
+        .arg(&out_path)
+        .env("OOCQ_BENCH_QUICK", "1")
+        .output()
+        .expect("bench_load must be spawnable");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "bench_load failed:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    let json = std::fs::read_to_string(&out_path).expect("bench_load must write its report");
+    std::fs::remove_file(&out_path).ok();
+    assert!(json.contains("\"experiment\": \"B11\""), "{json}");
+    assert!(json.contains("\"coalesced_vs_uncoalesced\""), "{json}");
+    assert!(
+        stdout.contains("coalescing") && stdout.contains("thread-per-conn"),
+        "{stdout}"
+    );
+}
+
 /// `scripts/ci.sh` is runnable and wires the right gates. The heavy stages
 /// (build + test) are skipped via `OOCQ_CI_SKIP_HEAVY=1` — this test
 /// already runs under `cargo test` and must not recurse into it — so the
