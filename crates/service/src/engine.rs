@@ -393,6 +393,8 @@ impl ServiceEngine {
         let start = Instant::now();
         #[cfg(test)]
         panic_injection(req);
+        #[cfg(test)]
+        slow_injection(req);
         let view = Arc::new(CountingView {
             inner: self.cache.clone(),
             hits: AtomicU64::new(0),
@@ -625,6 +627,20 @@ pub(crate) fn split_limit(req: &Request) -> (&Request, Option<u64>) {
 fn panic_injection(req: &Request) {
     if let Request::Contains { q1, .. } = req {
         assert!(q1 != "__panic__", "injected worker panic");
+    }
+}
+
+/// Test-only latency injection: a `contains` whose left query name is
+/// `__slow__` sleeps before deciding. The reactor's coalescing test uses
+/// this to hold its leader in flight long enough that every concurrent
+/// identical request deterministically joins as a waiter, so the test can
+/// pin *exactly one* computation without racing worker scheduling.
+#[cfg(test)]
+fn slow_injection(req: &Request) {
+    if let Request::Contains { q1, .. } = req {
+        if q1 == "__slow__" {
+            std::thread::sleep(Duration::from_millis(1000));
+        }
     }
 }
 

@@ -5,8 +5,10 @@
 //! the C library the standard library already links (no external crate);
 //! elsewhere it degrades to a correctness-only fallback that reports every
 //! registered source ready after a short sleep — nonblocking I/O keeps
-//! that safe (spurious readiness just yields `WouldBlock`), it is merely
-//! not efficient.
+//! that safe (spurious readiness just yields `WouldBlock`), but it
+//! spin-polls even when idle, so the daemon only defaults to the reactor
+//! on Linux; other platforms keep the thread-per-connection loop unless
+//! `OOCQ_REACTOR=1` opts in explicitly.
 //!
 //! The facade is deliberately tiny — register / modify / deregister a raw
 //! fd under a `u64` token, then [`Poller::wait`] for `(token, readable,
@@ -136,9 +138,14 @@ mod linux_impl {
     }
 
     fn interest(readable: bool, writable: bool) -> u32 {
-        let mut ev = sys::EPOLLRDHUP;
+        let mut ev = 0;
         if readable {
-            ev |= sys::EPOLLIN;
+            // RDHUP rides along with read interest only: a source whose
+            // reads are masked (reactor backpressure) must not busy-wake
+            // on a half-closed peer it is not ready to hear — the hangup
+            // is still pending, level-triggered, when reads re-enable,
+            // and a full close reports EPOLLERR/EPOLLHUP unconditionally.
+            ev |= sys::EPOLLIN | sys::EPOLLRDHUP;
         }
         if writable {
             ev |= sys::EPOLLOUT;
@@ -245,8 +252,10 @@ mod fallback_impl {
     /// Correctness-only fallback: every registered source is reported
     /// ready after a short sleep. Spurious readiness is harmless under
     /// nonblocking I/O; this backend simply polls instead of sleeping on
-    /// kernel readiness, so it should only ever run on platforms without
-    /// the epoll backend.
+    /// kernel readiness, which is why the daemon defaults to the
+    /// thread-per-connection loop on platforms without the epoll backend
+    /// (`OOCQ_REACTOR=1` opts into the reactor over this backend anyway,
+    /// e.g. for the test suite).
     pub struct Poller {
         registered: Mutex<HashMap<RawFd, u64>>,
     }

@@ -27,7 +27,10 @@
 //! interest until completions drain (the client's unread input is the
 //! buffer, exactly like the blocking path). Per-connection output is
 //! likewise bounded: a peer that stops reading has its request parsing
-//! paused once its write buffer fills. Worker panics are confined to
+//! paused once its write buffer fills. A single line longer than the
+//! input cap can never complete, so it is answered `err line too long`
+//! and its remaining bytes are discarded through the next newline (or
+//! EOF) instead of wedging the connection. Worker panics are confined to
 //! their own request (`err internal …`), accept errors are classified
 //! transient/fatal with exponential backoff that resets on success, and
 //! connections beyond `OOCQ_MAX_CONNS` are answered `err busy` and
@@ -155,6 +158,9 @@ struct Conn {
     read_err: Option<String>,
     /// `quit` seen: discard any remaining buffered input.
     quit: bool,
+    /// An oversized line was answered `err line too long`; its remaining
+    /// bytes are being discarded up to the next newline (or EOF).
+    discarding: bool,
     /// A job the full worker queue handed back; retried when completions
     /// drain. While set, the connection parses no further input.
     stalled: Option<ReactorJob>,
@@ -181,6 +187,7 @@ impl Conn {
             read_done: false,
             read_err: None,
             quit: false,
+            discarding: false,
             stalled: None,
             want_read: true,
             want_write: false,
@@ -668,12 +675,25 @@ impl EventLoop<'_> {
             conn.flush();
         }
         if conn.finished() {
-            let _ = self.poller.deregister(conn.stream.as_raw_fd());
-            self.parked.retain(|&(c, _), _| c != token);
-            return; // dropping the Conn closes the socket
+            self.close_conn(token, conn);
+            return;
         }
+        // A failed interest update marks the connection dead, which may
+        // make it finished (nothing left to drain) — re-check rather than
+        // parking it with a desynced interest set and no wakeup path.
         self.update_interest(token, &mut conn);
+        if conn.finished() {
+            self.close_conn(token, conn);
+            return;
+        }
         self.conns.insert(token, conn);
+    }
+
+    /// Deregister and drop a drained connection (dropping the [`Conn`]
+    /// closes the socket), discarding any parked-deadline entries for it.
+    fn close_conn(&mut self, token: u64, conn: Conn) {
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.parked.retain(|&(c, _), _| c != token);
     }
 
     /// Nonblocking read into the connection's input buffer, bounded by
@@ -714,6 +734,35 @@ impl EventLoop<'_> {
                 consumed = conn.inbuf.len();
                 break;
             }
+            // Discarding runs even while paused: it consumes bytes without
+            // dispatching jobs or growing the output buffer, and stopping
+            // it would let the oversized line pin the input buffer at its
+            // cap with read interest masked — the connection could never
+            // make progress again.
+            if conn.discarding {
+                match conn.inbuf[consumed..].iter().position(|&b| b == b'\n') {
+                    Some(idx) => {
+                        consumed += idx + 1;
+                        conn.discarding = false;
+                        continue;
+                    }
+                    None => {
+                        consumed = conn.inbuf.len();
+                        if conn.read_done {
+                            // EOF mid-discard: the unterminated tail
+                            // belongs to the already-answered oversized
+                            // line; only a read error still needs its
+                            // final response.
+                            if let Some(msg) = conn.read_err.take() {
+                                let seq = conn.next_seq;
+                                conn.next_seq += 1;
+                                conn.emit(seq, render_response(seq, &Err(msg), None));
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
             if conn.paused(self.per_conn_cap) {
                 break;
             }
@@ -729,6 +778,26 @@ impl EventLoop<'_> {
                     self.handle_line(token, conn, &line);
                 }
                 None => {
+                    // A line that has already outgrown the input buffer can
+                    // never complete (read interest would mask at the cap
+                    // and wedge the connection): answer it now, in sequence
+                    // order, and discard its bytes through the newline.
+                    if conn.inbuf.len() - consumed >= IN_CAP {
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        let msg =
+                            format!("line too long: request lines are capped at {IN_CAP} bytes");
+                        let stats = RequestStats {
+                            cached: 0,
+                            decided: 0,
+                            wall_us: 0,
+                            threads: self.workers,
+                        };
+                        let st = if conn.stats_on { Some(&stats) } else { None };
+                        conn.emit(seq, render_response(seq, &Err(msg), st));
+                        conn.discarding = true;
+                        continue;
+                    }
                     if conn.read_done {
                         if conn.read_err.is_none() && consumed < conn.inbuf.len() {
                             let line =
@@ -822,14 +891,20 @@ impl EventLoop<'_> {
             && !conn.paused(self.per_conn_cap)
             && conn.inbuf.len() < IN_CAP;
         let want_write = !conn.dead && conn.out_pos < conn.outbuf.len();
-        if (want_read, want_write) != (conn.want_read, conn.want_write)
-            && self
+        if (want_read, want_write) != (conn.want_read, conn.want_write) {
+            match self
                 .poller
                 .modify(conn.stream.as_raw_fd(), token, want_read, want_write)
-                .is_ok()
-        {
-            conn.want_read = want_read;
-            conn.want_write = want_write;
+            {
+                Ok(()) => {
+                    conn.want_read = want_read;
+                    conn.want_write = want_write;
+                }
+                // The registered interest set is now unknowable; treat it
+                // like a peer failure: discard output, let in-flight work
+                // drain through its completion notes, then close.
+                Err(_) => conn.dead = true,
+            }
         }
     }
 }
@@ -930,6 +1005,50 @@ mod tests {
         assert!(out.ends_with("[3] ok holds\n"), "{out}");
     }
 
+    /// The regression this pins: a single line longer than `IN_CAP` used
+    /// to fill the input buffer with no newline in sight, mask read
+    /// interest, and wedge the connection forever (with a level-triggered
+    /// hangup event spinning the reactor at 100% CPU once the peer
+    /// half-closed). It must instead be answered `err line too long` with
+    /// its bytes discarded through the newline, leaving the connection
+    /// fully usable.
+    #[test]
+    fn an_oversized_line_is_rejected_without_wedging_the_connection() {
+        let h = Harness::start(engine(2));
+        let mut s = h.connect();
+        s.write_all(b"stats off\n").unwrap();
+        // 1.5 MiB of garbage, then the newline that ends it, then more
+        // requests that must still be served.
+        s.write_all(&vec![b'x'; IN_CAP + IN_CAP / 2]).unwrap();
+        s.write_all(b"\nping\nquit\n").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        BufReader::new(s).read_to_string(&mut out).unwrap();
+        assert!(out.contains("[1] err line too long"), "{out}");
+        assert!(out.contains("[2] ok pong"), "{out}");
+        assert!(out.ends_with("[3] ok bye\n"), "{out}");
+    }
+
+    /// The exact scenario from the wedge report: an oversized line that
+    /// never gets its newline, followed by a half-close. The reactor must
+    /// answer the error, drain the stream to EOF, and close — not hang.
+    #[test]
+    fn an_oversized_unterminated_line_drains_to_eof_and_closes() {
+        let h = Harness::start(engine(2));
+        let mut s = h.connect();
+        s.write_all(b"stats off\n").unwrap();
+        s.write_all(&vec![b'y'; 2 * IN_CAP]).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        // read_to_string returning at all proves the connection closed.
+        BufReader::new(s).read_to_string(&mut out).unwrap();
+        assert!(out.contains("[0] ok stats off"), "{out}");
+        assert!(
+            out.ends_with("[1] err line too long: request lines are capped at 1048576 bytes\n"),
+            "{out}"
+        );
+    }
+
     #[test]
     fn a_panicking_request_is_isolated_to_its_own_response() {
         let h = Harness::start(engine(2));
@@ -1003,9 +1122,13 @@ mod tests {
 
     /// K identical concurrent cold requests with the cache disabled: the
     /// singleflight table must run exactly one computation and fan the
-    /// verdict out, while a concurrent `limit=`-budgeted copy of the same
-    /// check (which bypasses coalescing) trips its own `err timeout`
-    /// without cancelling the leader.
+    /// verdict out, while a concurrent `limit=`-budgeted request (which
+    /// bypasses coalescing) trips its own `err timeout` without cancelling
+    /// the leader. The coalesced check targets the engine's test-only
+    /// `__slow__` latency hook, which holds the leader in flight for a
+    /// full second — wide enough that every other connection's join is
+    /// deterministic even on a loaded CI machine, so the counters below
+    /// can assert *exactly one* leader instead of racing the scheduler.
     #[test]
     fn concurrent_identical_requests_coalesce_into_one_computation() {
         let h = Harness::start(ServiceEngine::with_cache(
@@ -1027,19 +1150,24 @@ mod tests {
         let setup = format!(
             "stats off\nschema s class T1 {{}} class T2 {{ A: {{T1}}; }}\n\
              query s Big {}\n\
-             query s R {{ x | exists u, y: x in T1 & u in T1 & y in T2 & u not in y.A }}\nquit\n",
+             query s R {{ x | exists u, y: x in T1 & u in T1 & y in T2 & u not in y.A }}\n\
+             query s __slow__ {{ x | x in T1 }}\nquit\n",
             crate::protocol::escape(&big),
         );
-        assert!(h.roundtrip(&setup).contains("[3] ok query R defined"));
+        assert!(h
+            .roundtrip(&setup)
+            .contains("[4] ok query __slow__ defined"));
 
         const K: usize = 6;
         let mut conns: Vec<TcpStream> = (0..K).map(|_| h.connect()).collect();
         let mut limited = h.connect();
-        // Fire the identical expensive check from K connections at once…
+        // Fire the identical slow check from K connections at once…
         for c in &mut conns {
-            c.write_all(b"stats off\ncontains s Big R\nquit\n").unwrap();
+            c.write_all(b"stats off\ncontains s __slow__ __slow__\nquit\n")
+                .unwrap();
         }
-        // …and a budgeted copy that must trip its own limit mid-flight.
+        // …and a budgeted expensive check that must trip its own limit
+        // while the coalesced flight is still in the air.
         limited
             .write_all(b"stats off\nlimit=50 contains s Big R\nquit\n")
             .unwrap();

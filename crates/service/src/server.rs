@@ -198,6 +198,9 @@ pub fn serve<R: BufRead, W: Write + Send>(
     let workers = engine.pool_threads().max(1);
     let queue = Queue::new(engine.queue_bound());
     let emitter = Emitter::new(output);
+    // Decision requests dispatched but not yet answered, so `stats show`
+    // can report this connection's live backlog like the reactor does.
+    let inflight = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -228,6 +231,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
                         ),
                     };
                     emitter.emit(seq, line);
+                    inflight.fetch_sub(1, SeqCst);
                 }
             });
         }
@@ -258,6 +262,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
                 Err(e) => Err(e.clone()),
                 Ok(req) if req.is_decision() => match engine.snapshot_for(req) {
                     Ok(snapshot) => {
+                        inflight.fetch_add(1, SeqCst);
                         queue.push(Job {
                             seq,
                             req: req.clone(),
@@ -281,9 +286,13 @@ pub fn serve<R: BufRead, W: Write + Send>(
                     name,
                     text,
                 }) => engine.define_query(session, name, text),
-                // Single-session mode has no reactor, hence no coalescing
-                // traffic and no cross-connection backlog to report.
-                Ok(Request::StatsShow) => Ok(engine.stats_report(&FlightStats::default(), 0)),
+                // The blocking path has no singleflight table, so the
+                // coalescing counters are legitimately zero — but the
+                // decision backlog is real and reported live, like the
+                // reactor's per-connection count.
+                Ok(Request::StatsShow) => {
+                    Ok(engine.stats_report(&FlightStats::default(), inflight.load(SeqCst)))
+                }
                 Ok(other) => Err(format!("internal: unhandled request `{other:?}`")),
             };
             let stats = RequestStats {
@@ -421,9 +430,11 @@ pub fn accept_loop(
 
 /// Entry point of the `oocq-serve` binary: serve stdin/stdout, or — when
 /// `OOCQ_LISTEN=<addr:port>` is set — accept TCP connections over a shared
-/// engine (and shared cache). TCP connections are multiplexed by the
-/// event-driven reactor by default; `OOCQ_REACTOR=0` selects the legacy
-/// thread-per-connection loop instead.
+/// engine (and shared cache). On Linux, TCP connections are multiplexed by
+/// the event-driven reactor by default (`OOCQ_REACTOR=0` selects the
+/// legacy thread-per-connection loop); elsewhere the poller has only a
+/// spin-polling fallback backend, so thread-per-connection is the default
+/// and `OOCQ_REACTOR=1` opts into the reactor explicitly.
 pub fn daemon_main() -> std::io::Result<()> {
     let engine = Arc::new(ServiceEngine::from_env());
     match std::env::var("OOCQ_LISTEN") {
@@ -431,7 +442,7 @@ pub fn daemon_main() -> std::io::Result<()> {
             let listener = std::net::TcpListener::bind(addr.trim())?;
             let reactor = std::env::var("OOCQ_REACTOR")
                 .map(|v| v.trim() != "0")
-                .unwrap_or(true);
+                .unwrap_or(cfg!(target_os = "linux"));
             eprintln!(
                 "oocq-serve listening on {} ({}, {} worker threads, max {} connections)",
                 listener.local_addr()?,
@@ -550,6 +561,29 @@ mod tests {
         );
         assert!(out.contains("ok holds"));
         assert!(out.contains("ok { x | x in D }"));
+    }
+
+    /// `stats show` on the blocking path reports the connection's live
+    /// decision backlog (the coalescing counters are legitimately zero:
+    /// there is no singleflight table without the reactor). The engine's
+    /// test-only `__slow__` latency hook holds the dispatched decision in
+    /// flight for a full second, so the inline `stats show` answer
+    /// deterministically sees backlog=1.
+    #[test]
+    fn stats_show_reports_the_live_decision_backlog() {
+        let e = engine(2);
+        let out = run(
+            &e,
+            "stats off\nschema s class T1 {}\nquery s __slow__ { x | x in T1 }\n\
+             contains s __slow__ __slow__\nstats show\nquit\n",
+        );
+        let show = out
+            .lines()
+            .find(|l| l.starts_with("[4]"))
+            .unwrap_or_else(|| panic!("no stats line in {out}"));
+        assert!(show.contains("conn: backlog=1"), "{show}");
+        assert!(show.contains("coalesce: leaders=0"), "{show}");
+        assert!(out.contains("[3] ok holds"), "{out}");
     }
 
     #[test]
