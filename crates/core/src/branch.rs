@@ -120,6 +120,15 @@ pub struct EngineConfig {
     /// ([`SearchOrder::MostConstrained`]) is the production order; the
     /// others are differential references.
     pub search_order: SearchOrder,
+    /// Background theory for constraint-aware decisions. `None` (the
+    /// default) lets a schema with declared constraints activate the
+    /// automatic [`ConstraintTheory`](crate::ConstraintTheory); an explicit
+    /// theory overrides that — including the identity
+    /// [`EmptyTheory`](crate::EmptyTheory), which disables theory
+    /// processing outright. Explicit theories bypass the decision cache
+    /// (see [`EngineConfig::decision_cache`]); the automatic theory does
+    /// not, because schema fingerprints include the constraint text.
+    pub theory: Option<Arc<dyn crate::theory::Theory>>,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -135,6 +144,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("budget", &self.budget)
             .field("prune", &self.prune)
             .field("search_order", &self.search_order)
+            .field("theory", &self.theory)
             .finish()
     }
 }
@@ -194,6 +204,7 @@ impl EngineConfig {
             budget: Budget::unlimited(),
             prune: true,
             search_order: SearchOrder::MostConstrained,
+            theory: None,
         }
     }
 
@@ -241,6 +252,31 @@ impl EngineConfig {
     pub fn with_search_order(mut self, order: SearchOrder) -> EngineConfig {
         self.search_order = order;
         self
+    }
+
+    /// This configuration with an explicit background [`Theory`](crate::Theory)
+    /// installed. See the [`theory`](EngineConfig::theory) field for how an
+    /// explicit theory interacts with schema constraints and the cache.
+    pub fn with_theory(mut self, theory: Arc<dyn crate::theory::Theory>) -> EngineConfig {
+        self.theory = Some(theory);
+        self
+    }
+
+    /// The decision cache the engine may consult for this configuration.
+    ///
+    /// An explicitly installed theory — even the identity — suppresses the
+    /// cache: the cache's keys identify (schema, queries) but not the
+    /// rewriting in force, so a verdict computed under an explicit theory
+    /// must never be replayed for a plain decision or vice versa. The
+    /// automatic constraint theory needs no such guard because it is a pure
+    /// function of the schema, whose fingerprint keys already include the
+    /// constraint text.
+    pub(crate) fn decision_cache(&self) -> Option<&Arc<dyn DecisionCache>> {
+        if self.theory.is_some() {
+            None
+        } else {
+            self.cache.as_ref()
+        }
     }
 }
 
@@ -733,7 +769,7 @@ impl<'a> BranchPlan<'a> {
                             Ok(BlockResult::Fails { mask }) => {
                                 min_fail.fetch_min(b as u64, Ordering::AcqRel);
                                 let mut f = fails.lock().unwrap();
-                                if f.map_or(true, |(fb, _)| b < fb) {
+                                if f.is_none_or(|(fb, _)| b < fb) {
                                     *f = Some((b, mask));
                                 }
                             }

@@ -100,13 +100,13 @@ pub fn contains_terminal_with(
     q2: &Query,
     cfg: &EngineConfig,
 ) -> Result<bool, CoreError> {
-    if let Some(cache) = &cfg.cache {
+    if let Some(cache) = cfg.decision_cache() {
         if let Some(hit) = cache.get_contains(schema, q1, q2) {
             return Ok(hit);
         }
     }
     let holds = decide_with(schema, q1, q2, strategy_for(q2), cfg, false)?.holds();
-    if let Some(cache) = &cfg.cache {
+    if let Some(cache) = cfg.decision_cache() {
         cache.put_contains(schema, q1, q2, holds);
     }
     Ok(holds)
@@ -188,6 +188,33 @@ fn is_sat(schema: &Schema, q: &Query) -> Result<bool, CoreError> {
 }
 
 fn decide_with(
+    schema: &Schema,
+    q1: &Query,
+    q2: &Query,
+    strategy: Strategy,
+    cfg: &EngineConfig,
+    collect: bool,
+) -> Result<Containment, CoreError> {
+    if let Some(theory) = crate::theory::active_theory(cfg, schema) {
+        return crate::theory::decide_pair_with_theory(
+            theory.as_ref(),
+            schema,
+            q1,
+            q2,
+            strategy,
+            cfg,
+            collect,
+        );
+    }
+    decide_plain(schema, q1, q2, strategy, cfg, collect)
+}
+
+/// The theory-free terminal decision: satisfiability screens on both
+/// sides, then the Theorem 3.1 branch enumeration. This is the body every
+/// decision ran through before theories existed; [`decide_with`] still
+/// bottoms out here (directly, or per compiled branch via
+/// [`crate::theory::decide_pair_with_theory`]).
+pub(crate) fn decide_plain(
     schema: &Schema,
     q1: &Query,
     q2: &Query,
@@ -373,7 +400,7 @@ pub fn contains_positive_with(
     if !q1.is_positive() || !q2.is_positive() {
         return Err(CoreError::NotPositive);
     }
-    if let Some(cache) = &cfg.cache {
+    if let Some(cache) = cfg.decision_cache() {
         if let Some(hit) = cache.get_contains(schema, q1, q2) {
             return Ok(hit);
         }
@@ -383,7 +410,7 @@ pub fn contains_positive_with(
     let u1 = crate::expand::expand_satisfiable_with(schema, &n1, cfg)?;
     let u2 = crate::expand::expand_satisfiable_with(schema, &n2, cfg)?;
     let holds = union_contains_with(schema, &u1, &u2, cfg)?;
-    if let Some(cache) = &cfg.cache {
+    if let Some(cache) = cfg.decision_cache() {
         cache.put_contains(schema, q1, q2, holds);
     }
     Ok(holds)

@@ -516,11 +516,10 @@ impl Mcf<'_, '_> {
         for i in 0..self.atoms_of[v].len() {
             let ai = self.atoms_of[v][i];
             match self.unassigned_in[ai] {
-                0 => {
-                    if !self.ctx.atom_holds(self.atoms[ai], &self.map) {
-                        return false;
-                    }
+                0 if !self.ctx.atom_holds(self.atoms[ai], &self.map) => {
+                    return false;
                 }
+                0 => {}
                 1 => {
                     let u = self.atom_vars[ai]
                         .iter()
@@ -634,7 +633,7 @@ fn search_most_constrained(
         }
     }
     let live: Vec<usize> = pool.iter().map(Vec::len).collect();
-    if live.iter().any(|&l| l == 0) {
+    if live.contains(&0) {
         if let Some(c) = counters {
             c.record(0);
         }

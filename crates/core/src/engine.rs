@@ -509,6 +509,17 @@ impl Engine {
         strategy: Strategy,
         collect: bool,
     ) -> Result<Containment, CoreError> {
+        if let Some(theory) = crate::theory::active_theory(&self.cfg, p1.schema().schema()) {
+            return crate::theory::decide_pair_with_theory(
+                theory.as_ref(),
+                p1.schema().schema(),
+                p1.query(),
+                p2.query(),
+                strategy,
+                &self.cfg,
+                collect,
+            );
+        }
         if let Satisfiability::Unsatisfiable(reason) = p1.satisfiability()? {
             return Ok(Containment::HoldsVacuously(reason));
         }
@@ -534,7 +545,7 @@ impl Engine {
     /// Corollaries 3.2–3.4), consulting and feeding the engine's decision
     /// cache through the prepared canonical forms.
     pub fn contains(&self, p1: &PreparedQuery, p2: &PreparedQuery) -> Result<bool, CoreError> {
-        if let Some(cache) = &self.cfg.cache {
+        if let Some(cache) = self.cfg.decision_cache() {
             // Canonical cache keys are derived here, under the request
             // budget, so a factorial-regime labeling times out recoverably
             // instead of hanging inside the cache lookup.
@@ -547,7 +558,7 @@ impl Engine {
         let holds = self
             .decide_strategy(p1, p2, strategy_for(p2.query()), false)?
             .holds();
-        if let Some(cache) = &self.cfg.cache {
+        if let Some(cache) = self.cfg.decision_cache() {
             cache.put_contains_prepared(p1, p2, holds);
         }
         Ok(holds)
@@ -584,7 +595,7 @@ impl Engine {
         if !p1.query().is_positive() || !p2.query().is_positive() {
             return Err(CoreError::NotPositive);
         }
-        if let Some(cache) = &self.cfg.cache {
+        if let Some(cache) = self.cfg.decision_cache() {
             p1.try_canonical_form(&self.cfg.budget)?;
             p2.try_canonical_form(&self.cfg.budget)?;
             if let Some(hit) = cache.get_contains_prepared(p1, p2) {
@@ -596,7 +607,7 @@ impl Engine {
         // The expansions are already satisfiability-filtered, so the
         // Theorem 4.1 sweep can skip its per-subquery vacuity check.
         let holds = union_contains_inner(p1.schema().schema(), u1, u2, &self.cfg, true)?;
-        if let Some(cache) = &self.cfg.cache {
+        if let Some(cache) = self.cfg.decision_cache() {
             cache.put_contains_prepared(p1, p2, holds);
         }
         Ok(holds)
@@ -641,12 +652,24 @@ impl Engine {
     /// per call.
     fn contains_fresh_left(&self, q1: &Query, p2: &PreparedQuery) -> Result<bool, CoreError> {
         let schema = p2.schema().schema();
-        if let Some(cache) = &self.cfg.cache {
+        if let Some(cache) = self.cfg.decision_cache() {
             if let Some(hit) = cache.get_contains(schema, q1, p2.query()) {
                 return Ok(hit);
             }
         }
         let holds = 'decide: {
+            if let Some(theory) = crate::theory::active_theory(&self.cfg, schema) {
+                break 'decide crate::theory::decide_pair_with_theory(
+                    theory.as_ref(),
+                    schema,
+                    q1,
+                    p2.query(),
+                    strategy_for(p2.query()),
+                    &self.cfg,
+                    false,
+                )?
+                .holds();
+            }
             if !satisfiability::satisfiability(schema, q1)?.is_satisfiable() {
                 break 'decide true; // unsatisfiable left: vacuous
             }
@@ -670,7 +693,7 @@ impl Engine {
             )?
             .holds()
         };
-        if let Some(cache) = &self.cfg.cache {
+        if let Some(cache) = self.cfg.decision_cache() {
             cache.put_contains(schema, q1, p2.query(), holds);
         }
         Ok(holds)
@@ -692,14 +715,14 @@ impl Engine {
             return Err(CoreError::NotPositive);
         }
         let schema = p.schema().schema();
-        if let Some(cache) = &self.cfg.cache {
+        if let Some(cache) = self.cfg.decision_cache() {
             if let Some(hit) = cache.get_minimized_prepared(p) {
                 return Ok(hit);
             }
         }
         let expanded = p.normalized_expansion(&self.cfg)?;
         let result = minimize_pipeline(schema, expanded, &self.cfg)?;
-        if let Some(cache) = &self.cfg.cache {
+        if let Some(cache) = self.cfg.decision_cache() {
             cache.put_minimized_prepared(p, &result);
         }
         Ok(result)

@@ -95,7 +95,7 @@ impl Containment {
                             format!(
                                 "{} -> {}",
                                 q2.var_name(VarId::from_index(ix)),
-                                q1.var_name(*v)
+                                var_display(q1, *v)
                             )
                         })
                         .collect();
@@ -122,34 +122,49 @@ impl Containment {
     }
 }
 
+/// `q`'s name for `v`, tolerating variables beyond `q`'s variable space.
+///
+/// Certificates produced under a rewriting theory refer to the *compiled*
+/// left query, which may carry chase-witness variables the original query
+/// lacks. Rendering against the original must then degrade to a positional
+/// placeholder instead of panicking — callers wanting real names render
+/// against [`crate::compiled_left`].
+pub(crate) fn var_display(q: &Query, v: VarId) -> String {
+    if v.index() < q.var_count() {
+        q.var_name(v).to_owned()
+    } else {
+        format!("_v{}", v.index())
+    }
+}
+
 /// Render one atom with names (in `q`'s variable namespace).
 pub(crate) fn render_atom(schema: &Schema, q: &Query, a: &Atom) -> String {
     use oocq_query::Term;
     let term = |t: &Term| match t {
-        Term::Var(v) => q.var_name(*v).to_owned(),
-        Term::Attr(v, at) => format!("{}.{}", q.var_name(*v), schema.attr_name(*at)),
+        Term::Var(v) => var_display(q, *v),
+        Term::Attr(v, at) => format!("{}.{}", var_display(q, *v), schema.attr_name(*at)),
     };
     match a {
         Atom::Range(v, cs) => {
             let names: Vec<&str> = cs.iter().map(|&c| schema.class_name(c)).collect();
-            format!("{} in {}", q.var_name(*v), names.join(" | "))
+            format!("{} in {}", var_display(q, *v), names.join(" | "))
         }
         Atom::NonRange(v, cs) => {
             let names: Vec<&str> = cs.iter().map(|&c| schema.class_name(c)).collect();
-            format!("{} not in {}", q.var_name(*v), names.join(" | "))
+            format!("{} not in {}", var_display(q, *v), names.join(" | "))
         }
         Atom::Eq(s, t) => format!("{} = {}", term(s), term(t)),
         Atom::Neq(s, t) => format!("{} != {}", term(s), term(t)),
         Atom::Member(x, y, at) => format!(
             "{} in {}.{}",
-            q.var_name(*x),
-            q.var_name(*y),
+            var_display(q, *x),
+            var_display(q, *y),
             schema.attr_name(*at)
         ),
         Atom::NonMember(x, y, at) => format!(
             "{} not in {}.{}",
-            q.var_name(*x),
-            q.var_name(*y),
+            var_display(q, *x),
+            var_display(q, *y),
             schema.attr_name(*at)
         ),
     }

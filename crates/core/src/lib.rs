@@ -37,6 +37,7 @@ mod general;
 mod minimize;
 mod optimizer;
 mod satisfiability;
+mod theory;
 
 pub use branch::{BranchStats, EngineConfig, MAX_BRANCHES};
 pub use budget::Budget;
@@ -66,4 +67,8 @@ pub use minimize::{
 pub use optimizer::{Optimizer, OptimizerStats};
 pub use satisfiability::{
     is_satisfiable, satisfiability, strip_non_range, var_classes, Satisfiability, UnsatReason,
+};
+pub use theory::{
+    compiled_left, theory_stats, Compiled, ConstraintTheory, EmptyTheory, Side, Theory,
+    TheoryStats, MAX_CHASE_ROUNDS, MAX_CHASE_VARS,
 };

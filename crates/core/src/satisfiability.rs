@@ -91,6 +91,20 @@ pub enum UnsatReason {
         /// Variable name.
         var: String,
     },
+    /// Every terminal class the variable's range admits is dead under a
+    /// declared disjointness constraint (raised only by constraint
+    /// theories, never by the plain Theorem 2.2 checks).
+    DeadRange {
+        /// Variable name.
+        var: String,
+    },
+    /// Every terminal expansion branch of the theory-compiled query is
+    /// unsatisfiable under the schema and its constraints (raised only by
+    /// constraint theories).
+    NoLegalBranch {
+        /// The query's free variable, to identify it in reports.
+        var: String,
+    },
 }
 
 impl std::fmt::Display for UnsatReason {
@@ -128,6 +142,20 @@ impl std::fmt::Display for UnsatReason {
             }
             UnsatReason::NonRangeConflict { var } => {
                 write!(f, "non-range atom excludes `{var}`'s own terminal class")
+            }
+            UnsatReason::DeadRange { var } => {
+                write!(
+                    f,
+                    "every terminal class `{var}` could belong to is dead under a \
+                     declared disjointness constraint"
+                )
+            }
+            UnsatReason::NoLegalBranch { var } => {
+                write!(
+                    f,
+                    "no terminal expansion branch of `{var}`'s query is satisfiable \
+                     under the declared constraints"
+                )
             }
         }
     }

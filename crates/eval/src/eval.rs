@@ -131,6 +131,7 @@ fn satisfying_assignment_exists<E>(
         .collect();
 
     let mut assignment = vec![Oid::from_index(0); n];
+    #[allow(clippy::too_many_arguments)] // recursive join node: all state is hot path
     fn recurse<E>(
         schema: &Schema,
         state: &State,

@@ -19,5 +19,11 @@ pub use query_gen::{
     star_query, QueryParams,
 };
 pub use rng::{Rng, StdRng};
-pub use schema_gen::{deep_schema, partition_schema, random_schema, workload_schema, SchemaParams};
-pub use state_gen::{random_state, state_family, steered_state, StateParams, SteerParams};
+pub use schema_gen::{
+    constrained_schema, deep_schema, partition_schema, random_schema, workload_schema,
+    ConstraintParams, SchemaParams,
+};
+pub use state_gen::{
+    constrained_state, constrained_state_family, random_state, state_family,
+    state_satisfies_constraints, steered_state, StateParams, SteerParams,
+};

@@ -1,7 +1,8 @@
 //! Random and parameterized schema generators.
 
 use crate::rng::Rng;
-use oocq_schema::{AttrType, ClassId, Schema, SchemaBuilder};
+use oocq_schema::{AttrType, ClassId, Constraint, Schema, SchemaBuilder};
+use std::collections::BTreeSet;
 
 /// Parameters for [`random_schema`].
 #[derive(Clone, Copy, Debug)]
@@ -103,6 +104,115 @@ pub fn random_schema(rng: &mut impl Rng, p: &SchemaParams) -> Schema {
     }
     b.finish()
         .expect("generated schema is consistent by construction")
+}
+
+/// Parameters for [`constrained_schema`]: how many declared constraints of
+/// each kind to draw (duplicates are deduplicated, so these are upper
+/// bounds).
+#[derive(Clone, Copy, Debug)]
+pub struct ConstraintParams {
+    /// Disjointness declarations over root pairs.
+    pub disjoint: usize,
+    /// Totality declarations over root attributes.
+    pub total: usize,
+    /// Functionality declarations over set-valued root attributes.
+    pub functional: usize,
+    /// Probability that a terminal gains a *second* root parent — the
+    /// multiple-inheritance diamonds that give disjointness constraints
+    /// terminals to kill.
+    pub multi_parent_prob: f64,
+}
+
+impl Default for ConstraintParams {
+    fn default() -> ConstraintParams {
+        ConstraintParams {
+            disjoint: 2,
+            total: 1,
+            functional: 1,
+            multi_parent_prob: 0.35,
+        }
+    }
+}
+
+/// [`random_schema`] with declared constraints: the same two-level
+/// structure, except terminals may subclass a second root (so disjointness
+/// has common descendants to kill), plus random `disjoint`/`total`/
+/// `functional` declarations over the roots and their attributes.
+///
+/// Always consistent by construction: roots are pairwise unrelated (so
+/// disjointness is never declared between relatives), totality only names
+/// declared attributes, functionality only set-valued ones, and the
+/// candidate list is deduplicated before [`SchemaBuilder::finish`].
+pub fn constrained_schema(rng: &mut impl Rng, p: &SchemaParams, c: &ConstraintParams) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let mut roots: Vec<ClassId> = Vec::new();
+    for r in 0..p.roots {
+        roots.push(b.class(&format!("R{r}")).unwrap());
+    }
+    for (r, &root) in roots.iter().enumerate() {
+        for t in 0..p.branching {
+            let cls = b.class(&format!("R{r}T{t}")).unwrap();
+            b.subclass(cls, root).unwrap();
+            if p.roots > 1 && rng.gen_bool(c.multi_parent_prob) {
+                let mut other = rng.gen_range(0..p.roots);
+                if other == r {
+                    other = (other + 1) % p.roots;
+                }
+                b.subclass(cls, roots[other]).unwrap();
+            }
+        }
+    }
+    let mut object_attrs: Vec<(ClassId, oocq_schema::AttrId)> = Vec::new();
+    let mut set_attrs: Vec<(ClassId, oocq_schema::AttrId)> = Vec::new();
+    for (r, &root) in roots.iter().enumerate() {
+        for a in 0..p.object_attrs {
+            let target = roots[rng.gen_range(0..p.roots)];
+            let id = b
+                .attribute(root, &format!("O{r}_{a}"), AttrType::Object(target))
+                .unwrap();
+            object_attrs.push((root, id));
+        }
+        for a in 0..p.set_attrs {
+            let target = roots[rng.gen_range(0..p.roots)];
+            let id = b
+                .attribute(root, &format!("S{r}_{a}"), AttrType::SetOf(target))
+                .unwrap();
+            set_attrs.push((root, id));
+        }
+    }
+    let mut constraints: BTreeSet<Constraint> = BTreeSet::new();
+    if p.roots > 1 {
+        for _ in 0..c.disjoint {
+            let a = rng.gen_range(0..p.roots);
+            let mut bb = rng.gen_range(0..p.roots);
+            if bb == a {
+                bb = (bb + 1) % p.roots;
+            }
+            constraints.insert(Constraint::Disjoint(roots[a], roots[bb]).normalized());
+        }
+    }
+    let declared: Vec<(ClassId, oocq_schema::AttrId)> = object_attrs
+        .iter()
+        .chain(set_attrs.iter())
+        .copied()
+        .collect();
+    if !declared.is_empty() {
+        for _ in 0..c.total {
+            let (cls, at) = declared[rng.gen_range(0..declared.len())];
+            constraints.insert(Constraint::Total(cls, at));
+        }
+    }
+    if !set_attrs.is_empty() {
+        for _ in 0..c.functional {
+            let (cls, at) = set_attrs[rng.gen_range(0..set_attrs.len())];
+            constraints.insert(Constraint::Functional(cls, at));
+        }
+    }
+    for con in constraints {
+        b.constraint(con);
+    }
+    b.finish()
+        .expect("generated constrained schema is consistent by construction")
 }
 
 /// The workload schema used by the benchmark suite: one root `Node` with a

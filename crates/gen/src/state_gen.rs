@@ -1,7 +1,7 @@
 //! Random legal-state generators.
 
 use crate::rng::Rng;
-use oocq_schema::{AttrType, Schema};
+use oocq_schema::{AttrType, ClassId, Constraint, Schema};
 use oocq_state::{Oid, State, StateBuilder, Value};
 
 /// Parameters for [`random_state`].
@@ -209,6 +209,250 @@ pub fn steered_state(
         .expect("steered state is legal: skeleton was legal and pads are type-correct")
 }
 
+/// Does `state` satisfy every declared constraint of `schema`?
+///
+/// [`StateBuilder::finish`] checks only Chan's base model (terminal
+/// partitioning, type-correct references); declared constraints narrow the
+/// legal states further, and this is the reference check for that narrower
+/// notion — the constrained oracle filters/validates against it.
+pub fn state_satisfies_constraints(schema: &Schema, state: &State) -> bool {
+    for c in schema.constraints() {
+        match *c {
+            Constraint::Disjoint(a, b) => {
+                for o in state.oids() {
+                    let t = state.class_of(o);
+                    if schema.is_subclass(t, a) && schema.is_subclass(t, b) {
+                        return false;
+                    }
+                }
+            }
+            Constraint::Total(cl, at) => {
+                for o in state.oids() {
+                    if !schema.is_subclass(state.class_of(o), cl) {
+                        continue;
+                    }
+                    match state.attr(o, at) {
+                        Value::Null => return false,
+                        Value::Set(ms) if ms.is_empty() => return false,
+                        _ => {}
+                    }
+                }
+            }
+            Constraint::Functional(cl, at) => {
+                for o in state.oids() {
+                    if !schema.is_subclass(state.class_of(o), cl) {
+                        continue;
+                    }
+                    if let Value::Set(ms) = state.attr(o, at) {
+                        // Duplicate members denote one object: count distinct.
+                        if ms.iter().any(|m| m != &ms[0]) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Generate a random state that is legal under the schema's *declared
+/// constraints*, not just Chan's base model. Returns `None` when the
+/// constraints leave no instantiable terminal class (every terminal is
+/// either dead under disjointness or trapped by a totality constraint
+/// whose target class has no instantiable terminal).
+///
+/// Construction, not rejection sampling:
+///
+/// * objects are drawn only from *usable* terminals — alive under
+///   disjointness, and closed under totality (a terminal whose total
+///   attribute targets a class with no usable terminal is itself
+///   unusable);
+/// * for every totality constraint a candidate target object is seeded
+///   into the state before filling, so total attributes always have a
+///   type-correct value available;
+/// * total attributes are always filled (sets non-empty), and functional
+///   set attributes hold at most one distinct member.
+pub fn constrained_state(rng: &mut impl Rng, schema: &Schema, p: &StateParams) -> Option<State> {
+    let terminals = schema.terminals();
+    // Usable terminals: alive, and totality-closed (fixpoint).
+    let mut usable: Vec<bool> = terminals
+        .iter()
+        .map(|&t| !schema.is_dead_terminal(t))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (i, &t) in terminals.iter().enumerate() {
+            if !usable[i] {
+                continue;
+            }
+            for c in schema.constraints() {
+                let Constraint::Total(cl, at) = *c else {
+                    continue;
+                };
+                if !schema.is_subclass(t, cl) {
+                    continue;
+                }
+                let Some(ty) = schema.attr_type(t, at) else {
+                    continue;
+                };
+                let target = ty.class();
+                let reachable = terminals
+                    .iter()
+                    .enumerate()
+                    .any(|(j, &u)| usable[j] && schema.is_subclass(u, target));
+                if !reachable {
+                    usable[i] = false;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let live: Vec<ClassId> = terminals
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| usable[i])
+        .map(|(_, &t)| t)
+        .collect();
+    if live.is_empty() {
+        return None;
+    }
+
+    let mut classes = Vec::with_capacity(p.objects.max(1));
+    for _ in 0..p.objects.max(1) {
+        classes.push(live[rng.gen_range(0..live.len())]);
+    }
+    // Seed totality targets: every total attribute of every (present or
+    // appended) object must find a type-correct candidate. Appended objects
+    // are processed too; each append permanently satisfies its target, so
+    // the loop terminates.
+    let mut i = 0;
+    while i < classes.len() {
+        let c = classes[i];
+        for con in schema.constraints() {
+            let Constraint::Total(cl, at) = *con else {
+                continue;
+            };
+            if !schema.is_subclass(c, cl) {
+                continue;
+            }
+            let Some(ty) = schema.attr_type(c, at) else {
+                continue;
+            };
+            let target = ty.class();
+            if classes.iter().any(|&d| schema.is_subclass(d, target)) {
+                continue;
+            }
+            let cands: Vec<ClassId> = live
+                .iter()
+                .copied()
+                .filter(|&u| schema.is_subclass(u, target))
+                .collect();
+            // Non-empty: `c` is usable, so its totality targets are reachable.
+            classes.push(cands[rng.gen_range(0..cands.len())]);
+        }
+        i += 1;
+    }
+
+    let mut b = StateBuilder::new();
+    for &c in &classes {
+        b.object(c);
+    }
+    let pool = |target: ClassId| -> Vec<Oid> {
+        classes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| schema.is_subclass(c, target))
+            .map(|(i, _)| Oid::from_index(i))
+            .collect()
+    };
+    let constrained_as = |c: ClassId, a: oocq_schema::AttrId| -> (bool, bool) {
+        let mut total = false;
+        let mut functional = false;
+        for con in schema.constraints() {
+            match *con {
+                Constraint::Total(cl, at) if at == a && schema.is_subclass(c, cl) => total = true,
+                Constraint::Functional(cl, at) if at == a && schema.is_subclass(c, cl) => {
+                    functional = true
+                }
+                _ => {}
+            }
+        }
+        (total, functional)
+    };
+    for (ix, &c) in classes.iter().enumerate() {
+        let oid = Oid::from_index(ix);
+        let attrs: Vec<_> = schema
+            .effective_type(c)
+            .iter()
+            .map(|(&a, &t)| (a, t))
+            .collect();
+        for (a, t) in attrs {
+            let (total, functional) = constrained_as(c, a);
+            if !total && !rng.gen_bool(p.fill_prob) {
+                continue;
+            }
+            match t {
+                AttrType::Object(target) => {
+                    let cands = pool(target);
+                    if !cands.is_empty() {
+                        b.set_obj(oid, a, cands[rng.gen_range(0..cands.len())]);
+                    }
+                }
+                AttrType::SetOf(target) => {
+                    let cands = pool(target);
+                    if cands.is_empty() {
+                        continue;
+                    }
+                    let lo = usize::from(total);
+                    let hi = if functional {
+                        1
+                    } else {
+                        p.max_set.min(cands.len()).max(lo)
+                    };
+                    let k = rng.gen_range(lo..=hi);
+                    let mut members = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        members.push(cands[rng.gen_range(0..cands.len())]);
+                    }
+                    if functional {
+                        members.truncate(1);
+                    }
+                    b.set_members(oid, a, members);
+                }
+            }
+        }
+    }
+    let st = b
+        .finish(schema)
+        .expect("constrained state is legal by construction");
+    debug_assert!(state_satisfies_constraints(schema, &st));
+    Some(st)
+}
+
+/// A family of constraint-legal states of growing size (the constrained
+/// analogue of [`state_family`]). Empty when the constraints leave no
+/// instantiable terminal class.
+pub fn constrained_state_family(
+    rng: &mut impl Rng,
+    schema: &Schema,
+    count: usize,
+    base: &StateParams,
+) -> Vec<State> {
+    (0..count)
+        .filter_map(|i| {
+            let p = StateParams {
+                objects: base.objects.max(1) * (i + 1) / count.max(1) + 2,
+                ..*base
+            };
+            constrained_state(rng, schema, &p)
+        })
+        .collect()
+}
+
 /// A family of random states (for brute-force containment refutation in
 /// property tests): `count` states of growing size.
 pub fn state_family(
@@ -313,7 +557,7 @@ mod tests {
         // ...and no pad object leaked a reference to/from the skeleton: the
         // skeleton object still has no set members anywhere.
         for o in st.oids().skip(1) {
-            for (&a, _) in s.effective_type(st.class_of(o)) {
+            for &a in s.effective_type(st.class_of(o)).keys() {
                 match st.attr(o, a) {
                     Value::Obj(t) => assert_ne!(*t, d),
                     Value::Set(ms) => assert!(!ms.contains(&d)),
@@ -357,6 +601,110 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let st = steered_state(&mut rng, &s, &skeleton, &SteerParams::default());
         assert_eq!(st.attr(d, veh), &Value::Set(vec![a1]));
+    }
+
+    #[test]
+    fn constrained_states_satisfy_declared_constraints() {
+        use crate::schema_gen::{constrained_schema, ConstraintParams};
+        use crate::SchemaParams;
+        let mut any_constrained = 0;
+        for seed in 0..24u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = constrained_schema(
+                &mut rng,
+                &SchemaParams::default(),
+                &ConstraintParams::default(),
+            );
+            if s.has_constraints() {
+                any_constrained += 1;
+            }
+            let Some(st) = constrained_state(&mut rng, &s, &StateParams::default()) else {
+                continue;
+            };
+            assert!(
+                state_satisfies_constraints(&s, &st),
+                "seed {seed}: generated state violates its own constraints"
+            );
+            // Plain random states are *not* reliably legal on these
+            // schemas; the reference check is what tells them apart.
+            for o in st.oids() {
+                assert!(!s.is_dead_terminal(st.class_of(o)));
+            }
+        }
+        assert!(any_constrained > 20, "generator rarely emits constraints");
+    }
+
+    #[test]
+    fn constrained_state_seeds_totality_targets() {
+        // T.F : U total, but U is never the class a caller asks for — the
+        // generator must still seed a U object so F can be filled.
+        let mut b = oocq_schema::SchemaBuilder::new();
+        let u = b.class("U").unwrap();
+        let t = b.class("T").unwrap();
+        let f = b.attribute(t, "F", AttrType::Object(u)).unwrap();
+        b.constraint(oocq_schema::Constraint::Total(t, f));
+        let s = b.finish().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let st = constrained_state(
+            &mut rng,
+            &s,
+            &StateParams {
+                objects: 4,
+                fill_prob: 0.0,
+                max_set: 2,
+            },
+        )
+        .unwrap();
+        assert!(state_satisfies_constraints(&s, &st));
+        // Every T object has a non-null F despite fill_prob 0.
+        for o in st.oids() {
+            if st.class_of(o) == t {
+                assert!(matches!(st.attr(o, f), Value::Obj(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_state_returns_none_when_nothing_is_instantiable() {
+        // Single root pair fully dead under disjointness.
+        let mut b = oocq_schema::SchemaBuilder::new();
+        let p = b.class("P").unwrap();
+        let q = b.class("Q").unwrap();
+        let t = b.class("T").unwrap();
+        b.subclass(t, p).unwrap();
+        b.subclass(t, q).unwrap();
+        b.constraint(oocq_schema::Constraint::Disjoint(p, q));
+        let s = b.finish().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(constrained_state(&mut rng, &s, &StateParams::default()).is_none());
+        assert!(constrained_state_family(&mut rng, &s, 3, &StateParams::default()).is_empty());
+    }
+
+    #[test]
+    fn satisfies_constraints_detects_each_violation_kind() {
+        let mut b = oocq_schema::SchemaBuilder::new();
+        let d = b.class("D").unwrap();
+        let c = b.class("C").unwrap();
+        let items = b.attribute(c, "Items", AttrType::SetOf(d)).unwrap();
+        b.constraint(oocq_schema::Constraint::Total(c, items));
+        b.constraint(oocq_schema::Constraint::Functional(c, items));
+        let s = b.finish().unwrap();
+        let build = |members: Option<Vec<usize>>| {
+            let mut sb = StateBuilder::new();
+            let co = sb.object(c);
+            let d0 = sb.object(d);
+            let d1 = sb.object(d);
+            if let Some(ms) = members {
+                let oids = [co, d0, d1];
+                sb.set_members(co, items, ms.iter().map(|&i| oids[i]));
+            }
+            sb.finish(&s).unwrap()
+        };
+        assert!(!state_satisfies_constraints(&s, &build(None))); // null: not total
+        assert!(!state_satisfies_constraints(&s, &build(Some(vec![])))); // empty: not total
+        assert!(state_satisfies_constraints(&s, &build(Some(vec![1]))));
+        assert!(state_satisfies_constraints(&s, &build(Some(vec![1, 1])))); // one distinct
+        assert!(!state_satisfies_constraints(&s, &build(Some(vec![1, 2])))); // not functional
     }
 
     #[test]

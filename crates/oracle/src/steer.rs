@@ -87,3 +87,49 @@ pub fn steer_witness<E>(
     }
     Ok(None)
 }
+
+#[cfg(test)]
+mod tests {
+    use crate::sweep::sweep_pair;
+    use crate::{Oracle, OracleConfig, Outcome};
+    use oocq_gen::StdRng;
+
+    /// The known steering holdout (DESIGN.md §"steered witness synthesis"):
+    /// when *both* queries carry `NonMember` over the same attribute, the
+    /// separating state needs that set non-empty yet avoiding specific
+    /// members. Neither arm of the portfolio produces it — the raw frozen
+    /// skeleton leaves the set null (so `Q₁`'s own `∉` stays unknown and it
+    /// never answers), and definitizing freezes it to the *empty* set (so
+    /// `Q₂`'s `∉` becomes true as well and the separation collapses). Only
+    /// the random-search fallback finds the in-between state.
+    ///
+    /// Sweep seed 342 pins the shape: `Q₁` has `v2 ∉ v1.B`, `Q₂` has
+    /// `v2 ∉ v0.B`. This fixture documents the limitation rather than
+    /// guarding a contract, so it is `#[ignore]`d out of the default run;
+    /// if a future steering improvement flips the outcome to
+    /// `steered: true`, celebrate and retire it.
+    #[test]
+    #[ignore = "documents the double-NonMember steering holdout, not a contract"]
+    fn double_nonmember_holdout_falls_back_to_random_search() {
+        let seed = 342u64;
+        let mut oracle = Oracle::new(OracleConfig::default());
+        let (schema, q1, q2) = sweep_pair(
+            seed,
+            &oracle.config().query.clone(),
+            oracle.config().negative_atoms,
+        );
+        let same_attr_nonmembers = |q: &oocq_query::Query| {
+            q.atoms()
+                .iter()
+                .filter(|a| matches!(a, oocq_query::Atom::NonMember(..)))
+                .count()
+        };
+        assert!(same_attr_nonmembers(&q1) >= 1 && same_attr_nonmembers(&q2) >= 1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0bbedfeed);
+        let outcome = oracle.check_pair(&schema, &q1, &q2, &mut rng);
+        assert!(
+            matches!(outcome, Outcome::RefutedConfirmed { steered: false }),
+            "expected the unsteered fallback confirmation, got {outcome:?}"
+        );
+    }
+}

@@ -7,7 +7,10 @@
 //! Everything is a pure function of the seed, so a reported seed replays
 //! without a shrinker dependency.
 
-use oocq_gen::{random_schema, random_terminal_positive, QueryParams, Rng, SchemaParams, StdRng};
+use oocq_gen::{
+    constrained_schema, random_schema, random_terminal_positive, ConstraintParams, QueryParams,
+    Rng, SchemaParams, StdRng,
+};
 use oocq_query::{Atom, Query, Term};
 use oocq_schema::{samples, Schema};
 
@@ -64,6 +67,45 @@ pub fn add_negative_atoms(rng: &mut impl Rng, schema: &Schema, q: &Query, count:
 /// The `(schema, Q₁, Q₂)` pair for a sweep seed.
 pub fn sweep_pair(seed: u64, query: &QueryParams, negative_atoms: usize) -> (Schema, Query, Query) {
     let schema = sweep_schema(seed);
+    pair_on(schema, seed, query, negative_atoms)
+}
+
+/// The constrained `(schema, Q₁, Q₂)` pair for a sweep seed: a seeded
+/// random schema with declared `disjoint`/`total`/`functional` constraints
+/// (and multiple-inheritance diamonds for disjointness to kill), queried
+/// the same way as [`sweep_pair`]. Queries may range over dead terminals —
+/// deliberately, so the sweep exercises the vacuous and dead-branch
+/// verdict paths of the constraint theory too.
+pub fn sweep_constrained_pair(
+    seed: u64,
+    query: &QueryParams,
+    negative_atoms: usize,
+) -> (Schema, Query, Query) {
+    let schema = constrained_schema(
+        &mut StdRng::seed_from_u64(seed),
+        &SchemaParams {
+            roots: 3,
+            branching: 2,
+            object_attrs: 2,
+            set_attrs: 1,
+            refine_prob: 0.0,
+        },
+        &ConstraintParams {
+            disjoint: 1,
+            total: 1,
+            functional: 1,
+            multi_parent_prob: 0.3,
+        },
+    );
+    pair_on(schema, seed, query, negative_atoms)
+}
+
+fn pair_on(
+    schema: Schema,
+    seed: u64,
+    query: &QueryParams,
+    negative_atoms: usize,
+) -> (Schema, Query, Query) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x07ac1e);
     let base1 = random_terminal_positive(&mut rng, &schema, query);
     let base2 = random_terminal_positive(&mut rng, &schema, query);

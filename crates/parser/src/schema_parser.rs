@@ -10,10 +10,19 @@
 //! A class body lists `Attr: Type;` declarations where `Type` is a class
 //! name (object-valued) or `{ClassName}` (set-valued). Classes may be
 //! referenced before their declaration (two-pass resolution).
+//!
+//! Top-level `constraint` declarations narrow the legal states
+//! (see [`oocq_schema::Constraint`]):
+//!
+//! ```text
+//! constraint disjoint Client Vehicle;
+//! constraint total Client.VehRented;
+//! constraint functional Client.VehRented;
+//! ```
 
 use crate::error::ParseError;
 use crate::lexer::{lex, Spanned, Tok};
-use oocq_schema::{AttrType, Schema, SchemaBuilder, SchemaError};
+use oocq_schema::{AttrType, Constraint, Schema, SchemaBuilder, SchemaError};
 
 struct Cursor {
     toks: Vec<Spanned>,
@@ -77,6 +86,13 @@ enum RawType {
     SetOf(String),
 }
 
+/// One `constraint …` declaration before name resolution.
+enum RawConstraint {
+    Disjoint(String, String),
+    Total(String, String),
+    Functional(String, String),
+}
+
 /// Parse a schema from the DSL.
 pub fn parse_schema(input: &str) -> Result<Schema, ParseError> {
     let mut cur = Cursor {
@@ -84,16 +100,21 @@ pub fn parse_schema(input: &str) -> Result<Schema, ParseError> {
         pos: 0,
     };
     let mut raw: Vec<RawClass> = Vec::new();
+    let mut raw_constraints: Vec<(RawConstraint, usize, usize)> = Vec::new();
     loop {
         if cur.peek().tok == Tok::Eof {
             break;
         }
         let (kw, line, col) = cur.ident()?;
+        if kw == "constraint" {
+            raw_constraints.push(parse_constraint(&mut cur, line, col)?);
+            continue;
+        }
         if kw != "class" {
             return Err(ParseError::new(
                 line,
                 col,
-                format!("expected `class`, found `{kw}`"),
+                format!("expected `class` or `constraint`, found `{kw}`"),
             ));
         }
         let (name, nline, ncol) = cur.ident()?;
@@ -158,7 +179,64 @@ pub fn parse_schema(input: &str) -> Result<Schema, ParseError> {
                 .map_err(|e| schema_err(*aline, *acol, e))?;
         }
     }
-    b.finish().map_err(|e| schema_err(1, 1, e))
+    let mut finish_at = (1, 1);
+    for (rc, line, col) in &raw_constraints {
+        let class = |n: &String| {
+            b.class_id(n)
+                .ok_or_else(|| ParseError::new(*line, *col, format!("unknown class `{n}`")))
+        };
+        let attr = |b: &SchemaBuilder, n: &String| {
+            b.attr_id(n)
+                .ok_or_else(|| ParseError::new(*line, *col, format!("unknown attribute `{n}`")))
+        };
+        let c = match rc {
+            RawConstraint::Disjoint(x, y) => Constraint::Disjoint(class(x)?, class(y)?),
+            RawConstraint::Total(cl, at) => Constraint::Total(class(cl)?, attr(&b, at)?),
+            RawConstraint::Functional(cl, at) => Constraint::Functional(class(cl)?, attr(&b, at)?),
+        };
+        b.constraint(c);
+        // Constraint validation happens inside `finish`; attribute its
+        // errors to the last constraint's position rather than line 1.
+        finish_at = (*line, *col);
+    }
+    b.finish()
+        .map_err(|e| schema_err(finish_at.0, finish_at.1, e))
+}
+
+/// Parse the tail of one `constraint` declaration (the keyword itself is
+/// already consumed): `disjoint A B;`, `total C.A;`, or `functional C.A;`.
+fn parse_constraint(
+    cur: &mut Cursor,
+    line: usize,
+    col: usize,
+) -> Result<(RawConstraint, usize, usize), ParseError> {
+    let (kind, kline, kcol) = cur.ident()?;
+    let raw = match kind.as_str() {
+        "disjoint" => {
+            let (a, ..) = cur.ident()?;
+            let (b, ..) = cur.ident()?;
+            RawConstraint::Disjoint(a, b)
+        }
+        "total" | "functional" => {
+            let (class, ..) = cur.ident()?;
+            cur.expect(&Tok::Dot)?;
+            let (attr, ..) = cur.ident()?;
+            if kind == "total" {
+                RawConstraint::Total(class, attr)
+            } else {
+                RawConstraint::Functional(class, attr)
+            }
+        }
+        other => {
+            return Err(ParseError::new(
+                kline,
+                kcol,
+                format!("expected `disjoint`, `total`, or `functional`, found `{other}`"),
+            ))
+        }
+    };
+    cur.eat(&Tok::Semi);
+    Ok((raw, line, col))
 }
 
 fn schema_err(line: usize, col: usize, e: SchemaError) -> ParseError {
@@ -247,6 +325,91 @@ mod tests {
             let reparsed = parse_schema(&text).unwrap();
             assert_eq!(reparsed.to_string(), text);
         }
+    }
+
+    const CONSTRAINED: &str = r#"
+        class P {}
+        class Q {}
+        class B {}
+        class T1 : B { F: T1; Items: {T1}; }
+        class T2 : B, P, Q {}
+        constraint disjoint Q P;
+        constraint total T1.F;
+        constraint functional T1.Items;
+    "#;
+
+    #[test]
+    fn parses_constraint_declarations() {
+        let s = parse_schema(CONSTRAINED).unwrap();
+        assert_eq!(s.constraints().len(), 3);
+        assert!(s.is_dead_terminal(s.class_id("T2").unwrap()));
+        assert!(!s.is_dead_terminal(s.class_id("T1").unwrap()));
+    }
+
+    #[test]
+    fn constrained_display_is_a_fixpoint() {
+        let s = parse_schema(CONSTRAINED).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("constraint disjoint P Q;"), "{text}");
+        let reparsed = parse_schema(&text).unwrap();
+        assert_eq!(reparsed.to_string(), text);
+        assert_eq!(reparsed.constraints(), s.constraints());
+    }
+
+    #[test]
+    fn constraint_with_unknown_class_is_an_error_with_position() {
+        let err = parse_schema("class A {}\nconstraint disjoint A Missing;").unwrap_err();
+        assert!(err.message.contains("unknown class `Missing`"), "{err}");
+        assert_eq!(err.line, 2);
+        let err = parse_schema("class A {}\nconstraint total Missing.F;").unwrap_err();
+        assert!(err.message.contains("unknown class `Missing`"), "{err}");
+    }
+
+    #[test]
+    fn constraint_with_unknown_attribute_is_an_error() {
+        let err = parse_schema("class A {}\nconstraint total A.Nope;").unwrap_err();
+        assert!(err.message.contains("unknown attribute `Nope`"), "{err}");
+        // An attribute that exists, but not on that class.
+        let err = parse_schema("class A { F: A; } class B {}\nconstraint total B.F;").unwrap_err();
+        assert!(err.message.contains("no such attribute"), "{err}");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn duplicate_constraints_are_an_error() {
+        let err = parse_schema(
+            "class A {} class B {}\nconstraint disjoint A B;\nconstraint disjoint B A;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn partitioning_contradictions_are_an_error() {
+        let err = parse_schema("class A {} class B : A {}\nconstraint disjoint A B;").unwrap_err();
+        assert!(err.message.contains("terminal partitioning"), "{err}");
+        let err = parse_schema("class A {}\nconstraint disjoint A A;").unwrap_err();
+        assert!(err.message.contains("never disjoint from itself"), "{err}");
+    }
+
+    #[test]
+    fn malformed_constraint_syntax_is_an_error() {
+        let err = parse_schema("class A {}\nconstraint exclusive A A;").unwrap_err();
+        assert!(err.message.contains("expected `disjoint`"), "{err}");
+        let err = parse_schema("class A { F: A; }\nconstraint total A F;").unwrap_err();
+        assert!(err.message.contains("expected `.`"), "{err}");
+        let err = parse_schema("class A {}\nconstrain disjoint A A;").unwrap_err();
+        assert!(
+            err.message.contains("expected `class` or `constraint`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn functionality_of_object_attribute_is_an_error() {
+        let err = parse_schema("class A { F: A; }\nconstraint functional A.F;").unwrap_err();
+        assert!(err.message.contains("set-valued"), "{err}");
+        assert_eq!(err.line, 2);
     }
 
     #[test]

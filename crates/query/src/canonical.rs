@@ -155,6 +155,7 @@ fn stable_coloring(q: &Query) -> Vec<usize> {
 /// are fixed and only intra-class orderings branch. One unit of work is
 /// charged per search node, so a caller-supplied budget bounds the
 /// factorial regime.
+#[allow(clippy::too_many_arguments)] // recursive search node: all state is hot path
 fn search<E>(
     q: &Query,
     classes: &[Vec<VarId>],
@@ -173,7 +174,7 @@ fn search<E>(
             map[old.index()] = VarId::from_index(new);
         }
         let cand = normalized_atoms(q, &map);
-        if best.as_ref().map_or(true, |b| cand < *b) {
+        if best.as_ref().is_none_or(|b| cand < *b) {
             *best = Some(cand);
         }
         return Ok(());

@@ -113,6 +113,25 @@ impl Query {
         q
     }
 
+    /// This query with one additional existential variable appended (no
+    /// atoms mention it yet). Existing variable ids are unchanged; the
+    /// returned id is the new variable. If `name` collides with an existing
+    /// variable name, a numeric suffix is appended until it is unique
+    /// (names are cosmetic, but distinct names keep rendered output
+    /// readable). Used by theory compilation to chase totality constraints.
+    pub fn with_fresh_var(&self, name: &str) -> (Query, VarId) {
+        let mut q = self.clone();
+        let mut chosen = name.to_owned();
+        let mut i = 0usize;
+        while q.var_names.iter().any(|n| n == &chosen) {
+            i += 1;
+            chosen = format!("{name}{i}");
+        }
+        let v = VarId::from_index(q.var_names.len());
+        q.var_names.push(chosen);
+        (q, v)
+    }
+
     /// Apply a variable mapping `μ` to the whole query, producing `μ(Q)`
     /// (§4): every atom is rewritten, duplicates are removed, and variables
     /// that no longer occur are dropped (the prefix shrinks accordingly).

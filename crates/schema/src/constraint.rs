@@ -1,0 +1,52 @@
+//! Declared schema constraints: disjointness, totality, functionality.
+//!
+//! Chan's model constrains legal states only through the Terminal Class
+//! Partitioning Assumption. A [`Constraint`] narrows the legal states
+//! further, in the direction of description-logic-style schema constraints
+//! (Calvanese–De Giacomo–Lenzerini):
+//!
+//! * [`Constraint::Disjoint`]`(A, B)` — no object belongs to both `A` and
+//!   `B`. Under terminal partitioning this is equivalent to: every common
+//!   terminal descendant of `A` and `B` has an empty extent in every legal
+//!   state (a *dead* terminal).
+//! * [`Constraint::Total`]`(C, a)` — every object of class `C` (or a
+//!   subclass) has a non-null value for attribute `a`; for a set-valued
+//!   `a`, a non-empty set.
+//! * [`Constraint::Functional`]`(C, a)` — the set-valued attribute `a`
+//!   holds at most one member on every object of class `C` (or a
+//!   subclass).
+//!
+//! Constraints are validated and normalized by
+//! [`SchemaBuilder::finish`](crate::SchemaBuilder::finish): disjointness
+//! pairs are ordered by class id, the list is sorted and duplicate-free,
+//! and contradictions (a class disjoint from itself or from a relative in
+//! the hierarchy, totality of an undeclared attribute, functionality of a
+//! non-set attribute) are rejected. The containment engine compiles them
+//! into query augmentations — see `oocq-core`'s `theory` module.
+
+use crate::ids::{AttrId, ClassId};
+
+/// One declared schema constraint. See the module docs for semantics.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Constraint {
+    /// `A` and `B` share no object in any legal state (normalized so the
+    /// first class id is the smaller).
+    Disjoint(ClassId, ClassId),
+    /// Every object of the class has a non-null (for sets: non-empty)
+    /// value for the attribute.
+    Total(ClassId, AttrId),
+    /// The set-valued attribute holds at most one member per object of the
+    /// class.
+    Functional(ClassId, AttrId),
+}
+
+impl Constraint {
+    /// The normal form used for ordering, deduplication, and rendering:
+    /// disjointness with the smaller class id first.
+    pub fn normalized(self) -> Constraint {
+        match self {
+            Constraint::Disjoint(a, b) if b < a => Constraint::Disjoint(b, a),
+            other => other,
+        }
+    }
+}

@@ -50,6 +50,18 @@ pub enum SchemaError {
         /// The superclass.
         parent: String,
     },
+    /// A declared constraint is malformed: disjointness of a class with
+    /// itself or a hierarchy relative (contradicting terminal
+    /// partitioning), totality of an undeclared attribute, or
+    /// functionality of a non-set attribute.
+    InvalidConstraint {
+        /// The constraint, rendered in DSL syntax.
+        constraint: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The same constraint (after normalization) was declared twice.
+    DuplicateConstraint(String),
 }
 
 impl fmt::Display for SchemaError {
@@ -83,6 +95,12 @@ impl fmt::Display for SchemaError {
             ),
             SchemaError::DuplicateEdge { child, parent } => {
                 write!(f, "edge `{child} ≺ {parent}` declared twice")
+            }
+            SchemaError::InvalidConstraint { constraint, reason } => {
+                write!(f, "invalid `{constraint}`: {reason}")
+            }
+            SchemaError::DuplicateConstraint(c) => {
+                write!(f, "`{c}` declared more than once")
             }
         }
     }

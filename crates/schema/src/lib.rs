@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod constraint;
 mod dot;
 mod error;
 mod ids;
@@ -29,6 +30,7 @@ pub mod samples;
 mod schema;
 mod types;
 
+pub use constraint::Constraint;
 pub use error::SchemaError;
 pub use ids::{AttrId, ClassId};
 pub use schema::{Schema, SchemaBuilder, SchemaStats};

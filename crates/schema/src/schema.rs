@@ -12,11 +12,13 @@
 //! partitioned by the objects of its terminal descendants. The schema
 //! therefore precomputes the set of terminal descendants of every class.
 
+use crate::constraint::Constraint;
 use crate::error::SchemaError;
 use crate::ids::{AttrId, ClassId};
 use crate::types::{AttrType, TupleType};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Incremental builder for [`Schema`].
 ///
@@ -33,6 +35,8 @@ pub struct SchemaBuilder {
     parents: Vec<Vec<ClassId>>,
     /// Attributes declared directly on each class (before inheritance).
     declared: Vec<TupleType>,
+    /// Declared constraints, validated in [`SchemaBuilder::finish`].
+    constraints: Vec<Constraint>,
 }
 
 impl SchemaBuilder {
@@ -102,6 +106,20 @@ impl SchemaBuilder {
     /// Look up a class declared earlier on this builder.
     pub fn class_id(&self, name: &str) -> Option<ClassId> {
         self.class_by_name.get(name).copied()
+    }
+
+    /// Look up an attribute interned earlier on this builder (lookup only —
+    /// unlike [`SchemaBuilder::attr`], never interns a new name).
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attr_by_name.get(name).copied()
+    }
+
+    /// Declare a constraint. Validation (unknown attribute, contradiction
+    /// with terminal partitioning, duplicates) happens in
+    /// [`SchemaBuilder::finish`], which needs the computed closure.
+    pub fn constraint(&mut self, c: Constraint) -> &mut Self {
+        self.constraints.push(c);
+        self
     }
 
     /// Validate the hierarchy, compute the subtyping closure, resolve
@@ -219,6 +237,69 @@ impl SchemaBuilder {
             }
         }
 
+        // Validate, normalize, and order the declared constraints.
+        let render = |c: &Constraint| render_constraint(c, &self.class_names, &self.attr_names);
+        let mut constraints: Vec<Constraint> = Vec::with_capacity(self.constraints.len());
+        for raw in &self.constraints {
+            let c = raw.normalized();
+            let invalid = |reason: &str| SchemaError::InvalidConstraint {
+                constraint: render(&c),
+                reason: reason.to_owned(),
+            };
+            match c {
+                Constraint::Disjoint(a, b) => {
+                    if a == b {
+                        return Err(invalid("a class is never disjoint from itself"));
+                    }
+                    if subclass(a, b) || subclass(b, a) {
+                        return Err(invalid(
+                            "the classes are related in the hierarchy, so disjointness \
+                             contradicts terminal partitioning",
+                        ));
+                    }
+                }
+                Constraint::Total(cl, at) => {
+                    if !effective[cl.index()].contains_key(&at) {
+                        return Err(invalid("the class has no such attribute"));
+                    }
+                }
+                Constraint::Functional(cl, at) => match effective[cl.index()].get(&at) {
+                    None => return Err(invalid("the class has no such attribute")),
+                    Some(AttrType::Object(_)) => {
+                        return Err(invalid(
+                            "functionality applies to set-valued attributes only",
+                        ))
+                    }
+                    Some(AttrType::SetOf(_)) => {}
+                },
+            }
+            constraints.push(c);
+        }
+        constraints.sort();
+        if let Some(w) = constraints.windows(2).find(|w| w[0] == w[1]) {
+            return Err(SchemaError::DuplicateConstraint(render(&w[0])));
+        }
+
+        // Dead terminals: killed by a disjointness pair they descend from.
+        let mut dead = vec![false; n];
+        for c in &constraints {
+            if let Constraint::Disjoint(a, b) = *c {
+                for &t in &terminals {
+                    if subclass(t, a) && subclass(t, b) {
+                        dead[t.index()] = true;
+                    }
+                }
+            }
+        }
+
+        let constraints_text: Arc<str> = Arc::from(
+            constraints
+                .iter()
+                .map(|c| format!("{}\n", render(c)))
+                .collect::<String>()
+                .as_str(),
+        );
+
         Ok(Schema {
             class_names: self.class_names,
             class_by_name: self.class_by_name,
@@ -231,7 +312,31 @@ impl SchemaBuilder {
             ancestors,
             terminals,
             term_desc,
+            constraints,
+            dead,
+            constraints_text,
         })
+    }
+}
+
+/// Render one constraint in the DSL syntax accepted by `oocq-parser`.
+fn render_constraint(c: &Constraint, class_names: &[String], attr_names: &[String]) -> String {
+    match *c {
+        Constraint::Disjoint(a, b) => format!(
+            "constraint disjoint {} {};",
+            class_names[a.index()],
+            class_names[b.index()]
+        ),
+        Constraint::Total(cl, at) => format!(
+            "constraint total {}.{};",
+            class_names[cl.index()],
+            attr_names[at.index()]
+        ),
+        Constraint::Functional(cl, at) => format!(
+            "constraint functional {}.{};",
+            class_names[cl.index()],
+            attr_names[at.index()]
+        ),
     }
 }
 
@@ -304,6 +409,14 @@ pub struct Schema {
     ancestors: Vec<Vec<u64>>,
     terminals: Vec<ClassId>,
     term_desc: Vec<Vec<ClassId>>,
+    /// Declared constraints, normalized and sorted.
+    constraints: Vec<Constraint>,
+    /// `dead[c]`: `c` is a terminal class forced empty in every legal state
+    /// by a disjointness constraint.
+    dead: Vec<bool>,
+    /// The rendered `constraint …;` lines (empty for a constraint-free
+    /// schema), shared so fingerprinting them is a pointer copy.
+    constraints_text: Arc<str>,
 }
 
 impl Schema {
@@ -420,6 +533,35 @@ impl Schema {
     pub fn display_attr_type(&self, t: AttrType) -> String {
         display_attr_type(&self.class_names, t)
     }
+
+    /// The declared constraints, normalized and sorted.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Does this schema declare any constraint?
+    pub fn has_constraints(&self) -> bool {
+        !self.constraints.is_empty()
+    }
+
+    /// Is `c` a terminal class whose extent is forced empty in every legal
+    /// state by a disjointness constraint?
+    pub fn is_dead_terminal(&self, c: ClassId) -> bool {
+        self.dead[c.index()]
+    }
+
+    /// The rendered `constraint …;` lines (empty string when there are
+    /// none). This is the theory fingerprint the decision caches fold into
+    /// their keys, and the exact text [`Schema`]'s `Display` appends after
+    /// the class blocks.
+    pub fn constraints_text(&self) -> &Arc<str> {
+        &self.constraints_text
+    }
+
+    /// Render one constraint in DSL syntax (no trailing newline).
+    pub fn display_constraint(&self, c: &Constraint) -> String {
+        render_constraint(c, &self.class_names, &self.attr_names)
+    }
 }
 
 impl fmt::Display for Schema {
@@ -446,6 +588,7 @@ impl fmt::Display for Schema {
                 writeln!(f, "}}")?;
             }
         }
+        f.write_str(&self.constraints_text)?;
         Ok(())
     }
 }
@@ -682,6 +825,123 @@ mod tests {
         let s = diamond();
         let text = s.to_string();
         assert!(text.contains("class D : B, C"));
+    }
+
+    /// Two unrelated roots P, Q with a common terminal descendant T2 (and a
+    /// live sibling T1 under B), plus attributes to constrain.
+    fn constrained() -> SchemaBuilder {
+        let mut b = SchemaBuilder::new();
+        let p = b.class("P").unwrap();
+        let q = b.class("Q").unwrap();
+        let bb = b.class("B").unwrap();
+        let t1 = b.class("T1").unwrap();
+        let t2 = b.class("T2").unwrap();
+        b.subclass(t1, bb).unwrap();
+        b.subclass(t2, bb).unwrap();
+        b.subclass(t2, p).unwrap();
+        b.subclass(t2, q).unwrap();
+        b.attribute(t1, "F", AttrType::Object(t1)).unwrap();
+        b.attribute(t1, "Items", AttrType::SetOf(t1)).unwrap();
+        b
+    }
+
+    #[test]
+    fn disjointness_kills_common_terminal_descendants() {
+        let mut b = constrained();
+        let (p, q) = (b.class_id("P").unwrap(), b.class_id("Q").unwrap());
+        // Declared in the unnormalized order on purpose.
+        b.constraint(Constraint::Disjoint(q, p));
+        let s = b.finish().unwrap();
+        let (t1, t2) = (s.class_id("T1").unwrap(), s.class_id("T2").unwrap());
+        assert!(s.has_constraints());
+        assert_eq!(s.constraints(), &[Constraint::Disjoint(p, q)]);
+        assert!(s.is_dead_terminal(t2));
+        assert!(!s.is_dead_terminal(t1));
+        assert!(!s.is_dead_terminal(p), "non-terminals are never dead");
+    }
+
+    #[test]
+    fn constraint_free_schema_renders_and_fingerprints_as_before() {
+        let s = diamond();
+        assert!(!s.has_constraints());
+        assert_eq!(s.constraints_text().as_ref(), "");
+        assert!(!s.to_string().contains("constraint"));
+    }
+
+    #[test]
+    fn constraints_render_after_class_blocks_in_sorted_order() {
+        let mut b = constrained();
+        let (p, q, t1) = (
+            b.class_id("P").unwrap(),
+            b.class_id("Q").unwrap(),
+            b.class_id("T1").unwrap(),
+        );
+        let f = b.attr("F");
+        let items = b.attr("Items");
+        b.constraint(Constraint::Functional(t1, items));
+        b.constraint(Constraint::Total(t1, f));
+        b.constraint(Constraint::Disjoint(q, p));
+        let s = b.finish().unwrap();
+        let text = s.to_string();
+        let expected = "constraint disjoint P Q;\nconstraint total T1.F;\n\
+                        constraint functional T1.Items;\n";
+        assert!(text.ends_with(expected), "{text}");
+        assert_eq!(s.constraints_text().as_ref(), expected);
+    }
+
+    #[test]
+    fn self_and_hierarchy_disjointness_rejected() {
+        let mut b = constrained();
+        let p = b.class_id("P").unwrap();
+        b.constraint(Constraint::Disjoint(p, p));
+        assert!(matches!(
+            b.finish(),
+            Err(SchemaError::InvalidConstraint { .. })
+        ));
+        let mut b = constrained();
+        let (bb, t1) = (b.class_id("B").unwrap(), b.class_id("T1").unwrap());
+        b.constraint(Constraint::Disjoint(bb, t1));
+        let err = b.finish().unwrap_err();
+        assert!(err.to_string().contains("terminal partitioning"), "{err}");
+    }
+
+    #[test]
+    fn totality_and_functionality_are_validated() {
+        // Totality of an attribute the class does not have.
+        let mut b = constrained();
+        let p = b.class_id("P").unwrap();
+        let f = b.attr("F");
+        b.constraint(Constraint::Total(p, f));
+        assert!(matches!(
+            b.finish(),
+            Err(SchemaError::InvalidConstraint { .. })
+        ));
+        // Functionality of an object-valued attribute.
+        let mut b = constrained();
+        let t1 = b.class_id("T1").unwrap();
+        let f = b.attr("F");
+        b.constraint(Constraint::Functional(t1, f));
+        let err = b.finish().unwrap_err();
+        assert!(err.to_string().contains("set-valued"), "{err}");
+        // Totality is fine for both kinds; inherited attributes count.
+        let mut b = constrained();
+        let t1 = b.class_id("T1").unwrap();
+        let (f, items) = (b.attr("F"), b.attr("Items"));
+        b.constraint(Constraint::Total(t1, f));
+        b.constraint(Constraint::Total(t1, items));
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn duplicate_constraints_rejected_after_normalization() {
+        let mut b = constrained();
+        let (p, q) = (b.class_id("P").unwrap(), b.class_id("Q").unwrap());
+        b.constraint(Constraint::Disjoint(p, q));
+        b.constraint(Constraint::Disjoint(q, p));
+        assert!(matches!(
+            b.finish(),
+            Err(SchemaError::DuplicateConstraint(_))
+        ));
     }
 }
 

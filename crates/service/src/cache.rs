@@ -45,16 +45,33 @@ pub const SHARD_COUNT: usize = 16;
 /// is unset.
 pub const DEFAULT_CAPACITY: usize = 4096;
 
+/// Engine/cache compatibility stamp baked into every cache key.
+///
+/// A cached verdict is only replayable by an engine that would have
+/// computed the same value; bump this whenever a decision-engine change
+/// alters what a stored entry means (new verdict semantics, key shape
+/// changes, theory rewrites). Version 2 introduced theory-aware keys.
+pub const ENGINE_CACHE_VERSION: u32 = 2;
+
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct ContainsKey {
+    version: u32,
     schema: Arc<str>,
+    /// The schema's theory fingerprint (its rendered constraint block).
+    /// Redundant with the trailing lines of `schema` today, but keyed
+    /// separately so constrained and unconstrained verdicts can never
+    /// collide even if fingerprint rendering changes.
+    theory: Arc<str>,
     q1: CanonicalQuery,
     q2: CanonicalQuery,
 }
 
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct MinimizeKey {
+    version: u32,
     schema: Arc<str>,
+    /// See [`ContainsKey::theory`].
+    theory: Arc<str>,
     query: String,
 }
 
@@ -230,7 +247,9 @@ impl CanonicalDecisionCache {
 
     fn contains_key(&self, schema: &Schema, q1: &Query, q2: &Query) -> ContainsKey {
         ContainsKey {
+            version: ENGINE_CACHE_VERSION,
             schema: self.schema_key(schema),
+            theory: schema.constraints_text().clone(),
             q1: canonical_form(q1),
             q2: canonical_form(q2),
         }
@@ -238,7 +257,9 @@ impl CanonicalDecisionCache {
 
     fn minimize_key(&self, schema: &Schema, q: &Query) -> MinimizeKey {
         MinimizeKey {
+            version: ENGINE_CACHE_VERSION,
             schema: self.schema_key(schema),
+            theory: schema.constraints_text().clone(),
             query: q.display(schema).to_string(),
         }
     }
@@ -288,7 +309,9 @@ impl DecisionCache for CanonicalDecisionCache {
 
     fn get_contains_prepared(&self, p1: &PreparedQuery, p2: &PreparedQuery) -> Option<bool> {
         let key = ContainsKey {
+            version: ENGINE_CACHE_VERSION,
             schema: p1.schema().fingerprint().clone(),
+            theory: p1.schema().schema().constraints_text().clone(),
             q1: p1.canonical_form().clone(),
             q2: p2.canonical_form().clone(),
         };
@@ -302,7 +325,9 @@ impl DecisionCache for CanonicalDecisionCache {
 
     fn put_contains_prepared(&self, p1: &PreparedQuery, p2: &PreparedQuery, holds: bool) {
         let key = ContainsKey {
+            version: ENGINE_CACHE_VERSION,
             schema: p1.schema().fingerprint().clone(),
+            theory: p1.schema().schema().constraints_text().clone(),
             q1: p1.canonical_form().clone(),
             q2: p2.canonical_form().clone(),
         };
@@ -313,7 +338,9 @@ impl DecisionCache for CanonicalDecisionCache {
 
     fn get_minimized_prepared(&self, p: &PreparedQuery) -> Option<UnionQuery> {
         let key = MinimizeKey {
+            version: ENGINE_CACHE_VERSION,
             schema: p.schema().fingerprint().clone(),
+            theory: p.schema().schema().constraints_text().clone(),
             query: p.query().display(p.schema().schema()).to_string(),
         };
         let hit = self.minimized.get(&key, &self.clock);
@@ -326,7 +353,9 @@ impl DecisionCache for CanonicalDecisionCache {
 
     fn put_minimized_prepared(&self, p: &PreparedQuery, result: &UnionQuery) {
         let key = MinimizeKey {
+            version: ENGINE_CACHE_VERSION,
             schema: p.schema().fingerprint().clone(),
+            theory: p.schema().schema().constraints_text().clone(),
             query: p.query().display(p.schema().schema()).to_string(),
         };
         if self.minimized.put(key, result.clone(), &self.clock) {
@@ -421,6 +450,52 @@ mod tests {
         assert!(cache.stats().evictions >= 48 - SHARD_COUNT as u64);
         // The newest entry survives in its shard.
         assert_eq!(cache.get_contains(&s, &chain(48), &probe), Some(true));
+    }
+
+    #[test]
+    fn cache_keys_carry_the_engine_version_stamp() {
+        let s = samples::single_class();
+        let cache = CanonicalDecisionCache::new(64);
+        let q = simple(&s, "x", "y");
+        cache.put_contains(&s, &q, &q, true);
+        assert_eq!(cache.get_contains(&s, &q, &q), Some(true));
+        // An entry written under a different engine version must miss: the
+        // stamp is part of key identity, not advisory metadata.
+        let stale = ContainsKey {
+            version: ENGINE_CACHE_VERSION + 1,
+            schema: cache.schema_key(&s),
+            theory: s.constraints_text().clone(),
+            q1: canonical_form(&q),
+            q2: canonical_form(&q),
+        };
+        assert_eq!(cache.contains.get(&stale, &cache.clock), None);
+        let current = ContainsKey {
+            version: ENGINE_CACHE_VERSION,
+            ..stale
+        };
+        assert_eq!(cache.contains.get(&current, &cache.clock), Some(true));
+    }
+
+    #[test]
+    fn constrained_and_unconstrained_schemas_never_share_entries() {
+        // Same class structure, one with a constraint block: both the
+        // fingerprint and the dedicated theory key component differ, so a
+        // verdict cached for one can never answer for the other.
+        let plain = oocq_parser::parse_schema("class P {} class Q {} class T : P, Q {}").unwrap();
+        let constrained = oocq_parser::parse_schema(
+            "class P {} class Q {} class T : P, Q {} constraint disjoint P Q;",
+        )
+        .unwrap();
+        assert!(constrained.has_constraints());
+        let cache = CanonicalDecisionCache::new(64);
+        let c = plain.class_id("P").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [c]);
+        let q = b.build();
+        cache.put_contains(&plain, &q, &q, true);
+        assert_eq!(cache.get_contains(&constrained, &q, &q), None);
+        assert_eq!(cache.get_contains(&plain, &q, &q), Some(true));
     }
 
     #[test]

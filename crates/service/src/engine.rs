@@ -319,6 +319,45 @@ impl ServiceEngine {
         Ok(format!("query {name} defined in session {session}"))
     }
 
+    /// Add a declared constraint to a session's schema — copy-on-write,
+    /// like [`ServiceEngine::define_query`]. The constraint is validated by
+    /// re-rendering the schema with the new `constraint …;` line appended
+    /// and reparsing the result; because [`Schema`]'s `Display` preserves
+    /// declaration order, every class and attribute identifier is stable
+    /// across the round trip, so the session's bound queries stay valid and
+    /// are re-prepared against the new schema unchanged.
+    pub fn define_constraint(&self, session: &str, text: &str) -> Result<String, String> {
+        let old = self.session(session)?;
+        let line = text.trim().trim_end_matches(';').trim_end();
+        if line.is_empty() {
+            return Err("empty constraint text".to_owned());
+        }
+        let combined = format!("{}constraint {line};\n", old.schema.schema());
+        let schema = parse_schema(&combined).map_err(|e| format!("parse error at {e}"))?;
+        let n = schema.constraints().len();
+        let prepared = PreparedSchema::from_arc(Arc::new(schema));
+        let queries = old
+            .queries
+            .iter()
+            .map(|(name, p)| {
+                (
+                    name.clone(),
+                    PreparedQuery::new(&prepared, p.query().clone()),
+                )
+            })
+            .collect();
+        let snapshot = Arc::new(Session {
+            name: old.name.clone(),
+            schema: prepared,
+            queries,
+        });
+        self.sessions
+            .write()
+            .unwrap()
+            .insert(session.to_owned(), snapshot);
+        Ok(format!("constraint added to session {session} ({n} total)"))
+    }
+
     /// The current snapshot of a session.
     pub fn session(&self, name: &str) -> Result<Arc<Session>, String> {
         self.sessions
@@ -429,6 +468,7 @@ impl ServiceEngine {
             return Ok(None);
         };
         let schema = ses.prepared_schema().fingerprint().clone();
+        let theory = ses.schema().constraints_text().clone();
         match req {
             Request::Contains { q1, q2, .. } | Request::Equivalent { q1, q2, .. } => {
                 let (Ok(p1), Ok(p2)) = (ses.query(q1), ses.query(q2)) else {
@@ -445,12 +485,14 @@ impl ServiceEngine {
                 Ok(Some(if matches!(req, Request::Contains { .. }) {
                     FlightKey::Contains {
                         schema,
+                        theory,
                         q1: c1,
                         q2: c2,
                     }
                 } else {
                     FlightKey::Equivalent {
                         schema,
+                        theory,
                         q1: c1,
                         q2: c2,
                     }
@@ -463,7 +505,11 @@ impl ServiceEngine {
                 // Exact rendered text, like the cache's minimize key: the
                 // output carries the user's variable names.
                 let query = p.query().display(ses.schema()).to_string();
-                Ok(Some(FlightKey::Minimize { schema, query }))
+                Ok(Some(FlightKey::Minimize {
+                    schema,
+                    theory,
+                    query,
+                }))
             }
             _ => Ok(None),
         }
@@ -496,6 +542,19 @@ impl ServiceEngine {
              | conn: backlog={backlog}",
             flight.leaders, flight.waiters_joined, flight.fanouts, flight.expired, flight.inflight
         );
+        let t = oocq_core::theory_stats();
+        let _ = write!(
+            out,
+            " | theory: decisions={} rewrites={} left_unsat={} right_unsat={} chase_atoms={} \
+             functional_eqs={} dead_branches={}",
+            t.decisions,
+            t.left_rewrites,
+            t.left_unsat,
+            t.right_unsat,
+            t.chase_atoms,
+            t.functional_eqs,
+            t.dead_branches
+        );
         out
     }
 
@@ -516,11 +575,41 @@ impl ServiceEngine {
                 let q = ses.query(query)?.query();
                 let n = normalize(q, s).map_err(wf)?;
                 let u = expand(s, &n).map_err(core)?;
+                // On a constrained schema a branch can be plain-satisfiable
+                // yet dead under the declared constraints (every terminal
+                // class one of its variables could take is disjointness-
+                // eliminated); report those as UNSAT with the theory's
+                // reason.
+                let theory = if s.has_constraints() {
+                    Some(oocq_core::ConstraintTheory::for_schema(s))
+                } else {
+                    None
+                };
                 let mut out = String::new();
                 for sub in &u {
                     match satisfiability(s, sub).map_err(core)? {
                         Satisfiability::Satisfiable => {
-                            let _ = writeln!(out, "SAT   {}", sub.display(s));
+                            let dead = match &theory {
+                                Some(t) => {
+                                    use oocq_core::Theory as _;
+                                    match t
+                                        .compile(s, oocq_core::Side::Right, sub, &cfg.budget)
+                                        .map_err(core)?
+                                    {
+                                        oocq_core::Compiled::Unsatisfiable(reason) => Some(reason),
+                                        _ => None,
+                                    }
+                                }
+                                None => None,
+                            };
+                            match dead {
+                                Some(reason) => {
+                                    let _ = writeln!(out, "UNSAT {} ({reason})", sub.display(s));
+                                }
+                                None => {
+                                    let _ = writeln!(out, "SAT   {}", sub.display(s));
+                                }
+                            }
                         }
                         Satisfiability::Unsatisfiable(reason) => {
                             let _ = writeln!(out, "UNSAT {} ({reason})", sub.display(s));
@@ -547,7 +636,12 @@ impl ServiceEngine {
                 let (s, qa, qb) = (ses.schema(), pa.query(), pb.query());
                 if qa.is_terminal(s) && qb.is_terminal(s) {
                     let proof = eng.decide(pa, pb).map_err(core)?;
-                    Ok(proof.render(s, qa, qb).trim_end().to_owned())
+                    // Under a constraint theory the decision ran against the
+                    // *compiled* left query (chase atoms, merged members), so
+                    // witnesses reference its variables; recompute it for the
+                    // rendering.
+                    let qa_c = oocq_core::compiled_left(s, qa, cfg).map_err(core)?;
+                    Ok(proof.render(s, &qa_c, qb).trim_end().to_owned())
                 } else {
                     let ua = expand_satisfiable_with(s, &normalize(qa, s).map_err(wf)?, cfg)
                         .map_err(core)?;
@@ -704,6 +798,59 @@ mod tests {
         e.define_schema("s", "class D {}").unwrap();
         assert!(old.query("Q").is_ok());
         assert!(e.session("s").unwrap().query("Q").is_err());
+    }
+
+    #[test]
+    fn constraint_verb_flips_a_verdict_and_keeps_query_bindings() {
+        let e = engine();
+        e.define_schema(
+            "s",
+            "class P {} class Q {} class B {} class T1 : B {} class T2 : B, P, Q {}",
+        )
+        .unwrap();
+        e.define_query("s", "Q1", "{ x | x in B }").unwrap();
+        e.define_query("s", "Q2", "{ x | x in T1 }").unwrap();
+        e.define_query("s", "D", "{ x | x in T2 }").unwrap();
+        // Plainly false: the T2 branch of Q1 escapes Q2.
+        assert_eq!(decide(&e, "contains s Q1 Q2"), Ok("FAILS".to_owned()));
+        assert!(decide(&e, "satisfiable s D").unwrap().starts_with("SAT"));
+
+        // The protocol verb parses to the engine method the servers route.
+        let req = parse_request("constraint s disjoint P Q").unwrap();
+        let Request::DefineConstraint { session, text } = req else {
+            panic!("wrong parse: {req:?}");
+        };
+        let msg = e.define_constraint(&session, &text).unwrap();
+        assert!(msg.contains("1 total"), "{msg}");
+        // Bound queries survived the copy-on-write schema swap, and the
+        // constraint kills T2: containment flips, and the T2-range query is
+        // now reported dead by `satisfiable`.
+        assert_eq!(decide(&e, "contains s Q1 Q2"), Ok("holds".to_owned()));
+        let sat = decide(&e, "satisfiable s D").unwrap();
+        assert!(
+            sat.starts_with("UNSAT") && sat.contains("disjointness"),
+            "{sat}"
+        );
+        // Every expansion branch of Q1 is now covered (T2's vacuously).
+        let proof = decide(&e, "explain s Q1 Q2").unwrap();
+        assert!(!proof.contains("UNCOVERED"), "{proof}");
+        // Terminal pairs take the certificate path (rendered against the
+        // theory-compiled left query), and still decide under the theory.
+        let cert = decide(&e, "explain s Q2 Q2").unwrap();
+        assert!(cert.contains("holds"), "{cert}");
+        // A trailing semicolon is tolerated but a duplicate declaration is
+        // rejected; garbage and empty text are errors too.
+        assert!(e.define_constraint("s", "disjoint P Q;").is_err());
+        assert!(e.define_constraint("s", "nonsense P Q").is_err());
+        assert!(e.define_constraint("s", "   ").is_err());
+    }
+
+    #[test]
+    fn stats_report_includes_theory_counters() {
+        let e = engine();
+        let report = e.stats_report(&FlightStats::default(), 0);
+        assert!(report.contains("theory: decisions="), "{report}");
+        assert!(report.contains("dead_branches="), "{report}");
     }
 
     #[test]

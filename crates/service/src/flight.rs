@@ -34,6 +34,9 @@ pub enum FlightKey {
     Contains {
         /// Interned schema fingerprint.
         schema: Arc<str>,
+        /// The schema's theory fingerprint (rendered constraint block), so
+        /// constrained and unconstrained decisions never coalesce.
+        theory: Arc<str>,
         /// Canonical form of the left query.
         q1: CanonicalQuery,
         /// Canonical form of the right query.
@@ -43,6 +46,8 @@ pub enum FlightKey {
     Equivalent {
         /// Interned schema fingerprint.
         schema: Arc<str>,
+        /// The schema's theory fingerprint (see [`FlightKey::Contains`]).
+        theory: Arc<str>,
         /// Canonical form of the left query.
         q1: CanonicalQuery,
         /// Canonical form of the right query.
@@ -53,6 +58,8 @@ pub enum FlightKey {
     Minimize {
         /// Interned schema fingerprint.
         schema: Arc<str>,
+        /// The schema's theory fingerprint (see [`FlightKey::Contains`]).
+        theory: Arc<str>,
         /// The rendered query text.
         query: String,
     },
@@ -179,6 +186,7 @@ mod tests {
     fn key(tag: &str) -> FlightKey {
         FlightKey::Minimize {
             schema: Arc::from("class C {}"),
+            theory: Arc::from(""),
             query: tag.to_owned(),
         }
     }
@@ -230,11 +238,13 @@ mod tests {
         let schema: Arc<str> = Arc::from("class C {}");
         let contains = FlightKey::Contains {
             schema: schema.clone(),
+            theory: Arc::from(""),
             q1: q.clone(),
             q2: q.clone(),
         };
         let equiv = FlightKey::Equivalent {
             schema,
+            theory: Arc::from(""),
             q1: q.clone(),
             q2: q,
         };

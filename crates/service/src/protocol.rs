@@ -8,6 +8,7 @@
 //! request  := ping | stats (on|off|show) | quit
 //!           | schema <session> <escaped-schema-text>
 //!           | query <session> <name> <escaped-query-text>
+//!           | constraint <session> <escaped-constraint-text>
 //!           | satisfiable <session> <query>
 //!           | contains <session> <q1> <q2>
 //!           | equiv <session> <q1> <q2>
@@ -86,6 +87,10 @@ pub enum Request {
         name: String,
         text: String,
     },
+    /// `constraint <session> <text>` — add a constraint declaration (DSL
+    /// syntax without the keyword, e.g. `disjoint A B`) to the session's
+    /// schema, re-validating it and re-preparing every bound query.
+    DefineConstraint { session: String, text: String },
     /// `satisfiable <session> <query>` — Proposition 2.1 branch report.
     Satisfiable { session: String, query: String },
     /// `contains <session> <q1> <q2>` — containment verdict.
@@ -132,7 +137,8 @@ impl Request {
             | Request::StatsShow
             | Request::Quit
             | Request::DefineSchema { .. }
-            | Request::DefineQuery { .. } => false,
+            | Request::DefineQuery { .. }
+            | Request::DefineConstraint { .. } => false,
             Request::Limited { inner, .. } => inner.is_decision(),
             _ => true,
         }
@@ -214,6 +220,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 session: p[0].to_owned(),
                 name: p[1].to_owned(),
                 text: unescape(p[2]),
+            })
+        }
+        "constraint" => {
+            let p = need(2)?;
+            Ok(Request::DefineConstraint {
+                session: p[0].to_owned(),
+                text: unescape(p[1]),
             })
         }
         "satisfiable" => {

@@ -865,6 +865,9 @@ impl EventLoop<'_> {
                 name,
                 text,
             }) => self.engine.define_query(session, name, text),
+            Ok(Request::DefineConstraint { session, text }) => {
+                self.engine.define_constraint(session, text)
+            }
             Ok(other) => Err(format!("internal: unhandled request `{other:?}`")),
         };
         let stats = RequestStats {

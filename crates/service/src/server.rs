@@ -286,6 +286,9 @@ pub fn serve<R: BufRead, W: Write + Send>(
                     name,
                     text,
                 }) => engine.define_query(session, name, text),
+                Ok(Request::DefineConstraint { session, text }) => {
+                    engine.define_constraint(session, text)
+                }
                 // The blocking path has no singleflight table, so the
                 // coalescing counters are legitimately zero — but the
                 // decision backlog is real and reported live, like the

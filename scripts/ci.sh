@@ -1,5 +1,6 @@
 #!/bin/sh
-# The repository's CI gate: release build, full test suite, formatting.
+# The repository's CI gate: release build, full test suite, benchmark
+# floors, oracle sweeps, lints, formatting.
 #
 #   scripts/ci.sh
 #
@@ -32,11 +33,29 @@ if [ "${OOCQ_CI_SKIP_HEAVY:-0}" != "1" ]; then
     echo "ci: bench_prune smoke (quick mode)"
     OOCQ_BENCH_QUICK=1 cargo run --release -q -p oocq-bench --bin bench_prune \
         -- target/BENCH_prune_smoke.json
+    # Constraint gate: bench_constrained asserts in-binary that declared
+    # constraints still flip >=3 containment verdicts from fails to holds
+    # through the theory hook; quick mode keeps that check without
+    # re-measuring medians.
+    echo "ci: bench_constrained smoke (quick mode)"
+    OOCQ_BENCH_QUICK=1 cargo run --release -q -p oocq-bench --bin bench_constrained \
+        -- target/BENCH_constrained_smoke.json
     # Soundness gate: the differential oracle sweeps >=500 seeded pairs,
     # cross-checking every engine verdict against brute-force evaluation
     # and demanding a constructive witness for >=95% of refutations.
     echo "ci: oracle_fuzz sweep (ci mode)"
     cargo run --release -q --bin oracle_fuzz -- --iterations ci
+    # Constrained soundness gate: the same oracle over schemas with
+    # declared disjoint/total/functional constraints, judged over
+    # constraint-legal states only. Any legal-state refutation of a
+    # constrained holds is a soundness violation and fails the run. The
+    # confirmation gate is the *overall* rate and deliberately lower:
+    # steering on constrained schemas must also land inside the legal
+    # states, so the random-search fallback carries more of the load
+    # (measured ~0.65 overall at 500 pairs).
+    echo "ci: oracle_fuzz constrained sweep"
+    cargo run --release -q --bin oracle_fuzz -- --constrained \
+        --iterations 500 --min-confirm 0.5
     # Serving gate: bench_load carries in-binary floors for singleflight
     # coalescing (>=5x the uncoalesced hot-key throughput); the quick
     # preset exercises the reactor, the legacy accept loop, and the
@@ -44,6 +63,16 @@ if [ "${OOCQ_CI_SKIP_HEAVY:-0}" != "1" ]; then
     echo "ci: bench_load smoke (quick mode)"
     OOCQ_BENCH_QUICK=1 cargo run --release -q --bin bench_load \
         -- target/BENCH_load_smoke.json
+    # Lint gate: warnings are errors across every target, tests included.
+    # Lives inside the heavy guard because the in-tree smoke test runs
+    # this script under `cargo test`, where a nested cargo build would
+    # block on the build-directory lock.
+    if cargo clippy --version >/dev/null 2>&1; then
+        echo "ci: cargo clippy --workspace --all-targets -- -D warnings"
+        cargo clippy --workspace --all-targets -q -- -D warnings
+    else
+        echo "ci: clippy not installed, skipping lint check"
+    fi
 else
     echo "ci: OOCQ_CI_SKIP_HEAVY=1, skipping build and test"
 fi

@@ -72,19 +72,21 @@
 #![warn(missing_docs)]
 
 pub use oocq_core::{
-    contains_positive, contains_positive_with, contains_terminal, contains_terminal_full,
-    contains_terminal_full_with, contains_terminal_with, cost_leq, decide_containment,
-    decide_containment_with, dispatch_containment_with, equivalent_positive, equivalent_terminal,
-    equivalent_terminal_with, expand, expand_satisfiable, expand_satisfiable_with, expansion_size,
-    is_minimal_terminal_positive, is_satisfiable, minimize_general, minimize_general_with,
-    minimize_positive, minimize_positive_report, minimize_positive_report_with,
-    minimize_positive_with, minimize_terminal_general, minimize_terminal_general_with,
-    minimize_terminal_positive, nonredundant_union, nonredundant_union_with, satisfiability,
-    search_space_cost, strategy_for, strip_non_range, term_class, union_contains,
-    union_contains_with, union_cost, union_equivalent, var_classes, BranchStats, Budget,
-    Containment, CoreError, DecisionCache, Engine, EngineConfig, MappingWitness,
-    MinimizationReport, Optimizer, OptimizerStats, PreparedQuery, PreparedQueryStats,
-    PreparedSchema, Satisfiability, SearchOrder, Strategy, UnsatReason, MAX_BRANCHES,
+    compiled_left, contains_positive, contains_positive_with, contains_terminal,
+    contains_terminal_full, contains_terminal_full_with, contains_terminal_with, cost_leq,
+    decide_containment, decide_containment_with, dispatch_containment_with, equivalent_positive,
+    equivalent_terminal, equivalent_terminal_with, expand, expand_satisfiable,
+    expand_satisfiable_with, expansion_size, is_minimal_terminal_positive, is_satisfiable,
+    minimize_general, minimize_general_with, minimize_positive, minimize_positive_report,
+    minimize_positive_report_with, minimize_positive_with, minimize_terminal_general,
+    minimize_terminal_general_with, minimize_terminal_positive, nonredundant_union,
+    nonredundant_union_with, satisfiability, search_space_cost, strategy_for, strip_non_range,
+    term_class, theory_stats, union_contains, union_contains_with, union_cost, union_equivalent,
+    var_classes, BranchStats, Budget, Compiled, ConstraintTheory, Containment, CoreError,
+    DecisionCache, EmptyTheory, Engine, EngineConfig, MappingWitness, MinimizationReport,
+    Optimizer, OptimizerStats, PreparedQuery, PreparedQueryStats, PreparedSchema, Satisfiability,
+    SearchOrder, Side, Strategy, Theory, TheoryStats, UnsatReason, MAX_BRANCHES, MAX_CHASE_ROUNDS,
+    MAX_CHASE_VARS,
 };
 pub use oocq_eval::{
     answer, answer_planned, answer_union, answer_with_plan, canonical_contains, canonical_state,
@@ -99,7 +101,8 @@ pub use oocq_query::{
     QueryBuilder, Term, UnionQuery, VarId, WellFormedError,
 };
 pub use oocq_schema::{
-    samples, AttrId, AttrType, ClassId, Schema, SchemaBuilder, SchemaError, SchemaStats, TupleType,
+    samples, AttrId, AttrType, ClassId, Constraint, Schema, SchemaBuilder, SchemaError,
+    SchemaStats, TupleType,
 };
 pub use oocq_service::{
     run_program_with, run_workbench_with, serve, CacheStats, CanonicalDecisionCache, Request,
