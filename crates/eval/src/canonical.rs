@@ -24,6 +24,15 @@ use std::collections::HashMap;
 /// unsatisfiable (the frozen state would be illegal — e.g. an attribute
 /// value of the wrong class).
 pub fn canonical_state(schema: &Schema, q: &Query) -> Option<(State, Oid)> {
+    canonical_state_mapped(schema, q).map(|(state, free_obj, _)| (state, free_obj))
+}
+
+/// [`canonical_state`] plus the full variable→object freeze map: element
+/// `i` is the oid the equivalence class of variable `i` froze to (so
+/// equated variables share an entry). Callers steering by *specific*
+/// variables of the query — e.g. definitizing one obligation's set slot —
+/// need this map; the plain entry point keeps it internal.
+pub fn canonical_state_mapped(schema: &Schema, q: &Query) -> Option<(State, Oid, Vec<Oid>)> {
     if !q.is_positive() || !q.is_terminal(schema) {
         return None;
     }
@@ -79,8 +88,12 @@ pub fn canonical_state(schema: &Schema, q: &Query) -> Option<(State, Oid)> {
         b.set_members(owner, a, members);
     }
     let state = b.finish(schema).ok()?;
-    let free_obj = obj(Term::Var(q.free_var()), &obj_of_root)?;
-    Some((state, free_obj))
+    let var_oids: Vec<Oid> = q
+        .vars()
+        .map(|v| obj(Term::Var(v), &obj_of_root))
+        .collect::<Option<_>>()?;
+    let free_obj = var_oids[q.free_var().index()];
+    Some((state, free_obj, var_oids))
 }
 
 /// The canonical-state containment oracle for positive right-hand sides:

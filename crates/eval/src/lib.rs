@@ -14,7 +14,7 @@ mod eval;
 mod planned;
 mod truth;
 
-pub use canonical::{canonical_contains, canonical_state};
+pub use canonical::{canonical_contains, canonical_state, canonical_state_mapped};
 pub use eval::{
     answer, answer_budgeted, answer_union, answer_union_budgeted, eval_atom, eval_matrix,
     refute_containment, refute_containment_budgeted, CounterExample,

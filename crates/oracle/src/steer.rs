@@ -14,22 +14,38 @@
 //! set ("definitizing") makes those non-memberships definitely true, which
 //! `Q₁` may need to answer at all, but which can equally hand `Q₂` the
 //! atoms it was missing and destroy the separation. Neither choice
-//! dominates, so [`steer_witness`] tries the portfolio: the raw frozen
-//! skeleton first (nulls intact — `Q₂`'s `∉` atoms stay unknown), then the
-//! definitized one (for a `Q₁` whose own `∉` atoms need the empty sets).
-//! Inequalities need no help either way — distinct equivalence classes
-//! freeze to distinct oids, and branch consistency guarantees the
-//! augmentation never merges variables a `≠` atom separates.
+//! dominates globally — and no *uniform* choice dominates even per state:
+//! when both queries carry `∉` atoms over the *same attribute but
+//! different owners* (the double-`NonMember` shape), `Q₁` needs its own
+//! slot frozen empty while `Q₂`'s must stay null. So [`steer_witness`]
+//! runs a portfolio over per-obligation definitization: the raw frozen
+//! skeleton first (all nulls intact), then each small subset of the
+//! branch's own `∉` slots frozen to the empty set (smallest subsets
+//! first, so `Q₂` is handed as little as possible), and finally the fully
+//! definitized skeleton as the historical envelope. Inequalities need no
+//! help either way — distinct equivalence classes freeze to distinct
+//! oids, and branch consistency guarantees the augmentation never merges
+//! variables a `≠` atom separates.
 
-use oocq_eval::{answer_budgeted, canonical_state};
+use oocq_eval::{answer_budgeted, canonical_state_mapped};
 use oocq_gen::{steered_state, Rng, SteerParams};
-use oocq_query::{Atom, Query, QueryBuilder};
-use oocq_schema::Schema;
-use oocq_state::{Oid, State};
+use oocq_query::{Atom, Query, QueryBuilder, VarId};
+use oocq_schema::{AttrId, Schema};
+use oocq_state::{Oid, State, StateBuilder, Value};
 
 /// The positive part of a query: range, equality, and membership atoms
 /// only, with every variable (and its name) preserved.
 pub fn positive_part(q: &Query) -> Query {
+    positive_part_mapped(q).0
+}
+
+/// [`positive_part`] plus the variable map: element `i` is the id the
+/// source query's variable `i` carries in the returned query. The builder
+/// pins the free variable at index 0, so when the source free variable
+/// sits elsewhere the map is a genuine permutation, not the identity —
+/// callers tracing source variables into the positive part must go
+/// through it.
+pub fn positive_part_mapped(q: &Query) -> (Query, Vec<VarId>) {
     let mut b = QueryBuilder::new(q.var_name(q.free_var()));
     let mut ids = Vec::with_capacity(q.var_count());
     for v in q.vars() {
@@ -44,7 +60,43 @@ pub fn positive_part(q: &Query) -> Query {
             b.atom(a.clone().map_vars(|v| ids[v.index()]));
         }
     }
-    b.build()
+    (b.build(), ids)
+}
+
+/// Bound on `∉` slots before subset enumeration collapses to the full
+/// set only (2^k candidate states would dominate the eval budget).
+const MAX_SLOT_SUBSETS: usize = 3;
+
+/// Copy a frozen skeleton, freezing the chosen null set-valued slots to
+/// the empty set and leaving every other null intact.
+fn definitize_slots(schema: &Schema, skeleton: &State, chosen: &[(Oid, AttrId)]) -> State {
+    let mut b = StateBuilder::new();
+    for o in skeleton.oids() {
+        b.object(skeleton.class_of(o));
+    }
+    for o in skeleton.oids() {
+        let attrs: Vec<AttrId> = schema
+            .effective_type(skeleton.class_of(o))
+            .keys()
+            .copied()
+            .collect();
+        for a in attrs {
+            match skeleton.attr(o, a) {
+                Value::Obj(t) => {
+                    b.set_obj(o, a, *t);
+                }
+                Value::Set(ms) => {
+                    b.set_members(o, a, ms.iter().copied());
+                }
+                Value::Null if chosen.contains(&(o, a)) => {
+                    b.set_members(o, a, []);
+                }
+                Value::Null => {}
+            }
+        }
+    }
+    b.finish(schema)
+        .expect("definitized skeleton stays legal: only empty sets were added")
 }
 
 /// Synthesize and verify a witness state for a claimed refutation of
@@ -66,15 +118,48 @@ pub fn steer_witness<E>(
     charge: &mut impl FnMut(u64) -> Result<(), E>,
 ) -> Result<Option<(State, Oid)>, E> {
     let branch = q1.with_extra_atoms(augmentation.iter().cloned());
-    let Some((skeleton, witness)) = canonical_state(schema, &positive_part(&branch)) else {
+    let (positive, var_map) = positive_part_mapped(&branch);
+    let Some((skeleton, witness, var_oids)) = canonical_state_mapped(schema, &positive) else {
         return Ok(None);
     };
-    for definitize in [false, true] {
+    // The branch's own `∉` obligations, as frozen (owner oid, attribute)
+    // slots that the skeleton left null. These are exactly the slots whose
+    // individual definitization can make `Q₁`'s non-memberships definite
+    // without touching the slots `Q₂`'s `∉` atoms need to stay unknown.
+    let mut slots: Vec<(Oid, AttrId)> = Vec::new();
+    for atom in branch.atoms() {
+        if let Atom::NonMember(_, owner, attr) = atom {
+            let slot = (var_oids[var_map[owner.index()].index()], *attr);
+            if skeleton.attr(slot.0, slot.1).is_null() && !slots.contains(&slot) {
+                slots.push(slot);
+            }
+        }
+    }
+    // Candidate skeletons, least definitized first: raw, then `∉`-slot
+    // subsets by ascending size, then everything (the historical envelope).
+    let mut candidates: Vec<(State, bool)> = vec![(skeleton.clone(), false)];
+    if slots.len() <= MAX_SLOT_SUBSETS {
+        let mut masks: Vec<u32> = (1..1u32 << slots.len()).collect();
+        masks.sort_by_key(|m| m.count_ones());
+        for mask in masks {
+            let chosen: Vec<(Oid, AttrId)> = slots
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &s)| s)
+                .collect();
+            candidates.push((definitize_slots(schema, &skeleton, &chosen), false));
+        }
+    } else if !slots.is_empty() {
+        candidates.push((definitize_slots(schema, &skeleton, &slots), false));
+    }
+    candidates.push((skeleton.clone(), true));
+    for (skel, definitize) in candidates {
         let p = SteerParams {
             definitize,
             ..*steer
         };
-        let state = steered_state(rng, schema, &skeleton, &p);
+        let state = steered_state(rng, schema, &skel, &p);
         let a1 = answer_budgeted(schema, &state, q1, charge)?;
         if !a1.contains(&witness) {
             continue;
@@ -94,23 +179,21 @@ mod tests {
     use crate::{Oracle, OracleConfig, Outcome};
     use oocq_gen::StdRng;
 
-    /// The known steering holdout (DESIGN.md §"steered witness synthesis"):
-    /// when *both* queries carry `NonMember` over the same attribute, the
-    /// separating state needs that set non-empty yet avoiding specific
-    /// members. Neither arm of the portfolio produces it — the raw frozen
-    /// skeleton leaves the set null (so `Q₁`'s own `∉` stays unknown and it
-    /// never answers), and definitizing freezes it to the *empty* set (so
-    /// `Q₂`'s `∉` becomes true as well and the separation collapses). Only
-    /// the random-search fallback finds the in-between state.
+    /// The formerly known steering holdout (DESIGN.md §"steered witness
+    /// synthesis"): when *both* queries carry `NonMember` over the same
+    /// attribute but different owners, no uniform null treatment
+    /// separates them — the raw frozen skeleton leaves `Q₁`'s own set
+    /// null (its `∉` stays unknown and it never answers), and wholesale
+    /// definitization freezes `Q₂`'s slot empty too (its `∉` becomes true
+    /// and the separation collapses). The per-obligation portfolio closes
+    /// the gap: definitizing only `Q₁`'s obligation slot makes its `∉`
+    /// definitely true while `Q₂`'s slot stays null and unknown.
     ///
     /// Sweep seed 342 pins the shape: `Q₁` has `v2 ∉ v1.B`, `Q₂` has
-    /// `v2 ∉ v0.B`. This fixture documents the limitation rather than
-    /// guarding a contract, so it is `#[ignore]`d out of the default run;
-    /// if a future steering improvement flips the outcome to
-    /// `steered: true`, celebrate and retire it.
+    /// `v2 ∉ v0.B`. Steering must now confirm this refutation itself —
+    /// no random-search fallback.
     #[test]
-    #[ignore = "documents the double-NonMember steering holdout, not a contract"]
-    fn double_nonmember_holdout_falls_back_to_random_search() {
+    fn double_nonmember_shape_is_confirmed_by_steering() {
         let seed = 342u64;
         let mut oracle = Oracle::new(OracleConfig::default());
         let (schema, q1, q2) = sweep_pair(
@@ -128,8 +211,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0bbedfeed);
         let outcome = oracle.check_pair(&schema, &q1, &q2, &mut rng);
         assert!(
-            matches!(outcome, Outcome::RefutedConfirmed { steered: false }),
-            "expected the unsteered fallback confirmation, got {outcome:?}"
+            matches!(outcome, Outcome::RefutedConfirmed { steered: true }),
+            "expected a steered confirmation, got {outcome:?}"
         );
     }
 }

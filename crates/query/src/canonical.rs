@@ -29,7 +29,8 @@
 use crate::atom::Atom;
 use crate::isomorphism::{normalized_atoms, signatures};
 use crate::query::Query;
-use crate::term::VarId;
+use crate::term::{Term, VarId};
+use oocq_schema::{AttrId, ClassId};
 use std::collections::BTreeMap;
 
 /// An isomorphism-invariant canonical form of a [`Query`].
@@ -56,6 +57,128 @@ impl CanonicalQuery {
     /// The canonical atom vector (free variable is `0`).
     pub fn atoms(&self) -> &[Atom] {
         &self.atoms
+    }
+
+    /// Render this canonical form as a stable, self-contained wire string.
+    ///
+    /// The encoding is a pinned persistence format, not a display: ids are
+    /// written as decimal indices, atoms in canonical vector order, so the
+    /// output is byte-identical across processes for equal canonical forms.
+    /// Persisted verdict logs key on it; changing the encoding requires an
+    /// `ENGINE_CACHE_VERSION` bump in `oocq-service` so stale records are
+    /// discarded rather than misread. [`CanonicalQuery::from_wire`] inverts
+    /// it exactly.
+    pub fn to_wire(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("v{}", self.var_count);
+        let term = |t: &Term, out: &mut String| match t {
+            Term::Var(v) => {
+                let _ = write!(out, "{}", v.index());
+            }
+            Term::Attr(v, a) => {
+                let _ = write!(out, "{}.{}", v.index(), a.index());
+            }
+        };
+        let classes = |cs: &[ClassId], out: &mut String| {
+            for (i, c) in cs.iter().enumerate() {
+                let _ = write!(out, "{}{}", if i == 0 { "" } else { "," }, c.index());
+            }
+        };
+        for a in &self.atoms {
+            out.push(';');
+            match a {
+                Atom::Range(v, cs) => {
+                    let _ = write!(out, "r{}:", v.index());
+                    classes(cs, &mut out);
+                }
+                Atom::NonRange(v, cs) => {
+                    let _ = write!(out, "R{}:", v.index());
+                    classes(cs, &mut out);
+                }
+                Atom::Eq(s, t) => {
+                    out.push('e');
+                    term(s, &mut out);
+                    out.push('~');
+                    term(t, &mut out);
+                }
+                Atom::Neq(s, t) => {
+                    out.push('n');
+                    term(s, &mut out);
+                    out.push('~');
+                    term(t, &mut out);
+                }
+                Atom::Member(x, y, at) => {
+                    let _ = write!(out, "m{},{}.{}", x.index(), y.index(), at.index());
+                }
+                Atom::NonMember(x, y, at) => {
+                    let _ = write!(out, "M{},{}.{}", x.index(), y.index(), at.index());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse a [`CanonicalQuery::to_wire`] string. Returns `None` on any
+    /// malformation (wrong tags, non-numeric ids, variable indices out of
+    /// range) — persisted-log readers treat that as a corrupt record, never
+    /// an error worth surfacing.
+    pub fn from_wire(wire: &str) -> Option<CanonicalQuery> {
+        let mut parts = wire.split(';');
+        let head = parts.next()?;
+        let var_count: usize = head.strip_prefix('v')?.parse().ok()?;
+        let var = |s: &str| -> Option<VarId> {
+            let ix: usize = s.parse().ok()?;
+            (ix < var_count).then(|| VarId::from_index(ix))
+        };
+        let term = |s: &str| -> Option<Term> {
+            match s.split_once('.') {
+                Some((v, a)) => Some(Term::Attr(var(v)?, AttrId::from_index(a.parse().ok()?))),
+                None => Some(Term::Var(var(s)?)),
+            }
+        };
+        let classes = |s: &str| -> Option<Vec<ClassId>> {
+            s.split(',')
+                .map(|c| Some(ClassId::from_index(c.parse::<usize>().ok()?)))
+                .collect()
+        };
+        // `x,y.A` of a (non-)membership atom: member var, owner var, attr.
+        let membership = |s: &str| -> Option<(VarId, VarId, AttrId)> {
+            let (x, rest) = s.split_once(',')?;
+            let (y, a) = rest.split_once('.')?;
+            Some((var(x)?, var(y)?, AttrId::from_index(a.parse().ok()?)))
+        };
+        let mut atoms = Vec::new();
+        for part in parts {
+            let (tag, rest) = part.split_at(part.len().min(1));
+            atoms.push(match tag {
+                "r" | "R" => {
+                    let (v, cs) = rest.split_once(':')?;
+                    if tag == "r" {
+                        Atom::Range(var(v)?, classes(cs)?)
+                    } else {
+                        Atom::NonRange(var(v)?, classes(cs)?)
+                    }
+                }
+                "e" | "n" => {
+                    let (s, t) = rest.split_once('~')?;
+                    if tag == "e" {
+                        Atom::Eq(term(s)?, term(t)?)
+                    } else {
+                        Atom::Neq(term(s)?, term(t)?)
+                    }
+                }
+                "m" | "M" => {
+                    let (x, y, a) = membership(rest)?;
+                    if tag == "m" {
+                        Atom::Member(x, y, a)
+                    } else {
+                        Atom::NonMember(x, y, a)
+                    }
+                }
+                _ => return None,
+            });
+        }
+        Some(CanonicalQuery { var_count, atoms })
     }
 }
 
@@ -432,6 +555,57 @@ mod tests {
 
         let full = canonical_form_budgeted(&q, &mut |_| Ok::<(), ()>(())).unwrap();
         assert_eq!(full, canonical_form(&q));
+    }
+
+    #[test]
+    fn wire_codec_round_trips_every_atom_kind() {
+        let s = samples::example_33();
+        let t1 = s.class_id("T1").unwrap();
+        let t2 = s.class_id("T2").unwrap();
+        let a = s.attr_id("A").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        let y = b.var("y");
+        let z = b.var("z");
+        b.range(x, [t1]).non_range(y, [t1, t2]).range(z, [t2]);
+        b.eq_attr(x, y, a).neq_vars(x, z);
+        b.member(x, y, a).non_member(z, y, a);
+        let cf = canonical_form(&b.build());
+        let wire = cf.to_wire();
+        assert!(wire.starts_with("v3;"), "{wire}");
+        let back = CanonicalQuery::from_wire(&wire).expect("own encoding parses");
+        assert_eq!(back, cf);
+        // The encoding is injective enough to key a log: a different form
+        // renders differently.
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [t1]);
+        assert_ne!(canonical_form(&b.build()).to_wire(), wire);
+    }
+
+    #[test]
+    fn wire_codec_rejects_malformed_input() {
+        for bad in [
+            "",
+            "x3",
+            "v",
+            "vX;r0:0",
+            "v2;z0:1",      // unknown tag
+            "v2;r5:0",      // var index out of range
+            "v2;m0,1",      // membership missing attr
+            "v2;e0",        // eq missing second term
+            "v2;r0:a,b",    // non-numeric class ids
+            "v1;M0,9.0",    // owner out of range
+            "v1;r0:0;junk", // trailing garbage atom
+        ] {
+            assert!(
+                CanonicalQuery::from_wire(bad).is_none(),
+                "accepted malformed wire {bad:?}"
+            );
+        }
+        // A valid minimal form still parses.
+        assert!(CanonicalQuery::from_wire("v1;r0:0").is_some());
+        assert!(CanonicalQuery::from_wire("v1").is_some());
     }
 
     #[test]

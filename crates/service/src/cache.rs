@@ -26,15 +26,42 @@
 //! stamp with a relaxed atomic store, writes take the write lock and evict
 //! the least-recently-stamped entry once the shard exceeds its capacity
 //! share. A global relaxed counter supplies the stamps.
+//!
+//! ## The persistent second tier
+//!
+//! With [`CanonicalDecisionCache::with_persistence`] (or `OOCQ_CACHE_DIR`
+//! through [`CanonicalDecisionCache::from_env`]) the cache keeps a
+//! disk-backed second tier behind the LRU: every containment verdict —
+//! negative ones included, they cost exactly as much to recompute — is
+//! appended to the [`crate::persist`] log, and on startup the surviving
+//! records pre-warm both the tier-2 index and the in-memory shards, so a
+//! restarted daemon serves its old hot set warm. A tier-1 miss consults
+//! the tier-2 index before reporting a miss; a tier-2 hit promotes the
+//! entry back into the LRU and **counts as a cache hit**, so singleflight
+//! followers see it exactly like a memory hit (never a leader
+//! computation). Invalidation is wholesale by key identity: records carry
+//! [`ENGINE_CACHE_VERSION`] and the schema/theory fingerprints, so an
+//! engine bump or a constraint edit makes every old record unreachable
+//! (and `stale`-counted, then compacted away). Minimization results are
+//! *not* persisted: their values embed user-facing variable names and are
+//! exact-keyed, so their replay value across restarts is near zero.
+//!
+//! Only one process may own a cache directory at a time; a second opener
+//! loses the [`crate::persist::acquire_dir_lock`] race and silently runs
+//! memory-only ([`CanonicalDecisionCache::persistence_active`] reports
+//! which side of that race a cache landed on).
 
+use crate::persist;
 use oocq_core::{DecisionCache, PreparedQuery};
 use oocq_query::{canonical_form, CanonicalQuery, Query, UnionQuery};
 use oocq_schema::Schema;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Number of independent lock shards per table. Sixteen keeps write
 /// contention negligible for worker pools an order of magnitude larger
@@ -44,6 +71,16 @@ pub const SHARD_COUNT: usize = 16;
 /// Default total capacity (entries per table) when `OOCQ_CACHE_CAPACITY`
 /// is unset.
 pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Default bound on the persistent tier's index (distinct keys on disk)
+/// when `OOCQ_CACHE_DISK_CAPACITY` is unset. Deliberately much larger
+/// than the in-memory capacity: disk entries are a few hundred bytes and
+/// exist precisely to outlive LRU eviction.
+pub const DEFAULT_DISK_CAPACITY: usize = 65536;
+
+/// Dead-record floor below which compaction is never triggered, so tiny
+/// caches don't rewrite the log on every superseded verdict.
+const COMPACT_MIN_DEAD: u64 = 8;
 
 /// Engine/cache compatibility stamp baked into every cache key.
 ///
@@ -152,16 +189,154 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// A point-in-time snapshot of the persistent tier's counters (see
+/// [`CanonicalDecisionCache::persist_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Containment lookups answered from the on-disk index after a tier-1
+    /// miss (each also counts as a `contains_hits` cache hit).
+    pub tier2_hits: u64,
+    /// Records accepted into the index at startup (pre-warmed verdicts).
+    pub loaded: u64,
+    /// Records appended to the log since startup.
+    pub appended: u64,
+    /// Startup records skipped for carrying a different
+    /// [`ENGINE_CACHE_VERSION`].
+    pub stale: u64,
+    /// Corrupt spans skipped by log recovery plus records whose canonical
+    /// payload no longer decodes.
+    pub corrupt: u64,
+    /// Live records overwritten by a later verdict for the same key.
+    pub superseded: u64,
+    /// Writes refused because the index reached its disk capacity.
+    pub rejected: u64,
+    /// Times the log was rewritten from the live index.
+    pub compactions: u64,
+    /// Distinct keys currently in the on-disk index.
+    pub entries: usize,
+}
+
+/// One interned fingerprint plus its recency stamp: the interner evicts
+/// its least-recently-touched entry on overflow, never the whole table.
+struct InternEntry {
+    key: Arc<str>,
+    stamp: AtomicU64,
+}
+
+/// Mutable half of the persistent tier, under one mutex: the verdict
+/// index (what's on disk, last record wins) and the append handle.
+struct Tier2State {
+    index: HashMap<ContainsKey, bool>,
+    writer: persist::LogWriter,
+    /// Log records no longer reachable through `index` (superseded,
+    /// stale-versioned, or corrupt). Drives compaction.
+    dead: u64,
+}
+
+/// The disk-backed second tier. Held by the cache only when a directory
+/// was configured *and* its single-writer lock was won.
+struct Tier2 {
+    state: Mutex<Tier2State>,
+    /// Bound on distinct on-disk keys; appends beyond it are rejected
+    /// (the in-memory tier still serves them for this process's life).
+    cap: usize,
+    tier2_hits: AtomicU64,
+    loaded: AtomicU64,
+    appended: AtomicU64,
+    stale: AtomicU64,
+    corrupt: AtomicU64,
+    superseded: AtomicU64,
+    rejected: AtomicU64,
+    compactions: AtomicU64,
+    /// Held for the cache's lifetime; releasing it is what lets the next
+    /// process adopt the directory.
+    _lock: persist::DirLock,
+}
+
+fn record_of(key: &ContainsKey, holds: bool) -> persist::Record {
+    persist::Record {
+        version: ENGINE_CACHE_VERSION,
+        schema: key.schema.to_string(),
+        theory: key.theory.to_string(),
+        q1: key.q1.to_wire(),
+        q2: key.q2.to_wire(),
+        holds,
+    }
+}
+
+impl Tier2 {
+    fn lookup(&self, key: &ContainsKey) -> Option<bool> {
+        let hit = self.state.lock().unwrap().index.get(key).copied();
+        if hit.is_some() {
+            self.tier2_hits.fetch_add(1, Relaxed);
+        }
+        hit
+    }
+
+    /// Persist one verdict. Appends are best-effort: an I/O failure costs
+    /// one warm verdict after the next restart, never a wrong answer.
+    fn record(&self, key: &ContainsKey, holds: bool) {
+        let mut st = self.state.lock().unwrap();
+        match st.index.get(key) {
+            // Already on disk with the same value: nothing to write.
+            Some(&v) if v == holds => return,
+            Some(_) => {
+                self.superseded.fetch_add(1, Relaxed);
+                st.dead += 1;
+            }
+            None => {
+                if st.index.len() >= self.cap {
+                    self.rejected.fetch_add(1, Relaxed);
+                    return;
+                }
+            }
+        }
+        let _ = st.writer.append(&record_of(key, holds));
+        self.appended.fetch_add(1, Relaxed);
+        st.index.insert(key.clone(), holds);
+        if st.dead > (st.index.len() as u64).max(COMPACT_MIN_DEAD) {
+            self.compact(&mut st);
+        }
+    }
+
+    /// Rewrite the log to exactly the live index and reset the dead count.
+    fn compact(&self, st: &mut Tier2State) {
+        let records: Vec<persist::Record> =
+            st.index.iter().map(|(k, &v)| record_of(k, v)).collect();
+        if st.writer.rewrite(records.into_iter()).is_ok() {
+            st.dead = 0;
+            self.compactions.fetch_add(1, Relaxed);
+        }
+    }
+
+    fn stats(&self) -> PersistStats {
+        let entries = self.state.lock().unwrap().index.len();
+        PersistStats {
+            tier2_hits: self.tier2_hits.load(Relaxed),
+            loaded: self.loaded.load(Relaxed),
+            appended: self.appended.load(Relaxed),
+            stale: self.stale.load(Relaxed),
+            corrupt: self.corrupt.load(Relaxed),
+            superseded: self.superseded.load(Relaxed),
+            rejected: self.rejected.load(Relaxed),
+            compactions: self.compactions.load(Relaxed),
+            entries,
+        }
+    }
+}
+
 /// The shared, thread-safe decision cache of `oocq-serve`. See the module
 /// docs for the keying scheme.
 pub struct CanonicalDecisionCache {
     contains: Lru<ContainsKey, bool>,
     minimized: Lru<MinimizeKey, UnionQuery>,
     /// Interned schema fingerprints, keyed by the rendered description.
-    schema_keys: RwLock<HashMap<String, Arc<str>>>,
+    schema_keys: RwLock<HashMap<String, InternEntry>>,
     /// Bound on the interner, so a long-lived daemon seeing an unbounded
     /// stream of distinct schemas cannot leak memory through it.
     intern_cap: usize,
+    /// The disk-backed second tier, when configured and lock-winning.
+    tier2: Option<Tier2>,
     clock: AtomicU64,
     contains_hits: AtomicU64,
     contains_misses: AtomicU64,
@@ -178,6 +353,7 @@ impl CanonicalDecisionCache {
             minimized: Lru::new(capacity),
             schema_keys: RwLock::new(HashMap::new()),
             intern_cap: capacity.max(1),
+            tier2: None,
             clock: AtomicU64::new(0),
             contains_hits: AtomicU64::new(0),
             contains_misses: AtomicU64::new(0),
@@ -187,34 +363,189 @@ impl CanonicalDecisionCache {
         }
     }
 
+    /// A cache with a disk-backed second tier rooted at `dir` (created if
+    /// absent), holding up to `disk_capacity` distinct verdicts on disk.
+    ///
+    /// Surviving log records pre-warm both tiers before this returns. If
+    /// another process already owns `dir` (single-writer lock), the cache
+    /// comes up memory-only rather than corrupting the other writer's log
+    /// — check [`CanonicalDecisionCache::persistence_active`]. `Err` is
+    /// reserved for environmental failures (unwritable directory).
+    pub fn with_persistence(
+        capacity: usize,
+        dir: &Path,
+        disk_capacity: usize,
+    ) -> io::Result<CanonicalDecisionCache> {
+        let mut cache = CanonicalDecisionCache::new(capacity);
+        std::fs::create_dir_all(dir)?;
+        let Some(lock) = persist::acquire_dir_lock(dir)? else {
+            return Ok(cache);
+        };
+        let log_path = dir.join(persist::LOG_NAME);
+        let bytes = match std::fs::read(&log_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let (records, report) = persist::scan_log(&bytes);
+        let writer = persist::LogWriter::open(&log_path)?;
+        cache.tier2 = Some(Tier2 {
+            state: Mutex::new(Tier2State {
+                index: HashMap::new(),
+                writer,
+                dead: 0,
+            }),
+            cap: disk_capacity.max(1),
+            tier2_hits: AtomicU64::new(0),
+            loaded: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            corrupt: AtomicU64::new(report.corrupt_spans),
+            superseded: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            _lock: lock,
+        });
+        cache.load_records(records);
+        Ok(cache)
+    }
+
+    /// Replay scanned log records into the tier-2 index and pre-warm the
+    /// in-memory shards, then compact away whatever didn't survive.
+    fn load_records(&self, records: Vec<persist::Record>) {
+        let t2 = self.tier2.as_ref().expect("load_records requires tier2");
+        // Deduplicate fingerprint allocations across the replay without
+        // going through the bounded interner (a log can legitimately hold
+        // more schemas than the interner admits; `Arc<str>` keys compare
+        // by content, so these stay hittable either way).
+        let mut interned: HashMap<String, Arc<str>> = HashMap::new();
+        let mut st = t2.state.lock().unwrap();
+        for rec in records {
+            if rec.version != ENGINE_CACHE_VERSION {
+                t2.stale.fetch_add(1, Relaxed);
+                st.dead += 1;
+                continue;
+            }
+            let decoded =
+                CanonicalQuery::from_wire(&rec.q1).zip(CanonicalQuery::from_wire(&rec.q2));
+            let Some((q1, q2)) = decoded else {
+                t2.corrupt.fetch_add(1, Relaxed);
+                st.dead += 1;
+                continue;
+            };
+            let mut intern = |text: String| -> Arc<str> {
+                interned
+                    .entry(text)
+                    .or_insert_with_key(|t| Arc::from(t.as_str()))
+                    .clone()
+            };
+            let key = ContainsKey {
+                version: ENGINE_CACHE_VERSION,
+                schema: intern(rec.schema),
+                theory: intern(rec.theory),
+                q1,
+                q2,
+            };
+            if st.index.insert(key.clone(), rec.holds).is_some() {
+                // A later record for the same key: the log held a dupe.
+                st.dead += 1;
+            } else if st.index.len() > t2.cap {
+                st.index.remove(&key);
+                t2.rejected.fetch_add(1, Relaxed);
+                st.dead += 1;
+                continue;
+            } else {
+                t2.loaded.fetch_add(1, Relaxed);
+            }
+            // Pre-warm tier 1. Overflow here is not a runtime eviction, so
+            // the counter stays untouched.
+            self.contains.put(key, rec.holds, &self.clock);
+        }
+        // Anything dead on disk right after a restart stays dead forever —
+        // rewrite now so stale versions and corrupt spans don't linger.
+        if st.dead > 0 || t2.corrupt.load(Relaxed) > 0 {
+            t2.compact(&mut st);
+        }
+    }
+
     /// Capacity from `OOCQ_CACHE_CAPACITY` (a positive integer), defaulting
-    /// to [`DEFAULT_CAPACITY`].
+    /// to [`DEFAULT_CAPACITY`]. Persistence comes from `OOCQ_CACHE_DIR`
+    /// (unset: memory-only), gated by `OOCQ_CACHE_PERSIST=0` as an off
+    /// switch, with `OOCQ_CACHE_DISK_CAPACITY` bounding the on-disk index
+    /// (default [`DEFAULT_DISK_CAPACITY`]). A directory that cannot be
+    /// opened degrades to memory-only with a note on stderr — a broken
+    /// cache volume must never stop the daemon from answering.
     pub fn from_env() -> CanonicalDecisionCache {
         let cap = std::env::var("OOCQ_CACHE_CAPACITY")
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
             .filter(|&c| c > 0)
             .unwrap_or(DEFAULT_CAPACITY);
+        let persist_on = !matches!(
+            std::env::var("OOCQ_CACHE_PERSIST")
+                .as_deref()
+                .map(str::trim),
+            Ok("0")
+        );
+        let dir = std::env::var("OOCQ_CACHE_DIR")
+            .ok()
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty());
+        if let Some(dir) = dir.filter(|_| persist_on) {
+            let disk_cap = std::env::var("OOCQ_CACHE_DISK_CAPACITY")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(DEFAULT_DISK_CAPACITY);
+            match CanonicalDecisionCache::with_persistence(cap, Path::new(&dir), disk_cap) {
+                Ok(cache) => return cache,
+                Err(e) => eprintln!("oocq-serve: cache persistence disabled ({dir}: {e})"),
+            }
+        }
         CanonicalDecisionCache::new(cap)
+    }
+
+    /// Is the disk-backed tier live (directory configured *and* its
+    /// single-writer lock won)?
+    pub fn persistence_active(&self) -> bool {
+        self.tier2.is_some()
+    }
+
+    /// Counters of the persistent tier, `None` when memory-only.
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.tier2.as_ref().map(Tier2::stats)
     }
 
     /// The interned fingerprint of a schema: its full rendered description.
     pub fn schema_key(&self, schema: &Schema) -> Arc<str> {
         let text = schema.to_string();
-        if let Some(k) = self.schema_keys.read().unwrap().get(&text) {
-            return k.clone();
+        if let Some(e) = self.schema_keys.read().unwrap().get(&text) {
+            e.stamp.store(self.clock.fetch_add(1, Relaxed) + 1, Relaxed);
+            return e.key.clone();
         }
         let mut keys = self.schema_keys.write().unwrap();
         // Interning only deduplicates allocations — `Arc<str>` hashes and
         // compares by content, so cache entries keyed through an evicted
-        // fingerprint keep hitting. Dropping the whole table on overflow is
-        // therefore sound, and far simpler than per-entry LRU for a map
-        // that stays tiny in every workload except a schema flood.
+        // fingerprint keep hitting. On overflow, evict only the least
+        // recently touched fingerprint: a schema flood then recycles one
+        // slot per stranger while every hot fingerprint keeps its shared
+        // allocation.
         if keys.len() >= self.intern_cap && !keys.contains_key(&text) {
-            keys.clear();
+            let victim = keys
+                .iter()
+                .min_by_key(|(_, e)| e.stamp.load(Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(v) = victim {
+                keys.remove(&v);
+            }
         }
-        keys.entry(text.clone())
-            .or_insert_with(|| Arc::from(text.as_str()))
+        let stamp = AtomicU64::new(self.clock.fetch_add(1, Relaxed) + 1);
+        keys.entry(text)
+            .or_insert_with_key(|t| InternEntry {
+                key: Arc::from(t.as_str()),
+                stamp,
+            })
+            .key
             .clone()
     }
 
@@ -263,24 +594,47 @@ impl CanonicalDecisionCache {
             query: q.display(schema).to_string(),
         }
     }
+
+    /// Tier-1 lookup, falling through to the on-disk index. A tier-2 hit
+    /// is promoted into the LRU and counted as a cache hit — singleflight
+    /// followers must see it exactly like a memory hit, never as a miss
+    /// that elects a leader computation.
+    fn lookup_contains(&self, key: &ContainsKey) -> Option<bool> {
+        if let Some(v) = self.contains.get(key, &self.clock) {
+            self.contains_hits.fetch_add(1, Relaxed);
+            return Some(v);
+        }
+        if let Some(v) = self.tier2.as_ref().and_then(|t2| t2.lookup(key)) {
+            if self.contains.put(key.clone(), v, &self.clock) {
+                self.evictions.fetch_add(1, Relaxed);
+            }
+            self.contains_hits.fetch_add(1, Relaxed);
+            return Some(v);
+        }
+        self.contains_misses.fetch_add(1, Relaxed);
+        None
+    }
+
+    /// Store into tier 1 and (when live) append to the persistent log.
+    fn store_contains(&self, key: ContainsKey, holds: bool) {
+        if let Some(t2) = &self.tier2 {
+            t2.record(&key, holds);
+        }
+        if self.contains.put(key, holds, &self.clock) {
+            self.evictions.fetch_add(1, Relaxed);
+        }
+    }
 }
 
 impl DecisionCache for CanonicalDecisionCache {
     fn get_contains(&self, schema: &Schema, q1: &Query, q2: &Query) -> Option<bool> {
         let key = self.contains_key(schema, q1, q2);
-        let hit = self.contains.get(&key, &self.clock);
-        match hit {
-            Some(_) => self.contains_hits.fetch_add(1, Relaxed),
-            None => self.contains_misses.fetch_add(1, Relaxed),
-        };
-        hit
+        self.lookup_contains(&key)
     }
 
     fn put_contains(&self, schema: &Schema, q1: &Query, q2: &Query, holds: bool) {
         let key = self.contains_key(schema, q1, q2);
-        if self.contains.put(key, holds, &self.clock) {
-            self.evictions.fetch_add(1, Relaxed);
-        }
+        self.store_contains(key, holds);
     }
 
     fn get_minimized(&self, schema: &Schema, q: &Query) -> Option<UnionQuery> {
@@ -315,12 +669,7 @@ impl DecisionCache for CanonicalDecisionCache {
             q1: p1.canonical_form().clone(),
             q2: p2.canonical_form().clone(),
         };
-        let hit = self.contains.get(&key, &self.clock);
-        match hit {
-            Some(_) => self.contains_hits.fetch_add(1, Relaxed),
-            None => self.contains_misses.fetch_add(1, Relaxed),
-        };
-        hit
+        self.lookup_contains(&key)
     }
 
     fn put_contains_prepared(&self, p1: &PreparedQuery, p2: &PreparedQuery, holds: bool) {
@@ -331,9 +680,7 @@ impl DecisionCache for CanonicalDecisionCache {
             q1: p1.canonical_form().clone(),
             q2: p2.canonical_form().clone(),
         };
-        if self.contains.put(key, holds, &self.clock) {
-            self.evictions.fetch_add(1, Relaxed);
-        }
+        self.store_contains(key, holds);
     }
 
     fn get_minimized_prepared(&self, p: &PreparedQuery) -> Option<UnionQuery> {
@@ -513,8 +860,13 @@ mod tests {
         let cap = 4;
         let cache = CanonicalDecisionCache::new(cap);
         let q = simple(&samples::single_class(), "x", "y");
+        // A hot schema interned before the flood…
+        let hot = samples::vehicle_rental();
+        let hot_key = cache.schema_key(&hot);
         // A flood of distinct schemas (one class, varying name) must not
-        // grow the interner past the cache capacity.
+        // grow the interner past the cache capacity — and because eviction
+        // is per-entry LRU (not a wholesale flush), the hot fingerprint we
+        // keep touching must keep its original allocation throughout.
         for i in 0..(cap * 5) {
             let s = oocq_parser::parse_schema(&format!("class C{i} {{}}")).unwrap();
             cache.put_contains(&s, &q, &q, true);
@@ -523,10 +875,14 @@ mod tests {
                 "interner grew to {} > {cap}",
                 cache.interned_schemas()
             );
+            assert!(
+                Arc::ptr_eq(&hot_key, &cache.schema_key(&hot)),
+                "hot fingerprint lost its interned allocation at flood step {i}"
+            );
         }
-        // Content equality keys the tables, so an entry written before the
-        // interner flushed still hits afterwards (as long as its LRU shard
-        // kept it).
+        // Content equality keys the tables, so an entry written before its
+        // fingerprint was evicted still hits afterwards (as long as its
+        // LRU shard kept it).
         let s0 = oocq_parser::parse_schema("class C0 {}").unwrap();
         cache.put_contains(&s0, &q, &q, true);
         for j in 0..cap {
@@ -535,5 +891,256 @@ mod tests {
         }
         assert!(cache.interned_schemas() <= cap);
         assert_eq!(cache.get_contains(&s0, &q, &q), Some(true));
+    }
+
+    // ---- persistent tier -------------------------------------------------
+
+    use std::path::PathBuf;
+
+    /// Fresh scratch directory for one persistence test.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("oocq-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A family of structurally distinct queries to populate caches with.
+    fn chain(s: &Schema, k: usize) -> Query {
+        let c = s.class_id("C").unwrap();
+        let mut b = QueryBuilder::new("x0");
+        let vars: Vec<_> = std::iter::once(b.free())
+            .chain((1..k).map(|i| b.var(&format!("x{i}"))))
+            .collect();
+        for &v in &vars {
+            b.range(v, [c]);
+        }
+        for w in vars.windows(2) {
+            b.neq_vars(w[0], w[1]);
+        }
+        b.build()
+    }
+
+    fn log_path(dir: &Path) -> PathBuf {
+        dir.join(persist::LOG_NAME)
+    }
+
+    #[test]
+    fn verdicts_survive_a_restart_and_oversize_sets_promote_from_tier2() {
+        let dir = scratch("restart");
+        let s = samples::single_class();
+        let n = SHARD_COUNT * 3; // 3× the reloaded cache's tier-1 capacity
+        {
+            let cache = CanonicalDecisionCache::with_persistence(4096, &dir, 1024).unwrap();
+            assert!(cache.persistence_active());
+            let probe = chain(&s, 1);
+            for k in 1..=n {
+                cache.put_contains(&s, &chain(&s, k), &probe, k % 2 == 0);
+            }
+            assert_eq!(cache.persist_stats().unwrap().appended, n as u64);
+        }
+        // "Restart": a new cache over the same directory, with a tier-1 too
+        // small to pre-warm everything — the overflow must still be served,
+        // through tier-2 promotion.
+        let cache = CanonicalDecisionCache::with_persistence(SHARD_COUNT, &dir, 1024).unwrap();
+        let st = cache.persist_stats().unwrap();
+        assert_eq!(st.loaded, n as u64);
+        assert_eq!(st.entries, n);
+        let probe = chain(&s, 1);
+        for k in 1..=n {
+            assert_eq!(
+                cache.get_contains(&s, &chain(&s, k), &probe),
+                Some(k % 2 == 0),
+                "verdict for k={k} lost across restart"
+            );
+        }
+        let st = cache.persist_stats().unwrap();
+        assert!(st.tier2_hits > 0, "no lookup exercised tier-2 promotion");
+        assert_eq!(cache.stats().contains_hits, n as u64);
+        assert_eq!(cache.stats().contains_misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_bumped_engine_version_yields_zero_stale_tier2_hits() {
+        let dir = scratch("version");
+        let s = samples::single_class();
+        let q = simple(&s, "x", "y");
+        {
+            let cache = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+            cache.put_contains(&s, &q, &q, true);
+        }
+        // Re-stamp every record as if written by a different engine
+        // version — the moral equivalent of bumping ENGINE_CACHE_VERSION
+        // without rewriting history.
+        let bytes = std::fs::read(log_path(&dir)).unwrap();
+        let (records, _) = persist::scan_log(&bytes);
+        assert!(!records.is_empty());
+        let mut rewritten = Vec::new();
+        for mut rec in records {
+            rec.version = ENGINE_CACHE_VERSION + 1;
+            rewritten.extend_from_slice(&persist::encode_record(&rec));
+        }
+        std::fs::write(log_path(&dir), rewritten).unwrap();
+        let cache = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+        let st = cache.persist_stats().unwrap();
+        assert_eq!(st.stale, 1);
+        assert_eq!(st.loaded, 0);
+        assert_eq!(st.entries, 0);
+        assert_eq!(cache.get_contains(&s, &q, &q), None);
+        assert_eq!(cache.persist_stats().unwrap().tier2_hits, 0);
+        // Load-time compaction purged the stale records from disk.
+        let (after, _) = persist::scan_log(&std::fs::read(log_path(&dir)).unwrap());
+        assert!(after.is_empty(), "stale records survived compaction");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_changed_theory_fingerprint_never_hits_old_records() {
+        let dir = scratch("theory");
+        let plain = oocq_parser::parse_schema("class P {} class Q {} class T : P, Q {}").unwrap();
+        let constrained = oocq_parser::parse_schema(
+            "class P {} class Q {} class T : P, Q {} constraint disjoint P Q;",
+        )
+        .unwrap();
+        let c = plain.class_id("P").unwrap();
+        let mut b = QueryBuilder::new("x");
+        let x = b.free();
+        b.range(x, [c]);
+        let q = b.build();
+        {
+            let cache = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+            cache.put_contains(&plain, &q, &q, true);
+        }
+        // Restart under the *constrained* schema: the persisted verdict
+        // must be unreachable (different schema and theory fingerprints),
+        // while the original identity still replays.
+        let cache = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+        assert_eq!(cache.get_contains(&constrained, &q, &q), None);
+        assert_eq!(cache.persist_stats().unwrap().tier2_hits, 0);
+        assert_eq!(cache.get_contains(&plain, &q, &q), Some(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_truncated_tail_loses_at_most_the_final_record() {
+        let dir = scratch("truncate");
+        let s = samples::single_class();
+        let probe = chain(&s, 1);
+        {
+            let cache = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+            for k in 1..=3 {
+                cache.put_contains(&s, &chain(&s, k), &probe, true);
+            }
+        }
+        // Crash mid-append: chop bytes off the final frame.
+        let mut bytes = std::fs::read(log_path(&dir)).unwrap();
+        let full = bytes.len();
+        bytes.truncate(full - 5);
+        std::fs::write(log_path(&dir), bytes).unwrap();
+        let cache = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+        let st = cache.persist_stats().unwrap();
+        assert_eq!(st.loaded, 2);
+        assert_eq!(st.corrupt, 1);
+        assert_eq!(cache.get_contains(&s, &chain(&s, 1), &probe), Some(true));
+        assert_eq!(cache.get_contains(&s, &chain(&s, 2), &probe), Some(true));
+        assert_eq!(cache.get_contains(&s, &chain(&s, 3), &probe), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_corrupted_checksum_skips_one_record_and_keeps_the_rest() {
+        let dir = scratch("checksum");
+        let s = samples::single_class();
+        let probe = chain(&s, 1);
+        let mut offsets = Vec::new();
+        {
+            let cache = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+            for k in 1..=3 {
+                cache.put_contains(&s, &chain(&s, k), &probe, true);
+                offsets.push(std::fs::metadata(log_path(&dir)).unwrap().len() as usize);
+            }
+        }
+        // Bit-rot inside the second record's payload.
+        let mut bytes = std::fs::read(log_path(&dir)).unwrap();
+        let mid = offsets[0] + (offsets[1] - offsets[0]) / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(log_path(&dir), bytes).unwrap();
+        let cache = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+        let st = cache.persist_stats().unwrap();
+        assert_eq!(st.loaded, 2);
+        assert!(st.corrupt >= 1);
+        assert_eq!(cache.get_contains(&s, &chain(&s, 1), &probe), Some(true));
+        assert_eq!(cache.get_contains(&s, &chain(&s, 2), &probe), None);
+        assert_eq!(cache.get_contains(&s, &chain(&s, 3), &probe), Some(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_contended_lockfile_degrades_the_loser_to_memory_only() {
+        let dir = scratch("contend");
+        let s = samples::single_class();
+        let q = simple(&s, "x", "y");
+        let winner = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+        assert!(winner.persistence_active());
+        // Second opener of the same directory: no error, no corruption —
+        // it simply runs memory-only.
+        let loser = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+        assert!(!loser.persistence_active());
+        assert_eq!(loser.persist_stats(), None);
+        loser.put_contains(&s, &q, &q, false);
+        assert_eq!(loser.get_contains(&s, &q, &q), Some(false));
+        // Releasing the winner frees the directory for the next process.
+        drop(winner);
+        let heir = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+        assert!(heir.persistence_active());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn superseded_verdicts_trigger_compaction() {
+        let dir = scratch("compact");
+        let s = samples::single_class();
+        let q = simple(&s, "x", "y");
+        let cache = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+        // Flip one key's verdict repeatedly: every flip appends a record
+        // that kills the previous one.
+        for i in 0..2 * (COMPACT_MIN_DEAD + 2) {
+            cache.put_contains(&s, &q, &q, i % 2 == 0);
+        }
+        let st = cache.persist_stats().unwrap();
+        assert!(st.superseded >= COMPACT_MIN_DEAD);
+        assert!(st.compactions >= 1, "dead records never compacted");
+        assert_eq!(st.entries, 1);
+        // The log holds the live set (plus at most the post-compaction
+        // appends), not the whole flip history.
+        let (records, _) = persist::scan_log(&std::fs::read(log_path(&dir)).unwrap());
+        assert!(
+            records.len() as u64 <= 1 + COMPACT_MIN_DEAD + 1,
+            "log kept {} records for one live key",
+            records.len()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_capacity_bounds_the_index_and_rejections_are_counted() {
+        let dir = scratch("diskcap");
+        let s = samples::single_class();
+        let probe = chain(&s, 1);
+        let cap = 4;
+        {
+            let cache = CanonicalDecisionCache::with_persistence(64, &dir, cap).unwrap();
+            for k in 1..=10 {
+                cache.put_contains(&s, &chain(&s, k), &probe, true);
+            }
+            let st = cache.persist_stats().unwrap();
+            assert_eq!(st.entries, cap);
+            assert_eq!(st.rejected, 10 - cap as u64);
+            // Rejected writes still serve from tier 1 for this process.
+            assert_eq!(cache.get_contains(&s, &chain(&s, 9), &probe), Some(true));
+        }
+        let cache = CanonicalDecisionCache::with_persistence(64, &dir, cap).unwrap();
+        assert_eq!(cache.persist_stats().unwrap().entries, cap);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

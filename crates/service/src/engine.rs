@@ -187,6 +187,9 @@ impl ServiceEngine {
 
     /// Configuration from the environment: `OOCQ_THREADS` for the pool
     /// size, `OOCQ_CACHE_CAPACITY` for the cache (`0` disables it),
+    /// `OOCQ_CACHE_DIR`/`OOCQ_CACHE_PERSIST`/`OOCQ_CACHE_DISK_CAPACITY`
+    /// for the disk-backed tier (see
+    /// [`CanonicalDecisionCache::from_env`]),
     /// `OOCQ_DEADLINE_MS` for the per-request wall-clock deadline (unset or
     /// `0` means none), `OOCQ_QUEUE_BOUND` for the dispatcher queue
     /// bound (unset or `0` derives one from the pool size),
@@ -536,6 +539,25 @@ impl ServiceEngine {
             }
             None => out.push_str("cache: disabled"),
         }
+        match self.cache.as_ref().and_then(|c| c.persist_stats()) {
+            Some(p) => {
+                let _ = write!(
+                    out,
+                    " | persist: tier2_hits={} loaded={} appended={} stale={} corrupt={} \
+                     superseded={} rejected={} compactions={} entries={}",
+                    p.tier2_hits,
+                    p.loaded,
+                    p.appended,
+                    p.stale,
+                    p.corrupt,
+                    p.superseded,
+                    p.rejected,
+                    p.compactions,
+                    p.entries
+                );
+            }
+            None => out.push_str(" | persist: off"),
+        }
         let _ = write!(
             out,
             " | coalesce: leaders={} waiters={} fanouts={} expired={} inflight={} \
@@ -851,6 +873,23 @@ mod tests {
         let report = e.stats_report(&FlightStats::default(), 0);
         assert!(report.contains("theory: decisions="), "{report}");
         assert!(report.contains("dead_branches="), "{report}");
+        // Memory-only cache: the persistence section says so explicitly.
+        assert!(report.contains("| persist: off"), "{report}");
+    }
+
+    #[test]
+    fn stats_report_shows_persistence_counters_when_active() {
+        let dir = std::env::temp_dir().join(format!("oocq-engine-{}-stats", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CanonicalDecisionCache::with_persistence(64, &dir, 64).unwrap();
+        let e = ServiceEngine::with_cache(EngineConfig::serial(), Some(Arc::new(cache)));
+        e.define_schema("s", "class C {}").unwrap();
+        e.define_query("s", "Q", "{ x | x in C }").unwrap();
+        decide(&e, "contains s Q Q").unwrap();
+        let report = e.stats_report(&FlightStats::default(), 0);
+        assert!(report.contains("persist: tier2_hits=0"), "{report}");
+        assert!(report.contains("appended=1"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -18,20 +18,25 @@
 
 // `deny` rather than `forbid`: the reactor's readiness polling ([`poll`])
 // carries the crate's single `#[allow(unsafe_code)]` island — FFI
-// declarations for epoll against the C library `std` already links.
-// Everything else stays checked.
+// declarations for epoll (plus the one-line `flock` shim the persistent
+// cache's directory lock rides on) against the C library `std` already
+// links. Everything else stays checked.
 #![deny(unsafe_code)]
 
 mod cache;
 mod engine;
 mod flight;
+mod persist;
 pub mod poll;
 mod protocol;
 pub mod reactor;
 mod runner;
 mod server;
 
-pub use cache::{CacheStats, CanonicalDecisionCache, DEFAULT_CAPACITY, SHARD_COUNT};
+pub use cache::{
+    CacheStats, CanonicalDecisionCache, PersistStats, DEFAULT_CAPACITY, DEFAULT_DISK_CAPACITY,
+    SHARD_COUNT,
+};
 pub use engine::{ServiceEngine, Session, DEFAULT_MAX_CONNS};
 pub use flight::{FlightKey, FlightStats, JoinOutcome, Singleflight};
 pub use protocol::{escape, parse_request, render_response, unescape, Request, RequestStats};

@@ -1,0 +1,418 @@
+//! The on-disk record format of the persistent decision cache.
+//!
+//! [`crate::CanonicalDecisionCache`] optionally keeps a **second tier**
+//! behind its in-memory LRU: an append-only log of containment verdicts,
+//! one self-delimiting record per `(engine version, schema fingerprint,
+//! theory fingerprint, canonical Q₁, canonical Q₂) → holds` fact. This
+//! module owns everything byte-shaped about that tier — framing, checksums,
+//! crash-tolerant scanning, compaction rewrites, and the single-writer
+//! directory lock — while the cache itself (in [`crate::cache`]) owns the
+//! keys, the lookup semantics, and the policy of when to append or compact.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! record  := MAGIC(4) payload_len:u32le payload fnv1a64(payload):u64le
+//! payload := version:u32le holds:u8
+//!            len:u32le schema-fingerprint-utf8
+//!            len:u32le theory-fingerprint-utf8
+//!            len:u32le canonical-q1-wire
+//!            len:u32le canonical-q2-wire
+//! ```
+//!
+//! Every component is a stable, Display-pinned string: the schema and
+//! theory fingerprints are the exact texts the cache already interns, and
+//! the canonical queries use [`CanonicalQuery::to_wire`]. Records are
+//! appended with a **single `write_all`**, so a crash mid-append leaves at
+//! most one truncated frame at the tail.
+//!
+//! ## Recovery
+//!
+//! [`scan_log`] never fails and never panics: it walks the bytes looking
+//! for `MAGIC`, validates the length and FNV-1a checksum, and on any
+//! mismatch slides forward one byte and resynchronizes on the next magic.
+//! A truncated tail, a corrupted run, or garbage prepended by a confused
+//! operator all degrade to "some records skipped, the rest load" — the
+//! skipped spans are counted so the cache can report them and schedule a
+//! compaction, which rewrites the log from the live index (tmp file +
+//! atomic rename).
+
+use std::fs::File;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Frame marker. Also the resynchronization anchor after a corrupt span.
+const MAGIC: [u8; 4] = *b"OCQ\n";
+
+/// Upper bound on a single record's payload. Fingerprints and canonical
+/// forms are a few KiB at most in any real workload; a length field beyond
+/// this is treated as corruption rather than an instruction to allocate.
+const MAX_PAYLOAD: usize = 1 << 24;
+
+/// File name of the verdict log inside the cache directory.
+pub(crate) const LOG_NAME: &str = "decisions.log";
+
+/// File name of the single-writer lock marker inside the cache directory.
+pub(crate) const LOCK_NAME: &str = "lock";
+
+/// One decoded verdict record, in the string-shaped form the log stores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Record {
+    /// `ENGINE_CACHE_VERSION` the verdict was computed under.
+    pub version: u32,
+    /// Full rendered schema description (the tier-1 fingerprint).
+    pub schema: String,
+    /// Rendered constraint block (the theory fingerprint).
+    pub theory: String,
+    /// `CanonicalQuery::to_wire` of the left query.
+    pub q1: String,
+    /// `CanonicalQuery::to_wire` of the right query.
+    pub q2: String,
+    /// The verdict — negative results are records too, they are exactly as
+    /// expensive to recompute.
+    pub holds: bool,
+}
+
+/// 64-bit FNV-1a over the payload. Not cryptographic — it guards against
+/// torn writes and bit rot, not adversaries (the cache directory is as
+/// trusted as the binary itself).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode one record as a complete frame (magic + length + payload +
+/// checksum), ready for a single atomic-enough `write_all`.
+pub(crate) fn encode_record(rec: &Record) -> Vec<u8> {
+    let mut payload =
+        Vec::with_capacity(16 + rec.schema.len() + rec.theory.len() + rec.q1.len() + rec.q2.len());
+    payload.extend_from_slice(&rec.version.to_le_bytes());
+    payload.push(u8::from(rec.holds));
+    push_str(&mut payload, &rec.schema);
+    push_str(&mut payload, &rec.theory);
+    push_str(&mut payload, &rec.q1);
+    push_str(&mut payload, &rec.q2);
+    let mut frame = Vec::with_capacity(MAGIC.len() + 12 + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    frame
+}
+
+fn read_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let v = u32::from_le_bytes(bytes.get(*pos..*pos + 4)?.try_into().ok()?);
+    *pos += 4;
+    Some(v)
+}
+
+fn read_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    let len = read_u32(bytes, pos)? as usize;
+    let s = std::str::from_utf8(bytes.get(*pos..*pos + len)?).ok()?;
+    *pos += len;
+    Some(s.to_owned())
+}
+
+/// Decode the payload of one frame (past magic + length, before checksum).
+fn decode_payload(payload: &[u8]) -> Option<Record> {
+    let mut pos = 0;
+    let version = read_u32(payload, &mut pos)?;
+    let holds = match payload.get(pos)? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    pos += 1;
+    let rec = Record {
+        version,
+        holds,
+        schema: read_str(payload, &mut pos)?,
+        theory: read_str(payload, &mut pos)?,
+        q1: read_str(payload, &mut pos)?,
+        q2: read_str(payload, &mut pos)?,
+    };
+    (pos == payload.len()).then_some(rec)
+}
+
+/// What a full-log scan found besides the live records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct ScanReport {
+    /// Contiguous corrupt spans skipped (bad magic runs, checksum
+    /// failures, truncated tails, undecodable payloads). One span may hide
+    /// any number of destroyed records; the count is a health signal, not
+    /// an inventory.
+    pub corrupt_spans: u64,
+}
+
+/// Scan a log image, recovering every intact record in append order.
+/// Infallible by design: anything unreadable is skipped and counted.
+pub(crate) fn scan_log(bytes: &[u8]) -> (Vec<Record>, ScanReport) {
+    let mut records = Vec::new();
+    let mut report = ScanReport::default();
+    let mut pos = 0;
+    let mut in_corrupt_span = false;
+    while pos < bytes.len() {
+        let frame_ok = (|| -> Option<(Record, usize)> {
+            if bytes.get(pos..pos + MAGIC.len())? != MAGIC {
+                return None;
+            }
+            let mut p = pos + MAGIC.len();
+            let len = read_u32(bytes, &mut p)? as usize;
+            if len > MAX_PAYLOAD {
+                return None;
+            }
+            let payload = bytes.get(p..p + len)?;
+            p += len;
+            let sum = u64::from_le_bytes(bytes.get(p..p + 8)?.try_into().ok()?);
+            p += 8;
+            if fnv1a64(payload) != sum {
+                return None;
+            }
+            Some((decode_payload(payload)?, p))
+        })();
+        match frame_ok {
+            Some((rec, next)) => {
+                records.push(rec);
+                pos = next;
+                in_corrupt_span = false;
+            }
+            None => {
+                // Slide one byte and resync on the next magic; count each
+                // contiguous bad run once.
+                if !in_corrupt_span {
+                    report.corrupt_spans += 1;
+                    in_corrupt_span = true;
+                }
+                pos += 1;
+            }
+        }
+    }
+    (records, report)
+}
+
+/// The append handle for a verdict log: owns the open file and knows how
+/// to rewrite it in place (compaction).
+pub(crate) struct LogWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl LogWriter {
+    /// Open (creating if absent) the log at `path` for appending.
+    pub fn open(path: &Path) -> io::Result<LogWriter> {
+        let file = File::options().append(true).create(true).open(path)?;
+        Ok(LogWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Append one record as a single `write_all` — a crash mid-call leaves
+    /// a truncated tail frame that [`scan_log`] skips.
+    pub fn append(&mut self, rec: &Record) -> io::Result<()> {
+        self.file.write_all(&encode_record(rec))
+    }
+
+    /// Rewrite the log to exactly `records` (compaction): write a sibling
+    /// temporary file, fsync it, atomically rename it over the log, and
+    /// reopen the append handle. On any failure the original log is left
+    /// untouched (the rename is the commit point).
+    pub fn rewrite(&mut self, records: impl Iterator<Item = Record>) -> io::Result<()> {
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            for rec in records {
+                f.write_all(&encode_record(&rec))?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = File::options().append(true).open(&self.path)?;
+        Ok(())
+    }
+}
+
+/// The held single-writer lock on a cache directory. On Linux the flock
+/// lives exactly as long as this handle's file (or the owning process);
+/// on other platforms the marker file is removed on drop, best-effort.
+pub(crate) struct DirLock {
+    _file: File,
+    #[cfg(not(target_os = "linux"))]
+    path: PathBuf,
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Acquire the single-writer lock for `dir`. `Ok(None)` means another
+/// writer holds it — the caller degrades to a memory-only cache; it never
+/// corrupts the other writer's log.
+pub(crate) fn acquire_dir_lock(dir: &Path) -> io::Result<Option<DirLock>> {
+    let path = dir.join(LOCK_NAME);
+    let (file, created) = match File::options().write(true).create_new(true).open(&path) {
+        Ok(f) => (f, true),
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+            (File::options().write(true).open(&path)?, false)
+        }
+        Err(e) => return Err(e),
+    };
+    if !crate::poll::try_exclusive_lock(&file, created)? {
+        return Ok(None);
+    }
+    Ok(Some(DirLock {
+        _file: file,
+        #[cfg(not(target_os = "linux"))]
+        path,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: u32, holds: bool) -> Record {
+        Record {
+            version: 2,
+            schema: format!("class C{i} {{}}\n"),
+            theory: String::new(),
+            q1: format!("v1;r0:{i}"),
+            q2: "v1".to_owned(),
+            holds,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_frame_codec() {
+        let recs: Vec<Record> = (0..5).map(|i| sample(i, i % 2 == 0)).collect();
+        let mut log = Vec::new();
+        for r in &recs {
+            log.extend_from_slice(&encode_record(r));
+        }
+        let (back, report) = scan_log(&log);
+        assert_eq!(back, recs);
+        assert_eq!(report.corrupt_spans, 0);
+    }
+
+    #[test]
+    fn a_truncated_tail_loses_only_the_last_record() {
+        let recs: Vec<Record> = (0..4).map(|i| sample(i, true)).collect();
+        let mut log = Vec::new();
+        let mut offsets = Vec::new();
+        for r in &recs {
+            offsets.push(log.len());
+            log.extend_from_slice(&encode_record(r));
+        }
+        // Cut mid-way through the final frame, as a crash during the last
+        // append would.
+        log.truncate(offsets[3] + 9);
+        let (back, report) = scan_log(&log);
+        assert_eq!(back, recs[..3]);
+        assert_eq!(report.corrupt_spans, 1);
+    }
+
+    #[test]
+    fn a_checksum_failure_skips_one_record_and_resyncs() {
+        let recs: Vec<Record> = (0..4).map(|i| sample(i, true)).collect();
+        let mut log = Vec::new();
+        let mut offsets = Vec::new();
+        for r in &recs {
+            offsets.push(log.len());
+            log.extend_from_slice(&encode_record(r));
+        }
+        // Flip one payload byte inside record 1.
+        log[offsets[1] + MAGIC.len() + 4 + 2] ^= 0xff;
+        let (back, report) = scan_log(&log);
+        assert_eq!(back.len(), 3, "{back:?}");
+        assert_eq!(back[0], recs[0]);
+        assert_eq!(back[1], recs[2]);
+        assert_eq!(back[2], recs[3]);
+        assert_eq!(report.corrupt_spans, 1);
+    }
+
+    #[test]
+    fn garbage_prefixes_and_interludes_are_skipped() {
+        let mut log = b"not a log at all ".to_vec();
+        log.extend_from_slice(&encode_record(&sample(0, true)));
+        log.extend_from_slice(b"OCQ"); // a teasing partial magic
+        log.extend_from_slice(&encode_record(&sample(1, false)));
+        let (back, report) = scan_log(&log);
+        assert_eq!(back.len(), 2);
+        assert!(!back[1].holds);
+        assert_eq!(report.corrupt_spans, 2);
+    }
+
+    #[test]
+    fn an_absurd_length_field_is_corruption_not_an_allocation() {
+        let mut log = MAGIC.to_vec();
+        log.extend_from_slice(&u32::MAX.to_le_bytes());
+        log.extend_from_slice(&encode_record(&sample(7, true)));
+        let (back, report) = scan_log(&log);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].schema, sample(7, true).schema);
+        assert_eq!(report.corrupt_spans, 1);
+    }
+
+    #[test]
+    fn empty_and_pure_garbage_logs_scan_to_nothing() {
+        assert_eq!(scan_log(&[]).0.len(), 0);
+        let (recs, report) = scan_log(&vec![0xabu8; 4096]);
+        assert!(recs.is_empty());
+        assert_eq!(report.corrupt_spans, 1);
+    }
+
+    #[test]
+    fn writer_appends_and_rewrites_atomically() {
+        let dir = std::env::temp_dir().join(format!("oocq-persist-{}-writer", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(LOG_NAME);
+        let mut w = LogWriter::open(&path).unwrap();
+        for i in 0..6 {
+            w.append(&sample(i, true)).unwrap();
+        }
+        let (recs, _) = scan_log(&std::fs::read(&path).unwrap());
+        assert_eq!(recs.len(), 6);
+        // Compaction rewrites to the surviving subset only.
+        w.rewrite((0..2).map(|i| sample(i, false))).unwrap();
+        let (recs, report) = scan_log(&std::fs::read(&path).unwrap());
+        assert_eq!(recs.len(), 2);
+        assert_eq!(report.corrupt_spans, 0);
+        assert!(!recs[0].holds);
+        // The append handle survived the rename.
+        w.append(&sample(9, true)).unwrap();
+        let (recs, _) = scan_log(&std::fs::read(&path).unwrap());
+        assert_eq!(recs.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_lock_excludes_a_second_writer() {
+        let dir = std::env::temp_dir().join(format!("oocq-persist-{}-lock", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let first = acquire_dir_lock(&dir).unwrap();
+        assert!(first.is_some());
+        // Second writer in the same (or any) process is refused, not hung.
+        let second = acquire_dir_lock(&dir).unwrap();
+        assert!(second.is_none(), "lock must be exclusive");
+        drop(first);
+        // On Linux the flock dies with the handle; elsewhere the marker is
+        // removed on drop — either way the lock is reacquirable.
+        let third = acquire_dir_lock(&dir).unwrap();
+        assert!(third.is_some(), "lock must be reacquirable after release");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -464,7 +464,15 @@ impl EventLoop<'_> {
             for ev in &events {
                 match ev.token {
                     LISTENER => accept_now = true,
-                    WAKER => self.wake_rx.drain(),
+                    WAKER => {
+                        // A drained wake byte is real activity — the only
+                        // kind the sleep-poll fallback can't fabricate —
+                        // so it resets that backend's idle backoff (a
+                        // no-op on epoll).
+                        if self.wake_rx.drain() > 0 {
+                            self.poller.note_progress();
+                        }
+                    }
                     token => {
                         dirty.insert(token);
                     }
@@ -473,6 +481,7 @@ impl EventLoop<'_> {
             // Drain completions every pass (not only on a waker event: the
             // wake byte may have coalesced into a previous drain).
             if self.apply_notes(&mut dirty) {
+                self.poller.note_progress();
                 // Queue slots freed: every stalled connection may proceed.
                 dirty.extend(
                     self.conns

@@ -40,9 +40,20 @@ if [ "${OOCQ_CI_SKIP_HEAVY:-0}" != "1" ]; then
     echo "ci: bench_constrained smoke (quick mode)"
     OOCQ_BENCH_QUICK=1 cargo run --release -q -p oocq-bench --bin bench_constrained \
         -- target/BENCH_constrained_smoke.json
+    # Persistence gate: the warm-restart walkthrough populates a cache
+    # directory, SIGKILLs the daemon, restarts it over the same directory,
+    # and asserts the verdict is served from the replayed log (hits, no
+    # misses); bench_persist then re-asserts its in-binary >=5x
+    # restart-vs-cold floor in quick mode.
+    echo "ci: persistence suite"
+    cargo test -q --test tooling -- oocq_serve_warm_restarts_from_the_persistent_cache
+    echo "ci: bench_persist smoke (quick mode)"
+    OOCQ_BENCH_QUICK=1 cargo run --release -q -p oocq-bench --bin bench_persist \
+        -- target/BENCH_persist_smoke.json
     # Soundness gate: the differential oracle sweeps >=500 seeded pairs,
     # cross-checking every engine verdict against brute-force evaluation
-    # and demanding a constructive witness for >=95% of refutations.
+    # and demanding a constructive witness for >=99% of refutations — the
+    # definitization portfolio steers every refuted pair of this sweep.
     echo "ci: oracle_fuzz sweep (ci mode)"
     cargo run --release -q --bin oracle_fuzz -- --iterations ci
     # Constrained soundness gate: the same oracle over schemas with

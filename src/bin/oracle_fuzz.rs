@@ -16,7 +16,9 @@
 //! ```
 //!
 //! Exit status: `0` when the sweep saw no soundness violation **and** the
-//! steered confirmation rate met `--min-confirm` (default 0.95); `1`
+//! steered confirmation rate met `--min-confirm` (default 0.99 — the
+//! per-obligation definitization portfolio steers every refuted pair of
+//! the default sweep, so any regression below ~1.0 is a real one); `1`
 //! otherwise; `2` on usage errors. The gate is two-sided on purpose — a
 //! verdict flipped from *fails* to *holds* surfaces as a violation, while
 //! one flipped from *holds* to *fails* surfaces as a collapsed
@@ -56,7 +58,7 @@ fn parse_args() -> Args {
         states: None,
         budget: None,
         eval_budget: None,
-        min_confirm: 0.95,
+        min_confirm: 0.99,
         shrink: true,
         constrained: false,
         verbose: false,

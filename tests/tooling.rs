@@ -175,6 +175,92 @@ fn oocq_serve_honors_a_request_deadline_and_recovers() {
     assert_eq!(lines[7], "[7] ok bye", "{text}");
 }
 
+/// A SIGKILL'd `oocq-serve` leaves a replayable verdict log behind: a
+/// fresh process over the same `OOCQ_CACHE_DIR` answers the same
+/// containment from the pre-warmed cache — zero decision recomputation —
+/// and `stats show` reports the replay (DESIGN.md §13).
+#[test]
+fn oocq_serve_warm_restarts_from_the_persistent_cache() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::process::{Command, Stdio};
+
+    let dir = std::env::temp_dir().join(format!("oocq-tooling-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    const SETUP: &str = "stats off\n\
+          schema s class C {}\\nclass D : C {}\n\
+          query s Q { x | x in D }\n\
+          query s R { x | x in C }\n\
+          contains s Q R\n";
+    let spawn = || {
+        Command::new(env!("CARGO_BIN_EXE_oocq-serve"))
+            .env("OOCQ_THREADS", "2")
+            .env("OOCQ_CACHE_DIR", &dir)
+            .env_remove("OOCQ_LISTEN")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn oocq-serve")
+    };
+
+    // First lifetime: populate the verdict log, then die hard (SIGKILL, no
+    // graceful shutdown) — exactly the crash the append-only format must
+    // absorb. Killing only after the verdict line guarantees the append
+    // has already been issued.
+    let mut child = spawn();
+    let mut stdin = child.stdin.take().unwrap();
+    stdin.write_all(SETUP.as_bytes()).unwrap();
+    stdin.flush().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let verdict = loop {
+        let line = lines.next().expect("daemon closed stdout early").unwrap();
+        if line.starts_with("[4]") {
+            break line;
+        }
+    };
+    assert_eq!(verdict, "[4] ok holds");
+    child.kill().unwrap();
+    let _ = child.wait();
+
+    // Second lifetime over the same directory: the verdict is served from
+    // the replayed log (hits, no misses) and the persistence counters say
+    // so. `stats show` is only sent after the verdict line arrives —
+    // decision requests run on the worker pool, so sending both up front
+    // would let the stats snapshot race the in-flight decision.
+    let mut child = spawn();
+    let mut stdin = child.stdin.take().unwrap();
+    stdin.write_all(SETUP.as_bytes()).unwrap();
+    stdin.flush().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let verdict = loop {
+        let line = lines.next().expect("daemon closed stdout early").unwrap();
+        if line.starts_with("[4]") {
+            break line;
+        }
+    };
+    assert_eq!(verdict, "[4] ok holds");
+    stdin.write_all(b"stats show\nquit\n").unwrap();
+    stdin.flush().unwrap();
+    let stats = lines.next().expect("no stats line").unwrap();
+    assert!(
+        stats.contains("contains_misses=0") && !stats.contains("contains_hits=0"),
+        "restart recomputed instead of hitting: {stats}"
+    );
+    assert!(
+        stats.contains("persist:") && !stats.contains("persist: off"),
+        "persistence inactive on restart: {stats}"
+    );
+    assert!(
+        !stats.contains("loaded=0"),
+        "restart did not replay the verdict log: {stats}"
+    );
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn optimizer_session_over_a_workload() {
     let s = parse_schema(
